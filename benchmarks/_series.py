@@ -1,0 +1,54 @@
+"""Shared reporting helper for the benchmark harness.
+
+Each experiment prints the series the paper's claim concerns (and the
+reproduction's measured shape) to stdout *and* persists it under
+``benchmarks/results/`` so EXPERIMENTS.md can be regenerated from a run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from collections.abc import Sequence
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def report(experiment: str, title: str, lines: Sequence[str]) -> None:
+    """Print a series block and persist it to results/<experiment>.txt."""
+    block = [f"[{experiment}] {title}"] + [f"  {line}" for line in lines]
+    text = "\n".join(block)
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment}.txt").write_text(text + "\n")
+
+
+def table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> list[str]:
+    """Fixed-width table lines."""
+    widths = [
+        max(len(str(header)), *(len(str(row[i])) for row in rows))
+        if rows
+        else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    def fmt(cells):
+        return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+
+    return [fmt(headers)] + [fmt(row) for row in rows]
+
+
+def fitted_exponent(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of log(y) against log(x): the growth exponent
+    of a power-law-ish series."""
+    import math
+
+    pairs = [
+        (math.log(x), math.log(y))
+        for x, y in zip(xs, ys)
+        if x > 0 and y > 0
+    ]
+    n = len(pairs)
+    mean_x = sum(x for x, _ in pairs) / n
+    mean_y = sum(y for _, y in pairs) / n
+    num = sum((x - mean_x) * (y - mean_y) for x, y in pairs)
+    den = sum((x - mean_x) ** 2 for x, _ in pairs)
+    return num / den

@@ -1,0 +1,94 @@
+"""E12 — deadlock geometry (extension of the §6 side remark).
+
+The paper notes that centralized deadlock "can be studied side by side
+with correctness [7]" while distributed deadlock is left open.  This
+bench measures, over random centralized pairs, the joint distribution
+of (safe?, deadlock-possible?) from the grid analysis, and validates
+the geometric deadlock predictor against the lock-manager simulator.
+"""
+
+import random
+
+from repro.core import GeometricPicture
+from repro.sim import RandomDriver, run_once
+from repro.workloads import random_total_order_pair
+
+from _series import report, table
+
+
+def test_deadlock_vs_safety_matrix(benchmark):
+    rng = random.Random(120)
+    counts = {
+        (safe, deadlock): 0
+        for safe in (True, False)
+        for deadlock in (True, False)
+    }
+    trials = 200
+    for _ in range(trials):
+        _, t1, t2 = random_total_order_pair(rng, entities=rng.randint(2, 5))
+        picture = GeometricPicture(t1, t2)
+        safe = picture.find_nonserializable_curve() is None
+        deadlock = picture.deadlock_possible()
+        counts[(safe, deadlock)] += 1
+    rows = [
+        (
+            "safe" if safe else "unsafe",
+            "deadlock possible" if deadlock else "deadlock-free",
+            count,
+        )
+        for (safe, deadlock), count in sorted(counts.items(), reverse=True)
+    ]
+    rng2 = random.Random(7)
+    _, t1, t2 = random_total_order_pair(rng2, entities=4)
+    picture = GeometricPicture(t1, t2)
+    benchmark(picture.deadlock_possible)
+    report(
+        "E12a-deadlock-matrix",
+        f"safety x deadlock over {trials} random centralized pairs",
+        table(["safety", "deadlock", "count"], rows)
+        + [
+            "the two analyses are independent axes on the same geometric "
+            "picture — the paper's 'side by side' claim, quantified",
+        ],
+    )
+    # All four combinations should occur in a 200-pair sample.
+    assert all(count > 0 for count in counts.values())
+
+
+def test_geometric_predictor_vs_simulator(benchmark):
+    rng = random.Random(121)
+    agree_free = 0
+    free_total = 0
+    confirmed = 0
+    possible_total = 0
+    for _ in range(60):
+        system, t1, t2 = random_total_order_pair(
+            rng, entities=rng.randint(2, 4)
+        )
+        picture = GeometricPicture(t1, t2)
+        if picture.deadlock_possible():
+            possible_total += 1
+            # Some random run should be able to deadlock; sample.
+            for run_seed in range(40):
+                if not run_once(system, RandomDriver(run_seed)).completed:
+                    confirmed += 1
+                    break
+        else:
+            free_total += 1
+            clean = all(
+                run_once(system, RandomDriver(run_seed)).completed
+                for run_seed in range(15)
+            )
+            agree_free += clean
+    benchmark(lambda: None)
+    report(
+        "E12b-deadlock-predictor",
+        "geometric deadlock prediction vs simulator sampling",
+        [
+            f"predicted deadlock-free: {free_total}; "
+            f"no sampled run deadlocked: {agree_free}/{free_total}",
+            f"predicted deadlock-possible: {possible_total}; "
+            f"deadlock reproduced by sampling: {confirmed}/{possible_total}",
+        ],
+    )
+    assert agree_free == free_total

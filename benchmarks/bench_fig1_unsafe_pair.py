@@ -1,0 +1,38 @@
+"""E1 — Fig. 1: the two-site unsafe pair and its non-serializable
+schedule.
+
+Paper artifact: "Two transactions distributed at two sites and a
+nonserializable schedule" (Fig. 1).  The reproduction decides the system
+unsafe via Theorem 2, regenerates an explicit non-serializable schedule,
+verifies it independently, and times the full analysis.
+"""
+
+from repro.core import decide_safety, decide_safety_exhaustive
+from repro.sim import ReplayDriver, run_once
+from repro.workloads import figure_1
+
+from _series import report
+
+
+def test_fig1_reproduction(benchmark):
+    system = figure_1()
+    verdict = benchmark(lambda: decide_safety(figure_1()))
+    assert not verdict.safe
+    certificate = verdict.certificate
+    certificate.verify()
+    exhaustive = decide_safety_exhaustive(system)
+    replay = run_once(system, ReplayDriver(verdict.witness))
+    report(
+        "E1-fig1",
+        "Fig. 1 — two-site pair, unsafe, with non-serializable schedule",
+        [
+            f"verdict: unsafe={not verdict.safe} via {verdict.method}",
+            f"exhaustive ground truth agrees: {not exhaustive.safe}",
+            f"dominator: {sorted(certificate.dominator)}",
+            f"schedule: {verdict.witness}",
+            f"schedule serializable: {verdict.witness.is_serializable()}",
+            f"simulator replay outcome: {replay.outcome}",
+            "paper: figure exhibits one such schedule; reproduction "
+            "regenerates and machine-verifies it",
+        ],
+    )

@@ -1,0 +1,97 @@
+"""E2 — Fig. 2 / Proposition 1: the geometric picture and the fast
+centralized safety test.
+
+Paper artifacts: the coordinated plane (Fig. 2) and the remark that
+centralized (one-site) two-transaction safety is testable in
+O(n log n) [5, 14]; our test is the strong-connectivity criterion,
+O(k^2) over k shared entities.  The series shows near-polynomial growth
+of the centralized test and 100% agreement between the graph criterion
+and the geometric (curve-search) criterion on small instances.
+"""
+
+import random
+import time
+
+from repro.core import GeometricPicture, d_graph_of_total_orders
+from repro.graphs import is_strongly_connected
+from repro.workloads import figure_2_total_orders, random_total_order_pair
+
+from _series import fitted_exponent, report, table
+
+
+def test_fig2_picture(benchmark):
+    _, t1, t2 = figure_2_total_orders()
+    picture = GeometricPicture(t1, t2)
+    curve = benchmark(picture.find_nonserializable_curve)
+    assert curve is not None
+    bits = picture.bits_of_curve(curve)
+    report(
+        "E2a-fig2",
+        "Fig. 2 — the separating curve of the geometric picture",
+        [
+            f"t1 = {' '.join(map(str, t1))}",
+            f"t2 = {' '.join(map(str, t2))}",
+            f"rectangles: {sorted(picture.rectangles)}",
+            f"curve bits: {bits} (mixed => non-serializable, Prop. 1)",
+            "paper: h separates the x- and z-rectangles; reproduction "
+            f"separates {sorted(e for e, b in bits.items() if b == 0)} from "
+            f"{sorted(e for e, b in bits.items() if b == 1)}",
+        ],
+    )
+
+
+def test_geometric_vs_graph_agreement(benchmark):
+    def run():
+        rng = random.Random(202)
+        agreements = 0
+        total = 0
+        for _ in range(60):
+            _, t1, t2 = random_total_order_pair(rng, entities=rng.randint(2, 4))
+            picture = GeometricPicture(t1, t2)
+            geometric_unsafe = picture.find_nonserializable_curve() is not None
+            graph_unsafe = not is_strongly_connected(
+                d_graph_of_total_orders(t1, t2)
+            )
+            agreements += geometric_unsafe == graph_unsafe
+            total += 1
+        return agreements, total
+
+    agreements, total = benchmark(run)
+    assert agreements == total
+    report(
+        "E2b-geometry-agreement",
+        "Proposition 1 — geometric vs graph criterion (centralized)",
+        [f"agreement: {agreements}/{total} random totally ordered pairs"],
+    )
+
+
+def test_centralized_test_scaling(benchmark):
+    sizes = [8, 16, 32, 64, 128, 256]
+    rows = []
+    times = []
+    for entities in sizes:
+        rng = random.Random(entities)
+        _, t1, t2 = random_total_order_pair(rng, entities=entities)
+        start = time.perf_counter()
+        for _ in range(3):
+            is_strongly_connected(d_graph_of_total_orders(t1, t2))
+        elapsed = (time.perf_counter() - start) / 3
+        times.append(elapsed)
+        rows.append((6 * entities, f"{elapsed * 1e3:.2f} ms"))
+    exponent = fitted_exponent([r[0] for r in rows], times)
+
+    # The timed body for pytest-benchmark: one mid-size decision.
+    rng = random.Random(99)
+    _, t1, t2 = random_total_order_pair(rng, entities=64)
+    benchmark(lambda: is_strongly_connected(d_graph_of_total_orders(t1, t2)))
+
+    report(
+        "E2c-centralized-scaling",
+        "centralized safety test scaling (steps n vs time)",
+        table(["n steps", "time"], rows)
+        + [
+            f"fitted growth exponent: {exponent:.2f} "
+            "(paper: polynomial, O(n log n) attainable; ours O(n^2) worst)"
+        ],
+    )
+    assert exponent < 3.0

@@ -1,0 +1,56 @@
+"""E3 — Fig. 3: an unsafe distributed system whose extension pairs
+split into safe and unsafe planes.
+
+Paper artifact: Figs. 3a-e.  {T1, T2} is unsafe (Lemma 1: some
+extension pair is), although the particular extension pair of Fig. 3c
+is safe; D(T1, T2) admits the dominator {x, y} (Fig. 3e).
+"""
+
+from repro.core import (
+    GeometricPicture,
+    d_graph,
+    d_graph_of_total_orders,
+    decide_safety,
+    decide_safety_exhaustive,
+    dominators_of,
+)
+from repro.graphs import is_strongly_connected
+from repro.workloads import figure_3, figure_3_extension_pairs
+
+from _series import report
+
+
+def test_fig3_reproduction(benchmark):
+    system = figure_3()
+    verdict = benchmark(lambda: decide_safety(figure_3()))
+    assert not verdict.safe
+    safe_pair, unsafe_pair = figure_3_extension_pairs()
+    safe_connected = is_strongly_connected(
+        d_graph_of_total_orders(*safe_pair)
+    )
+    unsafe_connected = is_strongly_connected(
+        d_graph_of_total_orders(*unsafe_pair)
+    )
+    assert safe_connected and not unsafe_connected
+    graph = d_graph(*system.pair())
+    dominators = sorted(sorted(d) for d in dominators_of(graph))
+    exhaustive = decide_safety_exhaustive(system)
+    unsafe_picture = GeometricPicture(*unsafe_pair)
+    curve = unsafe_picture.find_nonserializable_curve()
+    report(
+        "E3-fig3",
+        "Fig. 3 — unsafe system, safe (3c) vs unsafe (3d) extension pair",
+        [
+            f"{{T1, T2}} unsafe: {not verdict.safe} "
+            f"(exhaustive agrees: {not exhaustive.safe})",
+            f"Fig. 3c extension pair D strongly connected (safe plane): "
+            f"{safe_connected}",
+            f"Fig. 3d extension pair D strongly connected: "
+            f"{unsafe_connected} -> separating curve found: "
+            f"{curve is not None}",
+            f"D(T1, T2) arcs: {sorted(graph.arcs())}",
+            f"dominators of D(T1, T2): {dominators} "
+            "(paper's Fig. 3e dominator: ['x', 'y'])",
+        ],
+    )
+    assert ["x", "y"] in dominators

@@ -1,0 +1,110 @@
+"""E9 — §6 policies: two-phase locking is safe, undisciplined locking is
+not; a distributed policy is correct iff its centralized image is.
+
+Series: unsafe rate of random two-phase workloads (must be 0%) vs the
+same generator without the discipline; tree-protocol workloads (safe,
+non-two-phase); and agreement between distributed policy safety and the
+centralized-image criterion.
+"""
+
+import random
+
+from repro.core import DistributedDatabase, TransactionSystem, decide_safety
+from repro.policies import (
+    EntityTree,
+    centralized_image_is_safe,
+    is_two_phase,
+    policy_sample_is_safe,
+    random_tree_transaction,
+)
+from repro.workloads import random_pair_system
+
+from _series import report, table
+
+
+def unsafe_rate(two_phase: bool, trials: int = 80) -> float:
+    rng = random.Random(90 + two_phase)
+    unsafe = 0
+    for _ in range(trials):
+        system = random_pair_system(
+            rng, sites=rng.randint(1, 3), entities=rng.randint(2, 4),
+            shared=rng.randint(2, 4), two_phase=two_phase,
+            cross_arcs=rng.randint(0, 2),
+        )
+        unsafe += not decide_safety(system, want_certificate=False).safe
+    return unsafe / trials
+
+
+def test_two_phase_discipline(benchmark):
+    tp_rate = unsafe_rate(two_phase=True)
+    loose_rate = unsafe_rate(two_phase=False)
+    benchmark(lambda: unsafe_rate(two_phase=True, trials=10))
+    report(
+        "E9a-two-phase",
+        "unsafe rate: two-phase vs undisciplined random workloads",
+        table(
+            ["discipline", "unsafe rate"],
+            [("two-phase", f"{tp_rate:.1%}"), ("loose", f"{loose_rate:.1%}")],
+        )
+        + ["paper (§6 / Theorem 1): distributed 2PL is always safe"],
+    )
+    assert tp_rate == 0.0
+    assert loose_rate > 0.0
+
+
+def test_tree_protocol_policy(benchmark):
+    db = DistributedDatabase({"r": 1, "a": 1, "b": 2, "c": 2, "d": 1})
+    tree = EntityTree({"r": None, "a": "r", "b": "r", "c": "a", "d": "a"})
+    rng = random.Random(17)
+    unsafe = 0
+    non_two_phase = 0
+    trials = 40
+    for index in range(trials):
+        t1 = random_tree_transaction("T1", db, tree, rng, walk_length=4)
+        t2 = random_tree_transaction("T2", db, tree, rng, walk_length=4)
+        system = TransactionSystem([t1, t2])
+        unsafe += not decide_safety(system, want_certificate=False).safe
+        non_two_phase += not (is_two_phase(t1) and is_two_phase(t2))
+    benchmark(
+        lambda: random_tree_transaction("T", db, tree, rng, walk_length=4)
+    )
+    report(
+        "E9b-tree-protocol",
+        "tree (hierarchical) protocol workloads",
+        [
+            f"unsafe systems: {unsafe}/{trials} (must be 0)",
+            f"pairs containing a non-two-phase transaction: "
+            f"{non_two_phase}/{trials} "
+            "(the safe-but-not-2PL family of [12] / §6)",
+        ],
+    )
+    assert unsafe == 0
+    assert non_two_phase > 0
+
+
+def test_centralized_image_equivalence(benchmark):
+    rng = random.Random(29)
+    agreements = 0
+    trials = 25
+    for _ in range(trials):
+        system = random_pair_system(
+            rng, sites=rng.choice([1, 2, 3]), entities=rng.randint(2, 4),
+            shared=rng.randint(2, 3), cross_arcs=rng.randint(0, 2),
+        )
+        sample = system.transactions
+        agreements += policy_sample_is_safe(sample) == (
+            centralized_image_is_safe(sample)
+        )
+    benchmark(
+        lambda: centralized_image_is_safe(
+            random_pair_system(
+                random.Random(1), sites=2, entities=3, shared=2
+            ).transactions
+        )
+    )
+    report(
+        "E9c-centralized-image",
+        "§6: distributed policy safe <=> centralized image safe",
+        [f"agreement: {agreements}/{trials}"],
+    )
+    assert agreements == trials

@@ -1,0 +1,51 @@
+"""E6 — Theorem 1: strong connectivity is sufficient at any site count.
+
+Series: over random multi-site pairs, every strongly-connected-D system
+must be safe (agreement must be 100%); plus the cost of the sufficient
+test, which stays polynomial while exact decision is exponential.
+"""
+
+import random
+import time
+
+from repro.core import decide_safety_exact, is_safe_sufficient
+from repro.workloads import random_pair_system
+
+from _series import report, table
+
+
+def test_theorem1_sufficiency(benchmark):
+    rng = random.Random(61)
+    connected = 0
+    agreements = 0
+    silent = 0
+    silent_safe = 0
+    for _ in range(150):
+        system = random_pair_system(
+            rng, sites=rng.randint(3, 5), entities=rng.randint(2, 4),
+            shared=rng.randint(2, 4), cross_arcs=rng.randint(0, 3),
+        )
+        first, second = system.pair()
+        sufficient = is_safe_sufficient(first, second)
+        exact = decide_safety_exact(first, second).safe
+        if sufficient is True:
+            connected += 1
+            agreements += exact
+        else:
+            silent += 1
+            silent_safe += exact
+    rng2 = random.Random(8)
+    system = random_pair_system(rng2, sites=4, entities=4, shared=4)
+    benchmark(lambda: is_safe_sufficient(*system.pair()))
+    report(
+        "E6-theorem1",
+        "Theorem 1 — sufficiency of strong connectivity (3-5 sites)",
+        [
+            f"D strongly connected: {connected} systems; "
+            f"all safe: {agreements}/{connected}",
+            f"criterion silent: {silent} systems; of those, "
+            f"{silent_safe} turned out safe anyway (Fig. 5-like gap)",
+            "paper: SC => safe always; the converse fails beyond 2 sites",
+        ],
+    )
+    assert agreements == connected

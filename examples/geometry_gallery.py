@@ -1,0 +1,62 @@
+"""The geometric method in ASCII — the paper's Fig. 2 in a terminal.
+
+Draws the coordinated plane of two totally ordered transactions, the
+forbidden rectangles, the two serial curves, and a non-serializable
+curve separating two rectangles (Proposition 1).  Then shows the Fig. 3
+phenomenon: two extensions of the same distributed pair, one plane
+safe, the other unsafe.
+
+Run:  python examples/geometry_gallery.py
+"""
+
+from repro.core import GeometricPicture, d_graph_of_total_orders
+from repro.graphs import is_strongly_connected
+from repro.viz import render_plane
+from repro.workloads import figure_2_total_orders, figure_3_extension_pairs
+
+
+def main() -> None:
+    print("=" * 70)
+    print("Fig. 2: the coordinated plane of two total orders")
+    print("=" * 70)
+    _, t1, t2 = figure_2_total_orders()
+    picture = GeometricPicture(t1, t2)
+
+    print("\nThe serial schedule t1-then-t2 passes below every rectangle:\n")
+    serial = picture.curve_of([1] * picture.m1 + [2] * picture.m2)
+    print(render_plane(picture, serial))
+
+    print("\nA schedule separating the x- and z-rectangles — by")
+    print("Proposition 1, NOT serializable:\n")
+    separating = picture.find_nonserializable_curve()
+    print(render_plane(picture, separating))
+    bits = picture.bits_of_curve(separating)
+    below = [e for e, b in bits.items() if b == 0]
+    above = [e for e, b in bits.items() if b == 1]
+    print(f"\nrectangles below the curve (t1 first): {sorted(below)}")
+    print(f"rectangles above the curve (t2 first): {sorted(above)}")
+
+    print()
+    print("=" * 70)
+    print("Fig. 3: the same distributed pair, two different extension")
+    print("pairs — geometry flips between safe and unsafe")
+    print("=" * 70)
+    safe_pair, unsafe_pair = figure_3_extension_pairs()
+    for label, (e1, e2) in (("SAFE", safe_pair), ("UNSAFE", unsafe_pair)):
+        connected = is_strongly_connected(d_graph_of_total_orders(e1, e2))
+        plane = GeometricPicture(e1, e2)
+        curve = plane.find_nonserializable_curve()
+        print(f"\n--- extension pair ({label}) ---")
+        print(f"t1 = {' '.join(map(str, e1))}")
+        print(f"t2 = {' '.join(map(str, e2))}")
+        print(f"D(t1, t2) strongly connected: {connected}")
+        print(render_plane(plane, curve))
+        print(
+            "separating curve exists"
+            if curve is not None
+            else "no separating curve exists"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Theorem 3 live: turning SAT into distributed-locking (un)safety.
+
+Reproduces the paper's Figs. 8-9 running example,
+
+    F = (x1 | x2 | x3) & (~x1 | x2 | ~x3),
+
+builds the two transactions T1(F), T2(F) (every entity on its own
+site), prints the dominator/assignment table of Fig. 8, and shows that
+the pair is unsafe precisely because F is satisfiable — then does the
+same for an unsatisfiable formula and watches safety flip.
+
+Run:  python examples/sat_reduction_demo.py
+"""
+
+from repro.core import decide_safety_exact
+from repro.core.reduction import reduce_cnf_to_pair
+from repro.logic import CnfFormula, all_models, is_satisfiable
+from repro.workloads import figure_8_formula
+
+
+def dominator_table(artifacts) -> None:
+    """Fig. 8's table: each satisfying assignment's dominator."""
+    formula = artifacts.formula
+    print(f"  {'assignment':<30} desirable dominator (middle part)")
+    shown = 0
+    for model in all_models(formula, limit=8):
+        dominator = artifacts.dominator_for_assignment(model)
+        middles = sorted(
+            node for node in dominator if node in set(artifacts.middle_nodes)
+        )
+        bits = " ".join(
+            f"{var}={int(val)}" for var, val in sorted(model.items())
+        )
+        print(f"  {bits:<30} {{{', '.join(middles)}}}")
+        shown += 1
+    if not shown:
+        print("  (no satisfying assignments)")
+
+
+def analyze(formula: CnfFormula) -> None:
+    print(f"F = {formula}")
+    print(f"satisfiable (DPLL): {is_satisfiable(formula)}")
+    artifacts = reduce_cnf_to_pair(formula)
+    db = artifacts.database
+    print(
+        f"reduction: {len(db)} entities over {db.sites} sites, "
+        f"{len(artifacts.first)} steps per transaction"
+    )
+    print(
+        f"upper cycle {len(artifacts.upper_cycle)} nodes | middle row "
+        f"{len(artifacts.middle_nodes)} | lower cycle "
+        f"{len(artifacts.lower_cycle)}"
+    )
+    print("\ndominators as truth assignments (Fig. 8):")
+    dominator_table(artifacts)
+    verdict = decide_safety_exact(artifacts.first, artifacts.second)
+    print(f"\nsafety of {{T1(F), T2(F)}}: {'SAFE' if verdict.safe else 'UNSAFE'}")
+    print(f"  ({verdict.detail})")
+    if not verdict.safe:
+        print("  first steps of the non-serializable witness schedule:")
+        head = " ".join(str(item) for item in verdict.witness.steps[:12])
+        print(f"  {head} ...")
+    print()
+
+
+def main() -> None:
+    print("=" * 70)
+    print("The paper's running example (satisfiable)")
+    print("=" * 70)
+    analyze(figure_8_formula())
+
+    print("=" * 70)
+    print("An unsatisfiable formula in restricted form")
+    print("=" * 70)
+    analyze(
+        CnfFormula.parse(
+            "(p | y1) & (p | ~y1) & (q | y2) & (q | ~y2) & (~p | ~q)"
+        )
+    )
+
+    print("Theorem 3 in one line: deciding the safety of two distributed")
+    print("transactions is coNP-complete — unsafe certificates are exactly")
+    print("the satisfying assignments of the encoded formula.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Shim so `pip install -e .` works on environments whose setuptools
+predates PEP 660 editable wheels (no `wheel` package available offline)."""
+
+from setuptools import setup
+
+setup()

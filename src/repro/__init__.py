@@ -1,0 +1,108 @@
+"""repro — a reproduction of Kanellakis & Papadimitriou,
+*Is Distributed Locking Harder?* (PODS 1982 / JCSS 28:103-120, 1984).
+
+The package decides **safety** of distributed locked transaction
+systems — whether every legal interleaving is serializable — and
+implements every construction in the paper:
+
+* the model (§2): distributed databases, partially ordered locked
+  transactions, legal schedules — :mod:`repro.core`;
+* the geometric method (§3, Fig. 2, Proposition 1) —
+  :mod:`repro.core.geometry`;
+* the conflict digraph ``D(T1, T2)`` and the strong-connectivity safety
+  criterion (Theorems 1-2, Corollaries 1-2) — :mod:`repro.core.dgraph`,
+  :mod:`repro.core.safety`;
+* dominators, closure and explicit unsafeness certificates (§4) —
+  :mod:`repro.core.closure`, :mod:`repro.core.certificates`;
+* the coNP-completeness reduction (§5, Theorem 3, Figs. 8-9) —
+  :mod:`repro.core.reduction`;
+* many-transaction systems (§6, Proposition 2) — :mod:`repro.core.multi`;
+* locking policies, including distributed two-phase locking —
+  :mod:`repro.policies`;
+* a step-granular distributed lock-manager simulator to *run* systems
+  and watch unsafe ones mis-serialize — :mod:`repro.sim`.
+
+Quickstart::
+
+    from repro import DistributedDatabase, TransactionBuilder, TransactionSystem
+    from repro import decide_safety
+
+    db = DistributedDatabase({"x": 1, "y": 1, "z": 2})
+    t1 = TransactionBuilder("T1", db)
+    t1.access("x"); t1.access("z")
+    t2 = TransactionBuilder("T2", db)
+    t2.access("z"); t2.access("x")
+    verdict = decide_safety(TransactionSystem([t1.build(), t2.build()]))
+    print(verdict.safe, verdict.method)
+"""
+
+from .core import (
+    DistributedDatabase,
+    GeometricPicture,
+    SafetyVerdict,
+    Schedule,
+    ScheduledStep,
+    Step,
+    StepKind,
+    Transaction,
+    TransactionBuilder,
+    TransactionSystem,
+    UnsafenessCertificate,
+    certificate_from_dominator,
+    certificate_via_corollary_2,
+    d_graph,
+    decide_safety,
+    decide_safety_exact,
+    decide_safety_exhaustive,
+    decide_safety_multi,
+    find_nonserializable_schedule,
+    is_safe_sufficient,
+    is_safe_two_site,
+)
+from .errors import (
+    CertificateError,
+    DatabaseError,
+    LockingError,
+    ModelError,
+    ReductionError,
+    ReproError,
+    ScheduleError,
+    SiteOrderError,
+    TransactionError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CertificateError",
+    "DatabaseError",
+    "DistributedDatabase",
+    "GeometricPicture",
+    "LockingError",
+    "ModelError",
+    "ReductionError",
+    "ReproError",
+    "SafetyVerdict",
+    "Schedule",
+    "ScheduleError",
+    "ScheduledStep",
+    "SiteOrderError",
+    "Step",
+    "StepKind",
+    "Transaction",
+    "TransactionBuilder",
+    "TransactionError",
+    "TransactionSystem",
+    "UnsafenessCertificate",
+    "__version__",
+    "certificate_from_dominator",
+    "certificate_via_corollary_2",
+    "d_graph",
+    "decide_safety",
+    "decide_safety_exact",
+    "decide_safety_exhaustive",
+    "decide_safety_multi",
+    "find_nonserializable_schedule",
+    "is_safe_sufficient",
+    "is_safe_two_site",
+]

@@ -1,0 +1,214 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands
+-----------
+
+``analyze FILE``
+    Parse a system description (:mod:`repro.dsl`) and decide safety;
+    ``--certificate`` prints the full unsafeness certificate,
+    ``--exhaustive`` cross-checks against the definitional decider,
+    ``--dot`` emits ``D(T1, T2)`` in Graphviz DOT.
+
+``simulate FILE``
+    Monte-Carlo execution on the distributed lock-manager simulator.
+
+``plane FILE``
+    Render the coordinated plane of a totally ordered pair (Fig. 2
+    style), with the separating curve when one exists.
+
+``reduce FORMULA``
+    Theorem 3 end-to-end: compile a CNF formula to a transaction pair
+    and decide its safety (⟺ unsatisfiability).
+
+``figures [NAME]``
+    Print the paper's figure systems in the DSL, with their verdicts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import GeometricPicture, d_graph, decide_safety, decide_safety_exhaustive
+from .dsl import parse_system, render_system
+from .errors import ReproError
+from .logic import CnfFormula, is_satisfiable
+from .sim import estimate_violation_rate
+from .viz import digraph_to_dot, render_plane
+
+
+def _load_system(path: str):
+    with open(path, encoding="utf-8") as handle:
+        return parse_system(handle.read())
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    system = _load_system(args.file)
+    verdict = decide_safety(system, want_certificate=args.certificate)
+    if args.json:
+        import json
+
+        payload = verdict.to_dict()
+        payload["transactions"] = system.names
+        if args.exhaustive:
+            payload["exhaustive_agrees"] = (
+                decide_safety_exhaustive(system).safe == verdict.safe
+            )
+        print(json.dumps(payload, indent=2))
+        return 0 if verdict.safe else 1
+    print(f"transactions: {', '.join(system.names)}")
+    print(f"sites used:   {sorted(set().union(*(t.sites_used() for t in system.transactions)))}")
+    print(f"safe:         {verdict.safe}")
+    print(f"method:       {verdict.method}")
+    print(f"detail:       {verdict.detail}")
+    if verdict.witness is not None:
+        print(f"witness:      {verdict.witness}")
+    if args.certificate and verdict.certificate is not None:
+        print()
+        print(verdict.certificate.describe())
+    if args.exhaustive:
+        ground_truth = decide_safety_exhaustive(system)
+        agree = ground_truth.safe == verdict.safe
+        print(f"exhaustive:   safe={ground_truth.safe} (agree: {agree})")
+        if not agree:
+            return 2
+    if args.dot and len(system) == 2:
+        print()
+        print(digraph_to_dot(d_graph(*system.pair()), name="D(T1,T2)"))
+    return 0 if verdict.safe else 1
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    system = _load_system(args.file)
+    rates = estimate_violation_rate(system, runs=args.runs, seed=args.seed)
+    print(f"runs: {args.runs} (seed {args.seed})")
+    for outcome in ("serializable", "non-serializable", "deadlock"):
+        print(f"  {outcome:>18}: {rates[outcome]:7.2%}")
+    return 0 if rates["non-serializable"] == 0 else 1
+
+
+def cmd_plane(args: argparse.Namespace) -> int:
+    system = _load_system(args.file)
+    first, second = system.pair()
+    for tx in (first, second):
+        if not tx.is_totally_ordered():
+            print(
+                f"error: {tx.name} is not totally ordered; 'plane' draws "
+                "the Fig. 2 picture of total orders",
+                file=sys.stderr,
+            )
+            return 2
+    picture = GeometricPicture(
+        first.a_linear_extension(), second.a_linear_extension()
+    )
+    curve = picture.find_nonserializable_curve()
+    print(render_plane(picture, curve))
+    print()
+    if curve is None:
+        print("no separating curve: the pair is safe (Proposition 1)")
+        return 0
+    print("separating curve shown: the pair is UNSAFE (Proposition 1)")
+    return 1
+
+
+def cmd_reduce(args: argparse.Namespace) -> int:
+    from .core.reduction import propagate_units, reduce_cnf_to_pair
+    from .core import decide_safety_exact
+    from .logic import to_restricted_form
+
+    formula = CnfFormula.parse(args.formula)
+    print(f"F = {formula}")
+    sat = is_satisfiable(formula)
+    print(f"satisfiable (DPLL): {sat}")
+    if not formula.is_restricted_form():
+        formula = to_restricted_form(formula)
+        print(f"restricted form: {formula}")
+    prepared = propagate_units(formula)
+    if isinstance(prepared, bool):
+        print(f"settled by unit propagation: satisfiable={prepared}")
+        return 0
+    artifacts = reduce_cnf_to_pair(prepared)
+    print(
+        f"reduced pair: {len(artifacts.database)} entities "
+        f"(one per site), {len(artifacts.first)} steps per transaction"
+    )
+    verdict = decide_safety_exact(artifacts.first, artifacts.second)
+    print(f"safety: {'SAFE' if verdict.safe else 'UNSAFE'} ({verdict.detail})")
+    agree = (not verdict.safe) == sat
+    print(f"Theorem 3 check (unsafe ⟺ satisfiable): {agree}")
+    return 0 if agree else 2
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    from .workloads import figure_1, figure_3, figure_5
+
+    available = {"fig1": figure_1, "fig3": figure_3, "fig5": figure_5}
+    names = [args.name] if args.name else sorted(available)
+    for name in names:
+        if name not in available:
+            print(
+                f"unknown figure {name!r}; choose from {sorted(available)}",
+                file=sys.stderr,
+            )
+            return 2
+        system = available[name]()
+        verdict = decide_safety(system, want_certificate=False)
+        print(f"# {name}: safe={verdict.safe} via {verdict.method}")
+        print(render_system(system))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Safety of distributed locked transaction systems "
+            "(Kanellakis & Papadimitriou, PODS 1982)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser("analyze", help="decide safety of a system file")
+    analyze.add_argument("file")
+    analyze.add_argument("--certificate", action="store_true")
+    analyze.add_argument("--exhaustive", action="store_true")
+    analyze.add_argument("--dot", action="store_true")
+    analyze.add_argument("--json", action="store_true")
+    analyze.set_defaults(func=cmd_analyze)
+
+    simulate = sub.add_parser("simulate", help="Monte-Carlo execution")
+    simulate.add_argument("file")
+    simulate.add_argument("--runs", type=int, default=1000)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.set_defaults(func=cmd_simulate)
+
+    plane = sub.add_parser("plane", help="render the coordinated plane")
+    plane.add_argument("file")
+    plane.set_defaults(func=cmd_plane)
+
+    reduce_cmd = sub.add_parser("reduce", help="Theorem 3 on a CNF formula")
+    reduce_cmd.add_argument("formula")
+    reduce_cmd.set_defaults(func=cmd_reduce)
+
+    figures = sub.add_parser("figures", help="print the paper's systems")
+    figures.add_argument("name", nargs="?")
+    figures.set_defaults(func=cmd_figures)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,242 @@
+"""Certificates of unsafeness — the constructive content of Theorem 2.
+
+A certificate packages everything needed to *verify* that a pair system
+is unsafe, independently of how it was found:
+
+* two total orders ``t1 ∈ T1``, ``t2 ∈ T2`` (Lemma 1's witnesses);
+* the bit vector (dominator entities below the curve, complement above);
+* an explicit legal, non-serializable schedule.
+
+Construction follows the proof of Theorem 2: close the system with
+respect to a dominator ``X`` (Lemmas 2–3), then topologically sort
+
+* ``t1`` placing the ``Ux`` (``x ∈ X``) steps *as early as possible*, and
+* ``t2`` placing the ``Lx`` (``x ∈ X``) steps *as late as possible*,
+  breaking ties among them by the ``Ux`` order of ``t1``,
+
+and finally read a separating monotone curve off the geometric picture.
+At two sites this always succeeds (Theorem 2); via Corollary 2 it also
+succeeds at any number of sites whenever the system is already closed
+with respect to the dominator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CertificateError
+from .closure import ClosureResult, close_with_respect_to, is_closed
+from .dgraph import d_graph, is_dominator_of, some_dominator_of
+from .geometry import GeometricPicture
+from .schedule import Schedule, ScheduledStep, TransactionSystem
+from .step import Step
+from .transaction import Transaction
+
+
+@dataclass
+class UnsafenessCertificate:
+    """A self-contained, independently checkable proof of unsafeness."""
+
+    system: TransactionSystem
+    t1: list[Step]
+    t2: list[Step]
+    bits: dict[str, int]
+    schedule: Schedule
+    dominator: frozenset[str]
+
+    def verify(self) -> bool:
+        """Re-check every claim; raises :class:`CertificateError` with a
+        specific reason on failure, returns True otherwise."""
+        first, second = self.system.pair()
+        if not first.is_linear_extension(self.t1):
+            raise CertificateError(
+                f"t1 is not a linear extension of {first.name}"
+            )
+        if not second.is_linear_extension(self.t2):
+            raise CertificateError(
+                f"t2 is not a linear extension of {second.name}"
+            )
+        if set(self.bits.values()) != {0, 1}:
+            raise CertificateError(
+                f"bit vector is not mixed: {self.bits}"
+            )
+        try:
+            # Re-validating legality happens inside Schedule.__init__;
+            # rebuild to defend against mutated .steps.
+            rebuilt = Schedule(self.system, list(self.schedule.steps))
+        except Exception as exc:  # noqa: BLE001 - rewrap for the caller
+            raise CertificateError(f"schedule is not legal: {exc}") from exc
+        if rebuilt.is_serializable():
+            raise CertificateError("schedule is serializable")
+        # The schedule must actually interleave t1 with t2 in their order.
+        order1 = [
+            item.step for item in rebuilt.steps if item.transaction == first.name
+        ]
+        order2 = [
+            item.step for item in rebuilt.steps if item.transaction == second.name
+        ]
+        if order1 != self.t1 or order2 != self.t2:
+            raise CertificateError(
+                "schedule does not project onto the claimed total orders"
+            )
+        return True
+
+    def describe(self) -> str:
+        first, second = self.system.pair()
+        below = sorted(e for e, bit in self.bits.items() if bit == 0)
+        above = sorted(e for e, bit in self.bits.items() if bit == 1)
+        return "\n".join(
+            [
+                f"Unsafeness certificate for {{{first.name}, {second.name}}}",
+                f"  dominator X = {sorted(self.dominator)}",
+                f"  {first.name} first on: {below}; "
+                f"{second.name} first on: {above}",
+                f"  t1 = {' '.join(map(str, self.t1))}",
+                f"  t2 = {' '.join(map(str, self.t2))}",
+                f"  non-serializable schedule: {self.schedule}",
+            ]
+        )
+
+
+def _priority_total_orders(
+    closed: ClosureResult,
+) -> tuple[list[Step], list[Step]]:
+    """The two priority topological sorts from the proof of Theorem 2.
+
+    "As early as possible" for the ``Ux`` steps of ``t1`` is *not* the
+    myopic greedy that merely prefers an available ``Ux``: each ``Ux``
+    must drag its whole down-set forward.  Equivalently, topologically
+    sort the **reversed** partial order while *delaying* ``Ux`` steps
+    (emit them only when nothing else is available) and reverse the
+    result.  The symmetric rule for ``t2`` — ``Lx`` as late as
+    possible — is exactly the myopic delay, applied directly.
+    """
+    members = closed.dominator
+
+    def t1_reversed_key(step: Step) -> int:
+        # Delay Ux in the reversed order == emit Ux early in t1.
+        return 1 if step.is_unlock and step.entity in members else 0
+
+    from ..graphs import topological_sort
+
+    reversed_order = topological_sort(
+        closed.first.poset().graph().reversed(), key=t1_reversed_key
+    )
+    t1 = list(reversed(reversed_order))
+    unlock_rank = {
+        step.entity: position
+        for position, step in enumerate(t1)
+        if step.is_unlock and step.entity in members
+    }
+
+    def t2_key(step: Step) -> tuple[int, int]:
+        # Lx steps of the dominator as late as possible; among them,
+        # follow the Ux order of t1.
+        if step.is_lock and step.entity in members:
+            return (1, unlock_rank.get(step.entity, len(t1)))
+        return (0, 0)
+
+    t2 = closed.second.a_linear_extension(key=t2_key)
+    return t1, t2
+
+
+def _certificate_from_orders(
+    first: Transaction,
+    second: Transaction,
+    t1: list[Step],
+    t2: list[Step],
+    dominator: frozenset[str],
+) -> UnsafenessCertificate:
+    """Find the separating curve for the closed system's total orders and
+    package the certificate."""
+    picture = GeometricPicture(t1, t2)
+    bits = {
+        entity: 0 if entity in dominator else 1
+        for entity in picture.entities()
+    }
+    curve = picture.find_curve_with_bits(bits)
+    if curve is None:
+        raise CertificateError(
+            f"no separating curve exists for dominator {sorted(dominator)}; "
+            "the construction does not apply to this system"
+        )
+    system = TransactionSystem([first, second])
+    names = {1: first.name, 2: second.name}
+    schedule = Schedule(
+        system,
+        [
+            ScheduledStep(names[axis], step)
+            for axis, step in picture.schedule_steps_of_curve(curve)
+        ],
+    )
+    certificate = UnsafenessCertificate(
+        system=system,
+        t1=t1,
+        t2=t2,
+        bits=bits,
+        schedule=schedule,
+        dominator=dominator,
+    )
+    certificate.verify()
+    return certificate
+
+
+def certificate_from_dominator(
+    first: Transaction,
+    second: Transaction,
+    dominator: frozenset[str] | set[str] | None = None,
+    *,
+    enforce_dominator_invariant: bool = True,
+) -> UnsafenessCertificate:
+    """Theorem 2's construction: close w.r.t. a dominator of
+    ``D(T1, T2)``, build the priority total orders, extract the schedule.
+
+    With *dominator* omitted, the canonical source-SCC dominator is used;
+    raises :class:`CertificateError` when ``D`` is strongly connected
+    (Theorem 1 then proves the system safe) and propagates
+    :class:`~repro.core.closure.ClosureContradiction` when closure is
+    impossible (e.g. the four-site Fig. 5 system).
+    """
+    graph = d_graph(first, second)
+    if dominator is None:
+        found = some_dominator_of(graph)
+        if found is None:
+            raise CertificateError(
+                "D(T1, T2) is strongly connected; the system is safe "
+                "(Theorem 1) and has no unsafeness certificate"
+            )
+        dominator = found
+    members = frozenset(dominator)
+    if not is_dominator_of(graph, members):
+        raise CertificateError(
+            f"{sorted(members)} is not a dominator of D(T1, T2)"
+        )
+    closed = close_with_respect_to(
+        first,
+        second,
+        members,
+        enforce_dominator_invariant=enforce_dominator_invariant,
+    )
+    t1, t2 = _priority_total_orders(closed)
+    return _certificate_from_orders(first, second, t1, t2, members)
+
+
+def certificate_via_corollary_2(
+    first: Transaction, second: Transaction, dominator: frozenset[str] | set[str]
+) -> UnsafenessCertificate:
+    """Corollary 2: a system already *closed* with respect to a dominator
+    is unsafe at any number of sites; build its certificate directly."""
+    members = frozenset(dominator)
+    graph = d_graph(first, second)
+    if not is_dominator_of(graph, members):
+        raise CertificateError(
+            f"{sorted(members)} is not a dominator of D(T1, T2)"
+        )
+    if not is_closed(first, second, members):
+        raise CertificateError(
+            f"system is not closed with respect to {sorted(members)}; "
+            "Corollary 2 does not apply (use certificate_from_dominator)"
+        )
+    closed = ClosureResult(first, second, members)
+    t1, t2 = _priority_total_orders(closed)
+    return _certificate_from_orders(first, second, t1, t2, members)

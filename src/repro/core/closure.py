@@ -1,0 +1,180 @@
+"""Closure with respect to a dominator — Lemmas 2 and 3, Definition 3.
+
+The heart of Theorem 2's only-if direction.  Given a dominator ``X`` of
+``D(T1, T2)``, whenever three entities ``z ∈ V−X`` and ``x, y ∈ X``
+satisfy
+
+    ``Lz`` precedes ``Ux`` in ``T1``   and   ``Ly`` precedes ``Uz`` in ``T2``,
+
+Lemma 2 shows ``x ≠ y``, ``Ux`` does not precede ``Uy`` in ``T1`` and
+``Lx`` does not precede ``Ly`` in ``T2`` — so the *closure precedences*
+
+    ``Uy`` before ``Ux`` in ``T1``     and   ``Ly`` before ``Lx`` in ``T2``
+
+can be added without creating cycles (one triple at a time).  A system in
+which every such triple already has the closure precedences is **closed
+with respect to X** (Definition 3).  Lemma 3: at **two sites**, adding
+the closure precedences keeps ``X`` a dominator of the strengthened
+system, so repeated application terminates in a closed system ``R``;
+Corollary 2 then certifies unsafeness.
+
+At three or more sites the process may instead force a cycle in one of
+the partial orders — exactly the phenomenon of the paper's four-site
+Fig. 5 example, reported here as :class:`ClosureContradiction`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from ..errors import ReproError, TransactionError
+from .dgraph import d_graph, is_dominator_of, shared_locked_entities
+from .step import Step
+from .transaction import Transaction
+
+
+class ClosureContradiction(ReproError):
+    """Closing the system w.r.t. the dominator forces a cyclic
+    'partial order' — no certificate can be built from this dominator
+    (possible only at three or more sites, by Lemma 3)."""
+
+
+class DominatorInvariantBroken(ReproError):
+    """`X` stopped being a dominator during closure.  Lemma 3 proves this
+    cannot happen at two sites; raised (rather than silently mis-deciding)
+    if a caller applies the two-site construction out of scope."""
+
+
+@dataclass
+class ClosureResult:
+    """Outcome of closing ``{T1, T2}`` with respect to ``X``."""
+
+    first: Transaction
+    second: Transaction
+    dominator: frozenset[str]
+    added_to_first: list[tuple[Step, Step]] = field(default_factory=list)
+    added_to_second: list[tuple[Step, Step]] = field(default_factory=list)
+    rounds: int = 0
+
+
+def closure_violations(
+    first: Transaction,
+    second: Transaction,
+    dominator: Iterable[str],
+) -> list[tuple[str, str, str]]:
+    """All triples ``(z, x, y)`` violating Definition 3's closure
+    conditions: the hypotheses hold but a required precedence is absent."""
+    members = set(dominator)
+    shared = shared_locked_entities(first, second)
+    outside = [entity for entity in shared if entity not in members]
+    inside = [entity for entity in shared if entity in members]
+    violations: list[tuple[str, str, str]] = []
+    for z in outside:
+        lock1_z = first.lock_step(z)
+        unlock2_z = second.unlock_step(z)
+        for x in inside:
+            if not first.precedes(lock1_z, first.unlock_step(x)):
+                continue
+            for y in inside:
+                if not second.precedes(second.lock_step(y), unlock2_z):
+                    continue
+                ok_first = x != y and first.precedes(
+                    first.unlock_step(y), first.unlock_step(x)
+                )
+                ok_second = x != y and second.precedes(
+                    second.lock_step(y), second.lock_step(x)
+                )
+                if not (ok_first and ok_second):
+                    violations.append((z, x, y))
+    return violations
+
+
+def is_closed(
+    first: Transaction, second: Transaction, dominator: Iterable[str]
+) -> bool:
+    """Definition 3: is ``{T1, T2}`` closed with respect to *dominator*?"""
+    return not closure_violations(first, second, dominator)
+
+
+def close_with_respect_to(
+    first: Transaction,
+    second: Transaction,
+    dominator: Iterable[str],
+    *,
+    enforce_dominator_invariant: bool = True,
+    max_rounds: int | None = None,
+) -> ClosureResult:
+    """Iterate Lemma 2's inference until the system is closed w.r.t.
+    ``X`` (Definition 3), or fail.
+
+    Raises
+    ------
+    ClosureContradiction
+        if a required closure precedence would create a cycle (the x = y
+        degenerate case of Lemma 2, or a genuinely cyclic strengthening —
+        the Fig. 5 situation).
+    DominatorInvariantBroken
+        if ``X`` ceases to be a dominator of the strengthened ``D`` while
+        *enforce_dominator_invariant* is set (never at two sites).
+    """
+    members = frozenset(dominator)
+    result = ClosureResult(first, second, members)
+    total_steps = len(first) + len(second)
+    # Each round adds at least one precedence; at most O(n^2) can exist.
+    round_cap = max_rounds if max_rounds is not None else total_steps * total_steps + 1
+
+    while True:
+        violations = closure_violations(result.first, result.second, members)
+        if not violations:
+            return result
+        result.rounds += 1
+        if result.rounds > round_cap:
+            raise ClosureContradiction(
+                f"closure did not converge within {round_cap} rounds"
+            )
+        # Process the whole round as a batch: every violated triple's
+        # closure precedences are individually forced, so if their union
+        # is cyclic the dominator admits no certificate (the Fig. 5
+        # contradiction, e.g. Ux1 both before and after Ux2 in T1).
+        first_tx, second_tx = result.first, result.second
+        first_additions: list[tuple[Step, Step]] = []
+        second_additions: list[tuple[Step, Step]] = []
+        for z, x, y in violations:
+            if x == y:
+                raise ClosureContradiction(
+                    f"closure hypotheses hold for z={z!r} with x = y = "
+                    f"{x!r}; (z, x) would be an arc of D into the dominator"
+                )
+            unlock_pair = (first_tx.unlock_step(y), first_tx.unlock_step(x))
+            lock_pair = (second_tx.lock_step(y), second_tx.lock_step(x))
+            if (
+                not first_tx.precedes(*unlock_pair)
+                and unlock_pair not in first_additions
+            ):
+                first_additions.append(unlock_pair)
+            if (
+                not second_tx.precedes(*lock_pair)
+                and lock_pair not in second_additions
+            ):
+                second_additions.append(lock_pair)
+        try:
+            if first_additions:
+                result.first = first_tx.with_precedences(first_additions)
+                result.added_to_first.extend(first_additions)
+            if second_additions:
+                result.second = second_tx.with_precedences(second_additions)
+                result.added_to_second.extend(second_additions)
+        except TransactionError as exc:
+            raise ClosureContradiction(
+                f"the closure precedences forced by dominator "
+                f"{sorted(members)} are cyclic: {exc}"
+            ) from exc
+        if enforce_dominator_invariant:
+            strengthened = d_graph(result.first, result.second)
+            if not is_dominator_of(strengthened, members):
+                raise DominatorInvariantBroken(
+                    f"{sorted(members)} is no longer a dominator of "
+                    "D(T1', T2') after closure additions (cannot happen "
+                    "at two sites, by Lemma 3)"
+                )

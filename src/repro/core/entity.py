@@ -1,0 +1,114 @@
+"""The distributed database of the paper, §2.
+
+    "A distributed database is a triple D = (E, m, σ), where E is a set
+    of entities, m > 0 is the number of sites, and σ: E → {1, ..., m} is
+    the stored-at function, assigning a site to each entity."
+
+Entities are plain strings; sites are integers ``1..m``.  The class is
+immutable: transactions hold a reference to their database and rely on
+the stored-at map never changing underneath them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from ..errors import DatabaseError
+
+
+class DistributedDatabase:
+    """``D = (E, m, σ)`` — entities partitioned into ``m`` sites."""
+
+    def __init__(self, stored_at: Mapping[str, int], sites: int | None = None):
+        """*stored_at* maps each entity name to its site (1-based).
+
+        *sites* fixes ``m`` explicitly; when omitted, ``m`` is the largest
+        site mentioned.  Sites may be empty (an ``m`` larger than the
+        number of distinct sites used is allowed, matching the paper's
+        model where σ need not be surjective).
+        """
+        if not stored_at:
+            raise DatabaseError("a database needs at least one entity")
+        for entity, site in stored_at.items():
+            if not isinstance(entity, str) or not entity:
+                raise DatabaseError(
+                    f"entity names must be nonempty strings, got {entity!r}"
+                )
+            if not isinstance(site, int) or site < 1:
+                raise DatabaseError(
+                    f"site of entity {entity!r} must be a positive integer, "
+                    f"got {site!r}"
+                )
+        used = max(stored_at.values())
+        if sites is None:
+            sites = used
+        elif sites < used:
+            raise DatabaseError(
+                f"declared {sites} sites but entity map uses site {used}"
+            )
+        self._stored_at = dict(stored_at)
+        self._sites = sites
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def single_site(cls, entities: Iterable[str]) -> "DistributedDatabase":
+        """A centralized database (m = 1) — the paper's special case."""
+        return cls({entity: 1 for entity in entities}, sites=1)
+
+    @classmethod
+    def one_entity_per_site(cls, entities: Iterable[str]) -> "DistributedDatabase":
+        """Each entity on its own site — the Theorem 3 reduction's layout
+        ("each entity locked and unlocked in these transactions belongs
+        to its own site")."""
+        names = list(entities)
+        return cls(
+            {entity: index + 1 for index, entity in enumerate(names)},
+            sites=max(1, len(names)),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def sites(self) -> int:
+        """``m`` — the number of sites."""
+        return self._sites
+
+    @property
+    def entities(self) -> list[str]:
+        """All entity names, in insertion order."""
+        return list(self._stored_at)
+
+    def site_of(self, entity: str) -> int:
+        """``σ(entity)``; raises :class:`DatabaseError` if unknown."""
+        try:
+            return self._stored_at[entity]
+        except KeyError:
+            raise DatabaseError(f"unknown entity {entity!r}") from None
+
+    def entities_at(self, site: int) -> list[str]:
+        """All entities stored at *site*."""
+        return [
+            entity
+            for entity, stored in self._stored_at.items()
+            if stored == site
+        ]
+
+    def same_site(self, first: str, second: str) -> bool:
+        """True iff σ(first) == σ(second)."""
+        return self.site_of(first) == self.site_of(second)
+
+    def __contains__(self, entity: str) -> bool:
+        return entity in self._stored_at
+
+    def __len__(self) -> int:
+        return len(self._stored_at)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DistributedDatabase):
+            return NotImplemented
+        return self._stored_at == other._stored_at and self._sites == other._sites
+
+    def __repr__(self) -> str:
+        return (
+            f"DistributedDatabase(entities={len(self._stored_at)}, "
+            f"sites={self._sites})"
+        )

@@ -1,0 +1,317 @@
+"""The coordinated-plane geometric method of [Yannakakis, Papadimitriou,
+Kung 1979] / [Papadimitriou 1983], as used in §3 of the paper.
+
+For two *totally ordered* transactions ``t1`` (horizontal axis) and ``t2``
+(vertical axis), every entity ``x`` locked by both creates a **forbidden
+rectangle** of lattice points: the states in which both transactions would
+hold the lock on ``x``.  A legal schedule is a monotone lattice path from
+``(0, 0)`` to ``(m1, m2)`` avoiding all forbidden points; reading the grid
+lines it crosses recovers the schedule.
+
+Proposition 1: *a schedule is not serializable iff it separates two
+rectangles* — it passes below one (its transaction-1 accesses come first)
+and above another.  Below/above is the bit ``b_x`` of Theorem 1's proof:
+
+* ``b_x = 0`` — the path passes **below** the ``x``-rectangle
+  (``U1x`` before ``L2x``: transaction 1 accesses ``x`` first);
+* ``b_x = 1`` — the path passes **above** it (transaction 2 first).
+
+The module provides the picture itself, bit extraction, Proposition 1
+checks, and a grid-BFS that decides whether a monotone path realizing a
+prescribed bit vector exists (used both to cross-validate the exact
+safety decider and to extract explicit non-serializable schedules from
+Theorem 2 certificates).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from ..errors import ScheduleError
+from .step import Step
+
+
+@dataclass(frozen=True)
+class Rectangle:
+    """The forbidden rectangle of one entity, in lattice-point space.
+
+    A lattice point ``(i, j)`` (``i`` steps of ``t1`` done, ``j`` of
+    ``t2``) is forbidden iff ``x_lo <= i <= x_hi and y_lo <= j <= y_hi``.
+    """
+
+    entity: str
+    x_lo: int
+    x_hi: int
+    y_lo: int
+    y_hi: int
+
+    def contains(self, i: int, j: int) -> bool:
+        return self.x_lo <= i <= self.x_hi and self.y_lo <= j <= self.y_hi
+
+
+class GeometricPicture:
+    """The coordinated plane of a pair of total orders (Fig. 2)."""
+
+    def __init__(self, t1: Sequence[Step], t2: Sequence[Step]) -> None:
+        self.t1 = list(t1)
+        self.t2 = list(t2)
+        self.m1 = len(self.t1)
+        self.m2 = len(self.t2)
+        # 1-based positions of each step on its axis.
+        self._pos1 = {step: index + 1 for index, step in enumerate(self.t1)}
+        self._pos2 = {step: index + 1 for index, step in enumerate(self.t2)}
+
+        def lock_pairs(order: Sequence[Step]) -> dict[str, tuple[int, int]]:
+            locks: dict[str, int] = {}
+            pairs: dict[str, tuple[int, int]] = {}
+            for index, step in enumerate(order):
+                if step.is_lock:
+                    locks[step.entity] = index + 1
+                elif step.is_unlock and step.entity in locks:
+                    pairs[step.entity] = (locks[step.entity], index + 1)
+            return pairs
+
+        pairs1 = lock_pairs(self.t1)
+        pairs2 = lock_pairs(self.t2)
+        self.rectangles: dict[str, Rectangle] = {}
+        for entity in pairs1:
+            if entity not in pairs2:
+                continue
+            (l1, u1), (l2, u2) = pairs1[entity], pairs2[entity]
+            # Both hold the lock at point (i, j) iff l1 <= i < u1 and
+            # l2 <= j < u2.
+            self.rectangles[entity] = Rectangle(
+                entity, l1, u1 - 1, l2, u2 - 1
+            )
+
+    # ------------------------------------------------------------------
+    def position(self, axis: int, step: Step) -> int:
+        """1-based position of *step* on axis 1 or 2."""
+        return (self._pos1 if axis == 1 else self._pos2)[step]
+
+    def entities(self) -> list[str]:
+        """Entities locked by both total orders (rectangle owners)."""
+        return list(self.rectangles)
+
+    def is_forbidden(self, i: int, j: int) -> bool:
+        """Is lattice point ``(i, j)`` inside some forbidden rectangle?"""
+        return any(rect.contains(i, j) for rect in self.rectangles.values())
+
+    # ------------------------------------------------------------------
+    # Schedules as curves
+    # ------------------------------------------------------------------
+    def curve_of(self, interleaving: Sequence[int]) -> list[tuple[int, int]]:
+        """Lattice points visited by an interleaving given as a sequence
+        of axis ids (1 or 2), one per step."""
+        points = [(0, 0)]
+        i = j = 0
+        for axis in interleaving:
+            if axis == 1:
+                i += 1
+            else:
+                j += 1
+            points.append((i, j))
+        if (i, j) != (self.m1, self.m2):
+            raise ScheduleError(
+                f"interleaving has wrong step counts: ({i}, {j}) != "
+                f"({self.m1}, {self.m2})"
+            )
+        return points
+
+    def is_legal_curve(self, points: Iterable[tuple[int, int]]) -> bool:
+        """A curve is legal iff it never enters a forbidden rectangle."""
+        return not any(self.is_forbidden(i, j) for i, j in points)
+
+    def bits_of_curve(
+        self, points: Sequence[tuple[int, int]]
+    ) -> dict[str, int]:
+        """The above/below bit of every rectangle for a legal curve.
+
+        For each rectangle, find the curve point in the rectangle's
+        column range; the curve is below (bit 0) iff it is under the
+        rectangle there.
+        """
+        bits: dict[str, int] = {}
+        for entity, rect in self.rectangles.items():
+            bit: int | None = None
+            for i, j in points:
+                if rect.x_lo <= i <= rect.x_hi:
+                    bit = 0 if j < rect.y_lo else 1
+                    break
+            if bit is None:
+                # The curve jumped the column range in one vertical climb
+                # at i < x_lo or i > x_hi; decide by the height at x_lo.
+                height = max(j for i, j in points if i < rect.x_lo)
+                bit = 1 if height > rect.y_hi else 0
+            bits[entity] = bit
+        return bits
+
+    def separates_two_rectangles(
+        self, points: Sequence[tuple[int, int]]
+    ) -> bool:
+        """Proposition 1's criterion: the curve passes below one rectangle
+        and above another (⇔ the schedule is not serializable)."""
+        bits = set(self.bits_of_curve(points).values())
+        return bits == {0, 1}
+
+    # ------------------------------------------------------------------
+    # Path search with prescribed bits
+    # ------------------------------------------------------------------
+    def _forbidden_with_bits(self, bits: dict[str, int]):
+        """Point predicate forbidding, per rectangle, the half-plane that
+        would flip its prescribed bit.
+
+        bit 0 (t1 first): forbid ``i < u1_pos and j >= l2_pos`` — t2 must
+        not reach ``Lx`` until t1 passed ``Ux``.
+        bit 1 (t2 first): symmetric.
+        """
+        regions: list[tuple[int, int, int, int]] = []
+        for entity, bit in bits.items():
+            rect = self.rectangles[entity]
+            if bit == 0:
+                regions.append((0, rect.x_hi, rect.y_lo, self.m2))
+            else:
+                regions.append((rect.x_lo, self.m1, 0, rect.y_hi))
+        plain = [
+            (r.x_lo, r.x_hi, r.y_lo, r.y_hi)
+            for entity, r in self.rectangles.items()
+            if entity not in bits
+        ]
+        regions.extend(plain)
+
+        def forbidden(i: int, j: int) -> bool:
+            return any(
+                x_lo <= i <= x_hi and y_lo <= j <= y_hi
+                for x_lo, x_hi, y_lo, y_hi in regions
+            )
+
+        return forbidden
+
+    def find_curve_with_bits(
+        self, bits: dict[str, int]
+    ) -> list[tuple[int, int]] | None:
+        """A monotone legal path realizing *bits*, or ``None``.
+
+        BFS over the lattice with the bit-augmented forbidden regions;
+        rectangles without a prescribed bit are merely avoided.
+        """
+        forbidden = self._forbidden_with_bits(bits)
+        if forbidden(0, 0) or forbidden(self.m1, self.m2):
+            return None
+        parent: dict[tuple[int, int], tuple[int, int] | None] = {(0, 0): None}
+        frontier = [(0, 0)]
+        while frontier:
+            new_frontier: list[tuple[int, int]] = []
+            for i, j in frontier:
+                for ni, nj in ((i + 1, j), (i, j + 1)):
+                    if ni > self.m1 or nj > self.m2:
+                        continue
+                    if (ni, nj) in parent or forbidden(ni, nj):
+                        continue
+                    parent[(ni, nj)] = (i, j)
+                    new_frontier.append((ni, nj))
+            frontier = new_frontier
+            if (self.m1, self.m2) in parent:
+                break
+        if (self.m1, self.m2) not in parent:
+            return None
+        path: list[tuple[int, int]] = []
+        cursor: tuple[int, int] | None = (self.m1, self.m2)
+        while cursor is not None:
+            path.append(cursor)
+            cursor = parent[cursor]
+        path.reverse()
+        return path
+
+    def schedule_steps_of_curve(
+        self, points: Sequence[tuple[int, int]]
+    ) -> list[tuple[int, Step]]:
+        """Translate a curve back into scheduled steps ``(axis, step)`` —
+        "to read the schedule off any such curve we simply enumerate the
+        grid lines that it intersects"."""
+        result: list[tuple[int, Step]] = []
+        for (i0, j0), (i1, j1) in zip(points, points[1:]):
+            if i1 == i0 + 1 and j1 == j0:
+                result.append((1, self.t1[i0]))
+            elif j1 == j0 + 1 and i1 == i0:
+                result.append((2, self.t2[j0]))
+            else:
+                raise ScheduleError(
+                    f"curve is not a monotone unit-step path at "
+                    f"({i0},{j0}) -> ({i1},{j1})"
+                )
+        return result
+
+    # ------------------------------------------------------------------
+    # Deadlock geometry (§6's side remark: in the centralized case
+    # "deadlocks can be studied side by side with correctness [7]")
+    # ------------------------------------------------------------------
+    def is_deadlock_point(self, i: int, j: int) -> bool:
+        """A progress state from which neither transaction can move:
+        both unit successors are forbidden (boundaries never block — a
+        finished transaction holds no locks)."""
+        if i >= self.m1 or j >= self.m2:
+            return False
+        if self.is_forbidden(i, j):
+            return False
+        return self.is_forbidden(i + 1, j) and self.is_forbidden(i, j + 1)
+
+    def find_deadlock_state(self) -> list[tuple[int, int]] | None:
+        """A monotone legal path from (0, 0) into a deadlock point, or
+        ``None`` when every reachable state can make progress.
+
+        The returned path is the curve of the deadlocking prefix
+        schedule; replaying its steps on the simulator reproduces the
+        deadlock (tested in ``tests/core/test_geometry_deadlock.py``).
+        """
+        parent: dict[tuple[int, int], tuple[int, int] | None] = {(0, 0): None}
+        frontier = [(0, 0)]
+        while frontier:
+            new_frontier = []
+            for i, j in frontier:
+                if self.is_deadlock_point(i, j):
+                    path = []
+                    cursor: tuple[int, int] | None = (i, j)
+                    while cursor is not None:
+                        path.append(cursor)
+                        cursor = parent[cursor]
+                    path.reverse()
+                    return path
+                for ni, nj in ((i + 1, j), (i, j + 1)):
+                    if ni > self.m1 or nj > self.m2:
+                        continue
+                    if (ni, nj) in parent or self.is_forbidden(ni, nj):
+                        continue
+                    parent[(ni, nj)] = (i, j)
+                    new_frontier.append((ni, nj))
+            frontier = new_frontier
+        return None
+
+    def deadlock_possible(self) -> bool:
+        """Can some legal prefix of an interleaving deadlock?"""
+        return self.find_deadlock_state() is not None
+
+    def find_nonserializable_curve(self) -> list[tuple[int, int]] | None:
+        """Search for a curve separating two rectangles, trying every
+        mixed bit vector that is monotone along ``D(t1, t2)``.
+
+        Exhaustive over ancestor-closed zero-sets; exponential only in
+        the number of rectangle SCCs (tiny for realistic inputs).  Used
+        as geometric ground truth for the centralized safety criterion.
+        """
+        from ..graphs import enumerate_ancestor_closed_sets
+        from .dgraph import d_graph_of_total_orders
+
+        if len(self.rectangles) < 2:
+            return None
+        graph = d_graph_of_total_orders(self.t1, self.t2)
+        for zero_set in enumerate_ancestor_closed_sets(graph):
+            bits = {
+                entity: 0 if entity in zero_set else 1
+                for entity in self.rectangles
+            }
+            curve = self.find_curve_with_bits(bits)
+            if curve is not None:
+                return curve
+        return None

@@ -1,0 +1,112 @@
+"""Final-state serializability under all interpretations — the paper's
+actual definition, checked symbolically.
+
+§2 gives each update step ``s`` the semantics
+
+    temp_s := e(s);   e(s) := f_s(temp_{s1}, ..., temp_{sk})
+
+where ``s1, ..., sk`` are all steps preceding ``s`` in its transaction
+(including ``s`` itself), and calls a schedule *serializable* iff it is
+equivalent to a serial schedule **under all interpretations of the
+update functions** ``f_s``.  Equivalence under all interpretations is
+Herbrand equivalence: interpret every ``f_s`` as a free function symbol
+and compare the resulting final-state expressions.
+
+The library's working serializability test is conflict-graph
+acyclicity (:meth:`Schedule.is_serializable`), which is the standard
+equivalent for this model.  This module makes that equivalence a
+*checked theorem* rather than an assumption: it evaluates schedules
+symbolically and compares against every serial order
+(:func:`is_final_state_serializable`), and the test suite asserts
+agreement with the conflict test on exhaustive small-system sweeps.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+from .schedule import Schedule, ScheduledStep
+from .step import Step
+
+
+def _herbrand_final_state(
+    schedule_steps: list[ScheduledStep],
+    system,
+) -> dict[str, object]:
+    """Symbolic final value of every entity after running the steps.
+
+    Values are nested tuples (hashable Herbrand terms):
+
+    * initial value of entity ``x`` — ``("init", x)``;
+    * value written by update step ``s`` of transaction ``T`` —
+      ``("f", T, s, ((s1, temp_{s1}), ..., (sk, temp_{sk})))`` where
+      ``s1, ..., sk`` are the update steps preceding ``s`` **in T's
+      partial order** (including ``s`` itself, §2), in a canonical
+      order, and ``temp_{si}`` is the value step ``si`` read in this
+      schedule.  The argument set is fixed by the transaction; only the
+      temps vary with the interleaving — exactly the paper's
+      ``e(s) := f_s(temp_{s1}, ..., temp_{sk})``.
+    """
+    # Fixed per transaction: each update's partial-order predecessors.
+    argument_steps: dict[tuple[str, Step], list[Step]] = {}
+    for tx in system.transactions:
+        updates = [step for step in tx.steps if step.is_update]
+        for step in updates:
+            preceding = [
+                other
+                for other in updates
+                if other == step or tx.precedes(other, step)
+            ]
+            preceding.sort(key=str)
+            argument_steps[(tx.name, step)] = preceding
+
+    current: dict[str, object] = {}
+    temps: dict[tuple[str, Step], object] = {}
+
+    for item in schedule_steps:
+        step = item.step
+        if not step.is_update:
+            continue
+        entity = step.entity
+        temps[(item.transaction, step)] = current.get(
+            entity, ("init", entity)
+        )
+        arguments = tuple(
+            (str(argument), temps[(item.transaction, argument)])
+            for argument in argument_steps[(item.transaction, step)]
+            if (item.transaction, argument) in temps
+        )
+        current[entity] = ("f", item.transaction, str(step), arguments)
+    # Entities never updated keep their initial value.
+    for entity in system.database.entities:
+        current.setdefault(entity, ("init", entity))
+    return current
+
+
+def herbrand_state_of(schedule: Schedule) -> dict[str, object]:
+    """The symbolic final state of a legal schedule."""
+    return _herbrand_final_state(list(schedule.steps), schedule.system)
+
+
+def is_final_state_serializable(schedule: Schedule) -> bool:
+    """The paper's definition, decided directly: does some serial order
+    produce the identical Herbrand final state?
+
+    Exponential in the number of transactions (tries every serial
+    permutation); intended for validation on small systems.
+    """
+    target = herbrand_state_of(schedule)
+    system = schedule.system
+    for order in permutations(system.names):
+        serial = system.serial_schedule(list(order))
+        if herbrand_state_of(serial) == target:
+            return True
+    return False
+
+
+def serializability_tests_agree(schedule: Schedule) -> bool:
+    """Does the conflict test match the definitional Herbrand test on
+    this schedule?  (Exposed for sweeps and property tests.)"""
+    return schedule.is_serializable() == is_final_state_serializable(
+        schedule
+    )

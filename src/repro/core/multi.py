@@ -1,0 +1,173 @@
+"""Many-transaction systems — Section 6 / Proposition 2 of the paper.
+
+For a distributed system ``T = {T1, ..., Tk}``:
+
+* ``G`` is the (undirected) *interaction graph*: an edge ``[Ti, Tj]`` iff
+  the two transactions lock-unlock a common entity;
+* for each directed length-two path ``(Ti, Tj, Tk)`` of ``G``, the digraph
+  ``B_ijk`` has a node ``x_ij`` for each entity ``x`` locked by ``Ti`` and
+  ``Tj``, a node ``y_jk`` for each entity ``y`` locked by ``Tj`` and
+  ``Tk``, and arcs (all read off the *middle* transaction ``Tj``):
+
+  - ``(x_ij, y_jk)``  iff ``Lx`` precedes ``Uy``  in ``Tj``,
+  - ``(x_ij, x'_ij)`` iff ``Lx`` precedes ``Lx'`` in ``Tj``,
+  - ``(y_jk, y'_jk)`` iff ``Uy`` precedes ``Uy'`` in ``Tj``.
+
+Proposition 2: **T is safe iff (a) every two-transaction subsystem is
+safe, and (b) for each directed cycle ``c`` of ``G``, the union ``B_c``
+of the ``B_ijk`` over the consecutive triples of ``c`` has a cycle.**
+
+Nodes are shared between consecutive triples through their
+``(entity, {i, j})`` identity, so the union is well defined.  Directed
+cycles of length two are the two-transaction subsystems themselves and
+are covered by condition (a); the enumeration in
+:func:`decide_safety_multi` therefore ranges over directed cycles of
+length at least three (each undirected cycle in both traversal
+directions, since ``B_ijk`` depends on the direction).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..graphs import DiGraph, has_cycle, simple_cycles
+from .schedule import TransactionSystem
+from .transaction import Transaction
+
+
+def interaction_graph(system: TransactionSystem) -> DiGraph:
+    """``G`` as a symmetric digraph (edge = arcs both ways)."""
+    graph = DiGraph(system.names)
+    transactions = system.transactions
+    for i, first in enumerate(transactions):
+        locked_first = set(first.locked_entities())
+        for second in transactions[i + 1 :]:
+            if locked_first & set(second.locked_entities()):
+                graph.add_arc(first.name, second.name)
+                graph.add_arc(second.name, first.name)
+    return graph
+
+
+BNode = tuple[str, frozenset[str]]
+
+
+def b_graph_of_triple(
+    left: Transaction, middle: Transaction, right: Transaction
+) -> DiGraph:
+    """``B_ijk`` for the directed path ``(left, middle, right)``."""
+    pair_lm = frozenset({left.name, middle.name})
+    pair_mr = frozenset({middle.name, right.name})
+    shared_lm = sorted(
+        set(left.locked_entities()) & set(middle.locked_entities())
+    )
+    shared_mr = sorted(
+        set(middle.locked_entities()) & set(right.locked_entities())
+    )
+    graph = DiGraph()
+    for entity in shared_lm:
+        graph.add_node((entity, pair_lm))
+    for entity in shared_mr:
+        graph.add_node((entity, pair_mr))
+    # (x_ij, y_jk) iff Lx precedes Uy in Tj.
+    for x in shared_lm:
+        lock_x = middle.lock_step(x)
+        for y in shared_mr:
+            if middle.precedes(lock_x, middle.unlock_step(y)):
+                graph.add_arc((x, pair_lm), (y, pair_mr))
+    # (x_ij, x'_ij) iff Lx precedes Lx' in Tj.
+    for x in shared_lm:
+        for x2 in shared_lm:
+            if x != x2 and middle.precedes(
+                middle.lock_step(x), middle.lock_step(x2)
+            ):
+                graph.add_arc((x, pair_lm), (x2, pair_lm))
+    # (y_jk, y'_jk) iff Uy precedes Uy' in Tj.
+    for y in shared_mr:
+        for y2 in shared_mr:
+            if y != y2 and middle.precedes(
+                middle.unlock_step(y), middle.unlock_step(y2)
+            ):
+                graph.add_arc((y, pair_mr), (y2, pair_mr))
+    return graph
+
+
+def b_graph_of_cycle(
+    system: TransactionSystem, cycle: Sequence[str]
+) -> DiGraph:
+    """``B_c``: the union of ``B_ijk`` over all consecutive triples of the
+    directed cycle *cycle* (given without the repeated final node)."""
+    union = DiGraph()
+    length = len(cycle)
+    for index in range(length):
+        left = system[cycle[index]]
+        middle = system[cycle[(index + 1) % length]]
+        right = system[cycle[(index + 2) % length]]
+        triple = b_graph_of_triple(left, middle, right)
+        for node in triple.nodes():
+            union.add_node(node)
+        for tail, head in triple.arcs():
+            union.add_arc(tail, head)
+    return union
+
+
+def directed_cycles_of_interaction_graph(
+    system: TransactionSystem, *, limit: int | None = None
+):
+    """Directed cycles of ``G`` with length >= 3 (both directions of each
+    undirected cycle appear)."""
+    graph = interaction_graph(system)
+    for cycle in simple_cycles(graph, limit=limit):
+        if len(cycle) >= 3:
+            yield cycle
+
+
+def decide_safety_multi(system: TransactionSystem, *, cycle_limit: int | None = None):
+    """Proposition 2's decision procedure for ``k >= 3`` transactions.
+
+    Condition (a) uses the strongest pair decider (Theorem 2 at two
+    sites, exact bit-vector search otherwise); condition (b) checks that
+    ``B_c`` has a cycle for every directed cycle of ``G``.
+    """
+    from .safety import SafetyVerdict, decide_safety
+
+    transactions = system.transactions
+    # (a) every two-transaction subsystem safe.
+    for i, first in enumerate(transactions):
+        for second in transactions[i + 1 :]:
+            sub = TransactionSystem([first, second])
+            verdict = decide_safety(sub, want_certificate=False)
+            if not verdict.safe:
+                return SafetyVerdict(
+                    safe=False,
+                    method="proposition-2",
+                    detail=(
+                        f"two-transaction subsystem "
+                        f"{{{first.name}, {second.name}}} is unsafe: "
+                        f"{verdict.detail}"
+                    ),
+                    witness=verdict.witness,
+                    certificate=verdict.certificate,
+                )
+    # (b) every directed cycle's B_c has a cycle.
+    checked = 0
+    for cycle in directed_cycles_of_interaction_graph(
+        system, limit=cycle_limit
+    ):
+        checked += 1
+        if not has_cycle(b_graph_of_cycle(system, cycle)):
+            return SafetyVerdict(
+                safe=False,
+                method="proposition-2",
+                detail=(
+                    f"B_c is acyclic for the interaction-graph cycle "
+                    f"{' -> '.join(cycle)}"
+                ),
+            )
+    return SafetyVerdict(
+        safe=True,
+        method="proposition-2",
+        detail=(
+            f"all pairs safe and B_c cyclic for each of {checked} "
+            "interaction-graph cycles"
+        ),
+    )

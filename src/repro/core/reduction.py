@@ -1,0 +1,386 @@
+"""The coNP-completeness reduction of Theorem 3 (§5, Figs. 8-9).
+
+Given a CNF formula ``F`` in the paper's restricted form (clauses of at
+most three literals; each variable at most twice unnegated, at most once
+negated), build two locked transactions ``T1(F)``, ``T2(F)`` — every
+entity on its own site — such that
+
+    ``{T1(F), T2(F)}`` is **unsafe**  ⟺  ``F`` is **satisfiable**.
+
+Construction (step I — the skeleton):  the target digraph ``D`` has
+
+1. an **upper cycle** through ``u`` and one node ``c_ij`` per literal
+   occurrence (jth literal of the ith clause), with dummy nodes
+   separating the named ones;
+2. a **middle row**: nodes ``w_k`` and ``w'_k`` per variable, direct
+   descendants of ``u``; when the variable appears twice unnegated,
+   ``w_k`` becomes *two* copies joined by arcs both ways (one copy the
+   ``u``-descendant);
+3. a **lower cycle** through ``v`` and nodes ``z_k``, ``z'_k`` (variable
+   and negation), dummy-separated; ``v`` is a direct descendant of every
+   middle node that descends directly from ``u``.
+
+The skeleton transactions realize exactly these arcs via Definition 1:
+for each arc ``(a, b)`` of ``D``, ``La`` precedes ``Ub`` in ``T1`` and
+``Lb`` precedes ``Ua`` in ``T2`` — plus each entity's own
+lock–update–unlock chain.  Because every cross precedence runs from a
+lock to an unlock, no transitive composition can manufacture additional
+``D`` arcs, so ``D(T1(F), T2(F)) = D`` exactly (checked at build time).
+
+A **dominator** of ``D`` is the upper cycle plus any subset of the
+middle-row SCCs, and encodes the truth assignment "variable k is true
+iff ``w_k`` is in, its negation true iff ``w'_k`` is in" (Fig. 8's
+table).  Step II adds *half-arc* gadget precedences — chosen so that
+``D`` is unchanged — that kill the undesirable dominators via the
+closure mechanism of Definition 3:
+
+(a) per variable ``k``:  ``Lz_k <1 Uw_k``, ``Lz'_k <1 Uw'_k`` and
+    ``Lw_k <2 Uz'_k``, ``Lw'_k <2 Uz_k`` — a dominator containing both
+    ``w_k`` and ``w'_k`` forces ``Uw_k`` to both precede and follow
+    ``Uw'_k`` in any closed extension: contradiction;
+
+(b) per positive occurrence of variable ``k`` as literal ``j`` of
+    clause ``i``:  ``Lw_k <1 Uc_ij`` and ``Lc_{i,(j+1) mod |clause|} <2
+    Uw_k`` (one ``w_k`` copy per distinct occurrence) — a dominator
+    containing no middle node of clause ``i`` forces a length-``|i|``
+    cycle among the ``Uc_ij`` in ``T1``: contradiction;
+
+(c) per negative occurrence: as (b) with ``w'_k``.
+
+Satisfying assignments survive as realizable dominators, whose
+certificates of unsafeness Corollary 2 constructs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ReductionError
+from ..graphs import DiGraph
+from ..logic.cnf import CnfFormula, Literal
+from .dgraph import d_graph
+from .entity import DistributedDatabase
+from .step import Step, StepKind
+from .transaction import Transaction
+
+
+@dataclass
+class ReductionArtifacts:
+    """Everything the Theorem 3 reduction produces, with the bookkeeping
+    needed to translate between dominators and truth assignments."""
+
+    formula: CnfFormula
+    database: DistributedDatabase
+    first: Transaction
+    second: Transaction
+    d_expected: DiGraph
+    upper_cycle: list[str]
+    lower_cycle: list[str]
+    middle_nodes: list[str]
+    # Per variable: the designated w copy, all w copies, and w'.
+    w_of: dict[str, str] = field(default_factory=dict)
+    w_copies_of: dict[str, list[str]] = field(default_factory=dict)
+    w_neg_of: dict[str, str] = field(default_factory=dict)
+    # Per literal occurrence (clause index, literal index): middle node.
+    occurrence_node: dict[tuple[int, int], str] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def pair(self) -> tuple[Transaction, Transaction]:
+        return self.first, self.second
+
+    def middle_scc_units(self) -> list[frozenset[str]]:
+        """The middle-row SCCs (doubled ``w`` copies form one unit)."""
+        units: list[frozenset[str]] = []
+        for variable in self.formula.variables():
+            units.append(frozenset(self.w_copies_of[variable]))
+            units.append(frozenset({self.w_neg_of[variable]}))
+        return units
+
+    def dominator_for_assignment(
+        self, assignment: dict[str, bool]
+    ) -> frozenset[str]:
+        """The desirable dominator encoding *assignment* (Fig. 8):
+        upper cycle + ``w_k`` units of true variables + ``w'_k`` of
+        false ones."""
+        members = set(self.upper_cycle)
+        for variable in self.formula.variables():
+            if assignment.get(variable, False):
+                members.update(self.w_copies_of[variable])
+            else:
+                members.add(self.w_neg_of[variable])
+        return frozenset(members)
+
+    def assignment_for_dominator(
+        self, dominator: frozenset[str]
+    ) -> dict[str, bool | None]:
+        """Read the (partial) truth assignment off a dominator: variable
+        true iff its ``w`` unit is in, false iff ``w'`` is in, ``None``
+        when neither."""
+        assignment: dict[str, bool | None] = {}
+        for variable in self.formula.variables():
+            has_w = self.w_of[variable] in dominator
+            has_neg = self.w_neg_of[variable] in dominator
+            if has_w and has_neg:
+                raise ReductionError(
+                    f"dominator contains both w and w' of {variable!r} "
+                    "(undesirable type 1)"
+                )
+            assignment[variable] = True if has_w else (False if has_neg else None)
+        return assignment
+
+    def is_desirable(self, dominator: frozenset[str]) -> bool:
+        """Neither undesirable type: no ``w_k``/``w'_k`` pair together,
+        and every clause contributes at least one middle node."""
+        for variable in self.formula.variables():
+            if (
+                self.w_of[variable] in dominator
+                and self.w_neg_of[variable] in dominator
+            ):
+                return False
+        for clause_index, clause in enumerate(self.formula.clauses):
+            if not any(
+                self.occurrence_node[(clause_index, literal_index)]
+                in dominator
+                for literal_index in range(len(clause))
+            ):
+                return False
+        return True
+
+
+def _check_restricted(formula: CnfFormula) -> None:
+    if not formula.is_restricted_form():
+        raise ReductionError(
+            "Theorem 3 needs the restricted CNF form (<=3 literals per "
+            "clause, each variable <=2 positive and <=1 negative "
+            "occurrences); run repro.logic.to_restricted_form first"
+        )
+    for clause in formula.clauses:
+        if len(clause) < 2:
+            raise ReductionError(
+                "the reduction gadgets need clauses of 2 or 3 literals; "
+                "eliminate unit clauses first (repro.core.reduction."
+                "propagate_units)"
+            )
+
+
+def propagate_units(formula: CnfFormula) -> CnfFormula | bool:
+    """Eliminate unit clauses by propagation.
+
+    Returns the simplified formula (all clauses with >= 2 literals), or
+    ``True`` / ``False`` when propagation settles satisfiability.
+    """
+    clauses = [list(clause.literals) for clause in formula.clauses]
+    forced: dict[str, bool] = {}
+    while True:
+        unit = next((c for c in clauses if len(c) == 1), None)
+        if unit is None:
+            break
+        literal = unit[0]
+        value = not literal.negated
+        if forced.get(literal.variable, value) != value:
+            return False
+        forced[literal.variable] = value
+        next_clauses: list[list[Literal]] = []
+        for clause in clauses:
+            kept: list[Literal] = []
+            satisfied = False
+            for lit in clause:
+                if lit.variable in forced:
+                    if lit.value_under(forced):
+                        satisfied = True
+                        break
+                else:
+                    kept.append(lit)
+            if satisfied:
+                continue
+            if not kept:
+                return False
+            next_clauses.append(kept)
+        clauses = next_clauses
+        if not clauses:
+            return True
+    return CnfFormula(clauses)
+
+
+def reduce_cnf_to_pair(formula: CnfFormula) -> ReductionArtifacts:
+    """Build ``{T1(F), T2(F)}`` and all the translation bookkeeping.
+
+    Raises :class:`ReductionError` for formulas outside the restricted
+    form or containing unit clauses.
+    """
+    _check_restricted(formula)
+    variables = formula.variables()
+    occurrences: dict[str, int] = {}
+    for clause in formula.clauses:
+        for literal in clause:
+            if not literal.negated:
+                occurrences[literal.variable] = (
+                    occurrences.get(literal.variable, 0) + 1
+                )
+
+    # ------------------------------------------------------------------
+    # Node inventory.
+    # ------------------------------------------------------------------
+    upper_named = ["u"] + [
+        f"c_{i + 1}_{j + 1}"
+        for i, clause in enumerate(formula.clauses)
+        for j in range(len(clause))
+    ]
+    upper_cycle: list[str] = []
+    for index, node in enumerate(upper_named):
+        upper_cycle.append(node)
+        upper_cycle.append(f"du{index}")  # dummy after every named node
+
+    w_of: dict[str, str] = {}
+    w_copies_of: dict[str, list[str]] = {}
+    w_neg_of: dict[str, str] = {}
+    middle_nodes: list[str] = []
+    for variable in variables:
+        if occurrences.get(variable, 0) >= 2:
+            copies = [f"w_{variable}", f"w_{variable}_bis"]
+        else:
+            copies = [f"w_{variable}"]
+        w_of[variable] = copies[0]
+        w_copies_of[variable] = copies
+        middle_nodes.extend(copies)
+        w_neg_of[variable] = f"wn_{variable}"
+        middle_nodes.append(w_neg_of[variable])
+
+    lower_named = ["v"]
+    for variable in variables:
+        lower_named.append(f"z_{variable}")
+        lower_named.append(f"zn_{variable}")
+    lower_cycle: list[str] = []
+    for index, node in enumerate(lower_named):
+        lower_cycle.append(node)
+        lower_cycle.append(f"dl{index}")
+
+    entities = upper_cycle + middle_nodes + lower_cycle
+    database = DistributedDatabase.one_entity_per_site(entities)
+
+    # ------------------------------------------------------------------
+    # The designed digraph D.
+    # ------------------------------------------------------------------
+    d_expected = DiGraph(entities)
+    for tail, head in zip(upper_cycle, upper_cycle[1:] + upper_cycle[:1]):
+        d_expected.add_arc(tail, head)
+    for tail, head in zip(lower_cycle, lower_cycle[1:] + lower_cycle[:1]):
+        d_expected.add_arc(tail, head)
+    designated_middles: list[str] = []
+    for variable in variables:
+        designated_middles.append(w_of[variable])
+        designated_middles.append(w_neg_of[variable])
+        copies = w_copies_of[variable]
+        if len(copies) == 2:
+            d_expected.add_arc(copies[0], copies[1])
+            d_expected.add_arc(copies[1], copies[0])
+    for middle in designated_middles:
+        d_expected.add_arc("u", middle)
+        d_expected.add_arc(middle, "v")
+
+    # ------------------------------------------------------------------
+    # Step I: skeleton transactions realizing exactly D.
+    # ------------------------------------------------------------------
+    def step_triplet(entity: str) -> tuple[Step, Step, Step]:
+        return (
+            Step(StepKind.LOCK, entity),
+            Step(StepKind.UPDATE, entity),
+            Step(StepKind.UNLOCK, entity),
+        )
+
+    steps = {entity: step_triplet(entity) for entity in entities}
+    all_steps = [step for entity in entities for step in steps[entity]]
+    chains = [
+        (steps[entity][0], steps[entity][1]) for entity in entities
+    ] + [(steps[entity][1], steps[entity][2]) for entity in entities]
+
+    precedences_first = list(chains)
+    precedences_second = list(chains)
+    for a, b in d_expected.arcs():
+        # La <1 Ub   and   Lb <2 Ua  (Definition 1).
+        precedences_first.append((steps[a][0], steps[b][2]))
+        precedences_second.append((steps[b][0], steps[a][2]))
+
+    # ------------------------------------------------------------------
+    # Step II: the completion gadgets (half-arcs only — D unchanged).
+    # ------------------------------------------------------------------
+    # (a) variable-consistency gadgets.
+    for variable in variables:
+        w = w_of[variable]
+        w_neg = w_neg_of[variable]
+        z = f"z_{variable}"
+        z_neg = f"zn_{variable}"
+        precedences_first.append((steps[z][0], steps[w][2]))        # Lz  <1 Uw
+        precedences_first.append((steps[z_neg][0], steps[w_neg][2]))  # Lz' <1 Uw'
+        precedences_second.append((steps[w][0], steps[z_neg][2]))   # Lw  <2 Uz'
+        precedences_second.append((steps[w_neg][0], steps[z][2]))   # Lw' <2 Uz
+
+    # (b)/(c) clause gadgets; one w copy per distinct positive occurrence.
+    occurrence_node: dict[tuple[int, int], str] = {}
+    next_copy: dict[str, int] = {}
+    for clause_index, clause in enumerate(formula.clauses):
+        size = len(clause)
+        for literal_index, literal in enumerate(clause.literals):
+            if literal.negated:
+                middle = w_neg_of[literal.variable]
+            else:
+                copy_index = next_copy.get(literal.variable, 0)
+                next_copy[literal.variable] = copy_index + 1
+                copies = w_copies_of[literal.variable]
+                middle = copies[min(copy_index, len(copies) - 1)]
+            occurrence_node[(clause_index, literal_index)] = middle
+            c_here = f"c_{clause_index + 1}_{literal_index + 1}"
+            c_next = f"c_{clause_index + 1}_{(literal_index + 1) % size + 1}"
+            precedences_first.append((steps[middle][0], steps[c_here][2]))
+            precedences_second.append((steps[c_next][0], steps[middle][2]))
+
+    first = Transaction("T1(F)", database, all_steps, precedences_first)
+    second = Transaction("T2(F)", database, all_steps, precedences_second)
+
+    artifacts = ReductionArtifacts(
+        formula=formula,
+        database=database,
+        first=first,
+        second=second,
+        d_expected=d_expected,
+        upper_cycle=upper_cycle,
+        lower_cycle=lower_cycle,
+        middle_nodes=middle_nodes,
+        w_of=w_of,
+        w_copies_of=w_copies_of,
+        w_neg_of=w_neg_of,
+        occurrence_node=occurrence_node,
+    )
+    _verify_d_graph(artifacts)
+    return artifacts
+
+
+def _verify_d_graph(artifacts: ReductionArtifacts) -> None:
+    """Assert ``D(T1(F), T2(F))`` equals the designed ``D`` — the
+    reduction's step II must not disturb the dominator structure."""
+    actual = d_graph(artifacts.first, artifacts.second)
+    expected = artifacts.d_expected
+    actual_arcs = set(actual.arcs())
+    expected_arcs = set(expected.arcs())
+    if set(actual.nodes()) != set(expected.nodes()) or (
+        actual_arcs != expected_arcs
+    ):
+        missing = expected_arcs - actual_arcs
+        extra = actual_arcs - expected_arcs
+        raise ReductionError(
+            f"reduction produced a wrong D graph "
+            f"(missing={sorted(missing)[:4]}, extra={sorted(extra)[:4]})"
+        )
+
+
+def decide_satisfiability_via_safety(formula: CnfFormula) -> bool:
+    """Theorem 3 run end-to-end: ``F`` is satisfiable iff the reduced
+    pair is unsafe (decided by the exact bit-vector decider)."""
+    from .safety import decide_safety_exact
+
+    prepared = propagate_units(formula)
+    if isinstance(prepared, bool):
+        return prepared
+    artifacts = reduce_cnf_to_pair(prepared)
+    verdict = decide_safety_exact(artifacts.first, artifacts.second)
+    return not verdict.safe

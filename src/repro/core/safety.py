@@ -1,0 +1,441 @@
+"""Safety deciders for locked transaction systems.
+
+The paper's landscape, implemented:
+
+=====================  ===========================  =====================
+situation              decider                      paper result
+=====================  ===========================  =====================
+any sites, pair        ``is_safe_sufficient``       Theorem 1 (one-sided)
+one or two sites       ``is_safe_two_site``         Theorem 2, Corollary 1
+any sites, pair        ``decide_safety_exact``      exact; exponential
+                                                    only in dominator
+                                                    structure (coNP-hard
+                                                    in general, Theorem 3)
+any system (ground     ``decide_safety_exhaustive``  definition of safety
+truth)
+many transactions      :mod:`repro.core.multi`      Proposition 2
+=====================  ===========================  =====================
+
+``decide_safety`` picks the strongest applicable method and returns a
+:class:`SafetyVerdict` carrying a machine-checkable witness: an
+:class:`~repro.core.certificates.UnsafenessCertificate` or explicit
+non-serializable schedule when unsafe, the strong-connectivity /
+dominator-exhaustion argument when safe.
+
+The exact decider implements the bit-vector argument from Theorem 1's
+proof, run in reverse (DESIGN.md §2.3): a pair system is unsafe iff some
+*mixed* bit vector ``b`` over the shared entities is realizable, i.e. the
+digraph ``T1 ∪ T2 ∪ arcs(b)`` is acyclic, where ``arcs(b)`` orders, per
+entity, the earlier transaction's unlock before the later one's lock.
+Realizability forces ``b`` to be monotone along ``D(T1, T2)``, so only
+zero-sets that are **dominators** (Definition 2) need enumeration — the
+same objects the paper's Theorem 3 reduction manipulates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from ..errors import CertificateError, TransactionError
+from ..graphs import DiGraph, is_strongly_connected, topological_sort
+from ..graphs.topo import CycleError
+from .certificates import UnsafenessCertificate, certificate_from_dominator
+from .closure import ClosureContradiction
+from .dgraph import d_graph, dominators_of, shared_locked_entities
+from .schedule import (
+    Schedule,
+    ScheduledStep,
+    TransactionSystem,
+    find_nonserializable_schedule,
+)
+from .transaction import Transaction
+
+Method = Literal[
+    "trivial",
+    "theorem-1",
+    "theorem-2",
+    "lemma-1",
+    "exact-bit-vector",
+    "exhaustive",
+    "proposition-2",
+]
+
+
+@dataclass
+class SafetyVerdict:
+    """The outcome of a safety decision, with its evidence."""
+
+    safe: bool
+    method: Method
+    detail: str
+    witness: Schedule | None = None
+    certificate: UnsafenessCertificate | None = None
+
+    def __bool__(self) -> bool:  # truthiness == safety
+        return self.safe
+
+    def to_dict(self) -> dict:
+        """JSON-serializable rendering (used by ``repro analyze --json``)."""
+        payload: dict = {
+            "safe": self.safe,
+            "method": self.method,
+            "detail": self.detail,
+        }
+        if self.witness is not None:
+            payload["witness"] = [
+                {"transaction": item.transaction, "step": str(item.step)}
+                for item in self.witness.steps
+            ]
+        if self.certificate is not None:
+            payload["certificate"] = {
+                "dominator": sorted(self.certificate.dominator),
+                "bits": dict(sorted(self.certificate.bits.items())),
+                "t1": [str(step) for step in self.certificate.t1],
+                "t2": [str(step) for step in self.certificate.t2],
+            }
+        return payload
+
+
+# ----------------------------------------------------------------------
+# Theorem 1 — sufficiency at any number of sites
+# ----------------------------------------------------------------------
+
+
+def is_safe_sufficient(first: Transaction, second: Transaction) -> bool | None:
+    """Theorem 1: strongly connected ``D(T1, T2)`` ⇒ safe.
+
+    Returns ``True`` (provably safe) or ``None`` (criterion silent — the
+    system may still be safe, cf. Fig. 5).
+    """
+    if is_strongly_connected(d_graph(first, second)):
+        return True
+    return None
+
+
+# ----------------------------------------------------------------------
+# Theorem 2 / Corollary 1 — two sites, O(n^2)
+# ----------------------------------------------------------------------
+
+
+def sites_of_pair(first: Transaction, second: Transaction) -> set[int]:
+    """The sites the pair actually uses."""
+    return first.sites_used() | second.sites_used()
+
+
+def is_safe_two_site(first: Transaction, second: Transaction) -> bool:
+    """Theorem 2: at one or two sites, safe ⟺ ``D`` strongly connected.
+
+    Raises :class:`TransactionError` when the pair spans more than two
+    sites: the criterion is then only sufficient (Fig. 5), so answering
+    from it would be unsound.
+    """
+    used = sites_of_pair(first, second)
+    if len(used) > 2:
+        raise TransactionError(
+            f"is_safe_two_site needs a pair on at most two sites; this "
+            f"pair uses sites {sorted(used)} (use decide_safety_exact)"
+        )
+    return is_strongly_connected(d_graph(first, second))
+
+
+# ----------------------------------------------------------------------
+# Exact decider — any number of sites
+# ----------------------------------------------------------------------
+
+
+def _combined_step_graph(
+    first: Transaction, second: Transaction
+) -> DiGraph:
+    """Disjoint union of the two step posets over ScheduledStep nodes."""
+    graph = DiGraph()
+    for tx in (first, second):
+        for step in tx.steps:
+            graph.add_node(ScheduledStep(tx.name, step))
+        for before, after in tx.poset().arcs():
+            graph.add_arc(
+                ScheduledStep(tx.name, before), ScheduledStep(tx.name, after)
+            )
+    return graph
+
+
+def _realizes_bits(
+    first: Transaction,
+    second: Transaction,
+    base_graph: DiGraph,
+    bits: dict[str, int],
+) -> Schedule | None:
+    """A legal schedule realizing *bits*, or ``None`` if unrealizable.
+
+    ``bits[x] = 0`` ⇒ ``U1x`` before ``L2x`` (transaction 1 first);
+    ``bits[x] = 1`` ⇒ ``U2x`` before ``L1x``.
+    """
+    graph = base_graph.copy()
+    for entity, bit in bits.items():
+        if bit == 0:
+            graph.add_arc(
+                ScheduledStep(first.name, first.unlock_step(entity)),
+                ScheduledStep(second.name, second.lock_step(entity)),
+            )
+        else:
+            graph.add_arc(
+                ScheduledStep(second.name, second.unlock_step(entity)),
+                ScheduledStep(first.name, first.lock_step(entity)),
+            )
+    try:
+        order = topological_sort(graph)
+    except CycleError:
+        return None
+    system = TransactionSystem([first, second])
+    return Schedule(system, order)
+
+
+def decide_safety_exact(
+    first: Transaction, second: Transaction, *, dominator_limit: int | None = None
+) -> SafetyVerdict:
+    """Exact safety decision for a pair at any number of sites.
+
+    Enumerates dominators ``X`` of ``D(T1, T2)`` as candidate zero-sets
+    of the schedule bit vector and checks realizability by acyclicity.
+    The first realizable mixed vector yields an explicit
+    non-serializable schedule; exhausting all dominators proves safety.
+
+    Worst-case exponential in the number of SCCs of ``D`` — necessarily
+    so unless P = NP (Theorem 3).
+    """
+    shared = shared_locked_entities(first, second)
+    if len(shared) < 2:
+        return SafetyVerdict(
+            safe=True,
+            method="trivial",
+            detail=(
+                f"only {len(shared)} entity(ies) locked by both "
+                "transactions: no two rectangles to separate"
+            ),
+        )
+    graph = d_graph(first, second)
+    if is_strongly_connected(graph):
+        return SafetyVerdict(
+            safe=True,
+            method="theorem-1",
+            detail="D(T1, T2) is strongly connected",
+        )
+    base = _combined_step_graph(first, second)
+    checked = 0
+    for dominator in dominators_of(graph, limit=dominator_limit):
+        checked += 1
+        bits = {
+            entity: 0 if entity in dominator else 1 for entity in shared
+        }
+        schedule = _realizes_bits(first, second, base, bits)
+        if schedule is not None:
+            assert not schedule.is_serializable(), (
+                "realizable mixed bit vector must yield a "
+                "non-serializable schedule"
+            )
+            return SafetyVerdict(
+                safe=False,
+                method="exact-bit-vector",
+                detail=(
+                    f"dominator {sorted(dominator)} is realizable: "
+                    "witness schedule attached"
+                ),
+                witness=schedule,
+            )
+    if dominator_limit is not None and checked >= dominator_limit:
+        raise TransactionError(
+            f"dominator enumeration hit its limit ({dominator_limit}) "
+            "before exhausting the search; safety is undecided"
+        )
+    return SafetyVerdict(
+        safe=True,
+        method="exact-bit-vector",
+        detail=(
+            f"no realizable mixed bit vector among {checked} dominators "
+            "of D(T1, T2)"
+        ),
+    )
+
+
+def decide_safety_via_lemma_1(
+    first: Transaction,
+    second: Transaction,
+    *,
+    pair_limit: int | None = 200_000,
+) -> SafetyVerdict:
+    """Lemma 1, run literally: ``{T1, T2}`` is safe iff every pair of
+    linear extensions ``(t1, t2)`` is safe — each pair decided by the
+    centralized criterion (strong connectivity of ``D(t1, t2)``, via
+    the near-linear implicit test).
+
+    Exponential in the number of extensions; a third, independently
+    derived exact decider used for cross-validation.  *pair_limit*
+    guards runaway inputs (raises :class:`TransactionError` when hit).
+    """
+    from .fastcheck import is_safe_total_orders_fast
+    from .geometry import GeometricPicture
+
+    checked = 0
+    for t1 in first.linear_extensions():
+        for t2 in second.linear_extensions():
+            checked += 1
+            if pair_limit is not None and checked > pair_limit:
+                raise TransactionError(
+                    f"Lemma 1 enumeration exceeded {pair_limit} extension "
+                    "pairs; use decide_safety_exact"
+                )
+            if not is_safe_total_orders_fast(t1, t2):
+                picture = GeometricPicture(t1, t2)
+                curve = picture.find_nonserializable_curve()
+                witness = None
+                if curve is not None:
+                    system = TransactionSystem([first, second])
+                    names = {1: first.name, 2: second.name}
+                    witness = Schedule(
+                        system,
+                        [
+                            ScheduledStep(names[axis], step)
+                            for axis, step in picture.schedule_steps_of_curve(
+                                curve
+                            )
+                        ],
+                    )
+                return SafetyVerdict(
+                    safe=False,
+                    method="lemma-1",
+                    detail=(
+                        f"extension pair #{checked} is unsafe "
+                        "(D(t1, t2) not strongly connected)"
+                    ),
+                    witness=witness,
+                )
+    return SafetyVerdict(
+        safe=True,
+        method="lemma-1",
+        detail=f"all {checked} extension pairs are safe",
+    )
+
+
+def decide_safety_exact_naive(
+    first: Transaction, second: Transaction
+) -> SafetyVerdict:
+    """Ablation reference: the exact decider WITHOUT the dominator
+    pruning — try all ``2^k`` bit vectors over the shared entities.
+
+    Exists to quantify (benchmark ``A2``) how much the paper's dominator
+    structure buys: the pruned decider enumerates only the
+    ancestor-closed zero-sets of ``D(T1, T2)``, the naive one every
+    subset.  Verdicts are always identical (tested).
+    """
+    shared = shared_locked_entities(first, second)
+    if len(shared) < 2:
+        return SafetyVerdict(
+            safe=True,
+            method="trivial",
+            detail="fewer than two shared entities",
+        )
+    base = _combined_step_graph(first, second)
+    checked = 0
+    for mask in range(1, (1 << len(shared)) - 1):  # mixed vectors only
+        bits = {
+            entity: (mask >> position) & 1
+            for position, entity in enumerate(shared)
+        }
+        # zero-set = entities with bit 0; any mixed vector qualifies.
+        checked += 1
+        schedule = _realizes_bits(first, second, base, bits)
+        if schedule is not None:
+            return SafetyVerdict(
+                safe=False,
+                method="exact-bit-vector",
+                detail=f"naive enumeration: vector #{checked} realizable",
+                witness=schedule,
+            )
+    return SafetyVerdict(
+        safe=True,
+        method="exact-bit-vector",
+        detail=f"naive enumeration: none of {checked} mixed vectors realizable",
+    )
+
+
+# ----------------------------------------------------------------------
+# Exhaustive ground truth
+# ----------------------------------------------------------------------
+
+
+def decide_safety_exhaustive(
+    system: TransactionSystem, state_budget: int = 2_000_000
+) -> SafetyVerdict:
+    """Decide safety straight from the definition by searching every
+    legal schedule.  Exponential; the cross-validation ground truth."""
+    witness = find_nonserializable_schedule(system, state_budget=state_budget)
+    if witness is None:
+        return SafetyVerdict(
+            safe=True,
+            method="exhaustive",
+            detail="every legal schedule is serializable",
+        )
+    return SafetyVerdict(
+        safe=False,
+        method="exhaustive",
+        detail="found a non-serializable legal schedule",
+        witness=witness,
+    )
+
+
+# ----------------------------------------------------------------------
+# Unified front end
+# ----------------------------------------------------------------------
+
+
+def decide_safety(
+    system: TransactionSystem, *, want_certificate: bool = True
+) -> SafetyVerdict:
+    """Decide safety with the strongest applicable method.
+
+    * pair on ≤ 2 sites — Theorem 2 with, if unsafe and requested, a full
+      :class:`UnsafenessCertificate` built by the constructive proof;
+    * pair on ≥ 3 sites — Theorem 1 fast path, else the exact decider;
+    * ≥ 3 transactions — Proposition 2 (:mod:`repro.core.multi`).
+    """
+    if len(system) > 2:
+        from .multi import decide_safety_multi
+
+        return decide_safety_multi(system)
+    if len(system) == 1:
+        return SafetyVerdict(
+            safe=True,
+            method="trivial",
+            detail="a single transaction is always serializable",
+        )
+    first, second = system.pair()
+    used = sites_of_pair(first, second)
+    if len(used) <= 2:
+        if is_strongly_connected(d_graph(first, second)):
+            return SafetyVerdict(
+                safe=True,
+                method="theorem-2",
+                detail=(
+                    f"pair on sites {sorted(used)}: D(T1, T2) strongly "
+                    "connected ⟺ safe"
+                ),
+            )
+        verdict = SafetyVerdict(
+            safe=False,
+            method="theorem-2",
+            detail=(
+                f"pair on sites {sorted(used)}: D(T1, T2) not strongly "
+                "connected ⟺ unsafe"
+            ),
+        )
+        if want_certificate:
+            try:
+                verdict.certificate = certificate_from_dominator(first, second)
+                verdict.witness = verdict.certificate.schedule
+            except (CertificateError, ClosureContradiction) as exc:
+                raise AssertionError(
+                    "Theorem 2 guarantees a certificate at two sites; "
+                    f"construction failed: {exc}"
+                ) from exc
+        return verdict
+    return decide_safety_exact(first, second)

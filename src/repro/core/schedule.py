@@ -1,0 +1,407 @@
+"""Schedules of a locked transaction system, paper §2.
+
+    "A schedule h is a total ordering of all the steps, such that:
+     (a) h does not contradict any partial order in T, and
+     (b) for each x, every two lock x steps in h are separated by an
+         unlock x step."
+
+``h`` is *serializable* iff it is equivalent to a serial schedule under
+all interpretations of the update functions; with exclusive locks and
+update steps (each a read-then-write), this is conflict equivalence, so a
+schedule is serializable iff its transaction conflict graph is acyclic.
+The system is **safe** iff every legal schedule is serializable.
+
+This module supplies:
+
+* :class:`TransactionSystem` — a named set of transactions over one
+  database;
+* :class:`Schedule` — a total order of scheduled steps with legality and
+  serializability checks;
+* exhaustive enumeration / search over all legal schedules — the
+  *definitional* ground truth used to cross-validate every cleverer
+  decider in :mod:`repro.core.safety`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Iterator, Sequence
+
+from ..errors import ScheduleError, TransactionError
+from ..graphs import DiGraph, is_acyclic
+from .step import Step
+from .transaction import Transaction
+
+
+@dataclass(frozen=True, order=True)
+class ScheduledStep:
+    """One step of one transaction, as it appears in a schedule."""
+
+    transaction: str
+    step: Step
+
+    def __str__(self) -> str:
+        return f"{self.step}[{self.transaction}]"
+
+    __repr__ = __str__
+
+
+class TransactionSystem:
+    """A set ``T = {T1, ..., Tk}`` of locked transactions over a common
+    distributed database."""
+
+    def __init__(self, transactions: Sequence[Transaction]) -> None:
+        if not transactions:
+            raise TransactionError("a transaction system needs transactions")
+        names = [tx.name for tx in transactions]
+        if len(set(names)) != len(names):
+            raise TransactionError(f"duplicate transaction names: {names}")
+        database = transactions[0].database
+        for tx in transactions:
+            if tx.database != database:
+                raise TransactionError(
+                    f"transaction {tx.name} uses a different database"
+                )
+        self.database = database
+        self._transactions = {tx.name: tx for tx in transactions}
+
+    # ------------------------------------------------------------------
+    @property
+    def transactions(self) -> list[Transaction]:
+        return list(self._transactions.values())
+
+    @property
+    def names(self) -> list[str]:
+        return list(self._transactions)
+
+    def __len__(self) -> int:
+        return len(self._transactions)
+
+    def __getitem__(self, name: str) -> Transaction:
+        return self._transactions[name]
+
+    def pair(self) -> tuple[Transaction, Transaction]:
+        """The two transactions of a pair system (most of the paper)."""
+        if len(self._transactions) != 2:
+            raise TransactionError(
+                f"expected a two-transaction system, have {len(self)}"
+            )
+        first, second = self.transactions
+        return first, second
+
+    def shared_locked_entities(self) -> list[str]:
+        """Entities locked by at least two transactions (the vertex set
+        of ``D(T1, T2)`` when the system is a pair)."""
+        counts: dict[str, int] = {}
+        for tx in self.transactions:
+            for entity in tx.locked_entities():
+                counts[entity] = counts.get(entity, 0) + 1
+        return [entity for entity, count in counts.items() if count >= 2]
+
+    def total_steps(self) -> int:
+        """``n`` — the total number of steps in the system."""
+        return sum(len(tx) for tx in self.transactions)
+
+    # ------------------------------------------------------------------
+    # Serial schedules
+    # ------------------------------------------------------------------
+    def serial_schedule(self, order: Sequence[str]) -> "Schedule":
+        """The serial schedule running whole transactions in *order*."""
+        if sorted(order) != sorted(self.names):
+            raise ScheduleError(
+                f"serial order {order!r} is not a permutation of {self.names}"
+            )
+        steps: list[ScheduledStep] = []
+        for name in order:
+            tx = self._transactions[name]
+            steps.extend(
+                ScheduledStep(name, step) for step in tx.a_linear_extension()
+            )
+        return Schedule(self, steps)
+
+
+class Schedule:
+    """A legal schedule of a :class:`TransactionSystem`.
+
+    Construction validates clauses (a) and (b) of the paper's definition
+    and raises :class:`ScheduleError` on any violation.
+    """
+
+    def __init__(
+        self,
+        system: TransactionSystem,
+        steps: Iterable[ScheduledStep | tuple[str, Step]],
+    ) -> None:
+        self.system = system
+        normalized: list[ScheduledStep] = []
+        for item in steps:
+            if isinstance(item, ScheduledStep):
+                normalized.append(item)
+            else:
+                name, step = item
+                normalized.append(ScheduledStep(name, step))
+        self.steps = normalized
+        self._validate()
+
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        expected = {
+            ScheduledStep(tx.name, step)
+            for tx in self.system.transactions
+            for step in tx.steps
+        }
+        got = set(self.steps)
+        if len(got) != len(self.steps):
+            raise ScheduleError("schedule repeats a step")
+        if got != expected:
+            missing = expected - got
+            extra = got - expected
+            raise ScheduleError(
+                f"schedule is not a total order of all steps "
+                f"(missing={sorted(map(str, missing))[:5]}, "
+                f"extra={sorted(map(str, extra))[:5]})"
+            )
+        # (a) respects every transaction's partial order.
+        position = {item: index for index, item in enumerate(self.steps)}
+        for tx in self.system.transactions:
+            for before, after in tx.poset().arcs():
+                if (
+                    position[ScheduledStep(tx.name, before)]
+                    > position[ScheduledStep(tx.name, after)]
+                ):
+                    raise ScheduleError(
+                        f"schedule contradicts {tx.name}: {before} must "
+                        f"precede {after}"
+                    )
+        # (b) two locks on x always separated by an unlock on x.
+        holder: dict[str, str | None] = {}
+        for item in self.steps:
+            entity = item.step.entity
+            if item.step.is_lock:
+                current = holder.get(entity)
+                if current is not None:
+                    raise ScheduleError(
+                        f"{item.transaction} locks {entity!r} while "
+                        f"{current} still holds it"
+                    )
+                holder[entity] = item.transaction
+            elif item.step.is_unlock:
+                holder[entity] = None
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self) -> Iterator[ScheduledStep]:
+        return iter(self.steps)
+
+    def __str__(self) -> str:
+        return " ".join(str(item) for item in self.steps)
+
+    def position(self, transaction: str, step: Step) -> int:
+        """Index of the given step in the schedule."""
+        return self.steps.index(ScheduledStep(transaction, step))
+
+    # ------------------------------------------------------------------
+    def conflict_graph(self) -> DiGraph:
+        """Arc ``Ti -> Tj`` iff some update of ``Ti`` on an entity
+        precedes some update of ``Tj`` on the same entity."""
+        return conflict_graph(
+            [(item.transaction, item.step) for item in self.steps],
+            self.system.names,
+        )
+
+    def is_serializable(self) -> bool:
+        """Conflict-serializability: acyclic conflict graph."""
+        return is_acyclic(self.conflict_graph())
+
+    def is_serial(self) -> bool:
+        """True iff transactions run one after another without overlap."""
+        seen_complete: set[str] = set()
+        current: str | None = None
+        for item in self.steps:
+            if item.transaction != current:
+                if item.transaction in seen_complete:
+                    return False
+                if current is not None:
+                    seen_complete.add(current)
+                current = item.transaction
+        return True
+
+    def equivalent_serial_order(self) -> list[str] | None:
+        """A serial order witnessing serializability, or ``None``."""
+        graph = self.conflict_graph()
+        if not is_acyclic(graph):
+            return None
+        from ..graphs import topological_sort
+
+        return topological_sort(graph)
+
+
+def conflict_graph(
+    history: Sequence[tuple[str, Step]], names: Sequence[str]
+) -> DiGraph:
+    """Conflict graph of any step history (shared with the simulator).
+
+    Only update steps access data, so only they generate conflicts; the
+    lock steps merely constrain which histories are legal.
+    """
+    graph = DiGraph(names)
+    updated_by: dict[str, set[str]] = {}
+    for name, step in history:
+        if not step.is_update:
+            continue
+        previous = updated_by.setdefault(step.entity, set())
+        for other in previous:
+            if other != name:
+                graph.add_arc(other, name)
+        previous.add(name)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Exhaustive enumeration — the definitional ground truth
+# ----------------------------------------------------------------------
+
+
+class SearchBudgetExceeded(ScheduleError):
+    """The exhaustive search visited more states than its budget allows."""
+
+
+def _prefix_search(
+    system: TransactionSystem,
+    *,
+    want_nonserializable: bool,
+    state_budget: int,
+) -> Iterator[list[ScheduledStep]]:
+    """DFS over legal schedule prefixes.
+
+    Yields complete schedules; when *want_nonserializable* is set, only
+    non-serializable ones are yielded and memoization prunes states from
+    which no non-serializable completion exists.  The memo key is the
+    pair (executed steps, conflict arcs so far): together they determine
+    both which continuations are legal and the final conflict graph.
+    """
+    transactions = system.transactions
+    all_steps: list[tuple[str, Step, frozenset]] = []
+    step_ids: dict[ScheduledStep, int] = {}
+    for tx in transactions:
+        for step in tx.steps:
+            step_ids[ScheduledStep(tx.name, step)] = len(step_ids)
+
+    predecessor_masks: dict[ScheduledStep, int] = {}
+    for tx in transactions:
+        poset = tx.poset()
+        for step in tx.steps:
+            mask = 0
+            for other in tx.steps:
+                if poset.precedes(other, step):
+                    mask |= 1 << step_ids[ScheduledStep(tx.name, other)]
+            predecessor_masks[ScheduledStep(tx.name, step)] = mask
+
+    items = list(step_ids)
+    total_mask = (1 << len(items)) - 1
+    visited: set[tuple[int, frozenset]] = set()
+    states = 0
+
+    def lock_holder(executed_mask: int) -> dict[str, str]:
+        holders: dict[str, str] = {}
+        for item in items:
+            if not executed_mask >> step_ids[item] & 1:
+                continue
+            if item.step.is_lock:
+                tx = system[item.transaction]
+                unlock = tx.unlock_step(item.step.entity)
+                if unlock is None or not (
+                    executed_mask >> step_ids[ScheduledStep(item.transaction, unlock)] & 1
+                ):
+                    holders[item.step.entity] = item.transaction
+        return holders
+
+    def search(
+        executed_mask: int,
+        prefix: list[ScheduledStep],
+        conflicts: frozenset[tuple[str, str]],
+        last_updater: dict[str, tuple[str, ...]],
+    ) -> Iterator[list[ScheduledStep]]:
+        nonlocal states
+        states += 1
+        if states > state_budget:
+            raise SearchBudgetExceeded(
+                f"exhaustive schedule search exceeded {state_budget} states"
+            )
+        if executed_mask == total_mask:
+            graph = DiGraph(system.names, conflicts)
+            if want_nonserializable:
+                if not is_acyclic(graph):
+                    yield list(prefix)
+            else:
+                yield list(prefix)
+            return
+        key = (executed_mask, conflicts)
+        if want_nonserializable:
+            if key in visited:
+                return
+            visited.add(key)
+        holders = lock_holder(executed_mask)
+        for item in items:
+            idx = step_ids[item]
+            if executed_mask >> idx & 1:
+                continue
+            if predecessor_masks[item] & ~executed_mask:
+                continue  # a predecessor within the transaction is pending
+            if item.step.is_lock:
+                holder = holders.get(item.step.entity)
+                if holder is not None and holder != item.transaction:
+                    continue  # lock held elsewhere
+            new_conflicts = conflicts
+            new_updaters = last_updater
+            if item.step.is_update:
+                previous = last_updater.get(item.step.entity, ())
+                added = {
+                    (other, item.transaction)
+                    for other in previous
+                    if other != item.transaction
+                }
+                if added - conflicts:
+                    new_conflicts = conflicts | added
+                if item.transaction not in previous:
+                    new_updaters = dict(last_updater)
+                    new_updaters[item.step.entity] = previous + (
+                        item.transaction,
+                    )
+            prefix.append(item)
+            yield from search(
+                executed_mask | (1 << idx), prefix, new_conflicts, new_updaters
+            )
+            prefix.pop()
+
+    yield from search(0, [], frozenset(), {})
+
+
+def all_legal_schedules(
+    system: TransactionSystem,
+    limit: int | None = None,
+    state_budget: int = 2_000_000,
+) -> Iterator[Schedule]:
+    """Enumerate every legal schedule (use only on small systems)."""
+    produced = 0
+    for steps in _prefix_search(
+        system, want_nonserializable=False, state_budget=state_budget
+    ):
+        yield Schedule(system, steps)
+        produced += 1
+        if limit is not None and produced >= limit:
+            return
+
+
+def find_nonserializable_schedule(
+    system: TransactionSystem, state_budget: int = 2_000_000
+) -> Schedule | None:
+    """Search for a non-serializable legal schedule; ``None`` means the
+    system is safe (this *is* the definition of safety)."""
+    for steps in _prefix_search(
+        system, want_nonserializable=True, state_budget=state_budget
+    ):
+        return Schedule(system, steps)
+    return None

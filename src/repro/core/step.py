@@ -1,0 +1,80 @@
+"""Transaction steps, paper §2.
+
+Every step acts on one entity and is one of three kinds:
+
+* ``UPDATE`` — the indivisible read-then-write the paper calls an update;
+* ``LOCK`` / ``UNLOCK`` — the special steps that set/clear the entity's
+  lock bit.
+
+Steps are frozen values; the ``seq`` field disambiguates multiple update
+steps on the same entity within one transaction.  The conventional
+renderings match the paper's: ``Lx``, ``Ux`` and bare ``x`` for updates.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class StepKind(enum.Enum):
+    """The three step semantics of the model."""
+
+    LOCK = "L"
+    UNLOCK = "U"
+    UPDATE = "W"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class Step:
+    """One step of a transaction.
+
+    ``seq`` counts same-kind steps on the same entity within the owning
+    transaction (always 0 for locks/unlocks, which are unique per entity
+    by the paper's constraints).
+    """
+
+    kind: StepKind
+    entity: str
+    seq: int = 0
+
+    def __str__(self) -> str:
+        if self.kind is StepKind.LOCK:
+            return f"L{self.entity}"
+        if self.kind is StepKind.UNLOCK:
+            return f"U{self.entity}"
+        if self.seq:
+            return f"{self.entity}#{self.seq}"
+        return self.entity
+
+    __repr__ = __str__
+
+    @property
+    def is_lock(self) -> bool:
+        return self.kind is StepKind.LOCK
+
+    @property
+    def is_unlock(self) -> bool:
+        return self.kind is StepKind.UNLOCK
+
+    @property
+    def is_update(self) -> bool:
+        return self.kind is StepKind.UPDATE
+
+
+def lock(entity: str) -> Step:
+    """``L entity`` — acquire exclusive access."""
+    return Step(StepKind.LOCK, entity)
+
+
+def unlock(entity: str) -> Step:
+    """``U entity`` — give up exclusive access."""
+    return Step(StepKind.UNLOCK, entity)
+
+
+def update(entity: str, seq: int = 0) -> Step:
+    """An update step on *entity* (the paper's ``temp := x; x := f(...)``)."""
+    return Step(StepKind.UPDATE, entity, seq)

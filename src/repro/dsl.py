@@ -1,0 +1,239 @@
+"""A small text format for distributed locked transaction systems.
+
+The CLI (``python -m repro``) and downstream users describe systems in
+plain text instead of Python::
+
+    # two-site system, Fig. 3-like
+    database
+      site 1: x y
+      site 2: z
+
+    transaction T1
+      site 1: Lx x Ly y Ux Uy
+      site 2: Lz z Uz
+      precede Ux -> Lz
+
+    transaction T2
+      site 1: Ly y Lx x Uy Ux
+      site 2: Lz z Uz
+
+Step tokens: ``Lx`` locks entity ``x``, ``Ux`` unlocks it, a bare
+entity name is an update.  A second update of the same entity within a
+transaction is written ``x#1`` (then ``x#2``, ...).  ``precede A -> B``
+adds a cross-site precedence between two step tokens.  Lines starting
+with ``#`` (or blank) are ignored.  Steps listed on one ``site`` line
+are chained in order; the site number must match the database
+declaration for every entity on the line.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .core.entity import DistributedDatabase
+from .core.schedule import TransactionSystem
+from .core.step import Step, StepKind
+from .core.transaction import Transaction
+from .errors import ModelError
+
+
+class DslError(ModelError):
+    """A syntax or consistency error in the system description."""
+
+    def __init__(self, line_number: int, message: str):
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+def _parse_step_token(
+    token: str, entities: set[str], line_number: int
+) -> Step:
+    """Resolve one step token against the declared entity names."""
+    if "#" in token:
+        base, _, seq_text = token.partition("#")
+        if not seq_text.isdigit():
+            raise DslError(line_number, f"bad update index in {token!r}")
+        if base not in entities:
+            raise DslError(line_number, f"unknown entity {base!r}")
+        return Step(StepKind.UPDATE, base, int(seq_text))
+    if token in entities:
+        return Step(StepKind.UPDATE, token)
+    if len(token) > 1 and token[0] in ("L", "U") and token[1:] in entities:
+        kind = StepKind.LOCK if token[0] == "L" else StepKind.UNLOCK
+        return Step(kind, token[1:])
+    raise DslError(
+        line_number,
+        f"cannot resolve step token {token!r} (entities: "
+        f"{sorted(entities)})",
+    )
+
+
+def parse_system(text: str) -> TransactionSystem:
+    """Parse a system description; raises :class:`DslError` on problems."""
+    stored_at: dict[str, int] = {}
+    transactions: list[Transaction] = []
+
+    section: str | None = None  # None | "database" | "transaction"
+    tx_name: str | None = None
+    tx_steps: list[Step] = []
+    tx_precedences: list[tuple[Step, Step]] = []
+    tx_sites_seen: set[int] = set()
+    database: DistributedDatabase | None = None
+
+    def finish_transaction(line_number: int) -> None:
+        nonlocal tx_name, tx_steps, tx_precedences, tx_sites_seen
+        if tx_name is None:
+            return
+        if not tx_steps:
+            raise DslError(line_number, f"transaction {tx_name!r} is empty")
+        try:
+            transactions.append(
+                Transaction(tx_name, database, tx_steps, tx_precedences)
+            )
+        except ModelError as exc:
+            raise DslError(
+                line_number, f"transaction {tx_name!r}: {exc}"
+            ) from exc
+        tx_name, tx_steps, tx_precedences = None, [], []
+        tx_sites_seen = set()
+
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        # '#' starts a comment only at line start or after whitespace —
+        # 'x#1' (second update of x) contains a non-comment '#'.
+        line = re.sub(r"(^|\s)#.*$", "", raw).strip()
+        if not line:
+            continue
+        tokens = line.split()
+        head = tokens[0]
+
+        if head == "database":
+            if len(tokens) != 1:
+                raise DslError(line_number, "'database' takes no arguments")
+            section = "database"
+            continue
+
+        if head == "transaction":
+            if len(tokens) != 2:
+                raise DslError(
+                    line_number, "expected: transaction <name>"
+                )
+            if not stored_at:
+                raise DslError(
+                    line_number, "declare the database before transactions"
+                )
+            if database is None:
+                database = DistributedDatabase(stored_at)
+            finish_transaction(line_number)
+            section = "transaction"
+            tx_name = tokens[1]
+            continue
+
+        if head == "site":
+            if len(tokens) < 3 or not tokens[1].rstrip(":").isdigit():
+                raise DslError(
+                    line_number, "expected: site <number>: <items...>"
+                )
+            site = int(tokens[1].rstrip(":"))
+            items = [token.rstrip(":") for token in tokens[2:]]
+            if section == "database":
+                for entity in items:
+                    if entity in stored_at:
+                        raise DslError(
+                            line_number,
+                            f"entity {entity!r} declared twice",
+                        )
+                    stored_at[entity] = site
+                continue
+            if section == "transaction":
+                entities = set(stored_at)
+                previous: Step | None = None
+                for token in items:
+                    step = _parse_step_token(token, entities, line_number)
+                    if stored_at[step.entity] != site:
+                        raise DslError(
+                            line_number,
+                            f"entity {step.entity!r} is stored at site "
+                            f"{stored_at[step.entity]}, not {site}",
+                        )
+                    if step in tx_steps:
+                        raise DslError(
+                            line_number,
+                            f"step {step} repeated in {tx_name!r} (use "
+                            "x#1 for a second update)",
+                        )
+                    tx_steps.append(step)
+                    if previous is not None:
+                        tx_precedences.append((previous, step))
+                    previous = step
+                if site in tx_sites_seen:
+                    raise DslError(
+                        line_number,
+                        f"site {site} listed twice in {tx_name!r}; put "
+                        "all of a site's steps on one line",
+                    )
+                tx_sites_seen.add(site)
+                continue
+            raise DslError(line_number, "'site' outside any section")
+
+        if head == "precede":
+            if section != "transaction":
+                raise DslError(
+                    line_number, "'precede' belongs inside a transaction"
+                )
+            rest = " ".join(tokens[1:])
+            if "->" not in rest:
+                raise DslError(
+                    line_number, "expected: precede <step> -> <step>"
+                )
+            left_text, right_text = (part.strip() for part in rest.split("->", 1))
+            entities = set(stored_at)
+            before = _parse_step_token(left_text, entities, line_number)
+            after = _parse_step_token(right_text, entities, line_number)
+            for step in (before, after):
+                if step not in tx_steps:
+                    raise DslError(
+                        line_number,
+                        f"step {step} not declared in {tx_name!r}",
+                    )
+            tx_precedences.append((before, after))
+            continue
+
+        raise DslError(line_number, f"unrecognized directive {head!r}")
+
+    if database is None:
+        raise DslError(0, "no transactions declared")
+    finish_transaction(len(text.splitlines()))
+    try:
+        return TransactionSystem(transactions)
+    except ModelError as exc:
+        raise DslError(0, str(exc)) from exc
+
+
+def render_system(system: TransactionSystem) -> str:
+    """Emit a system back into the DSL (parse/render round-trips up to
+    formatting; used by the CLI's ``figures`` subcommand)."""
+    lines = ["database"]
+    db = system.database
+    for site in range(1, db.sites + 1):
+        entities = db.entities_at(site)
+        if entities:
+            lines.append(f"  site {site}: {' '.join(entities)}")
+    for tx in system.transactions:
+        lines.append("")
+        lines.append(f"transaction {tx.name}")
+        for site in sorted(tx.sites_used()):
+            chain = " ".join(str(step) for step in tx.steps_at_site(site))
+            lines.append(f"  site {site}: {chain}")
+        cover = tx.poset().cover_graph()
+        site_chains: dict[int, list[Step]] = {
+            site: tx.steps_at_site(site) for site in tx.sites_used()
+        }
+        chain_pairs = {
+            (a, b)
+            for chain in site_chains.values()
+            for a, b in zip(chain, chain[1:])
+        }
+        for tail, head in cover.arcs():
+            if (tail, head) not in chain_pairs:
+                lines.append(f"  precede {tail} -> {head}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,50 @@
+"""Typed exceptions for the whole package.
+
+The paper's model (§2) imposes structural constraints on databases,
+transactions and schedules; each violated constraint raises a dedicated
+exception so callers (and the failure-injection tests) can tell exactly
+which rule broke.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class ModelError(ReproError, ValueError):
+    """A structural violation of the paper's model (§2)."""
+
+
+class DatabaseError(ModelError):
+    """Invalid distributed database definition (entities/sites/stored-at)."""
+
+
+class TransactionError(ModelError):
+    """Invalid transaction: bad partial order or step structure."""
+
+
+class LockingError(TransactionError):
+    """Violation of the paper's locking constraints: at most one Lx-Ux
+    pair per entity, lock before unlock, at least one update between
+    them, and no update outside its pair."""
+
+
+class SiteOrderError(TransactionError):
+    """Steps on entities stored at the same site are not totally ordered
+    (the paper's distribution restriction, §2)."""
+
+
+class ScheduleError(ModelError):
+    """A step sequence that is not a legal schedule: it contradicts a
+    transaction's partial order or violates lock exclusion."""
+
+
+class CertificateError(ReproError):
+    """An unsafeness certificate failed verification."""
+
+
+class ReductionError(ReproError):
+    """The Theorem 3 reduction was fed a formula outside the restricted
+    CNF form it requires."""

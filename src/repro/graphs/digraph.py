@@ -1,0 +1,177 @@
+"""A small, dependency-free directed-graph container.
+
+Every graph algorithm in this reproduction (strong connectivity for
+Theorem 1/2, dominator enumeration for Theorem 3, topological sorting for
+the unsafeness certificates) runs on :class:`DiGraph`.  Nodes may be any
+hashable objects; insertion order of nodes and arcs is preserved, which
+keeps every algorithm in the package deterministic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+from typing import TypeVar
+
+Node = TypeVar("Node", bound=Hashable)
+
+
+class DiGraph:
+    """A directed graph with hashable nodes and no parallel arcs.
+
+    Self-loops are permitted (some intermediate constructions produce
+    them) but most callers strip them; see :meth:`without_self_loops`.
+    """
+
+    def __init__(
+        self,
+        nodes: Iterable[Hashable] = (),
+        arcs: Iterable[tuple[Hashable, Hashable]] = (),
+    ) -> None:
+        self._succ: dict[Hashable, dict[Hashable, None]] = {}
+        self._pred: dict[Hashable, dict[Hashable, None]] = {}
+        for node in nodes:
+            self.add_node(node)
+        for tail, head in arcs:
+            self.add_arc(tail, head)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: Hashable) -> None:
+        """Insert *node* if not already present."""
+        if node not in self._succ:
+            self._succ[node] = {}
+            self._pred[node] = {}
+
+    def add_arc(self, tail: Hashable, head: Hashable) -> None:
+        """Insert the arc ``tail -> head``, adding endpoints as needed."""
+        self.add_node(tail)
+        self.add_node(head)
+        self._succ[tail][head] = None
+        self._pred[head][tail] = None
+
+    def remove_arc(self, tail: Hashable, head: Hashable) -> None:
+        """Remove the arc ``tail -> head``; raise ``KeyError`` if absent."""
+        del self._succ[tail][head]
+        del self._pred[head][tail]
+
+    def copy(self) -> "DiGraph":
+        """Return an independent copy of the graph."""
+        clone = DiGraph()
+        for node in self._succ:
+            clone.add_node(node)
+        for tail, head in self.arcs():
+            clone.add_arc(tail, head)
+        return clone
+
+    def without_self_loops(self) -> "DiGraph":
+        """Return a copy with every arc ``v -> v`` removed."""
+        clone = DiGraph(self.nodes())
+        for tail, head in self.arcs():
+            if tail != head:
+                clone.add_arc(tail, head)
+        return clone
+
+    def reversed(self) -> "DiGraph":
+        """Return the graph with every arc reversed."""
+        clone = DiGraph(self.nodes())
+        for tail, head in self.arcs():
+            clone.add_arc(head, tail)
+        return clone
+
+    def subgraph(self, keep: Iterable[Hashable]) -> "DiGraph":
+        """Return the subgraph induced by the nodes in *keep*."""
+        kept = set(keep)
+        clone = DiGraph(node for node in self.nodes() if node in kept)
+        for tail, head in self.arcs():
+            if tail in kept and head in kept:
+                clone.add_arc(tail, head)
+        return clone
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def nodes(self) -> list[Hashable]:
+        """All nodes, in insertion order."""
+        return list(self._succ)
+
+    def arcs(self) -> list[tuple[Hashable, Hashable]]:
+        """All arcs ``(tail, head)``, in insertion order of tails."""
+        return [
+            (tail, head)
+            for tail, heads in self._succ.items()
+            for head in heads
+        ]
+
+    def successors(self, node: Hashable) -> list[Hashable]:
+        """Nodes *y* with an arc ``node -> y``."""
+        return list(self._succ[node])
+
+    def predecessors(self, node: Hashable) -> list[Hashable]:
+        """Nodes *y* with an arc ``y -> node``."""
+        return list(self._pred[node])
+
+    def has_node(self, node: Hashable) -> bool:
+        return node in self._succ
+
+    def has_arc(self, tail: Hashable, head: Hashable) -> bool:
+        return tail in self._succ and head in self._succ[tail]
+
+    def in_degree(self, node: Hashable) -> int:
+        return len(self._pred[node])
+
+    def out_degree(self, node: Hashable) -> int:
+        return len(self._succ[node])
+
+    def node_count(self) -> int:
+        return len(self._succ)
+
+    def arc_count(self) -> int:
+        return sum(len(heads) for heads in self._succ.values())
+
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._succ)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DiGraph(nodes={self.node_count()}, arcs={self.arc_count()})"
+        )
+
+    # ------------------------------------------------------------------
+    # Reachability
+    # ------------------------------------------------------------------
+    def reachable_from(self, source: Hashable) -> set[Hashable]:
+        """All nodes reachable from *source* (including *source*)."""
+        seen = {source}
+        stack = [source]
+        while stack:
+            node = stack.pop()
+            for nxt in self._succ[node]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return seen
+
+    def reaching(self, target: Hashable) -> set[Hashable]:
+        """All nodes from which *target* is reachable (incl. *target*)."""
+        seen = {target}
+        stack = [target]
+        while stack:
+            node = stack.pop()
+            for nxt in self._pred[node]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return seen
+
+    def has_path(self, source: Hashable, target: Hashable) -> bool:
+        """True iff a (possibly empty) directed path ``source -> target`` exists."""
+        if source == target:
+            return True
+        return target in self.reachable_from(source)

@@ -1,0 +1,118 @@
+"""Enumeration of ancestor-closed node sets (the paper's *dominators*).
+
+Definition 2 of the paper: a **dominator** of a digraph ``D = (V, A)`` is a
+nonempty proper subset ``X`` of ``V`` with no incoming arcs from ``V - X``.
+Equivalently, ``X`` is a union of strongly connected components that is
+closed under taking predecessors — an *ancestor-closed* set, i.e. a
+down-set of the condensation DAG ordered by reachability.
+
+Dominators drive both directions of the paper's hard results:
+
+* Theorem 2 turns any dominator of a two-site ``D(T1, T2)`` into a
+  certificate of unsafeness;
+* Theorem 3's reduction encodes truth assignments as dominators;
+* the exact multi-site decider enumerates dominators as candidate
+  "zero-sets" of the schedule bit-vector (DESIGN.md §2.3).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterator
+
+from .digraph import DiGraph
+from .scc import condensation
+
+
+def enumerate_ancestor_closed_sets(
+    graph: DiGraph,
+    *,
+    include_empty: bool = False,
+    include_full: bool = False,
+    limit: int | None = None,
+) -> Iterator[frozenset[Hashable]]:
+    """Yield node sets closed under predecessors.
+
+    With the default flags this enumerates exactly the paper's dominators.
+    The enumeration works on the condensation DAG: each ancestor-closed
+    set is a union of components whose indicator is monotone along
+    condensation arcs.  Components are processed in topological order and
+    the choice "in / out" is branched with the constraint that a component
+    may be *in* only if all its predecessors are in — so only valid sets
+    are ever visited (no generate-and-filter blowup).
+    """
+    dag, _, components = condensation(graph)
+    # Tarjan emits components in reverse topological order.
+    topo_components = list(reversed(range(len(components))))
+    n = len(topo_components)
+    position_of = {cid: i for i, cid in enumerate(topo_components)}
+    produced = 0
+
+    chosen: list[bool] = []
+
+    def backtrack(position: int) -> Iterator[frozenset[Hashable]]:
+        nonlocal produced
+        if limit is not None and produced >= limit:
+            return
+        if position == n:
+            size = sum(chosen)
+            if size == 0 and not include_empty:
+                return
+            if size == n and not include_full:
+                return
+            members: set[Hashable] = set()
+            for idx, picked in enumerate(chosen):
+                if picked:
+                    members.update(components[topo_components[idx]])
+            produced += 1
+            yield frozenset(members)
+            return
+        cid = topo_components[position]
+        # "in" allowed only when every predecessor component was chosen.
+        predecessors_in = all(
+            chosen[position_of[pred]] for pred in dag.predecessors(cid)
+        )
+        if predecessors_in:
+            chosen.append(True)
+            yield from backtrack(position + 1)
+            chosen.pop()
+        chosen.append(False)
+        yield from backtrack(position + 1)
+        chosen.pop()
+
+    yield from backtrack(0)
+
+
+def dominators(
+    graph: DiGraph, limit: int | None = None
+) -> Iterator[frozenset[Hashable]]:
+    """Enumerate all dominators of *graph* in the sense of Definition 2."""
+    yield from enumerate_ancestor_closed_sets(graph, limit=limit)
+
+
+def is_dominator(graph: DiGraph, candidate: frozenset[Hashable] | set[Hashable]) -> bool:
+    """Check Definition 2 directly: nonempty proper subset of the nodes
+    with no incoming arcs from the complement."""
+    nodes = set(graph.nodes())
+    members = set(candidate)
+    if not members or not members < nodes:
+        return False
+    return all(
+        head not in members or tail in members
+        for tail, head in graph.arcs()
+    )
+
+
+def some_dominator(graph: DiGraph) -> frozenset[Hashable] | None:
+    """Return one dominator, or None if the graph is strongly connected.
+
+    Uses the first source component of the condensation, which is the
+    canonical dominator the Theorem 2 certificate construction starts
+    from.
+    """
+    dag, _, components = condensation(graph)
+    if len(components) <= 1:
+        return None
+    for cid in dag.nodes():
+        if dag.in_degree(cid) == 0:
+            return frozenset(components[cid])
+    raise AssertionError("a DAG with >=1 node always has a source")

@@ -1,0 +1,92 @@
+"""A max segment tree with point deletion.
+
+Substrate for the near-linear centralized safety test
+(:mod:`repro.core.fastcheck`): reachability over the *implicit* conflict
+digraph ``D(t1, t2)`` needs "among the not-yet-visited entities whose
+lock position is below a bound, repeatedly extract one whose unlock
+position exceeds a threshold" — a prefix arg-max query plus deletion,
+both ``O(log k)`` here.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+NEG_INF = float("-inf")
+
+
+class MaxSegmentTree:
+    """Static-size segment tree over floats supporting prefix arg-max
+    and point deactivation."""
+
+    def __init__(self, values: Sequence[float]) -> None:
+        self._n = max(1, len(values))
+        size = 1
+        while size < self._n:
+            size *= 2
+        self._size = size
+        self._tree = [NEG_INF] * (2 * size)
+        for index, value in enumerate(values):
+            self._tree[size + index] = value
+        for node in range(size - 1, 0, -1):
+            self._tree[node] = max(
+                self._tree[2 * node], self._tree[2 * node + 1]
+            )
+
+    def __len__(self) -> int:
+        return self._n
+
+    def value_at(self, index: int) -> float:
+        return self._tree[self._size + index]
+
+    def deactivate(self, index: int) -> None:
+        """Remove *index* from all future queries."""
+        node = self._size + index
+        self._tree[node] = NEG_INF
+        node //= 2
+        while node:
+            self._tree[node] = max(
+                self._tree[2 * node], self._tree[2 * node + 1]
+            )
+            node //= 2
+
+    def prefix_argmax(self, end: int) -> tuple[int, float]:
+        """``(index, value)`` of the maximum over ``[0, end)``; returns
+        ``(-1, -inf)`` when the range is empty or fully deactivated."""
+        if end <= 0:
+            return -1, NEG_INF
+        end = min(end, self._n)
+        # Collect covering nodes left-to-right, then descend the best.
+        best_node = 0
+        best_value = NEG_INF
+        lo = self._size
+        hi = self._size + end  # exclusive
+        nodes: list[int] = []
+        while lo < hi:
+            if lo & 1:
+                nodes.append(lo)
+                lo += 1
+            if hi & 1:
+                hi -= 1
+                nodes.append(hi)
+            lo //= 2
+            hi //= 2
+        for node in nodes:
+            if self._tree[node] > best_value:
+                best_value = self._tree[node]
+                best_node = node
+        if best_value == NEG_INF:
+            return -1, NEG_INF
+        while best_node < self._size:
+            left, right = 2 * best_node, 2 * best_node + 1
+            best_node = left if self._tree[left] == best_value else right
+        return best_node - self._size, best_value
+
+    def extract_above(self, end: int, threshold: float) -> int | None:
+        """Pop (deactivate and return) an index in ``[0, end)`` whose
+        value strictly exceeds *threshold*; ``None`` if no such index."""
+        index, value = self.prefix_argmax(end)
+        if index < 0 or value <= threshold:
+            return None
+        self.deactivate(index)
+        return index

@@ -1,0 +1,17 @@
+"""CNF formulas, the restricted form of Theorem 3, and a DPLL solver."""
+
+from .cnf import Clause, CnfFormula, Literal, neg, pos, to_restricted_form
+from .solver import all_models, is_satisfiable, solve, verify_model
+
+__all__ = [
+    "Clause",
+    "CnfFormula",
+    "Literal",
+    "all_models",
+    "is_satisfiable",
+    "neg",
+    "pos",
+    "solve",
+    "to_restricted_form",
+    "verify_model",
+]

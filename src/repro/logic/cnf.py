@@ -1,0 +1,247 @@
+"""CNF formulas and the restricted form required by Theorem 3.
+
+The paper reduces from CNF satisfiability, assuming without loss of
+generality that
+
+    "no CNF clause has more than three literals, and each variable
+     appears at most twice unnegated and at most once negated (this is a
+     well-known NP-complete version of satisfiability)."
+
+This module supplies the formula model (:class:`Literal`,
+:class:`Clause`, :class:`CnfFormula`), a parser for a small textual
+format, and :func:`to_restricted_form` — the chain-of-copies transform
+that rewrites an arbitrary CNF into the restricted form while preserving
+satisfiability (so end-to-end pipelines can start from any formula).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+from ..errors import ReductionError
+
+
+@dataclass(frozen=True, order=True)
+class Literal:
+    """A variable or its negation."""
+
+    variable: str
+    negated: bool = False
+
+    def __str__(self) -> str:
+        return ("~" if self.negated else "") + self.variable
+
+    __repr__ = __str__
+
+    def __invert__(self) -> "Literal":
+        return Literal(self.variable, not self.negated)
+
+    def value_under(self, assignment: Mapping[str, bool]) -> bool:
+        value = assignment[self.variable]
+        return (not value) if self.negated else value
+
+
+def pos(variable: str) -> Literal:
+    """The positive literal of *variable*."""
+    return Literal(variable, False)
+
+
+def neg(variable: str) -> Literal:
+    """The negated literal of *variable*."""
+    return Literal(variable, True)
+
+
+@dataclass(frozen=True)
+class Clause:
+    """A disjunction of literals."""
+
+    literals: tuple[Literal, ...]
+
+    def __post_init__(self) -> None:
+        if not self.literals:
+            raise ReductionError("empty clause (formula trivially false)")
+
+    def __str__(self) -> str:
+        return "(" + " | ".join(str(lit) for lit in self.literals) + ")"
+
+    __repr__ = __str__
+
+    def __len__(self) -> int:
+        return len(self.literals)
+
+    def __iter__(self):
+        return iter(self.literals)
+
+    def satisfied_by(self, assignment: Mapping[str, bool]) -> bool:
+        return any(lit.value_under(assignment) for lit in self.literals)
+
+
+class CnfFormula:
+    """A conjunction of clauses."""
+
+    def __init__(self, clauses: Iterable[Clause | Sequence[Literal]]):
+        normalized: list[Clause] = []
+        for clause in clauses:
+            if isinstance(clause, Clause):
+                normalized.append(clause)
+            else:
+                normalized.append(Clause(tuple(clause)))
+        if not normalized:
+            raise ReductionError("a formula needs at least one clause")
+        self.clauses = normalized
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "CnfFormula":
+        """Parse ``"(x1 | ~x2 | x3) & (~x1 | x2)"``-style text.
+
+        Also accepts newline-separated clauses without parentheses.
+        """
+        chunks: list[str] = []
+        for part in text.replace("\n", "&").split("&"):
+            part = part.strip().strip("()").strip()
+            if part:
+                chunks.append(part)
+        clauses = []
+        for chunk in chunks:
+            literals = []
+            for token in chunk.replace("|", " ").replace("v", " ").split():
+                token = token.strip()
+                if not token:
+                    continue
+                if token.startswith(("~", "!", "-")):
+                    literals.append(neg(token[1:]))
+                else:
+                    literals.append(pos(token))
+            if literals:
+                clauses.append(Clause(tuple(literals)))
+        return cls(clauses)
+
+    # ------------------------------------------------------------------
+    def variables(self) -> list[str]:
+        """All variables, in first-occurrence order."""
+        seen: dict[str, None] = {}
+        for clause in self.clauses:
+            for literal in clause:
+                seen.setdefault(literal.variable, None)
+        return list(seen)
+
+    def __str__(self) -> str:
+        return " & ".join(str(clause) for clause in self.clauses)
+
+    __repr__ = __str__
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def satisfied_by(self, assignment: Mapping[str, bool]) -> bool:
+        return all(clause.satisfied_by(assignment) for clause in self.clauses)
+
+    def occurrence_counts(self) -> dict[str, tuple[int, int]]:
+        """Per variable: (positive occurrences, negative occurrences)."""
+        counts: dict[str, list[int]] = {}
+        for clause in self.clauses:
+            for literal in clause:
+                entry = counts.setdefault(literal.variable, [0, 0])
+                entry[1 if literal.negated else 0] += 1
+        return {var: (p, n) for var, (p, n) in counts.items()}
+
+    def is_restricted_form(self) -> bool:
+        """Theorem 3's precondition: clauses of at most three literals,
+        each variable at most twice positive and at most once negative."""
+        if any(len(clause) > 3 for clause in self.clauses):
+            return False
+        return all(
+            positive <= 2 and negative <= 1
+            for positive, negative in self.occurrence_counts().values()
+        )
+
+
+def to_restricted_form(formula: CnfFormula) -> CnfFormula:
+    """Rewrite any CNF into the restricted form, preserving
+    satisfiability.
+
+    Two standard steps:
+
+    1. Split long clauses with fresh chaining variables:
+       ``(a|b|c|d)`` becomes ``(a|b|s) & (~s|c|d)``.
+    2. For a variable outside the occurrence budget, introduce one fresh
+       copy per occurrence, linked in an implication cycle
+       ``v1 ⟹ v2 ⟹ ... ⟹ vk ⟹ v1`` that forces all copies equal.  A
+       cycle link costs each copy one positive and one negative
+       occurrence, leaving budget for exactly one *positive* clause
+       occurrence — so a **negative** occurrence is instead routed
+       through an *inverter* variable ``w ≡ ¬v`` spliced into the copy's
+       outgoing link (``(¬vi | ¬w) & (w | v_{i+1})``), and the clause
+       uses ``w`` positively.
+    """
+    # Step 1: clause splitting.
+    fresh = 0
+
+    def fresh_var(prefix: str) -> str:
+        nonlocal fresh
+        fresh += 1
+        return f"_{prefix}{fresh}"
+
+    clauses: list[list[Literal]] = []
+    for clause in formula.clauses:
+        literals = list(clause.literals)
+        while len(literals) > 3:
+            bridge = fresh_var("s")
+            head, rest = literals[:2], literals[2:]
+            clauses.append(head + [pos(bridge)])
+            literals = [neg(bridge)] + rest
+        clauses.append(literals)
+
+    # Step 2: occurrence limiting via copy cycles with inverter links.
+    polarity_counts: dict[str, list[int]] = {}
+    for clause in clauses:
+        for literal in clause:
+            entry = polarity_counts.setdefault(literal.variable, [0, 0])
+            entry[1 if literal.negated else 0] += 1
+    heavy = {
+        variable
+        for variable, (positive, negative) in polarity_counts.items()
+        if positive > 2 or negative > 1
+    }
+    # Replace each occurrence of a heavy variable by a literal over a
+    # fresh copy; remember the polarity so the cycle links can be built.
+    result: list[list[Literal]] = []
+    occurrence_polarity: dict[str, list[bool]] = {}
+    for clause in clauses:
+        new_clause: list[Literal] = []
+        for literal in clause:
+            if literal.variable not in heavy:
+                new_clause.append(literal)
+                continue
+            polarities = occurrence_polarity.setdefault(literal.variable, [])
+            index = len(polarities)
+            polarities.append(literal.negated)
+            copy = f"{literal.variable}_c{index}"
+            if literal.negated:
+                # the clause will use the inverter w_i positively
+                new_clause.append(pos(f"{literal.variable}_w{index}"))
+            else:
+                new_clause.append(pos(copy))
+        result.append(new_clause)
+    cycle_clauses: list[list[Literal]] = []
+    for variable, polarities in occurrence_polarity.items():
+        k = len(polarities)
+        for index, negated in enumerate(polarities):
+            here = f"{variable}_c{index}"
+            there = f"{variable}_c{(index + 1) % k}"
+            if negated:
+                inverter = f"{variable}_w{index}"
+                # vi ⟹ ¬w and ¬w ⟹ v_{i+1}; jointly w ≡ ¬v.
+                cycle_clauses.append([neg(here), neg(inverter)])
+                cycle_clauses.append([pos(inverter), pos(there)])
+            else:
+                cycle_clauses.append([neg(here), pos(there)])
+    restricted = CnfFormula(result + cycle_clauses)
+    if not restricted.is_restricted_form():
+        raise ReductionError(
+            "internal error: restricted-form transform produced a "
+            "formula outside the restricted form"
+        )
+    return restricted

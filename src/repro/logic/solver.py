@@ -1,0 +1,129 @@
+"""A small DPLL SAT solver.
+
+The Theorem 3 pipeline needs a satisfiability oracle to cross-check the
+reduction (``F`` satisfiable ⟺ ``{T1(F), T2(F)}`` unsafe) and to map
+satisfying assignments to dominators and back.  Unit propagation +
+pure-literal elimination + first-unassigned branching is ample for the
+formula sizes a reproduction exercises.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+
+from .cnf import CnfFormula, Literal
+
+
+def _propagate(
+    clauses: list[list[Literal]], assignment: dict[str, bool]
+) -> list[list[Literal]] | None:
+    """Apply unit propagation; return simplified clauses or None on
+    conflict.  *assignment* is extended in place."""
+    changed = True
+    while changed:
+        changed = False
+        simplified: list[list[Literal]] = []
+        for clause in clauses:
+            survivors: list[Literal] = []
+            satisfied = False
+            for literal in clause:
+                if literal.variable in assignment:
+                    if literal.value_under(assignment):
+                        satisfied = True
+                        break
+                else:
+                    survivors.append(literal)
+            if satisfied:
+                continue
+            if not survivors:
+                return None  # conflict
+            if len(survivors) == 1:
+                unit = survivors[0]
+                assignment[unit.variable] = not unit.negated
+                changed = True
+            else:
+                simplified.append(survivors)
+        clauses = simplified
+    return clauses
+
+
+def solve(formula: CnfFormula) -> dict[str, bool] | None:
+    """A satisfying assignment (complete over the formula's variables),
+    or ``None`` when unsatisfiable."""
+    variables = formula.variables()
+
+    def search(
+        clauses: list[list[Literal]], assignment: dict[str, bool]
+    ) -> dict[str, bool] | None:
+        clauses = _propagate(clauses, assignment)
+        if clauses is None:
+            return None
+        if not clauses:
+            return assignment
+        # Pure-literal elimination.
+        polarity: dict[str, set[bool]] = {}
+        for clause in clauses:
+            for literal in clause:
+                polarity.setdefault(literal.variable, set()).add(
+                    literal.negated
+                )
+        pures = {
+            variable: (False in negs)
+            for variable, negs in polarity.items()
+            if len(negs) == 1
+        }
+        if pures:
+            assignment = dict(assignment)
+            assignment.update(pures)
+            clauses = [
+                clause
+                for clause in clauses
+                if not any(lit.variable in pures for lit in clause)
+            ]
+            return search(clauses, assignment)
+        branch = clauses[0][0].variable
+        for choice in (True, False):
+            trial = dict(assignment)
+            trial[branch] = choice
+            found = search([list(c) for c in clauses], trial)
+            if found is not None:
+                return found
+        return None
+
+    found = search([list(clause.literals) for clause in formula.clauses], {})
+    if found is None:
+        return None
+    # Complete the assignment over unconstrained variables.
+    for variable in variables:
+        found.setdefault(variable, False)
+    return {variable: found[variable] for variable in variables}
+
+
+def is_satisfiable(formula: CnfFormula) -> bool:
+    """Satisfiability verdict."""
+    return solve(formula) is not None
+
+
+def all_models(
+    formula: CnfFormula, limit: int | None = None
+) -> Iterator[dict[str, bool]]:
+    """Enumerate all satisfying assignments (over the formula variables)
+    by brute force — exact and fine for reduction-scale formulas."""
+    variables = formula.variables()
+    produced = 0
+    total = 1 << len(variables)
+    for mask in range(total):
+        assignment = {
+            variable: bool(mask >> position & 1)
+            for position, variable in enumerate(variables)
+        }
+        if formula.satisfied_by(assignment):
+            yield assignment
+            produced += 1
+            if limit is not None and produced >= limit:
+                return
+
+
+def verify_model(formula: CnfFormula, assignment: Mapping[str, bool]) -> bool:
+    """Check a claimed model."""
+    return formula.satisfied_by(assignment)

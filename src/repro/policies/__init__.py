@@ -1,0 +1,30 @@
+"""Locking policies (§6): distributed two-phase locking, the tree
+protocol, and the centralized-image correspondence."""
+
+from .analysis import (
+    centralized_image,
+    centralized_image_is_safe,
+    policy_sample_is_safe,
+    total_order_pair_is_safe,
+)
+from .tree import EntityTree, follows_tree_protocol, random_tree_transaction
+from .two_phase import (
+    is_two_phase,
+    lock_point,
+    two_phase_completion,
+    two_phase_pair_is_safe,
+)
+
+__all__ = [
+    "EntityTree",
+    "centralized_image",
+    "centralized_image_is_safe",
+    "follows_tree_protocol",
+    "is_two_phase",
+    "lock_point",
+    "policy_sample_is_safe",
+    "random_tree_transaction",
+    "total_order_pair_is_safe",
+    "two_phase_completion",
+    "two_phase_pair_is_safe",
+]

@@ -1,0 +1,96 @@
+"""Two-phase locking in the distributed (partial-order) setting.
+
+The paper singles out two-phase techniques as the one family with
+existing distributed theory [1, 15], and Theorem 1 "can be used to prove
+correct all existing distributed locking methodologies".  For partially
+ordered transactions the right reading of *two-phase* is:
+
+    every lock step precedes every unlock step in the partial order.
+
+Then for any pair of two-phase transactions and any entities x, y locked
+by both, ``Lx <1 Uy`` and ``Ly <2 Ux`` hold outright, so ``D(T1, T2)``
+is the complete digraph on the shared entities — strongly connected —
+and Theorem 1 yields safety at any number of sites
+(:func:`two_phase_pair_is_safe` verifies the chain of reasoning).
+"""
+
+from __future__ import annotations
+
+from ..core.dgraph import d_graph, shared_locked_entities
+from ..core.transaction import Transaction
+from ..errors import TransactionError
+from ..graphs import is_strongly_connected
+
+
+def is_two_phase(transaction: Transaction) -> bool:
+    """Does every lock step precede every unlock step (partial-order
+    two-phase property)?"""
+    locks = [step for step in transaction.steps if step.is_lock]
+    unlocks = [step for step in transaction.steps if step.is_unlock]
+    return all(
+        transaction.precedes(lock_step, unlock_step)
+        for lock_step in locks
+        for unlock_step in unlocks
+    )
+
+
+def lock_point(transaction: Transaction):
+    """For a totally ordered two-phase transaction, the last lock step
+    (the classical "lock point"); ``None`` if not totally ordered."""
+    if not transaction.is_totally_ordered():
+        return None
+    order = transaction.a_linear_extension()
+    last = None
+    for step in order:
+        if step.is_lock:
+            last = step
+    return last
+
+
+def two_phase_pair_is_safe(first: Transaction, second: Transaction) -> bool:
+    """The §6 argument, machine-checked: for a two-phase pair,
+    ``D(T1, T2)`` is complete, hence strongly connected, hence the pair
+    is safe (Theorem 1).  Raises if either transaction is not
+    two-phase."""
+    for tx in (first, second):
+        if not is_two_phase(tx):
+            raise TransactionError(f"{tx.name} is not two-phase")
+    graph = d_graph(first, second)
+    shared = shared_locked_entities(first, second)
+    complete = all(
+        graph.has_arc(x, y)
+        for x in shared
+        for y in shared
+        if x != y
+    )
+    if not complete:
+        raise AssertionError(
+            "two-phase pair must have a complete D graph"
+        )
+    return is_strongly_connected(graph)
+
+
+def two_phase_completion(transaction: Transaction) -> Transaction:
+    """Strengthen a transaction into a two-phase one by adding the
+    missing lock-before-unlock precedences.
+
+    Raises :class:`TransactionError` when impossible — i.e. when some
+    unlock already precedes some lock, which is precisely a violation of
+    the two-phase rule that no ordering can repair.
+    """
+    locks = [step for step in transaction.steps if step.is_lock]
+    unlocks = [step for step in transaction.steps if step.is_unlock]
+    additions = []
+    for lock_step in locks:
+        for unlock_step in unlocks:
+            if transaction.precedes(unlock_step, lock_step):
+                raise TransactionError(
+                    f"{transaction.name}: {unlock_step} precedes "
+                    f"{lock_step}; the transaction cannot be made "
+                    "two-phase by strengthening"
+                )
+            if not transaction.precedes(lock_step, unlock_step):
+                additions.append((lock_step, unlock_step))
+    if not additions:
+        return transaction
+    return transaction.with_precedences(additions)

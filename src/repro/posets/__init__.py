@@ -1,0 +1,12 @@
+"""Finite partial orders and their linear extensions (paper §2, Lemma 1)."""
+
+from .extensions import count_linear_extensions, extension_pairs, linear_extensions
+from .poset import NotAPartialOrderError, Poset
+
+__all__ = [
+    "NotAPartialOrderError",
+    "Poset",
+    "count_linear_extensions",
+    "extension_pairs",
+    "linear_extensions",
+]

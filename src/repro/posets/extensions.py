@@ -1,0 +1,108 @@
+"""Linear-extension enumeration and counting.
+
+Lemma 1 of the paper: ``{T1, T2}`` is safe iff ``{t1, t2}`` is safe for
+*all* linear extensions ``t1 ∈ T1``, ``t2 ∈ T2``.  The exhaustive deciders
+and many cross-validation tests therefore need to enumerate linear
+extensions; the enumeration below is the classic backtracking scheme over
+currently-minimal items (the same family as Varol–Rotem), yielding
+extensions in a deterministic order.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterator
+from itertools import product
+
+from .poset import Poset
+
+
+def linear_extensions(
+    poset: Poset, limit: int | None = None
+) -> Iterator[list[Hashable]]:
+    """Yield every linear extension of *poset*.
+
+    *limit* bounds the number produced (a guard for tests that probe
+    potentially exponential inputs).
+    """
+    graph = poset.graph()
+    indegree = {item: graph.in_degree(item) for item in graph.nodes()}
+    total = len(poset)
+    prefix: list[Hashable] = []
+    produced = 0
+
+    def backtrack() -> Iterator[list[Hashable]]:
+        nonlocal produced
+        if limit is not None and produced >= limit:
+            return
+        if len(prefix) == total:
+            produced += 1
+            yield list(prefix)
+            return
+        for item, degree in list(indegree.items()):
+            if degree != 0:
+                continue
+            indegree[item] = -1
+            for nxt in graph.successors(item):
+                indegree[nxt] -= 1
+            prefix.append(item)
+            yield from backtrack()
+            prefix.pop()
+            for nxt in graph.successors(item):
+                indegree[nxt] += 1
+            indegree[item] = 0
+            if limit is not None and produced >= limit:
+                return
+
+    yield from backtrack()
+
+
+def count_linear_extensions(poset: Poset, cap: int | None = None) -> int:
+    """Count linear extensions, optionally stopping early at *cap*.
+
+    Counting is #P-complete in general; this memoized search over
+    down-sets is exact and fast for the small transactions used in tests.
+    """
+    graph = poset.graph()
+    items = graph.nodes()
+    index = {item: i for i, item in enumerate(items)}
+    successors = {item: graph.successors(item) for item in items}
+    predecessor_masks = [0] * len(items)
+    for item in items:
+        for nxt in successors[item]:
+            predecessor_masks[index[nxt]] |= 1 << index[item]
+
+    from functools import lru_cache
+
+    @lru_cache(maxsize=None)
+    def count(done_mask: int) -> int:
+        if done_mask == (1 << len(items)) - 1:
+            return 1
+        total = 0
+        for i in range(len(items)):
+            if done_mask >> i & 1:
+                continue
+            if predecessor_masks[i] & ~done_mask:
+                continue  # some predecessor not yet placed
+            total += count(done_mask | (1 << i))
+            if cap is not None and total >= cap:
+                return total
+        return total
+
+    return count(0)
+
+
+def extension_pairs(
+    first: Poset,
+    second: Poset,
+    limit: int | None = None,
+) -> Iterator[tuple[list[Hashable], list[Hashable]]]:
+    """Yield pairs ``(t1, t2)`` of linear extensions — the universe Lemma 1
+    quantifies over.  *limit* caps the number of pairs."""
+    produced = 0
+    firsts = list(linear_extensions(first))
+    seconds = list(linear_extensions(second))
+    for t1, t2 in product(firsts, seconds):
+        yield t1, t2
+        produced += 1
+        if limit is not None and produced >= limit:
+            return

@@ -1,0 +1,38 @@
+"""A step-granular distributed lock-manager simulator.
+
+Per-site exclusive lock tables, pluggable interleaving drivers, global
+wait-for-graph deadlock detection and serializability-checked execution
+histories — the system substrate on which unsafe transaction systems
+visibly mis-serialize and safe ones never do.
+"""
+
+from .analysis import DeadlockReport, deadlock_possible_exhaustive
+from .interpretation import AffineInterpretation
+from .deadlock import find_deadlock, wait_for_graph
+from .drivers import RandomDriver, ReplayDriver, RoundRobinDriver
+from .engine import (
+    SimulationEngine,
+    SimulationResult,
+    estimate_violation_rate,
+    run_once,
+)
+from .history import Event, ExecutionHistory
+from .lockmanager import SiteLockManager
+
+__all__ = [
+    "AffineInterpretation",
+    "DeadlockReport",
+    "Event",
+    "ExecutionHistory",
+    "RandomDriver",
+    "ReplayDriver",
+    "RoundRobinDriver",
+    "SimulationEngine",
+    "SimulationResult",
+    "SiteLockManager",
+    "deadlock_possible_exhaustive",
+    "estimate_violation_rate",
+    "find_deadlock",
+    "run_once",
+    "wait_for_graph",
+]

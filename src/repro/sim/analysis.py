@@ -1,0 +1,144 @@
+"""Exhaustive *distributed* deadlock analysis.
+
+The paper closes with: "Distributed deadlocks (a problem left open
+here) appear to be subtle, and to require a different methodology."
+This module supplies the brute-force methodology the 1982 authors could
+not afford: a reachability search over the execution-state space of the
+lock-manager engine, deciding whether **any** interleaving can reach a
+state where some transactions are blocked forever.
+
+A state is the set of executed steps (lock ownership is derivable).
+From each state the executable steps are exactly the engine's; a state
+with no executable step and work remaining is a *stuck* state — in this
+engine's semantics always a lock-wait cycle or a wait chain into one.
+Exponential in system size, exact for the test- and benchmark-scale
+systems; the geometric analysis (:meth:`GeometricPicture.
+deadlock_possible`) covers the centralized two-transaction special case
+in polynomial time, and the two are cross-validated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.schedule import ScheduledStep, TransactionSystem
+from ..core.step import Step
+from ..errors import ScheduleError
+
+
+@dataclass
+class DeadlockReport:
+    """Outcome of the exhaustive analysis."""
+
+    possible: bool
+    prefix: list[ScheduledStep] | None = None
+    blocked: list[tuple[str, str]] | None = None
+    states_explored: int = 0
+
+    def describe(self) -> str:
+        if not self.possible:
+            return (
+                f"deadlock-free: {self.states_explored} reachable states, "
+                "all can progress"
+            )
+        waits = ", ".join(
+            f"{name} waits for {entity!r}" for name, entity in self.blocked
+        )
+        steps = " ".join(str(item) for item in self.prefix)
+        return (
+            f"deadlock reachable after: {steps}\n  stuck: {waits}"
+        )
+
+
+def _prepare(system: TransactionSystem):
+    ids: dict[ScheduledStep, int] = {}
+    for tx in system.transactions:
+        for step in tx.steps:
+            ids[ScheduledStep(tx.name, step)] = len(ids)
+    predecessor_masks: dict[ScheduledStep, int] = {}
+    for tx in system.transactions:
+        poset = tx.poset()
+        for step in tx.steps:
+            mask = 0
+            for other in tx.steps:
+                if poset.precedes(other, step):
+                    mask |= 1 << ids[ScheduledStep(tx.name, other)]
+            predecessor_masks[ScheduledStep(tx.name, step)] = mask
+    return ids, predecessor_masks
+
+
+def deadlock_possible_exhaustive(
+    system: TransactionSystem, state_budget: int = 500_000
+) -> DeadlockReport:
+    """Search every reachable execution state for a stuck one.
+
+    Raises :class:`ScheduleError` when *state_budget* is exceeded —
+    the caller should fall back to sampling.
+    """
+    ids, predecessor_masks = _prepare(system)
+    items = list(ids)
+    total_mask = (1 << len(items)) - 1
+
+    def holders(executed: int) -> dict[str, str]:
+        owned: dict[str, str] = {}
+        for item in items:
+            if not executed >> ids[item] & 1:
+                continue
+            if item.step.is_lock:
+                tx = system[item.transaction]
+                unlock = tx.unlock_step(item.step.entity)
+                unlock_item = ScheduledStep(item.transaction, unlock)
+                if not executed >> ids[unlock_item] & 1:
+                    owned[item.step.entity] = item.transaction
+        return owned
+
+    def moves(executed: int) -> tuple[list[ScheduledStep], list[tuple[str, str]]]:
+        owned = holders(executed)
+        ready: list[ScheduledStep] = []
+        blocked: list[tuple[str, str]] = []
+        for item in items:
+            if executed >> ids[item] & 1:
+                continue
+            if predecessor_masks[item] & ~executed:
+                continue
+            if item.step.is_lock:
+                holder = owned.get(item.step.entity)
+                if holder is not None and holder != item.transaction:
+                    blocked.append((item.transaction, item.step.entity))
+                    continue
+            ready.append(item)
+        return ready, blocked
+
+    seen = {0}
+    parent: dict[int, tuple[int, ScheduledStep]] = {}
+    frontier = [0]
+    explored = 0
+    while frontier:
+        state = frontier.pop()
+        explored += 1
+        if explored > state_budget:
+            raise ScheduleError(
+                f"deadlock search exceeded {state_budget} states"
+            )
+        ready, blocked = moves(state)
+        if not ready and state != total_mask:
+            prefix: list[ScheduledStep] = []
+            cursor = state
+            while cursor:
+                previous, item = parent[cursor]
+                prefix.append(item)
+                cursor = previous
+            prefix.reverse()
+            return DeadlockReport(
+                possible=True,
+                prefix=prefix,
+                blocked=sorted(blocked),
+                states_explored=explored,
+            )
+        for item in ready:
+            nxt = state | (1 << ids[item])
+            if nxt not in seen:
+                seen.add(nxt)
+                parent[nxt] = (state, item)
+                frontier.append(nxt)
+    return DeadlockReport(possible=False, states_explored=explored)

@@ -1,0 +1,48 @@
+"""Distributed deadlock detection over the union wait-for graph.
+
+The paper closes by noting that *distributed deadlocks* "appear to be
+subtle, and to require a different methodology" — they are out of the
+paper's scope, but the simulator must still terminate, so it runs the
+classical global wait-for-graph detector: transaction ``Ti`` waits for
+``Tj`` iff some lock request of ``Ti`` is queued behind a lock ``Tj``
+currently holds (at any site).  A cycle means deadlock.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..graphs import DiGraph, find_cycle
+from .lockmanager import SiteLockManager
+
+
+def wait_for_graph(
+    managers: Iterable[SiteLockManager],
+    blocked_requests: Iterable[tuple[str, str]],
+) -> DiGraph:
+    """Build the union wait-for graph.
+
+    *blocked_requests* is ``(transaction, entity)`` for every currently
+    blocked lock request; holders come from the per-site lock tables.
+    """
+    holder: dict[str, str] = {}
+    for manager in managers:
+        holder.update(manager.held_entities())
+    graph = DiGraph()
+    for waiter, entity in blocked_requests:
+        owner = holder.get(entity)
+        graph.add_node(waiter)
+        if owner is not None and owner != waiter:
+            graph.add_arc(waiter, owner)
+    return graph
+
+
+def find_deadlock(
+    managers: Iterable[SiteLockManager],
+    blocked_requests: Iterable[tuple[str, str]],
+) -> list[str] | None:
+    """Return the transactions on one wait-for cycle, or ``None``."""
+    cycle = find_cycle(wait_for_graph(managers, blocked_requests))
+    if cycle is None:
+        return None
+    return cycle[:-1]

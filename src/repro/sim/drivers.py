@@ -1,0 +1,91 @@
+"""Interleaving drivers: who moves next.
+
+The engine is driver-agnostic; a driver is any callable receiving the
+list of currently *executable* candidates (transaction name, step) and
+returning the chosen one.  Three standard drivers:
+
+* :class:`RandomDriver` — seeded uniform choice; the workhorse for
+  "run the unsafe system many times and count mis-serializations";
+* :class:`ReplayDriver` — replays a prescribed schedule, e.g. the
+  non-serializable schedule of an
+  :class:`~repro.core.certificates.UnsafenessCertificate`, making the
+  static analysis demonstrably *executable*;
+* :class:`RoundRobinDriver` — deterministic fair rotation.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from ..core.schedule import Schedule
+from ..core.step import Step
+from ..errors import ScheduleError
+
+Candidate = tuple[str, Step]
+
+
+class RandomDriver:
+    """Uniformly random choice among executable steps."""
+
+    def __init__(self, rng: random.Random | int | None = None) -> None:
+        if isinstance(rng, random.Random):
+            self._rng = rng
+        else:
+            self._rng = random.Random(rng)
+
+    def __call__(self, candidates: Sequence[Candidate]) -> Candidate:
+        return self._rng.choice(list(candidates))
+
+
+class RoundRobinDriver:
+    """Rotate fairly over transaction names."""
+
+    def __init__(self) -> None:
+        self._last: str | None = None
+
+    def __call__(self, candidates: Sequence[Candidate]) -> Candidate:
+        names = sorted({name for name, _ in candidates})
+        if self._last in names:
+            index = (names.index(self._last) + 1) % len(names)
+        else:
+            index = 0
+        # Prefer the next name in rotation that has a candidate.
+        chosen_name = names[index]
+        self._last = chosen_name
+        for candidate in candidates:
+            if candidate[0] == chosen_name:
+                return candidate
+        return candidates[0]
+
+
+class ReplayDriver:
+    """Drive the engine along a prescribed schedule.
+
+    Raises :class:`ScheduleError` if the schedule's next step is not
+    executable when its turn comes — which cannot happen for a legal
+    schedule of the same system, so a failure here flags a bug in
+    either the schedule or the engine.
+    """
+
+    def __init__(self, schedule: Schedule) -> None:
+        self._queue = [
+            (item.transaction, item.step) for item in schedule.steps
+        ]
+        self._cursor = 0
+
+    def __call__(self, candidates: Sequence[Candidate]) -> Candidate:
+        if self._cursor >= len(self._queue):
+            raise ScheduleError(
+                "replay schedule exhausted but the engine still has "
+                "executable steps"
+            )
+        wanted = self._queue[self._cursor]
+        if wanted not in candidates:
+            raise ScheduleError(
+                f"replay schedule wants {wanted[1]}[{wanted[0]}] but it "
+                f"is not executable now (candidates: "
+                f"{[f'{s}[{n}]' for n, s in candidates]})"
+            )
+        self._cursor += 1
+        return wanted

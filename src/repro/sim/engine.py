@@ -1,0 +1,231 @@
+"""The step-granular distributed execution engine.
+
+Runs a :class:`~repro.core.schedule.TransactionSystem` on per-site lock
+managers under a pluggable interleaving driver, producing an
+:class:`~repro.sim.history.ExecutionHistory`.  The engine enforces
+precisely the paper's execution model:
+
+* a step becomes *ready* when all its predecessors in the transaction's
+  partial order have executed;
+* a ready lock step is *executable* iff its site's lock table can grant
+  the lock (otherwise the request queues and may contribute to a
+  wait-for cycle);
+* update and unlock steps are always executable once ready.
+
+An execution either completes (a legal schedule — the engine re-checks
+this through :meth:`ExecutionHistory.as_schedule`) or deadlocks.  The
+engine never reorders or aborts on its own; deadlock handling is
+reported to the caller, because the paper's safety notion quantifies
+over completed schedules only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.schedule import TransactionSystem
+from ..core.step import Step
+from ..errors import ScheduleError
+from .deadlock import find_deadlock
+from .drivers import Candidate, RandomDriver
+from .history import Event, ExecutionHistory
+from .lockmanager import SiteLockManager
+
+
+@dataclass
+class SimulationResult:
+    """Everything a run produced."""
+
+    history: ExecutionHistory
+    completed: bool
+    deadlocked: list[str] = field(default_factory=list)
+    serializable: bool | None = None
+
+    @property
+    def outcome(self) -> str:
+        if not self.completed:
+            return "deadlock"
+        return "serializable" if self.serializable else "non-serializable"
+
+
+class SimulationEngine:
+    """One engine instance simulates one execution of one system.
+
+    With *fifo_grants* the per-entity wait queues are binding: a freed
+    lock may only be granted to the earliest-blocked requester, as in
+    production lock managers.  Fairness narrows the reachable
+    interleavings (and can introduce extra deadlocks when the queue
+    head is itself blocked elsewhere) but never affects safety: a
+    FIFO-reachable schedule is also reachable without FIFO.
+    """
+
+    def __init__(
+        self, system: TransactionSystem, *, fifo_grants: bool = False
+    ) -> None:
+        self.system = system
+        self.database = system.database
+        self.fifo_grants = fifo_grants
+        self.managers = {
+            site: SiteLockManager(site)
+            for site in range(1, self.database.sites + 1)
+        }
+        self._executed: dict[str, set[Step]] = {
+            tx.name: set() for tx in system.transactions
+        }
+        self._queues: dict[str, list[str]] = {}
+        self._history = ExecutionHistory(system)
+        self._clock = 0
+
+    # ------------------------------------------------------------------
+    def _ready_steps(self, name: str) -> list[Step]:
+        tx = self.system[name]
+        done = self._executed[name]
+        ready = []
+        for step in tx.steps:
+            if step in done:
+                continue
+            poset = tx.poset()
+            if all(
+                other in done
+                for other in tx.steps
+                if poset.precedes(other, step)
+            ):
+                ready.append(step)
+        return ready
+
+    def _executable(self) -> tuple[list[Candidate], list[tuple[str, str]]]:
+        """(executable candidates, blocked lock requests)."""
+        candidates: list[Candidate] = []
+        blocked: list[tuple[str, str]] = []
+        for tx in self.system.transactions:
+            for step in self._ready_steps(tx.name):
+                if step.is_lock:
+                    site = self.database.site_of(step.entity)
+                    holder = self.managers[site].holder(step.entity)
+                    if holder is not None and holder != tx.name:
+                        blocked.append((tx.name, step.entity))
+                        if self.fifo_grants:
+                            queue = self._queues.setdefault(
+                                step.entity, []
+                            )
+                            if tx.name not in queue:
+                                queue.append(tx.name)
+                        continue
+                    if self.fifo_grants:
+                        queue = self._queues.get(step.entity, [])
+                        if queue and queue[0] != tx.name:
+                            # Free, but someone arrived first.
+                            blocked.append((tx.name, step.entity))
+                            if tx.name not in queue:
+                                queue.append(tx.name)
+                            continue
+                    candidates.append((tx.name, step))
+                else:
+                    candidates.append((tx.name, step))
+        return candidates, blocked
+
+    def _execute(self, name: str, step: Step) -> None:
+        site = self.database.site_of(step.entity)
+        manager = self.managers[site]
+        if step.is_lock:
+            granted = manager.try_lock(step.entity, name)
+            if not granted:
+                raise ScheduleError(
+                    f"engine chose blocked lock {step}[{name}]"
+                )
+            queue = self._queues.get(step.entity)
+            if queue and name in queue:
+                queue.remove(name)
+        elif step.is_unlock:
+            manager.unlock(step.entity, name)
+        else:
+            holder = manager.holder(step.entity)
+            if holder != name:
+                raise ScheduleError(
+                    f"{name} updates {step.entity!r} without holding its "
+                    f"lock (holder: {holder!r})"
+                )
+        self._executed[name].add(step)
+        self._history.append(Event(self._clock, site, name, step))
+        self._clock += 1
+
+    # ------------------------------------------------------------------
+    def run(self, driver=None, *, max_steps: int | None = None) -> SimulationResult:
+        """Run to completion or deadlock.
+
+        *driver* defaults to a seeded :class:`RandomDriver`; *max_steps*
+        guards against misbehaving custom drivers.
+        """
+        if driver is None:
+            driver = RandomDriver(0)
+        budget = max_steps if max_steps is not None else (
+            self.system.total_steps() + 1
+        )
+        for _ in range(budget):
+            candidates, blocked = self._executable()
+            if not candidates:
+                if self._history.is_complete():
+                    break
+                deadlock = find_deadlock(self.managers.values(), blocked)
+                return SimulationResult(
+                    history=self._history,
+                    completed=False,
+                    deadlocked=deadlock or sorted(
+                        {name for name, _ in blocked}
+                    ),
+                )
+            name, step = driver(candidates)
+            self._execute(name, step)
+        if not self._history.is_complete():
+            return SimulationResult(
+                history=self._history,
+                completed=False,
+                deadlocked=[],
+            )
+        # Self-check: a completed run must be a legal paper schedule.
+        self._history.as_schedule()
+        return SimulationResult(
+            history=self._history,
+            completed=True,
+            serializable=self._history.is_serializable(),
+        )
+
+
+def run_once(
+    system: TransactionSystem,
+    driver=None,
+    *,
+    max_steps: int | None = None,
+    fifo_grants: bool = False,
+) -> SimulationResult:
+    """Convenience: fresh engine, one run."""
+    return SimulationEngine(system, fifo_grants=fifo_grants).run(
+        driver, max_steps=max_steps
+    )
+
+
+def estimate_violation_rate(
+    system: TransactionSystem,
+    *,
+    runs: int,
+    seed: int = 0,
+    fifo_grants: bool = False,
+) -> dict[str, float]:
+    """Monte-Carlo execution statistics under random interleaving.
+
+    Returns fractions of runs ending serializable / non-serializable /
+    deadlocked — the simulator-side view of (un)safety used by the
+    benchmark harness (experiment E11).
+    """
+    import random
+
+    master = random.Random(seed)
+    outcomes = {"serializable": 0, "non-serializable": 0, "deadlock": 0}
+    for _ in range(runs):
+        result = run_once(
+            system,
+            RandomDriver(master.randrange(2**63)),
+            fifo_grants=fifo_grants,
+        )
+        outcomes[result.outcome] += 1
+    return {key: value / runs for key, value in outcomes.items()}

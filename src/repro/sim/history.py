@@ -1,0 +1,83 @@
+"""Execution histories produced by the simulator.
+
+A history is the simulator-side analogue of the paper's *schedule*: the
+total order in which steps actually executed, annotated with the site
+and logical time of each event.  Serializability is checked with the
+same conflict-graph machinery the static analyzers use
+(:func:`repro.core.schedule.conflict_graph`), so simulator outcomes and
+static verdicts are directly comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.schedule import Schedule, ScheduledStep, TransactionSystem, conflict_graph
+from ..core.step import Step
+from ..graphs import is_acyclic, topological_sort
+
+
+@dataclass(frozen=True)
+class Event:
+    """One executed step: when, where, who, what."""
+
+    time: int
+    site: int
+    transaction: str
+    step: Step
+
+    def __str__(self) -> str:
+        return f"t={self.time} s{self.site} {self.step}[{self.transaction}]"
+
+
+@dataclass
+class ExecutionHistory:
+    """The ordered record of an execution."""
+
+    system: TransactionSystem
+    events: list[Event] = field(default_factory=list)
+
+    def append(self, event: Event) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def steps(self) -> list[tuple[str, Step]]:
+        return [(event.transaction, event.step) for event in self.events]
+
+    def is_complete(self) -> bool:
+        """Did every step of every transaction execute?"""
+        return len(self.events) == self.system.total_steps()
+
+    def is_serializable(self) -> bool:
+        """Conflict-serializability of the (possibly partial) history."""
+        return is_acyclic(conflict_graph(self.steps(), self.system.names))
+
+    def equivalent_serial_order(self) -> list[str] | None:
+        """A witnessing serial order, or ``None`` if non-serializable."""
+        graph = conflict_graph(self.steps(), self.system.names)
+        if not is_acyclic(graph):
+            return None
+        return topological_sort(graph)
+
+    def as_schedule(self) -> Schedule:
+        """Re-validate the completed history as a paper-style schedule
+        (raises :class:`~repro.errors.ScheduleError` if the simulator
+        ever produced an illegal interleaving — a strong self-check)."""
+        return Schedule(
+            self.system,
+            [ScheduledStep(event.transaction, event.step) for event in self.events],
+        )
+
+    def per_site(self) -> dict[int, list[Event]]:
+        """Events grouped by site, in execution order."""
+        grouped: dict[int, list[Event]] = {}
+        for event in self.events:
+            grouped.setdefault(event.site, []).append(event)
+        return grouped
+
+    def describe(self) -> str:
+        lines = [f"history: {len(self.events)} events"]
+        lines.extend(f"  {event}" for event in self.events)
+        return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Concrete interpretations of the update functions.
+
+The paper quantifies serializability over *all* interpretations of the
+``f_s``; :mod:`repro.core.herbrand` handles that symbolically.  This
+module goes the other way: it instantiates the ``f_s`` with concrete
+arithmetic and *executes* schedules, so that a non-serializable
+interleaving manifests as a final database state no serial execution
+can produce — data corruption you can print.
+
+Each update step ``s`` gets the affine function
+
+    new_value = a_s * old_value + b_s
+
+with odd multipliers ``a_s`` drawn from a seeded RNG (odd ⇒ invertible
+mod 2^64, so distinct write orders compose to distinct values and
+collisions cannot hide a violation).  Affine maps compose but do not
+commute, which is exactly what distinguishes write orders.
+
+:func:`detects_violation` is the headline: for a legal schedule, the
+concrete final state differs from every serial execution's iff the
+schedule is non-serializable (machine-checked against the conflict
+test in the suite).
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import permutations
+
+from ..core.schedule import Schedule
+from ..core.step import Step
+
+MODULUS = 1 << 64
+
+
+class AffineInterpretation:
+    """A concrete assignment of affine functions to update steps."""
+
+    def __init__(self, system, seed: int = 0) -> None:
+        self.system = system
+        rng = random.Random(seed)
+        self._coefficients: dict[tuple[str, Step], tuple[int, int]] = {}
+        for tx in system.transactions:
+            for step in tx.steps:
+                if step.is_update:
+                    multiplier = rng.randrange(1, MODULUS, 2)  # odd
+                    offset = rng.randrange(MODULUS)
+                    self._coefficients[(tx.name, step)] = (
+                        multiplier,
+                        offset,
+                    )
+
+    # ------------------------------------------------------------------
+    def run(
+        self, steps, initial: dict[str, int] | None = None
+    ) -> dict[str, int]:
+        """Execute ``(transaction, step)`` pairs; return the final state."""
+        state: dict[str, int] = {
+            entity: 0 for entity in self.system.database.entities
+        }
+        if initial:
+            state.update(initial)
+        for name, step in steps:
+            if not step.is_update:
+                continue
+            multiplier, offset = self._coefficients[(name, step)]
+            state[step.entity] = (
+                multiplier * state[step.entity] + offset
+            ) % MODULUS
+        return state
+
+    def run_schedule(self, schedule: Schedule) -> dict[str, int]:
+        return self.run(
+            (item.transaction, item.step) for item in schedule.steps
+        )
+
+    def serial_states(self) -> dict[tuple[str, ...], dict[str, int]]:
+        """Final state of every serial execution order."""
+        results: dict[tuple[str, ...], dict[str, int]] = {}
+        for order in permutations(self.system.names):
+            serial = self.system.serial_schedule(list(order))
+            results[order] = self.run_schedule(serial)
+        return results
+
+    def matching_serial_order(
+        self, schedule: Schedule
+    ) -> tuple[str, ...] | None:
+        """The serial order producing the same concrete final state, or
+        ``None`` (a detected violation)."""
+        target = self.run_schedule(schedule)
+        for order, state in self.serial_states().items():
+            if state == target:
+                return order
+        return None
+
+    def detects_violation(self, schedule: Schedule) -> bool:
+        """True iff no serial execution reproduces the schedule's final
+        state — concrete evidence of non-serializability."""
+        return self.matching_serial_order(schedule) is None

@@ -1,0 +1,83 @@
+"""Per-site lock managers.
+
+Each site of the distributed database runs its own exclusive-lock table,
+exactly as the paper's model prescribes (a lock bit per entity, §2).
+The manager grants, denies and releases locks and keeps the FIFO wait
+queues the deadlock detector inspects.
+"""
+
+from __future__ import annotations
+
+from ..errors import ScheduleError
+
+
+class SiteLockManager:
+    """The lock table of one site (exclusive locks only)."""
+
+    def __init__(self, site: int) -> None:
+        self.site = site
+        self._holder: dict[str, str] = {}
+        self._waiting: dict[str, list[str]] = {}
+
+    # ------------------------------------------------------------------
+    def holder(self, entity: str) -> str | None:
+        """Current lock holder of *entity*, or ``None``."""
+        return self._holder.get(entity)
+
+    def try_lock(self, entity: str, transaction: str) -> bool:
+        """Attempt to set the lock bit; enqueue the requester on failure."""
+        current = self._holder.get(entity)
+        if current is None:
+            self._holder[entity] = transaction
+            queue = self._waiting.get(entity)
+            if queue and transaction in queue:
+                queue.remove(transaction)
+            return True
+        if current == transaction:
+            raise ScheduleError(
+                f"{transaction} re-locks {entity!r} it already holds "
+                "(transactions have one lock pair per entity)"
+            )
+        queue = self._waiting.setdefault(entity, [])
+        if transaction not in queue:
+            queue.append(transaction)
+        return False
+
+    def unlock(self, entity: str, transaction: str) -> None:
+        """Clear the lock bit; the holder must be *transaction*."""
+        current = self._holder.get(entity)
+        if current != transaction:
+            raise ScheduleError(
+                f"{transaction} unlocks {entity!r} held by {current!r}"
+            )
+        del self._holder[entity]
+
+    def held_entities(self) -> dict[str, str]:
+        """Snapshot of the lock table: entity -> holding transaction."""
+        return dict(self._holder)
+
+    def waiters(self, entity: str) -> list[str]:
+        """Transactions queued on *entity*."""
+        return list(self._waiting.get(entity, ()))
+
+    def drop_waiter(self, transaction: str) -> None:
+        """Remove *transaction* from every wait queue (abort support)."""
+        for queue in self._waiting.values():
+            if transaction in queue:
+                queue.remove(transaction)
+
+    def held_by(self, transaction: str) -> list[str]:
+        """All entities this site has locked for *transaction*."""
+        return [
+            entity
+            for entity, holder in self._holder.items()
+            if holder == transaction
+        ]
+
+    def release_all(self, transaction: str) -> list[str]:
+        """Release every lock of *transaction* at this site (abort)."""
+        released = self.held_by(transaction)
+        for entity in released:
+            del self._holder[entity]
+        self.drop_waiter(transaction)
+        return released

@@ -1,0 +1,6 @@
+"""Terminal and DOT renderings of the paper's figures."""
+
+from .ascii_plane import render_plane
+from .dot import digraph_to_dot, transaction_to_dot
+
+__all__ = ["digraph_to_dot", "render_plane", "transaction_to_dot"]

@@ -1,0 +1,53 @@
+"""ASCII rendering of the coordinated plane (Fig. 2).
+
+Draws the geometric picture of a pair of total orders: forbidden
+rectangles as ``#`` blocks, an optional schedule curve as ``*``, axis
+labels as the step names — a terminal rendition of the paper's Fig. 2.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..core.geometry import GeometricPicture
+
+
+def render_plane(
+    picture: GeometricPicture,
+    curve: Sequence[tuple[int, int]] | None = None,
+) -> str:
+    """Render the plane; rows are t2 positions (top = end of t2)."""
+    width, height = picture.m1 + 1, picture.m2 + 1
+    grid = [[" " for _ in range(width)] for _ in range(height)]
+    for rect in picture.rectangles.values():
+        for i in range(rect.x_lo, rect.x_hi + 1):
+            for j in range(rect.y_lo, rect.y_hi + 1):
+                if 0 <= i < width and 0 <= j < height:
+                    grid[j][i] = "#"
+    if curve is not None:
+        for i, j in curve:
+            if 0 <= i < width and 0 <= j < height:
+                grid[j][i] = "*"
+    lines: list[str] = []
+    top_label = "t2 ^"
+    lines.append(top_label)
+    for j in range(height - 1, -1, -1):
+        t2_step = str(picture.t2[j - 1]) if 1 <= j <= picture.m2 else ""
+        row = "".join(grid[j][i].ljust(4) for i in range(width))
+        lines.append(f"{t2_step:>6} |{row}")
+    axis = "       +" + "-" * (4 * width)
+    lines.append(axis + "> t1")
+    labels = "        " + "".join(
+        str(step).ljust(4) for step in [""] + list(picture.t1)
+    )
+    lines.append(labels)
+    legend = ["  # forbidden rectangle"]
+    if curve is not None:
+        legend.append("  * schedule curve")
+    for entity, rect in picture.rectangles.items():
+        legend.append(
+            f"  {entity}: cols {rect.x_lo}..{rect.x_hi}, "
+            f"rows {rect.y_lo}..{rect.y_hi}"
+        )
+    lines.extend(legend)
+    return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""DOT (Graphviz) export for the package's graphs.
+
+Everything the paper draws — transaction dags (Figs. 1, 3, 5, 9),
+``D(T1, T2)`` with its dominators (Figs. 3e, 8), the interaction graph
+``G`` and the ``B_c`` graphs of §6 — can be emitted as ``.dot`` text for
+offline rendering.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..core.transaction import Transaction
+from ..graphs import DiGraph, transitive_reduction
+
+
+def _quote(name: object) -> str:
+    return '"' + str(name).replace('"', r"\"") + '"'
+
+
+def digraph_to_dot(
+    graph: DiGraph,
+    *,
+    name: str = "D",
+    highlight: Iterable | None = None,
+) -> str:
+    """Render any :class:`DiGraph`; *highlight* nodes are filled (used
+    for dominators, Fig. 8-style)."""
+    marked = set(highlight or ())
+    lines = [f"digraph {_quote(name)} {{", "  rankdir=LR;"]
+    for node in graph.nodes():
+        attributes = ' [style=filled, fillcolor=lightgray]' if node in marked else ""
+        lines.append(f"  {_quote(node)}{attributes};")
+    for tail, head in graph.arcs():
+        lines.append(f"  {_quote(tail)} -> {_quote(head)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def transaction_to_dot(transaction: Transaction) -> str:
+    """Render a transaction's Hasse diagram with one cluster per site —
+    the layout of the paper's transaction figures."""
+    cover = transitive_reduction(transaction.poset().graph())
+    lines = [f"digraph {_quote(transaction.name)} {{", "  rankdir=TB;"]
+    for site in sorted(transaction.sites_used()):
+        lines.append(f"  subgraph cluster_site{site} {{")
+        lines.append(f'    label="site {site}";')
+        for step in transaction.steps_at_site(site):
+            lines.append(f"    {_quote(step)};")
+        lines.append("  }")
+    for tail, head in cover.arcs():
+        lines.append(f"  {_quote(tail)} -> {_quote(head)};")
+    lines.append("}")
+    return "\n".join(lines)

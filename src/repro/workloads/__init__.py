@@ -1,0 +1,34 @@
+"""Workload generators: random transactions/systems/formulas and the
+programmatic reconstructions of the paper's figures."""
+
+from .paper_examples import (
+    figure_1,
+    figure_2_total_orders,
+    figure_3,
+    figure_3_extension_pairs,
+    figure_5,
+    figure_8_formula,
+)
+from .random_cnf import random_restricted_cnf
+from .random_transactions import (
+    random_database,
+    random_pair_system,
+    random_system,
+    random_total_order_pair,
+    random_transaction,
+)
+
+__all__ = [
+    "figure_1",
+    "figure_2_total_orders",
+    "figure_3",
+    "figure_3_extension_pairs",
+    "figure_5",
+    "figure_8_formula",
+    "random_database",
+    "random_pair_system",
+    "random_restricted_cnf",
+    "random_system",
+    "random_total_order_pair",
+    "random_transaction",
+]

@@ -1,0 +1,75 @@
+"""Random CNF formulas in Theorem 3's restricted form.
+
+Sampling respects the occurrence budget directly (each variable at most
+twice unnegated, at most once negated; clauses of two or three
+literals), so every formula is immediately acceptable to
+:func:`repro.core.reduction.reduce_cnf_to_pair`.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import ReductionError
+from ..logic.cnf import Clause, CnfFormula, Literal
+
+
+def random_restricted_cnf(
+    rng: random.Random,
+    *,
+    variables: int,
+    clauses: int,
+    clause_size: tuple[int, int] = (2, 3),
+) -> CnfFormula:
+    """A random formula with *variables* variables and *clauses* clauses
+    inside the restricted occurrence budget.
+
+    Raises :class:`ReductionError` when the budget cannot supply enough
+    literal occurrences (each variable offers at most three).
+    """
+    lo, hi = clause_size
+    if not 2 <= lo <= hi <= 3:
+        raise ReductionError("clause sizes must lie within [2, 3]")
+    names = [f"x{i + 1}" for i in range(variables)]
+    budget: dict[str, list[int]] = {name: [2, 1] for name in names}
+
+    def pick_literal(within: set[str]) -> Literal | None:
+        """Sample a literal, weighted toward variables with the most
+        remaining budget so that tight shapes stay feasible."""
+        candidates: list[tuple[int, Literal]] = []
+        for name in names:
+            if name in within:
+                continue
+            positive, negative = budget[name]
+            weight = positive + negative
+            if positive > 0:
+                candidates.append((weight, Literal(name, False)))
+            if negative > 0:
+                candidates.append((weight, Literal(name, True)))
+        if not candidates:
+            return None
+        best = max(weight for weight, _ in candidates)
+        pool = [lit for weight, lit in candidates if weight == best]
+        return rng.choice(pool)
+
+    result: list[Clause] = []
+    for _ in range(clauses):
+        size = rng.randint(lo, hi)
+        clause: list[Literal] = []
+        used: set[str] = set()
+        for _ in range(size):
+            literal = pick_literal(used)
+            if literal is None:
+                break
+            clause.append(literal)
+            used.add(literal.variable)
+            budget[literal.variable][1 if literal.negated else 0] -= 1
+        if len(clause) < 2:
+            raise ReductionError(
+                f"occurrence budget exhausted: cannot build {clauses} "
+                f"clauses from {variables} variables"
+            )
+        result.append(Clause(tuple(clause)))
+    formula = CnfFormula(result)
+    assert formula.is_restricted_form()
+    return formula

@@ -1,0 +1,246 @@
+"""Random distributed locked transactions and systems.
+
+Generators are all seeded (`random.Random` instances), deterministic,
+and produce transactions that satisfy the paper's §2 constraints by
+construction:
+
+* per entity: one ``L-update-U`` triple (the canonical locked access);
+* per site: the triples of that site's entities randomly interleaved
+  into the site chain (total order per site);
+* cross-site precedences sampled *forward* along a random linear
+  extension, so the result is always a partial order.
+
+Knobs cover the paper's experimental axes: number of sites, entities,
+how many entities each transaction touches, how many are shared, how
+"tangled" the cross-site order is, and whether the two-phase discipline
+is imposed.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from ..core.entity import DistributedDatabase
+from ..core.schedule import TransactionSystem
+from ..core.step import Step, StepKind
+from ..core.transaction import Transaction
+from ..errors import ModelError
+
+
+def random_database(
+    rng: random.Random, *, entities: int, sites: int
+) -> DistributedDatabase:
+    """Entities ``e0..e{n-1}`` spread over *sites* (every site nonempty
+    when possible)."""
+    if entities < 1 or sites < 1:
+        raise ModelError("need at least one entity and one site")
+    names = [f"e{i}" for i in range(entities)]
+    assignment: dict[str, int] = {}
+    # Guarantee coverage of the first min(entities, sites) sites.
+    for index, name in enumerate(names):
+        if index < sites:
+            assignment[name] = index + 1
+        else:
+            assignment[name] = rng.randrange(1, sites + 1)
+    return DistributedDatabase(assignment, sites=sites)
+
+
+def _interleave_site_chains(
+    rng: random.Random, triples: Sequence[tuple[Step, Step, Step]]
+) -> list[Step]:
+    """Randomly merge per-entity ``(L, update, U)`` triples into one site
+    chain, preserving each triple's internal order."""
+    queues = [list(triple) for triple in triples]
+    chain: list[Step] = []
+    while any(queues):
+        choice = rng.choice([q for q in queues if q])
+        chain.append(choice.pop(0))
+    return chain
+
+
+def _two_phase_site_chain(
+    rng: random.Random, triples: Sequence[tuple[Step, Step, Step]]
+) -> list[Step]:
+    """A site chain in which all locks precede all unlocks."""
+    locks = [triple[0] for triple in triples]
+    updates = [triple[1] for triple in triples]
+    unlocks = [triple[2] for triple in triples]
+    rng.shuffle(locks)
+    rng.shuffle(updates)
+    rng.shuffle(unlocks)
+    return locks + updates + unlocks
+
+
+def random_transaction(
+    name: str,
+    database: DistributedDatabase,
+    rng: random.Random,
+    *,
+    entities: Sequence[str] | None = None,
+    cross_arcs: int = 0,
+    two_phase: bool = False,
+) -> Transaction:
+    """A random locked transaction touching *entities* (default: all).
+
+    *cross_arcs* extra precedences are sampled between steps at
+    different sites, always forward along a hidden random linear
+    extension so acyclicity is guaranteed.  With *two_phase*, every site
+    chain is lock-phase-then-unlock-phase **and** cross-site arcs are
+    added so that globally every lock precedes every unlock.
+    """
+    touched = list(entities if entities is not None else database.entities)
+    if not touched:
+        raise ModelError(f"{name}: a transaction needs at least one entity")
+    triples = {
+        entity: (
+            Step(StepKind.LOCK, entity),
+            Step(StepKind.UPDATE, entity),
+            Step(StepKind.UNLOCK, entity),
+        )
+        for entity in touched
+    }
+    by_site: dict[int, list[tuple[Step, Step, Step]]] = {}
+    for entity in touched:
+        by_site.setdefault(database.site_of(entity), []).append(
+            triples[entity]
+        )
+    precedences: list[tuple[Step, Step]] = []
+    chains: dict[int, list[Step]] = {}
+    for site, site_triples in by_site.items():
+        if two_phase:
+            chain = _two_phase_site_chain(rng, site_triples)
+        else:
+            chain = _interleave_site_chains(rng, site_triples)
+        chains[site] = chain
+        precedences.extend(zip(chain, chain[1:]))
+
+    if two_phase and len(chains) > 1:
+        # Globally order every lock before every unlock: each site's last
+        # lock precedes every other site's first unlock.
+        for site, chain in chains.items():
+            last_lock = max(
+                (i for i, s in enumerate(chain) if s.is_lock), default=None
+            )
+            for other_site, other_chain in chains.items():
+                if other_site == site:
+                    continue
+                first_unlock = next(
+                    (s for s in other_chain if s.is_unlock), None
+                )
+                if last_lock is not None and first_unlock is not None:
+                    precedences.append((chain[last_lock], first_unlock))
+
+    # A hidden global linear extension = random merge of the site chains;
+    # cross-site arcs sampled forward along it can never form a cycle.
+    order: list[Step] = []
+    cursors = {site: 0 for site in chains}
+    while any(cursors[site] < len(chains[site]) for site in chains):
+        site = rng.choice(
+            [s for s in chains if cursors[s] < len(chains[s])]
+        )
+        order.append(chains[site][cursors[site]])
+        cursors[site] += 1
+    position = {step: index for index, step in enumerate(order)}
+
+    all_steps = [step for chain in chains.values() for step in chain]
+    for _ in range(cross_arcs):
+        a, b = rng.sample(all_steps, 2)
+        if position[a] > position[b]:
+            a, b = b, a
+        if database.same_site(a.entity, b.entity):
+            continue
+        if two_phase and a.is_unlock and b.is_lock:
+            continue  # keep the two-phase property
+        precedences.append((a, b))
+
+    return Transaction(name, database, all_steps, precedences)
+
+
+def random_pair_system(
+    rng: random.Random,
+    *,
+    sites: int = 2,
+    entities: int = 4,
+    shared: int | None = None,
+    cross_arcs: int = 1,
+    two_phase: bool = False,
+) -> TransactionSystem:
+    """A random two-transaction system.
+
+    *shared* entities are locked by both transactions (default: all of
+    them); the rest are split between the two.
+    """
+    database = random_database(rng, entities=entities, sites=sites)
+    names = list(database.entities)
+    rng.shuffle(names)
+    if shared is None:
+        shared = entities
+    shared = min(shared, entities)
+    common = names[:shared]
+    rest = names[shared:]
+    half = len(rest) // 2
+    first_entities = common + rest[:half]
+    second_entities = common + rest[half:]
+    first = random_transaction(
+        "T1",
+        database,
+        rng,
+        entities=first_entities,
+        cross_arcs=cross_arcs,
+        two_phase=two_phase,
+    )
+    second = random_transaction(
+        "T2",
+        database,
+        rng,
+        entities=second_entities,
+        cross_arcs=cross_arcs,
+        two_phase=two_phase,
+    )
+    return TransactionSystem([first, second])
+
+
+def random_system(
+    rng: random.Random,
+    *,
+    transactions: int,
+    sites: int = 2,
+    entities: int = 5,
+    entities_per_transaction: int = 3,
+    cross_arcs: int = 0,
+    two_phase: bool = False,
+) -> TransactionSystem:
+    """A random k-transaction system (for Proposition 2 experiments)."""
+    database = random_database(rng, entities=entities, sites=sites)
+    names = list(database.entities)
+    members = []
+    for index in range(transactions):
+        chosen = rng.sample(
+            names, min(entities_per_transaction, len(names))
+        )
+        members.append(
+            random_transaction(
+                f"T{index + 1}",
+                database,
+                rng,
+                entities=chosen,
+                cross_arcs=cross_arcs,
+                two_phase=two_phase,
+            )
+        )
+    return TransactionSystem(members)
+
+
+def random_total_order_pair(
+    rng: random.Random, *, entities: int = 4
+) -> tuple[TransactionSystem, list[Step], list[Step]]:
+    """A centralized (single-site) totally ordered pair, for the
+    geometric experiments of §3."""
+    database = DistributedDatabase.single_site(
+        [f"e{i}" for i in range(entities)]
+    )
+    first = random_transaction("t1", database, rng)
+    second = random_transaction("t2", database, rng)
+    system = TransactionSystem([first, second])
+    return system, first.a_linear_extension(), second.a_linear_extension()

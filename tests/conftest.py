@@ -1,0 +1,73 @@
+"""Shared fixtures: canonical databases, transactions and systems used
+across the suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    DistributedDatabase,
+    TransactionBuilder,
+    TransactionSystem,
+)
+
+
+@pytest.fixture
+def two_site_db() -> DistributedDatabase:
+    """x, y at site 1; w, z at site 2 (the Fig. 1 layout)."""
+    return DistributedDatabase({"x": 1, "y": 1, "w": 2, "z": 2})
+
+
+@pytest.fixture
+def single_site_db() -> DistributedDatabase:
+    return DistributedDatabase.single_site(["x", "y", "z"])
+
+
+@pytest.fixture
+def simple_unsafe_pair(two_site_db) -> TransactionSystem:
+    """T1 funnels x before z; T2 funnels z before x — the canonical
+    non-strongly-connected (hence unsafe) two-site pair."""
+    t1 = TransactionBuilder("T1", two_site_db)
+    _, _, ux = t1.access("x")
+    lz, _, _ = t1.access("z")
+    t1.precede(ux, lz)
+    t2 = TransactionBuilder("T2", two_site_db)
+    _, _, uz = t2.access("z")
+    lx, _, _ = t2.access("x")
+    t2.precede(uz, lx)
+    return TransactionSystem([t1.build(), t2.build()])
+
+
+@pytest.fixture
+def simple_safe_pair(two_site_db) -> TransactionSystem:
+    """Both transactions two-phase over x and z: D is complete, safe."""
+    t1 = TransactionBuilder("T1", two_site_db)
+    lx1 = t1.lock("x")
+    lz1 = t1.lock("z")
+    t1.update("x")
+    t1.update("z")
+    ux1 = t1.unlock("x")
+    uz1 = t1.unlock("z")
+    t1.precede(lx1, uz1)
+    t1.precede(lz1, ux1)
+    t2 = TransactionBuilder("T2", two_site_db)
+    lx2 = t2.lock("x")
+    lz2 = t2.lock("z")
+    t2.update("x")
+    t2.update("z")
+    ux2 = t2.unlock("x")
+    uz2 = t2.unlock("z")
+    t2.precede(lx2, uz2)
+    t2.precede(lz2, ux2)
+    # Both transactions acquire in the same (x, z) order: two-phase AND
+    # deadlock-free, so simulator runs always complete.
+    t2.precede(lx2, lz2)
+    t1.precede(lx1, lz1)
+    return TransactionSystem([t1.build(), t2.build()])
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)

@@ -1,0 +1,110 @@
+"""Unsafeness certificates — Theorem 2's constructive proof and
+Corollary 2."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    certificate_from_dominator,
+    certificate_via_corollary_2,
+    d_graph,
+    decide_safety_exhaustive,
+    dominators_of,
+    is_closed,
+)
+from repro.errors import CertificateError
+from repro.workloads import figure_1, figure_3, random_pair_system
+
+
+class TestConstruction:
+    def test_figure_1_certificate(self):
+        first, second = figure_1().pair()
+        certificate = certificate_from_dominator(first, second)
+        assert certificate.verify()
+        assert not certificate.schedule.is_serializable()
+
+    def test_strongly_connected_pair_refused(self, simple_safe_pair):
+        first, second = simple_safe_pair.pair()
+        with pytest.raises(CertificateError):
+            certificate_from_dominator(first, second)
+
+    def test_non_dominator_refused(self, simple_unsafe_pair):
+        first, second = simple_unsafe_pair.pair()
+        with pytest.raises(CertificateError):
+            certificate_from_dominator(first, second, {"z"})
+
+    def test_every_dominator_yields_certificate_at_two_sites(self):
+        first, second = figure_3().pair()
+        graph = d_graph(first, second)
+        count = 0
+        for dominator in dominators_of(graph):
+            certificate = certificate_from_dominator(first, second, dominator)
+            assert certificate.verify()
+            assert certificate.dominator == dominator
+            count += 1
+        assert count >= 1
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_random_two_site_certificates_verify(self, seed):
+        rng = random.Random(seed)
+        system = random_pair_system(
+            rng, sites=rng.choice([1, 2]), entities=rng.randint(2, 5),
+            shared=rng.randint(2, 4), cross_arcs=rng.randint(0, 3),
+        )
+        first, second = system.pair()
+        from repro.graphs import is_strongly_connected
+
+        if is_strongly_connected(d_graph(first, second)):
+            return  # safe: nothing to certify
+        certificate = certificate_from_dominator(first, second)
+        assert certificate.verify()
+        # The certificate's schedule is itself definitional proof:
+        assert not decide_safety_exhaustive(system).safe
+
+
+class TestCorollary2:
+    def test_corollary_2_on_closed_system(self, simple_unsafe_pair):
+        first, second = simple_unsafe_pair.pair()
+        assert is_closed(first, second, {"x"})
+        certificate = certificate_via_corollary_2(first, second, {"x"})
+        assert certificate.verify()
+
+    def test_corollary_2_requires_closedness(self):
+        # figure_3 is not closed w.r.t. {x, y} (z-triples trigger);
+        # if it is closed, corollary applies; otherwise refuse.
+        first, second = figure_3().pair()
+        if not is_closed(first, second, {"x", "y"}):
+            with pytest.raises(CertificateError):
+                certificate_via_corollary_2(first, second, {"x", "y"})
+        else:
+            assert certificate_via_corollary_2(
+                first, second, {"x", "y"}
+            ).verify()
+
+
+class TestVerification:
+    @pytest.fixture
+    def certificate(self):
+        first, second = figure_1().pair()
+        return certificate_from_dominator(first, second)
+
+    def test_describe_mentions_dominator(self, certificate):
+        text = certificate.describe()
+        assert "dominator" in text
+        assert "non-serializable" in text
+
+    def test_tampered_bits_detected(self, certificate):
+        certificate.bits = {key: 0 for key in certificate.bits}
+        with pytest.raises(CertificateError):
+            certificate.verify()
+
+    def test_tampered_t1_detected(self, certificate):
+        certificate.t1 = list(reversed(certificate.t1))
+        with pytest.raises(CertificateError):
+            certificate.verify()
+
+    def test_tampered_schedule_detected(self, certificate):
+        certificate.schedule.steps.reverse()
+        with pytest.raises(CertificateError):
+            certificate.verify()

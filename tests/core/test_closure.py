@@ -1,0 +1,79 @@
+"""Closure with respect to a dominator — Lemmas 2-3, Definition 3."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    close_with_respect_to,
+    closure_violations,
+    d_graph,
+    dominators_of,
+    is_closed,
+    is_dominator_of,
+)
+from repro.core.closure import ClosureContradiction
+from repro.workloads import figure_5, random_pair_system
+
+
+class TestClosureChecks:
+    def test_total_orders_are_always_closed(self, rng):
+        """"Two total orders are closed with respect to any dominator of
+        D(t1, t2)" — §4."""
+        from repro.workloads import random_total_order_pair
+
+        for _ in range(20):
+            system, _, _ = random_total_order_pair(rng, entities=3)
+            first, second = system.pair()
+            graph = d_graph(first, second)
+            for dominator in dominators_of(graph):
+                assert is_closed(first, second, dominator)
+
+    def test_closed_system_has_no_violations(self, simple_unsafe_pair):
+        first, second = simple_unsafe_pair.pair()
+        graph = d_graph(first, second)
+        for dominator in dominators_of(graph):
+            if is_closed(first, second, dominator):
+                assert closure_violations(first, second, dominator) == []
+
+
+class TestCloseWithRespectTo:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_two_site_closure_succeeds_and_preserves_dominator(self, seed):
+        """Lemma 3: at two sites, closure terminates with X still a
+        dominator, and the result is closed."""
+        rng = random.Random(seed)
+        system = random_pair_system(
+            rng, sites=2, entities=rng.randint(2, 5), shared=rng.randint(2, 4),
+            cross_arcs=rng.randint(0, 3),
+        )
+        first, second = system.pair()
+        graph = d_graph(first, second)
+        for dominator in dominators_of(graph):
+            result = close_with_respect_to(first, second, dominator)
+            assert is_closed(result.first, result.second, dominator)
+            strengthened = d_graph(result.first, result.second)
+            assert is_dominator_of(strengthened, dominator)
+
+    def test_closure_adds_nothing_when_already_closed(self, simple_unsafe_pair):
+        first, second = simple_unsafe_pair.pair()
+        result = close_with_respect_to(first, second, {"x"})
+        assert result.added_to_first == []
+        assert result.added_to_second == []
+        assert result.rounds == 0
+
+    def test_figure_5_closure_contradiction(self):
+        """The four-site phenomenon: closing w.r.t. the only dominator
+        forces Ux1 to both precede and follow Ux2 — a cycle."""
+        first, second = figure_5().pair()
+        with pytest.raises(ClosureContradiction):
+            close_with_respect_to(first, second, {"x1", "x2"})
+
+    def test_round_cap_guards_termination(self, simple_unsafe_pair):
+        first, second = simple_unsafe_pair.pair()
+        # max_rounds=0 means "no additions allowed": either already
+        # closed (fine) or a ClosureContradiction surfaces immediately.
+        result = close_with_respect_to(
+            first, second, {"x"}, max_rounds=0
+        )
+        assert result.rounds == 0

@@ -1,0 +1,118 @@
+"""D(T1, T2) — Definition 1 — and dominators over it."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    DistributedDatabase,
+    TransactionBuilder,
+    d_graph,
+    d_graph_of_total_orders,
+    dominators_of,
+    is_d_strongly_connected,
+    is_dominator_of,
+    shared_locked_entities,
+    some_dominator_of,
+)
+from repro.workloads import figure_3, figure_5, random_pair_system
+
+
+class TestVertexSet:
+    def test_only_shared_entities(self):
+        db = DistributedDatabase({"x": 1, "y": 1, "z": 2})
+        t1 = TransactionBuilder("T1", db)
+        t1.access("x")
+        t1.access("y")
+        t2 = TransactionBuilder("T2", db)
+        t2.access("x")
+        t2.access("z")
+        first, second = t1.build(), t2.build()
+        assert shared_locked_entities(first, second) == ["x"]
+        assert d_graph(first, second).nodes() == ["x"]
+
+    def test_no_self_loops(self, simple_unsafe_pair):
+        graph = d_graph(*simple_unsafe_pair.pair())
+        assert all(tail != head for tail, head in graph.arcs())
+
+
+class TestArcSemantics:
+    def test_funnel_pair_gives_single_arc(self, simple_unsafe_pair):
+        # T1: x before z; T2: z before x -> only (x, z) qualifies... no:
+        # arc (x,z) needs Lx <1 Uz (yes) and Lz <2 Ux (yes) -> arc.
+        # arc (z,x) needs Lz <1 Ux (no: z after x in T1).
+        graph = d_graph(*simple_unsafe_pair.pair())
+        assert set(graph.arcs()) == {("x", "z")}
+
+    def test_two_phase_pair_gives_complete_digraph(self, simple_safe_pair):
+        graph = d_graph(*simple_safe_pair.pair())
+        assert set(graph.arcs()) == {("x", "z"), ("z", "x")}
+
+    def test_argument_order_reverses_arcs(self, simple_unsafe_pair):
+        first, second = simple_unsafe_pair.pair()
+        forward = set(d_graph(first, second).arcs())
+        backward = set(d_graph(second, first).arcs())
+        assert backward == {(b, a) for a, b in forward}
+
+    def test_concurrent_lock_unlock_gives_no_arc(self):
+        # Cross-site steps left unordered do not satisfy "precedes".
+        db = DistributedDatabase({"x": 1, "z": 2})
+        t1 = TransactionBuilder("T1", db)
+        t1.access("x")
+        t1.access("z")
+        t2 = TransactionBuilder("T2", db)
+        t2.access("x")
+        t2.access("z")
+        graph = d_graph(t1.build(), t2.build())
+        assert graph.arcs() == []
+
+
+class TestAgainstTotalOrderVariant:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_total_order_d_matches_transaction_d(self, seed):
+        """For totally ordered transactions the two constructions agree."""
+        rng = random.Random(seed)
+        from repro.workloads import random_total_order_pair
+
+        system, t1, t2 = random_total_order_pair(rng, entities=4)
+        first, second = system.pair()
+        from_tx = set(d_graph(first, second).arcs())
+        from_orders = set(d_graph_of_total_orders(t1, t2).arcs())
+        assert from_tx == from_orders
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_extension_d_contains_transaction_d(self, seed):
+        """Linear extensions only add precedences, so D(T1,T2) ⊆ D(t1,t2)."""
+        rng = random.Random(500 + seed)
+        system = random_pair_system(
+            rng, sites=3, entities=4, shared=3, cross_arcs=1
+        )
+        first, second = system.pair()
+        base = set(d_graph(first, second).arcs())
+        t1 = first.a_linear_extension()
+        t2 = second.a_linear_extension()
+        extended = set(d_graph_of_total_orders(t1, t2).arcs())
+        assert base <= extended
+
+
+class TestDominators:
+    def test_figure_3_dominator(self):
+        graph = d_graph(*figure_3().pair())
+        assert is_dominator_of(graph, {"x", "y"})
+        assert not is_dominator_of(graph, {"x"})  # y -> x enters
+
+    def test_figure_5_unique_dominator(self):
+        graph = d_graph(*figure_5().pair())
+        assert list(dominators_of(graph)) == [frozenset({"x1", "x2"})]
+
+    def test_some_dominator_none_iff_strongly_connected(
+        self, simple_safe_pair, simple_unsafe_pair
+    ):
+        safe_graph = d_graph(*simple_safe_pair.pair())
+        assert some_dominator_of(safe_graph) is None
+        unsafe_graph = d_graph(*simple_unsafe_pair.pair())
+        assert some_dominator_of(unsafe_graph) == frozenset({"x"})
+
+    def test_is_d_strongly_connected(self, simple_safe_pair, simple_unsafe_pair):
+        assert is_d_strongly_connected(*simple_safe_pair.pair())
+        assert not is_d_strongly_connected(*simple_unsafe_pair.pair())

@@ -1,0 +1,79 @@
+"""DistributedDatabase = (E, m, σ) — §2 model tests."""
+
+import pytest
+
+from repro.core import DistributedDatabase
+from repro.errors import DatabaseError
+
+
+class TestConstruction:
+    def test_basic(self):
+        db = DistributedDatabase({"x": 1, "y": 2})
+        assert db.sites == 2
+        assert db.entities == ["x", "y"]
+        assert db.site_of("x") == 1
+
+    def test_sites_defaults_to_max_used(self):
+        db = DistributedDatabase({"x": 3})
+        assert db.sites == 3
+
+    def test_explicit_extra_sites_allowed(self):
+        db = DistributedDatabase({"x": 1}, sites=5)
+        assert db.sites == 5
+        assert db.entities_at(4) == []
+
+    def test_declared_sites_below_used_rejected(self):
+        with pytest.raises(DatabaseError):
+            DistributedDatabase({"x": 3}, sites=2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DatabaseError):
+            DistributedDatabase({})
+
+    @pytest.mark.parametrize("bad_site", [0, -1, "1", 1.5])
+    def test_bad_site_rejected(self, bad_site):
+        with pytest.raises(DatabaseError):
+            DistributedDatabase({"x": bad_site})
+
+    @pytest.mark.parametrize("bad_entity", ["", 42, None])
+    def test_bad_entity_rejected(self, bad_entity):
+        with pytest.raises(DatabaseError):
+            DistributedDatabase({bad_entity: 1})
+
+
+class TestFactories:
+    def test_single_site(self):
+        db = DistributedDatabase.single_site(["a", "b", "c"])
+        assert db.sites == 1
+        assert all(db.site_of(entity) == 1 for entity in db.entities)
+
+    def test_one_entity_per_site(self):
+        db = DistributedDatabase.one_entity_per_site(["a", "b", "c"])
+        assert db.sites == 3
+        assert {db.site_of(e) for e in db.entities} == {1, 2, 3}
+
+
+class TestQueries:
+    @pytest.fixture
+    def db(self):
+        return DistributedDatabase({"x": 1, "y": 1, "z": 2})
+
+    def test_entities_at(self, db):
+        assert db.entities_at(1) == ["x", "y"]
+        assert db.entities_at(2) == ["z"]
+
+    def test_same_site(self, db):
+        assert db.same_site("x", "y")
+        assert not db.same_site("x", "z")
+
+    def test_unknown_entity(self, db):
+        with pytest.raises(DatabaseError):
+            db.site_of("nope")
+
+    def test_contains_len(self, db):
+        assert "x" in db and "q" not in db
+        assert len(db) == 3
+
+    def test_equality(self, db):
+        assert db == DistributedDatabase({"x": 1, "y": 1, "z": 2})
+        assert db != DistributedDatabase({"x": 1, "y": 1, "z": 2}, sites=3)

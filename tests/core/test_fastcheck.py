@@ -1,0 +1,72 @@
+"""The near-linear centralized safety test (the paper's [5, 14] bound)."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    d_graph_of_total_orders,
+    decide_safety_exhaustive,
+    is_d_strongly_connected_fast,
+    is_safe_total_orders_fast,
+)
+from repro.graphs import is_strongly_connected
+from repro.workloads import figure_2_total_orders, random_total_order_pair
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("seed", range(60))
+    def test_matches_materialized_d_graph(self, seed):
+        rng = random.Random(seed)
+        _, t1, t2 = random_total_order_pair(rng, entities=rng.randint(1, 8))
+        assert is_d_strongly_connected_fast(t1, t2) == is_strongly_connected(
+            d_graph_of_total_orders(t1, t2)
+        )
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_matches_exhaustive_safety(self, seed):
+        rng = random.Random(1000 + seed)
+        system, t1, t2 = random_total_order_pair(
+            rng, entities=rng.randint(2, 4)
+        )
+        assert is_safe_total_orders_fast(t1, t2) == (
+            decide_safety_exhaustive(system).safe
+        )
+
+    def test_fig2_unsafe(self):
+        _, t1, t2 = figure_2_total_orders()
+        assert not is_safe_total_orders_fast(t1, t2)
+
+
+class TestEdgeCases:
+    def test_no_shared_entities_is_safe(self):
+        from repro.core import DistributedDatabase, TransactionBuilder
+
+        db = DistributedDatabase.single_site(["a", "b"])
+        t1 = TransactionBuilder("t1", db)
+        t1.access("a")
+        t2 = TransactionBuilder("t2", db)
+        t2.access("b")
+        assert is_safe_total_orders_fast(
+            t1.build().a_linear_extension(), t2.build().a_linear_extension()
+        )
+
+    def test_single_shared_entity_is_safe(self):
+        from repro.core import DistributedDatabase, TransactionBuilder
+
+        db = DistributedDatabase.single_site(["a"])
+        t1 = TransactionBuilder("t1", db)
+        t1.access("a")
+        t2 = TransactionBuilder("t2", db)
+        t2.access("a")
+        assert is_safe_total_orders_fast(
+            t1.build().a_linear_extension(), t2.build().a_linear_extension()
+        )
+
+    def test_large_instance_fast(self):
+        rng = random.Random(77)
+        _, t1, t2 = random_total_order_pair(rng, entities=800)
+        # Just completing quickly (and agreeing on a spot-check shape)
+        # is the point; the ablation bench quantifies the speedup.
+        result = is_safe_total_orders_fast(t1, t2)
+        assert result in (True, False)

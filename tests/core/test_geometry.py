@@ -1,0 +1,135 @@
+"""The geometric method (§3, Fig. 2, Proposition 1)."""
+
+import random
+
+import pytest
+
+from repro.core import GeometricPicture, d_graph_of_total_orders
+from repro.graphs import is_strongly_connected
+from repro.workloads import figure_2_total_orders, random_total_order_pair
+
+
+@pytest.fixture
+def fig2():
+    _, t1, t2 = figure_2_total_orders()
+    return GeometricPicture(t1, t2)
+
+
+class TestRectangles:
+    def test_shared_entities_get_rectangles(self, fig2):
+        assert sorted(fig2.rectangles) == ["x", "y", "z"]
+
+    def test_rectangle_bounds_follow_lock_positions(self, fig2):
+        rect = fig2.rectangles["x"]
+        # t1 = Lx Ly x y Ux Uy Lz z Uz: Lx at 1, Ux at 5.
+        assert (rect.x_lo, rect.x_hi) == (1, 4)
+
+    def test_unshared_entity_has_no_rectangle(self):
+        from repro.core import DistributedDatabase, TransactionBuilder
+
+        db = DistributedDatabase.single_site(["a", "b"])
+        t1 = TransactionBuilder("t1", db)
+        t1.access("a")
+        t1.access("b")
+        t2 = TransactionBuilder("t2", db)
+        t2.access("a")
+        pic = GeometricPicture(
+            t1.build().a_linear_extension(), t2.build().a_linear_extension()
+        )
+        assert list(pic.rectangles) == ["a"]
+
+    def test_forbidden_points(self, fig2):
+        rect = fig2.rectangles["x"]
+        assert fig2.is_forbidden(rect.x_lo, rect.y_lo)
+        assert fig2.is_forbidden(rect.x_hi, rect.y_hi)
+        assert not fig2.is_forbidden(0, 0)
+        assert not fig2.is_forbidden(fig2.m1, fig2.m2)
+
+
+class TestCurves:
+    def test_serial_curves_are_legal(self, fig2):
+        right_then_up = [1] * fig2.m1 + [2] * fig2.m2
+        up_then_right = [2] * fig2.m2 + [1] * fig2.m1
+        for interleaving in (right_then_up, up_then_right):
+            curve = fig2.curve_of(interleaving)
+            assert fig2.is_legal_curve(curve)
+
+    def test_serial_curves_do_not_separate(self, fig2):
+        below = fig2.curve_of([1] * fig2.m1 + [2] * fig2.m2)
+        assert set(fig2.bits_of_curve(below).values()) == {0}
+        above = fig2.curve_of([2] * fig2.m2 + [1] * fig2.m1)
+        assert set(fig2.bits_of_curve(above).values()) == {1}
+        assert not fig2.separates_two_rectangles(below)
+
+    def test_wrong_step_count_rejected(self, fig2):
+        with pytest.raises(Exception):
+            fig2.curve_of([1, 2])
+
+    def test_fig2_has_separating_curve(self, fig2):
+        curve = fig2.find_nonserializable_curve()
+        assert curve is not None
+        assert fig2.is_legal_curve(curve)
+        assert fig2.separates_two_rectangles(curve)
+        bits = fig2.bits_of_curve(curve)
+        assert set(bits.values()) == {0, 1}
+
+    def test_curve_to_schedule_roundtrip(self, fig2):
+        curve = fig2.find_nonserializable_curve()
+        steps = fig2.schedule_steps_of_curve(curve)
+        assert len(steps) == fig2.m1 + fig2.m2
+        assert [s for axis, s in steps if axis == 1] == fig2.t1
+        assert [s for axis, s in steps if axis == 2] == fig2.t2
+
+
+class TestBitRealizability:
+    def test_all_zero_always_realizable(self, fig2):
+        bits = {entity: 0 for entity in fig2.entities()}
+        assert fig2.find_curve_with_bits(bits) is not None
+
+    def test_all_one_always_realizable(self, fig2):
+        bits = {entity: 1 for entity in fig2.entities()}
+        assert fig2.find_curve_with_bits(bits) is not None
+
+    def test_curve_realizes_requested_bits(self, fig2):
+        bits = {"x": 1, "y": 1, "z": 0}
+        curve = fig2.find_curve_with_bits(bits)
+        if curve is not None:
+            assert fig2.bits_of_curve(curve) == bits
+
+
+class TestPropositionOne:
+    """Proposition 1: separation <=> non-serializability, checked by
+    running actual schedules on both sides."""
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_separation_iff_nonserializable(self, seed):
+        from repro.core import Schedule, ScheduledStep, all_legal_schedules
+
+        rng = random.Random(seed)
+        system, t1, t2 = random_total_order_pair(rng, entities=3)
+        picture = GeometricPicture(t1, t2)
+        name1, name2 = system.names
+        count = 0
+        for schedule in all_legal_schedules(system, limit=40):
+            interleaving = [
+                1 if item.transaction == name1 else 2
+                for item in schedule.steps
+            ]
+            curve = picture.curve_of(interleaving)
+            assert picture.is_legal_curve(curve)
+            assert picture.separates_two_rectangles(curve) == (
+                not schedule.is_serializable()
+            )
+            count += 1
+        assert count > 0
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_centralized_safety_iff_strongly_connected(self, seed):
+        """The single-site case of Theorem 2, via geometry: a separating
+        curve exists iff D(t1, t2) is not strongly connected."""
+        rng = random.Random(1000 + seed)
+        _, t1, t2 = random_total_order_pair(rng, entities=rng.randint(2, 4))
+        picture = GeometricPicture(t1, t2)
+        curve = picture.find_nonserializable_curve()
+        connected = is_strongly_connected(d_graph_of_total_orders(t1, t2))
+        assert (curve is None) == connected

@@ -1,0 +1,111 @@
+"""Deadlock geometry: grid analysis vs the simulator's lock manager.
+
+The paper remarks (§6) that in the centralized case deadlocks can be
+studied side by side with correctness; these tests machine-check the
+correspondence between the geometric deadlock states of the coordinated
+plane and actual lock-manager deadlocks.
+"""
+
+import random
+
+import pytest
+
+from repro.core import GeometricPicture
+from repro.sim import RandomDriver, SimulationEngine, run_once
+from repro.workloads import random_total_order_pair
+
+
+def replay_prefix(system, t1, t2, path):
+    """Drive the engine along the curve prefix; return the engine."""
+    engine = SimulationEngine(system)
+    name1, name2 = system.names
+    for (i0, j0), (i1, j1) in zip(path, path[1:]):
+        if i1 == i0 + 1:
+            engine._execute(name1, t1[i0])
+        else:
+            engine._execute(name2, t2[j0])
+    return engine
+
+
+class TestDeadlockGeometry:
+    def test_crossing_two_phase_pair_has_deadlock_state(self):
+        from repro.core import DistributedDatabase, TransactionBuilder, TransactionSystem
+
+        db = DistributedDatabase.single_site(["x", "z"])
+        t1 = TransactionBuilder("t1", db)
+        t1.lock("x")
+        t1.update("x")
+        t1.lock("z")
+        t1.update("z")
+        t1.unlock("x")
+        t1.unlock("z")
+        t2 = TransactionBuilder("t2", db)
+        t2.lock("z")
+        t2.update("z")
+        t2.lock("x")
+        t2.update("x")
+        t2.unlock("z")
+        t2.unlock("x")
+        first, second = t1.build(), t2.build()
+        picture = GeometricPicture(
+            first.a_linear_extension(), second.a_linear_extension()
+        )
+        assert picture.deadlock_possible()
+
+    def test_ordered_acquisition_has_none(self):
+        from repro.core import DistributedDatabase, TransactionBuilder
+
+        db = DistributedDatabase.single_site(["x", "z"])
+        orders = []
+        for name in ("t1", "t2"):
+            builder = TransactionBuilder(name, db)
+            builder.lock("x")
+            builder.update("x")
+            builder.lock("z")
+            builder.update("z")
+            builder.unlock("x")
+            builder.unlock("z")
+            orders.append(builder.build().a_linear_extension())
+        picture = GeometricPicture(*orders)
+        assert not picture.deadlock_possible()
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_geometric_deadlock_replays_on_engine(self, seed):
+        """Every geometric deadlock state converts into an actual engine
+        state with all transactions blocked."""
+        rng = random.Random(seed)
+        system, t1, t2 = random_total_order_pair(rng, entities=rng.randint(2, 5))
+        picture = GeometricPicture(t1, t2)
+        path = picture.find_deadlock_state()
+        if path is None:
+            return
+        engine = replay_prefix(system, t1, t2, path)
+        candidates, blocked = engine._executable()
+        assert candidates == []  # nothing can move
+        assert blocked  # both are waiting on locks
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_no_geometric_deadlock_means_no_engine_deadlock(self, seed):
+        """If the plane has no deadlock state, no random run deadlocks."""
+        rng = random.Random(500 + seed)
+        system, t1, t2 = random_total_order_pair(rng, entities=rng.randint(2, 4))
+        picture = GeometricPicture(t1, t2)
+        if picture.deadlock_possible():
+            return
+        for run_seed in range(15):
+            result = run_once(system, RandomDriver(run_seed))
+            assert result.completed
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_deadlock_and_safety_are_independent(self, seed):
+        """Safety and deadlock-freedom are different axes; both
+        combinations occur in random workloads (counted globally in the
+        E12 bench — here we only assert the analyses run together)."""
+        rng = random.Random(900 + seed)
+        _, t1, t2 = random_total_order_pair(rng, entities=3)
+        picture = GeometricPicture(t1, t2)
+        # Both analyses on the same picture must be self-consistent.
+        deadlock = picture.deadlock_possible()
+        unsafe = picture.find_nonserializable_curve() is not None
+        assert deadlock in (True, False)
+        assert unsafe in (True, False)

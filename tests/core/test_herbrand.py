@@ -1,0 +1,107 @@
+"""Final-state (Herbrand) serializability — the paper's definition —
+against the conflict test the library uses everywhere.
+
+With the §2 update semantics every write first reads its own entity, so
+there are no blind writes and the two notions coincide; these tests
+turn that textbook fact into a machine-checked invariant of the
+implementation.
+"""
+
+import random
+
+import pytest
+
+from repro.core.herbrand import (
+    herbrand_state_of,
+    is_final_state_serializable,
+    serializability_tests_agree,
+)
+from repro.core.schedule import all_legal_schedules
+from repro.workloads import figure_1, random_pair_system, random_total_order_pair
+
+
+class TestHerbrandState:
+    def test_serial_schedules_differ_when_order_matters(self, simple_unsafe_pair):
+        s12 = simple_unsafe_pair.serial_schedule(["T1", "T2"])
+        s21 = simple_unsafe_pair.serial_schedule(["T2", "T1"])
+        assert herbrand_state_of(s12) != herbrand_state_of(s21)
+
+    def test_untouched_entities_keep_initial_value(self, two_site_db):
+        from repro.core import TransactionBuilder, TransactionSystem
+
+        builder = TransactionBuilder("T", two_site_db)
+        builder.access("x")
+        system = TransactionSystem([builder.build()])
+        schedule = system.serial_schedule(["T"])
+        state = herbrand_state_of(schedule)
+        assert state["y"] == ("init", "y")
+        assert state["x"][0] == "f"
+
+    def test_state_extension_independent_for_serial(self, simple_unsafe_pair):
+        """Different linear extensions of the same serial execution give
+        the same symbolic state (temps depend only on per-entity
+        history)."""
+        base = simple_unsafe_pair.serial_schedule(["T1", "T2"])
+        state = herbrand_state_of(base)
+        # Rebuild with another extension of T1 (if any).
+        first, second = simple_unsafe_pair.pair()
+        from repro.core import Schedule, ScheduledStep
+
+        for extension in first.linear_extensions(limit=4):
+            steps = [ScheduledStep("T1", s) for s in extension] + [
+                ScheduledStep("T2", s) for s in second.a_linear_extension()
+            ]
+            assert herbrand_state_of(Schedule(simple_unsafe_pair, steps)) == state
+
+
+class TestDefinitionAgreement:
+    def test_figure_1_witness_not_final_state_serializable(self):
+        from repro.core import decide_safety
+
+        system = figure_1()
+        witness = decide_safety(system).witness
+        assert not is_final_state_serializable(witness)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_exhaustive_agreement_on_random_pairs(self, seed):
+        """Every legal schedule of small random systems: the conflict
+        test and the definitional Herbrand test agree."""
+        rng = random.Random(seed)
+        system = random_pair_system(
+            rng, sites=rng.choice([1, 2]), entities=rng.randint(2, 3),
+            shared=2, cross_arcs=rng.randint(0, 2),
+        )
+        checked = 0
+        for schedule in all_legal_schedules(system, limit=40):
+            assert serializability_tests_agree(schedule)
+            checked += 1
+        assert checked > 0
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_agreement_on_centralized_pairs(self, seed):
+        rng = random.Random(100 + seed)
+        system, _, _ = random_total_order_pair(rng, entities=3)
+        for schedule in all_legal_schedules(system, limit=30):
+            assert serializability_tests_agree(schedule)
+
+    def test_agreement_on_three_transaction_system(self):
+        from repro.core import DistributedDatabase, TransactionBuilder, TransactionSystem
+
+        db = DistributedDatabase.single_site(["a", "b", "c"])
+        transactions = []
+        for name, entities in (
+            ("T1", ["a", "b"]),
+            ("T2", ["b", "c"]),
+            ("T3", ["c", "a"]),
+        ):
+            builder = TransactionBuilder(name, db)
+            previous = None
+            for entity in entities:
+                for step in builder.access(entity):
+                    if previous is not None:
+                        builder.precede(previous, step)
+                    previous = step
+            transactions.append(builder.build())
+        system = TransactionSystem(transactions)
+        for schedule in all_legal_schedules(system, limit=60):
+            assert serializability_tests_agree(schedule)

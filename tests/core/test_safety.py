@@ -1,0 +1,205 @@
+"""The safety deciders and their agreement — Theorems 1-2, the exact
+bit-vector decider, and the exhaustive ground truth."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    TransactionSystem,
+    decide_safety,
+    decide_safety_exact,
+    decide_safety_exhaustive,
+    is_safe_sufficient,
+    is_safe_two_site,
+)
+from repro.core.safety import sites_of_pair
+from repro.errors import TransactionError
+from repro.workloads import (
+    figure_1,
+    figure_3,
+    figure_5,
+    random_pair_system,
+)
+
+
+class TestTheorem1:
+    def test_strongly_connected_reports_safe(self, simple_safe_pair):
+        assert is_safe_sufficient(*simple_safe_pair.pair()) is True
+
+    def test_not_connected_is_silent(self, simple_unsafe_pair):
+        assert is_safe_sufficient(*simple_unsafe_pair.pair()) is None
+
+    def test_silent_on_figure_5_despite_safety(self):
+        # The criterion is one-sided: Fig. 5 is safe but D is not SC.
+        assert is_safe_sufficient(*figure_5().pair()) is None
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_sufficiency_never_contradicts_ground_truth(self, seed):
+        rng = random.Random(seed)
+        system = random_pair_system(
+            rng, sites=rng.randint(1, 4), entities=rng.randint(2, 4),
+            shared=rng.randint(2, 3), cross_arcs=rng.randint(0, 2),
+        )
+        if is_safe_sufficient(*system.pair()) is True:
+            assert decide_safety_exhaustive(system).safe
+
+
+class TestTheorem2:
+    def test_two_site_exact_characterization(
+        self, simple_safe_pair, simple_unsafe_pair
+    ):
+        assert is_safe_two_site(*simple_safe_pair.pair())
+        assert not is_safe_two_site(*simple_unsafe_pair.pair())
+
+    def test_refuses_three_site_pairs(self):
+        first, second = figure_5().pair()  # four sites
+        with pytest.raises(TransactionError):
+            is_safe_two_site(first, second)
+
+    @pytest.mark.parametrize("seed", range(60))
+    def test_matches_exhaustive_at_two_sites(self, seed):
+        rng = random.Random(seed)
+        system = random_pair_system(
+            rng, sites=rng.choice([1, 2]), entities=rng.randint(2, 5),
+            shared=rng.randint(2, 4), cross_arcs=rng.randint(0, 3),
+        )
+        first, second = system.pair()
+        assert is_safe_two_site(first, second) == (
+            decide_safety_exhaustive(system).safe
+        )
+
+
+class TestExactDecider:
+    @pytest.mark.parametrize("seed", range(60))
+    def test_matches_exhaustive_at_any_sites(self, seed):
+        rng = random.Random(7000 + seed)
+        system = random_pair_system(
+            rng, sites=rng.randint(1, 4), entities=rng.randint(2, 4),
+            shared=rng.randint(2, 4), cross_arcs=rng.randint(0, 3),
+        )
+        first, second = system.pair()
+        exact = decide_safety_exact(first, second)
+        exhaustive = decide_safety_exhaustive(system)
+        assert exact.safe == exhaustive.safe
+        if not exact.safe:
+            assert exact.witness is not None
+            assert not exact.witness.is_serializable()
+
+    def test_figure_5_decided_safe(self):
+        verdict = decide_safety_exact(*figure_5().pair())
+        assert verdict.safe
+
+    def test_trivial_with_fewer_than_two_shared(self):
+        rng = random.Random(1)
+        system = random_pair_system(
+            rng, sites=2, entities=3, shared=1, cross_arcs=0
+        )
+        verdict = decide_safety_exact(*system.pair())
+        assert verdict.safe and verdict.method == "trivial"
+
+    def test_dominator_limit_raises_when_hit(self, simple_unsafe_pair):
+        first, second = simple_unsafe_pair.pair()
+        # limit=0 would return unsafe before the limit on this instance;
+        # build a SAFE multi-dominator system instead:
+        verdict = decide_safety_exact(first, second, dominator_limit=10)
+        assert not verdict.safe  # found witness before limit
+
+
+class TestLemma1Decider:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_agrees_with_exact(self, seed):
+        from repro.core.safety import decide_safety_via_lemma_1
+
+        rng = random.Random(5000 + seed)
+        system = random_pair_system(
+            rng, sites=rng.randint(1, 3), entities=rng.randint(2, 4),
+            shared=rng.randint(2, 3), cross_arcs=rng.randint(0, 2),
+        )
+        first, second = system.pair()
+        lemma = decide_safety_via_lemma_1(first, second)
+        exact = decide_safety_exact(first, second)
+        assert lemma.safe == exact.safe
+        if not lemma.safe and lemma.witness is not None:
+            assert not lemma.witness.is_serializable()
+
+    def test_pair_limit_guard(self):
+        from repro.core.safety import decide_safety_via_lemma_1
+
+        rng = random.Random(1)
+        # A SAFE pair with many extensions: enumeration must run to the
+        # limit because no unsafe pair exists to exit early on.
+        system = random_pair_system(
+            rng, sites=4, entities=4, shared=4, two_phase=True
+        )
+        first, second = system.pair()
+        with pytest.raises(TransactionError):
+            decide_safety_via_lemma_1(first, second, pair_limit=3)
+
+
+class TestNaiveAblationReference:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_naive_and_pruned_agree(self, seed):
+        """The dominator pruning must never change the verdict."""
+        from repro.core.safety import decide_safety_exact_naive
+
+        rng = random.Random(4000 + seed)
+        system = random_pair_system(
+            rng, sites=rng.randint(1, 4), entities=rng.randint(2, 4),
+            shared=rng.randint(2, 4), cross_arcs=rng.randint(0, 3),
+        )
+        first, second = system.pair()
+        assert (
+            decide_safety_exact(first, second).safe
+            == decide_safety_exact_naive(first, second).safe
+        )
+
+    def test_naive_witnesses_are_nonserializable(self, simple_unsafe_pair):
+        from repro.core.safety import decide_safety_exact_naive
+
+        verdict = decide_safety_exact_naive(*simple_unsafe_pair.pair())
+        assert not verdict.safe
+        assert not verdict.witness.is_serializable()
+
+
+class TestFrontEnd:
+    def test_single_transaction_trivially_safe(self, two_site_db):
+        from repro.core import TransactionBuilder
+
+        t = TransactionBuilder("T", two_site_db)
+        t.access("x")
+        verdict = decide_safety(TransactionSystem([t.build()]))
+        assert verdict.safe and verdict.method == "trivial"
+
+    def test_two_site_safe_via_theorem_2(self, simple_safe_pair):
+        verdict = decide_safety(simple_safe_pair)
+        assert verdict.safe and verdict.method == "theorem-2"
+
+    def test_two_site_unsafe_with_certificate(self, simple_unsafe_pair):
+        verdict = decide_safety(simple_unsafe_pair)
+        assert not verdict.safe
+        assert verdict.method == "theorem-2"
+        assert verdict.certificate is not None
+        assert verdict.certificate.verify()
+        assert verdict.witness is verdict.certificate.schedule
+
+    def test_certificate_can_be_skipped(self, simple_unsafe_pair):
+        verdict = decide_safety(simple_unsafe_pair, want_certificate=False)
+        assert not verdict.safe and verdict.certificate is None
+
+    def test_multisite_routes_to_exact(self):
+        verdict = decide_safety(figure_5())
+        assert verdict.safe
+        assert verdict.method in ("theorem-1", "exact-bit-vector")
+
+    def test_verdict_truthiness(self, simple_safe_pair, simple_unsafe_pair):
+        assert decide_safety(simple_safe_pair)
+        assert not decide_safety(simple_unsafe_pair)
+
+    def test_figures_regression(self):
+        assert not decide_safety(figure_1()).safe
+        assert not decide_safety(figure_3()).safe
+        assert decide_safety(figure_5()).safe
+
+    def test_sites_of_pair(self, simple_unsafe_pair):
+        assert sites_of_pair(*simple_unsafe_pair.pair()) == {1, 2}

@@ -1,0 +1,44 @@
+"""Step values and their paper-style rendering."""
+
+from repro.core import Step, StepKind, lock, unlock, update
+
+
+class TestConstruction:
+    def test_factories(self):
+        assert lock("x") == Step(StepKind.LOCK, "x")
+        assert unlock("x") == Step(StepKind.UNLOCK, "x")
+        assert update("x", 2) == Step(StepKind.UPDATE, "x", 2)
+
+    def test_kind_predicates(self):
+        assert lock("x").is_lock
+        assert unlock("x").is_unlock
+        assert update("x").is_update
+        assert not lock("x").is_update
+
+
+class TestRendering:
+    def test_paper_notation(self):
+        assert str(lock("x")) == "Lx"
+        assert str(unlock("x")) == "Ux"
+        assert str(update("x")) == "x"
+        assert str(update("x", 3)) == "x#3"
+
+
+class TestValueSemantics:
+    def test_equality_and_hash(self):
+        assert lock("x") == lock("x")
+        assert hash(lock("x")) == hash(lock("x"))
+        assert lock("x") != unlock("x")
+        assert update("x", 0) != update("x", 1)
+
+    def test_usable_in_sets(self):
+        steps = {lock("x"), lock("x"), unlock("x")}
+        assert len(steps) == 2
+
+    def test_frozen(self):
+        import dataclasses
+
+        import pytest
+
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            lock("x").entity = "y"  # type: ignore[misc]

@@ -1,0 +1,127 @@
+"""Second small-world sweep: three entities over two sites.
+
+Entities x, y at site 1 and z at site 2.  Site 1's six steps admit many
+total orders; to keep the sweep exhaustive-but-finite we fix the two
+natural site-1 disciplines (sequential and two-phase) and sweep ALL
+combinations of cross-site arcs between site 1 and z's steps.  Every
+resulting pair is checked against the definitional decider.
+"""
+
+from itertools import combinations, product
+
+import pytest
+
+from repro.core import (
+    DistributedDatabase,
+    Step,
+    StepKind,
+    Transaction,
+    TransactionSystem,
+    decide_safety_exact,
+    decide_safety_exhaustive,
+    is_safe_two_site,
+)
+from repro.errors import TransactionError
+
+DB = DistributedDatabase({"x": 1, "y": 1, "z": 2})
+
+LX, WX, UX = (
+    Step(StepKind.LOCK, "x"),
+    Step(StepKind.UPDATE, "x"),
+    Step(StepKind.UNLOCK, "x"),
+)
+LY, WY, UY = (
+    Step(StepKind.LOCK, "y"),
+    Step(StepKind.UPDATE, "y"),
+    Step(StepKind.UNLOCK, "y"),
+)
+LZ, WZ, UZ = (
+    Step(StepKind.LOCK, "z"),
+    Step(StepKind.UPDATE, "z"),
+    Step(StepKind.UNLOCK, "z"),
+)
+
+SITE1_CHAINS = {
+    "sequential": [LX, WX, UX, LY, WY, UY],
+    "two-phase": [LX, WX, LY, WY, UX, UY],
+}
+Z_CHAIN = [LZ, WZ, UZ]
+
+# Cross arcs between the site-1 lock/unlock steps and z's lock/unlock.
+CROSS = [
+    (a, b)
+    for a in (LX, UX, LY, UY)
+    for b in (LZ, UZ)
+] + [
+    (b, a)
+    for a in (LX, UX, LY, UY)
+    for b in (LZ, UZ)
+]
+
+
+def transactions_for(discipline: str, name: str) -> list[Transaction]:
+    chain = SITE1_CHAINS[discipline]
+    base_arcs = list(zip(chain, chain[1:])) + list(zip(Z_CHAIN, Z_CHAIN[1:]))
+    steps = chain + Z_CHAIN
+    seen: set[frozenset] = set()
+    found: list[Transaction] = []
+    # Up to two cross arcs keeps the sweep exhaustive yet tractable.
+    for size in range(3):
+        for chosen in combinations(CROSS, size):
+            try:
+                tx = Transaction(name, DB, steps, base_arcs + list(chosen))
+            except TransactionError:
+                continue
+            relation = frozenset(
+                (str(a), str(b))
+                for a in steps
+                for b in steps
+                if tx.precedes(a, b)
+            )
+            if relation in seen:
+                continue
+            seen.add(relation)
+            found.append(tx)
+    return found
+
+
+@pytest.mark.parametrize("discipline", ["sequential", "two-phase"])
+def test_theorem_2_sweep(discipline):
+    firsts = transactions_for(discipline, "T1")
+    # Sweep T1 exhaustively against a fixed, representative T2 set to
+    # bound runtime: the no-cross, one canonical one-cross variants.
+    seconds = transactions_for(discipline, "T2")[:12]
+    checked = 0
+    for first, second in product(firsts, seconds):
+        system = TransactionSystem([first, second])
+        expected = decide_safety_exhaustive(system).safe
+        assert is_safe_two_site(first, second) == expected
+        assert decide_safety_exact(first, second).safe == expected
+        checked += 1
+    assert checked >= 100
+
+
+def test_safety_reachable_in_shape():
+    """With enough cross arcs (outside the bounded sweep) the shape does
+    admit safe systems: the fully two-phase cross-connected pair."""
+    chain = SITE1_CHAINS["two-phase"]
+    base_arcs = list(zip(chain, chain[1:])) + list(zip(Z_CHAIN, Z_CHAIN[1:]))
+    cross = [(LX, UZ), (LY, UZ), (LZ, UX), (LZ, UY)]
+    transactions = [
+        Transaction(name, DB, chain + Z_CHAIN, base_arcs + cross)
+        for name in ("T1", "T2")
+    ]
+    assert is_safe_two_site(*transactions)
+    assert decide_safety_exhaustive(
+        TransactionSystem(transactions)
+    ).safe
+
+
+def test_two_phase_discipline_bias():
+    """With the two-phase site-1 chain, unsafe systems still exist when
+    z stays unordered — Fig. 3's exact phenomenon inside the sweep."""
+    firsts = transactions_for("two-phase", "T1")
+    seconds = transactions_for("two-phase", "T2")
+    base_first = firsts[0]  # no cross arcs: z unordered
+    base_second = seconds[0]
+    assert not is_safe_two_site(base_first, base_second)

@@ -1,0 +1,119 @@
+"""Unit tests for the DiGraph container."""
+
+import pytest
+
+from repro.graphs import DiGraph
+
+
+class TestConstruction:
+    def test_empty(self):
+        graph = DiGraph()
+        assert graph.node_count() == 0
+        assert graph.arc_count() == 0
+        assert graph.nodes() == []
+        assert graph.arcs() == []
+
+    def test_nodes_and_arcs_from_init(self):
+        graph = DiGraph("abc", [("a", "b"), ("b", "c")])
+        assert graph.nodes() == ["a", "b", "c"]
+        assert graph.arcs() == [("a", "b"), ("b", "c")]
+
+    def test_add_arc_creates_endpoints(self):
+        graph = DiGraph()
+        graph.add_arc(1, 2)
+        assert graph.has_node(1) and graph.has_node(2)
+        assert graph.has_arc(1, 2)
+        assert not graph.has_arc(2, 1)
+
+    def test_duplicate_arc_is_idempotent(self):
+        graph = DiGraph()
+        graph.add_arc("a", "b")
+        graph.add_arc("a", "b")
+        assert graph.arc_count() == 1
+
+    def test_insertion_order_preserved(self):
+        graph = DiGraph()
+        for node in ("z", "m", "a"):
+            graph.add_node(node)
+        assert graph.nodes() == ["z", "m", "a"]
+
+    def test_self_loop_allowed(self):
+        graph = DiGraph()
+        graph.add_arc("a", "a")
+        assert graph.has_arc("a", "a")
+        assert graph.without_self_loops().arc_count() == 0
+
+    def test_remove_arc(self):
+        graph = DiGraph("ab", [("a", "b")])
+        graph.remove_arc("a", "b")
+        assert not graph.has_arc("a", "b")
+        with pytest.raises(KeyError):
+            graph.remove_arc("a", "b")
+
+
+class TestQueries:
+    def test_degrees(self):
+        graph = DiGraph("abc", [("a", "b"), ("a", "c"), ("b", "c")])
+        assert graph.out_degree("a") == 2
+        assert graph.in_degree("c") == 2
+        assert graph.in_degree("a") == 0
+
+    def test_successors_predecessors(self):
+        graph = DiGraph("abc", [("a", "b"), ("a", "c")])
+        assert graph.successors("a") == ["b", "c"]
+        assert graph.predecessors("c") == ["a"]
+
+    def test_contains_len_iter(self):
+        graph = DiGraph("ab")
+        assert "a" in graph
+        assert "q" not in graph
+        assert len(graph) == 2
+        assert list(graph) == ["a", "b"]
+
+    def test_hashable_tuple_nodes(self):
+        graph = DiGraph()
+        graph.add_arc(("x", 1), ("y", 2))
+        assert graph.has_arc(("x", 1), ("y", 2))
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self):
+        graph = DiGraph("ab", [("a", "b")])
+        clone = graph.copy()
+        clone.add_arc("b", "a")
+        assert not graph.has_arc("b", "a")
+
+    def test_reversed(self):
+        graph = DiGraph("ab", [("a", "b")])
+        rev = graph.reversed()
+        assert rev.has_arc("b", "a")
+        assert not rev.has_arc("a", "b")
+        assert rev.nodes() == graph.nodes()
+
+    def test_subgraph(self):
+        graph = DiGraph("abc", [("a", "b"), ("b", "c"), ("a", "c")])
+        sub = graph.subgraph({"a", "c"})
+        assert sub.nodes() == ["a", "c"]
+        assert sub.arcs() == [("a", "c")]
+
+
+class TestReachability:
+    def test_reachable_from(self):
+        graph = DiGraph("abcd", [("a", "b"), ("b", "c")])
+        assert graph.reachable_from("a") == {"a", "b", "c"}
+        assert graph.reachable_from("d") == {"d"}
+
+    def test_reaching(self):
+        graph = DiGraph("abcd", [("a", "b"), ("b", "c")])
+        assert graph.reaching("c") == {"a", "b", "c"}
+
+    def test_has_path(self):
+        graph = DiGraph("abc", [("a", "b"), ("b", "c")])
+        assert graph.has_path("a", "c")
+        assert graph.has_path("a", "a")  # empty path
+        assert not graph.has_path("c", "a")
+
+    def test_reachability_on_cycle(self):
+        graph = DiGraph("abc", [("a", "b"), ("b", "c"), ("c", "a")])
+        assert graph.reachable_from("b") == {"a", "b", "c"}
+        assert graph.reaching("b") == {"a", "b", "c"}

@@ -1,0 +1,98 @@
+"""Dominator (ancestor-closed set) enumeration — Definition 2."""
+
+import random
+from itertools import chain, combinations
+
+import pytest
+
+from repro.graphs import (
+    DiGraph,
+    dominators,
+    enumerate_ancestor_closed_sets,
+    is_dominator,
+    is_strongly_connected,
+    some_dominator,
+)
+
+
+def brute_force_dominators(graph: DiGraph):
+    nodes = graph.nodes()
+    for size in range(1, len(nodes)):
+        for subset in combinations(nodes, size):
+            if is_dominator(graph, set(subset)):
+                yield frozenset(subset)
+
+
+class TestIsDominator:
+    def test_definition(self):
+        graph = DiGraph("abc", [("a", "b"), ("b", "c")])
+        assert is_dominator(graph, {"a"})
+        assert is_dominator(graph, {"a", "b"})
+        assert not is_dominator(graph, {"b"})  # incoming arc from a
+        assert not is_dominator(graph, set())  # nonempty required
+        assert not is_dominator(graph, {"a", "b", "c"})  # proper required
+
+    def test_scc_granularity(self):
+        graph = DiGraph("abc", [("a", "b"), ("b", "a"), ("b", "c")])
+        assert is_dominator(graph, {"a", "b"})
+        assert not is_dominator(graph, {"a"})  # b -> a enters from outside
+
+
+class TestEnumeration:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_matches_brute_force(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(1, 8)
+        graph = DiGraph(range(n))
+        for a in range(n):
+            for b in range(n):
+                if a != b and rng.random() < 0.25:
+                    graph.add_arc(a, b)
+        ours = set(dominators(graph))
+        brute = set(brute_force_dominators(graph))
+        assert ours == brute
+
+    def test_strongly_connected_graph_has_none(self):
+        graph = DiGraph("abc", [("a", "b"), ("b", "c"), ("c", "a")])
+        assert list(dominators(graph)) == []
+        assert some_dominator(graph) is None
+
+    def test_antichain_has_all_proper_subsets(self):
+        graph = DiGraph("abc")
+        assert len(set(dominators(graph))) == 2**3 - 2
+
+    def test_include_flags(self):
+        graph = DiGraph("ab", [("a", "b")])
+        with_empty = set(
+            enumerate_ancestor_closed_sets(graph, include_empty=True)
+        )
+        assert frozenset() in with_empty
+        with_full = set(
+            enumerate_ancestor_closed_sets(graph, include_full=True)
+        )
+        assert frozenset({"a", "b"}) in with_full
+
+    def test_limit(self):
+        graph = DiGraph("abcdef")
+        assert len(list(dominators(graph, limit=5))) == 5
+
+
+class TestSomeDominator:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_returns_valid_dominator_or_none(self, seed):
+        rng = random.Random(seed + 99)
+        n = rng.randint(1, 10)
+        graph = DiGraph(range(n))
+        for a in range(n):
+            for b in range(n):
+                if a != b and rng.random() < 0.3:
+                    graph.add_arc(a, b)
+        found = some_dominator(graph)
+        if found is None:
+            assert is_strongly_connected(graph)
+        else:
+            assert is_dominator(graph, found)
+
+    def test_source_scc_chosen(self):
+        graph = DiGraph("abc", [("a", "b"), ("b", "a"), ("b", "c")])
+        assert some_dominator(graph) == frozenset({"a", "b"})

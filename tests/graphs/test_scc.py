@@ -1,0 +1,128 @@
+"""Tarjan SCC and condensation, cross-validated against networkx."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.graphs import (
+    DiGraph,
+    condensation,
+    is_strongly_connected,
+    strongly_connected_components,
+)
+
+
+def random_digraph(rng: random.Random, nodes: int, arc_prob: float) -> DiGraph:
+    graph = DiGraph(range(nodes))
+    for a in range(nodes):
+        for b in range(nodes):
+            if a != b and rng.random() < arc_prob:
+                graph.add_arc(a, b)
+    return graph
+
+
+class TestTarjan:
+    def test_empty_graph(self):
+        assert strongly_connected_components(DiGraph()) == []
+
+    def test_singleton(self):
+        assert strongly_connected_components(DiGraph("a")) == [["a"]]
+
+    def test_two_cycle(self):
+        graph = DiGraph("ab", [("a", "b"), ("b", "a")])
+        components = strongly_connected_components(graph)
+        assert len(components) == 1
+        assert sorted(components[0]) == ["a", "b"]
+
+    def test_chain_gives_singletons(self):
+        graph = DiGraph("abc", [("a", "b"), ("b", "c")])
+        components = strongly_connected_components(graph)
+        assert sorted(len(c) for c in components) == [1, 1, 1]
+
+    def test_reverse_topological_emission_order(self):
+        # Tarjan emits sinks first: arcs between components always go
+        # from later-emitted to earlier-emitted.
+        graph = DiGraph("abcd", [("a", "b"), ("b", "c"), ("c", "b"), ("c", "d")])
+        components = strongly_connected_components(graph)
+        index_of = {}
+        for position, members in enumerate(components):
+            for member in members:
+                index_of[member] = position
+        for tail, head in graph.arcs():
+            if index_of[tail] != index_of[head]:
+                assert index_of[tail] > index_of[head]
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_matches_networkx(self, seed):
+        rng = random.Random(seed)
+        graph = random_digraph(rng, rng.randint(1, 25), rng.uniform(0.02, 0.3))
+        ours = {
+            frozenset(component)
+            for component in strongly_connected_components(graph)
+        }
+        nx_graph = nx.DiGraph()
+        nx_graph.add_nodes_from(graph.nodes())
+        nx_graph.add_edges_from(graph.arcs())
+        theirs = {
+            frozenset(component)
+            for component in nx.strongly_connected_components(nx_graph)
+        }
+        assert ours == theirs
+
+    def test_deep_graph_no_recursion_error(self):
+        # 10k-node chain: the iterative implementation must survive.
+        n = 10_000
+        graph = DiGraph(range(n), [(i, i + 1) for i in range(n - 1)])
+        assert len(strongly_connected_components(graph)) == n
+
+
+class TestIsStronglyConnected:
+    def test_empty_convention(self):
+        assert is_strongly_connected(DiGraph())
+        assert not is_strongly_connected(DiGraph(), empty_is_connected=False)
+
+    def test_singleton_is_connected(self):
+        assert is_strongly_connected(DiGraph("a"))
+
+    def test_cycle_connected(self):
+        graph = DiGraph("abc", [("a", "b"), ("b", "c"), ("c", "a")])
+        assert is_strongly_connected(graph)
+
+    def test_chain_not_connected(self):
+        graph = DiGraph("ab", [("a", "b")])
+        assert not is_strongly_connected(graph)
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_matches_networkx(self, seed):
+        rng = random.Random(100 + seed)
+        graph = random_digraph(rng, rng.randint(1, 20), rng.uniform(0.05, 0.5))
+        nx_graph = nx.DiGraph()
+        nx_graph.add_nodes_from(graph.nodes())
+        nx_graph.add_edges_from(graph.arcs())
+        assert is_strongly_connected(graph) == nx.is_strongly_connected(
+            nx_graph
+        )
+
+
+class TestCondensation:
+    def test_condensation_is_dag_and_partition(self):
+        rng = random.Random(7)
+        graph = random_digraph(rng, 15, 0.2)
+        dag, component_of, components = condensation(graph)
+        # Partition covers all nodes exactly once.
+        flat = [node for members in components for node in members]
+        assert sorted(flat, key=str) == sorted(graph.nodes(), key=str)
+        # No arcs inside a component in the DAG; DAG acyclic.
+        from repro.graphs import is_acyclic
+
+        assert is_acyclic(dag)
+        for tail, head in graph.arcs():
+            if component_of[tail] != component_of[head]:
+                assert dag.has_arc(component_of[tail], component_of[head])
+
+    def test_single_scc_condenses_to_point(self):
+        graph = DiGraph("abc", [("a", "b"), ("b", "c"), ("c", "a")])
+        dag, _, components = condensation(graph)
+        assert dag.node_count() == 1
+        assert len(components) == 1

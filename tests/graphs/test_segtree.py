@@ -1,0 +1,83 @@
+"""Max segment tree with deactivation."""
+
+import random
+
+import pytest
+
+from repro.graphs import MaxSegmentTree
+from repro.graphs.segtree import NEG_INF
+
+
+class BruteForce:
+    """Reference implementation."""
+
+    def __init__(self, values):
+        self.values = list(values)
+
+    def deactivate(self, index):
+        self.values[index] = NEG_INF
+
+    def prefix_argmax(self, end):
+        end = min(end, len(self.values))
+        best_index, best_value = -1, NEG_INF
+        for index in range(end):
+            if self.values[index] > best_value:
+                best_index, best_value = index, self.values[index]
+        return best_index, best_value
+
+
+class TestBasics:
+    def test_empty_prefix(self):
+        tree = MaxSegmentTree([1.0, 2.0])
+        assert tree.prefix_argmax(0) == (-1, NEG_INF)
+
+    def test_single_element(self):
+        tree = MaxSegmentTree([5.0])
+        assert tree.prefix_argmax(1) == (0, 5.0)
+        tree.deactivate(0)
+        assert tree.prefix_argmax(1) == (-1, NEG_INF)
+
+    def test_ties_return_some_argmax(self):
+        tree = MaxSegmentTree([3.0, 3.0, 3.0])
+        index, value = tree.prefix_argmax(3)
+        assert value == 3.0
+        assert 0 <= index < 3
+
+    def test_value_at(self):
+        tree = MaxSegmentTree([1.0, 9.0, 4.0])
+        assert tree.value_at(1) == 9.0
+
+    def test_extract_above(self):
+        tree = MaxSegmentTree([1.0, 9.0, 4.0])
+        assert tree.extract_above(3, 5.0) == 1
+        assert tree.extract_above(3, 5.0) is None  # 9 gone, rest <= 5
+        assert tree.extract_above(3, 0.5) == 2  # max remaining is 4
+
+    def test_extract_respects_prefix(self):
+        tree = MaxSegmentTree([1.0, 9.0, 4.0])
+        assert tree.extract_above(1, 0.0) == 0
+        assert tree.extract_above(1, 0.0) is None
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_operations(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(1, 40)
+        values = [float(rng.randint(0, 50)) for _ in range(n)]
+        tree = MaxSegmentTree(values)
+        brute = BruteForce(values)
+        for _ in range(100):
+            if rng.random() < 0.4:
+                index = rng.randrange(n)
+                tree.deactivate(index)
+                brute.deactivate(index)
+            else:
+                end = rng.randint(0, n + 2)
+                got_index, got_value = tree.prefix_argmax(end)
+                want_index, want_value = brute.prefix_argmax(end)
+                assert got_value == want_value
+                if want_value != NEG_INF:
+                    # Any argmax position with the max value is fine.
+                    assert brute.values[got_index] == want_value
+                    assert got_index < min(end, n)

@@ -1,0 +1,90 @@
+"""Transitive closure (bitset reachability) and reduction."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.graphs import (
+    CycleError,
+    DiGraph,
+    TransitiveClosure,
+    transitive_closure,
+    transitive_reduction,
+)
+
+
+def random_dag(rng: random.Random, n: int, p: float) -> DiGraph:
+    graph = DiGraph(range(n))
+    for a in range(n):
+        for b in range(a + 1, n):
+            if rng.random() < p:
+                graph.add_arc(a, b)
+    return graph
+
+
+class TestTransitiveClosure:
+    def test_strict_reachability(self):
+        graph = DiGraph("abc", [("a", "b"), ("b", "c")])
+        closure = TransitiveClosure(graph)
+        assert closure.reaches("a", "b")
+        assert closure.reaches("a", "c")
+        assert not closure.reaches("c", "a")
+        assert not closure.reaches("a", "a")  # strict: no empty path
+
+    def test_descendants(self):
+        graph = DiGraph("abcd", [("a", "b"), ("b", "c")])
+        closure = TransitiveClosure(graph)
+        assert closure.descendants("a") == {"b", "c"}
+        assert closure.descendants("d") == set()
+
+    def test_comparable(self):
+        graph = DiGraph("abc", [("a", "b")])
+        closure = TransitiveClosure(graph)
+        assert closure.comparable("a", "b")
+        assert not closure.comparable("a", "c")
+
+    def test_rejects_cycles(self):
+        with pytest.raises(CycleError):
+            TransitiveClosure(DiGraph("ab", [("a", "b"), ("b", "a")]))
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_networkx(self, seed):
+        rng = random.Random(seed)
+        graph = random_dag(rng, rng.randint(1, 30), 0.15)
+        closed = transitive_closure(graph)
+        nx_graph = nx.DiGraph()
+        nx_graph.add_nodes_from(graph.nodes())
+        nx_graph.add_edges_from(graph.arcs())
+        nx_closed = nx.transitive_closure(nx_graph, reflexive=False)
+        assert set(closed.arcs()) == set(nx_closed.edges())
+
+    def test_large_chain_fast(self):
+        n = 2000
+        graph = DiGraph(range(n), [(i, i + 1) for i in range(n - 1)])
+        closure = TransitiveClosure(graph)
+        assert closure.reaches(0, n - 1)
+        assert not closure.reaches(n - 1, 0)
+
+
+class TestTransitiveReduction:
+    def test_removes_shortcut(self):
+        graph = DiGraph("abc", [("a", "b"), ("b", "c"), ("a", "c")])
+        reduced = transitive_reduction(graph)
+        assert set(reduced.arcs()) == {("a", "b"), ("b", "c")}
+
+    def test_keeps_cover_arcs(self):
+        graph = DiGraph("abcd", [("a", "b"), ("c", "d")])
+        reduced = transitive_reduction(graph)
+        assert set(reduced.arcs()) == set(graph.arcs())
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_same_reachability_and_minimal(self, seed):
+        rng = random.Random(50 + seed)
+        graph = random_dag(rng, rng.randint(2, 20), 0.3)
+        reduced = transitive_reduction(graph)
+        nx_graph = nx.DiGraph()
+        nx_graph.add_nodes_from(graph.nodes())
+        nx_graph.add_edges_from(graph.arcs())
+        nx_reduced = nx.transitive_reduction(nx_graph)
+        assert set(reduced.arcs()) == set(nx_reduced.edges())

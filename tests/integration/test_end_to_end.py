@@ -1,0 +1,140 @@
+"""Integration tests: whole-paper pipelines across module boundaries."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    decide_safety,
+    decide_safety_exact,
+    decide_safety_exhaustive,
+)
+from repro.core.certificates import certificate_from_dominator
+from repro.core.closure import ClosureContradiction, close_with_respect_to, is_closed
+from repro.core.reduction import reduce_cnf_to_pair
+from repro.dsl import parse_system, render_system
+from repro.logic import all_models, is_satisfiable, solve
+from repro.sim import ReplayDriver, run_once
+from repro.workloads import (
+    figure_8_formula,
+    random_pair_system,
+    random_restricted_cnf,
+)
+
+
+class TestTheorem2PipelineOnTheorem3Instances:
+    """The paper's own composition: "for all other [desirable]
+    dominators ... produce partial orders that have the closure
+    property, and use Corollary 2 to construct certificates"."""
+
+    def test_fig8_desirable_dominator_yields_certificate(self):
+        artifacts = reduce_cnf_to_pair(figure_8_formula())
+        model = solve(artifacts.formula)
+        dominator = artifacts.dominator_for_assignment(model)
+        certificate = certificate_from_dominator(
+            artifacts.first,
+            artifacts.second,
+            dominator,
+            enforce_dominator_invariant=False,
+        )
+        assert certificate.verify()
+        # And the certificate replays on the simulator.
+        result = run_once(
+            certificate.system, ReplayDriver(certificate.schedule)
+        )
+        assert result.outcome == "non-serializable"
+
+    def test_every_model_of_fig8_yields_certificate(self):
+        artifacts = reduce_cnf_to_pair(figure_8_formula())
+        count = 0
+        for model in all_models(artifacts.formula, limit=4):
+            dominator = artifacts.dominator_for_assignment(model)
+            certificate = certificate_from_dominator(
+                artifacts.first,
+                artifacts.second,
+                dominator,
+                enforce_dominator_invariant=False,
+            )
+            assert certificate.verify()
+            count += 1
+        assert count == 4
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_satisfiable_formulas_yield_certificates(self, seed):
+        rng = random.Random(seed)
+        formula = random_restricted_cnf(
+            rng, variables=rng.randint(2, 3), clauses=rng.randint(1, 2)
+        )
+        model = solve(formula)
+        if model is None:
+            return
+        artifacts = reduce_cnf_to_pair(formula)
+        dominator = artifacts.dominator_for_assignment(model)
+        certificate = certificate_from_dominator(
+            artifacts.first,
+            artifacts.second,
+            dominator,
+            enforce_dominator_invariant=False,
+        )
+        assert certificate.verify()
+
+    def test_undesirable_dominator_hits_closure_contradiction(self):
+        """Type-1 undesirable dominator (w and w' together) must force
+        the Uw/Uw' cycle the paper describes."""
+        artifacts = reduce_cnf_to_pair(figure_8_formula())
+        members = set(artifacts.upper_cycle)
+        members.update(artifacts.w_copies_of["x1"])
+        members.add(artifacts.w_neg_of["x1"])  # both polarities: type 1
+        with pytest.raises(ClosureContradiction):
+            close_with_respect_to(
+                artifacts.first,
+                artifacts.second,
+                frozenset(members),
+                enforce_dominator_invariant=False,
+            )
+
+
+class TestDslToSimulatorPipeline:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_generated_system_round_trips_through_dsl(self, seed):
+        """generator -> render -> parse -> decide -> replay witness."""
+        rng = random.Random(seed)
+        system = random_pair_system(
+            rng, sites=2, entities=rng.randint(2, 4), shared=rng.randint(2, 3)
+        )
+        reparsed = parse_system(render_system(system))
+        verdict = decide_safety(reparsed)
+        assert verdict.safe == decide_safety(system).safe
+        if not verdict.safe:
+            result = run_once(reparsed, ReplayDriver(verdict.witness))
+            assert result.outcome == "non-serializable"
+
+
+class TestDeciderStack:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_three_deciders_agree(self, seed):
+        """Theorem 2 (when applicable), exact, exhaustive: one answer."""
+        rng = random.Random(3000 + seed)
+        system = random_pair_system(
+            rng, sites=rng.choice([1, 2, 3]), entities=rng.randint(2, 4),
+            shared=rng.randint(2, 3), cross_arcs=rng.randint(0, 2),
+        )
+        first, second = system.pair()
+        exact = decide_safety_exact(first, second).safe
+        exhaustive = decide_safety_exhaustive(system).safe
+        front = decide_safety(system, want_certificate=False).safe
+        assert exact == exhaustive == front
+
+    def test_reduction_safety_equals_unsatisfiability(self):
+        formulas = [
+            ("(a | b) & (~a | b)", True),
+            ("(p | y1) & (p | ~y1) & (q | y2) & (q | ~y2) & (~p | ~q)", False),
+        ]
+        from repro.logic import CnfFormula
+
+        for text, expected_sat in formulas:
+            formula = CnfFormula.parse(text)
+            assert is_satisfiable(formula) == expected_sat
+            artifacts = reduce_cnf_to_pair(formula)
+            verdict = decide_safety_exact(artifacts.first, artifacts.second)
+            assert (not verdict.safe) == expected_sat

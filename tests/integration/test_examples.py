@@ -1,0 +1,56 @@
+"""Every shipped example must run clean — they are the quickstart
+surface a downstream user touches first."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent.parent / "examples"
+
+
+@pytest.mark.parametrize(
+    "script",
+    [
+        "quickstart.py",
+        "sat_reduction_demo.py",
+        "geometry_gallery.py",
+        "safety_workbench.py",
+        "reproduce_paper.py",
+    ],
+)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stdout[-2000:] + result.stderr[-2000:]
+    assert result.stdout  # every example narrates
+
+
+def test_reproduce_paper_all_checks_pass():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "reproduce_paper.py")],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0
+    assert "FAIL" not in result.stdout
+    assert "20/20 checks passed" in result.stdout
+
+
+@pytest.mark.parametrize(
+    "script", ["bank_audit.py", "lock_manager_simulation.py"]
+)
+def test_slow_examples_run_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=900,
+    )
+    assert result.returncode == 0, result.stdout[-2000:] + result.stderr[-2000:]

@@ -1,0 +1,111 @@
+"""CNF model, parser and the restricted-form transform."""
+
+import random
+
+import pytest
+
+from repro.errors import ReductionError
+from repro.logic import CnfFormula, Clause, Literal, neg, pos, to_restricted_form
+from repro.logic.solver import is_satisfiable
+
+
+class TestLiterals:
+    def test_invert(self):
+        assert ~pos("x") == neg("x")
+        assert ~~pos("x") == pos("x")
+
+    def test_str(self):
+        assert str(pos("x")) == "x"
+        assert str(neg("x")) == "~x"
+
+    def test_value_under(self):
+        assert pos("x").value_under({"x": True})
+        assert neg("x").value_under({"x": False})
+
+
+class TestClauses:
+    def test_empty_clause_rejected(self):
+        with pytest.raises(ReductionError):
+            Clause(())
+
+    def test_satisfied_by(self):
+        clause = Clause((pos("a"), neg("b")))
+        assert clause.satisfied_by({"a": True, "b": True})
+        assert clause.satisfied_by({"a": False, "b": False})
+        assert not clause.satisfied_by({"a": False, "b": True})
+
+
+class TestParsing:
+    def test_pipe_and_ampersand(self):
+        formula = CnfFormula.parse("(x1 | ~x2) & (x2 | x3)")
+        assert len(formula) == 2
+        assert formula.variables() == ["x1", "x2", "x3"]
+
+    def test_newline_separated(self):
+        formula = CnfFormula.parse("x1 | x2\n~x1 | x3")
+        assert len(formula) == 2
+
+    def test_negation_markers(self):
+        formula = CnfFormula.parse("(~a | !b | -c)")
+        assert all(lit.negated for lit in formula.clauses[0])
+
+    def test_str_roundtrip(self):
+        text = "(x1 | ~x2) & (x2 | x3)"
+        formula = CnfFormula.parse(text)
+        assert CnfFormula.parse(str(formula)).variables() == formula.variables()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReductionError):
+            CnfFormula([])
+
+
+class TestRestrictedForm:
+    def test_occurrence_counts(self):
+        formula = CnfFormula.parse("(a | b) & (a | ~b)")
+        assert formula.occurrence_counts() == {"a": (2, 0), "b": (1, 1)}
+
+    def test_detection(self):
+        assert CnfFormula.parse("(a | b) & (~a | b)").is_restricted_form()
+        assert not CnfFormula.parse("(a | b | c | d)").is_restricted_form()
+        assert not CnfFormula.parse(
+            "(a | b) & (a | c) & (a | d)"
+        ).is_restricted_form()  # a three times positive
+        assert not CnfFormula.parse(
+            "(~a | b) & (~a | c)"
+        ).is_restricted_form()  # a twice negative
+
+
+class TestToRestrictedForm:
+    def test_splits_long_clauses(self):
+        formula = CnfFormula.parse("(a | b | c | d | e)")
+        restricted = to_restricted_form(formula)
+        assert restricted.is_restricted_form()
+        assert all(len(clause) <= 3 for clause in restricted.clauses)
+
+    def test_limits_occurrences(self):
+        formula = CnfFormula.parse("(a | b) & (a | c) & (a | d) & (a | e)")
+        restricted = to_restricted_form(formula)
+        assert restricted.is_restricted_form()
+
+    def test_handles_negative_occurrences(self):
+        formula = CnfFormula.parse("(~a | b) & (~a | c) & (a | d)")
+        restricted = to_restricted_form(formula)
+        assert restricted.is_restricted_form()
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_preserves_satisfiability(self, seed):
+        rng = random.Random(seed)
+        variables = [f"v{i}" for i in range(rng.randint(2, 5))]
+        clauses = []
+        for _ in range(rng.randint(1, 6)):
+            size = rng.randint(1, 4)
+            clauses.append(
+                [
+                    Literal(rng.choice(variables), rng.random() < 0.5)
+                    for _ in range(size)
+                ]
+            )
+        formula = CnfFormula(clauses)
+        restricted = to_restricted_form(formula)
+        assert restricted.is_restricted_form()
+        assert is_satisfiable(formula) == is_satisfiable(restricted)

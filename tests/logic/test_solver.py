@@ -1,0 +1,82 @@
+"""DPLL solver, validated against brute-force model enumeration."""
+
+import random
+from itertools import product
+
+import pytest
+
+from repro.logic import CnfFormula, Literal, all_models, is_satisfiable, solve, verify_model
+
+
+def brute_force_sat(formula: CnfFormula) -> bool:
+    variables = formula.variables()
+    for values in product([False, True], repeat=len(variables)):
+        if formula.satisfied_by(dict(zip(variables, values))):
+            return True
+    return False
+
+
+class TestSolve:
+    def test_trivially_sat(self):
+        model = solve(CnfFormula.parse("(a | b)"))
+        assert model is not None
+        assert verify_model(CnfFormula.parse("(a | b)"), model)
+
+    def test_trivially_unsat(self):
+        assert solve(CnfFormula.parse("(a) & (~a)")) is None
+
+    def test_unit_propagation_chain(self):
+        formula = CnfFormula.parse("(a) & (~a | b) & (~b | c)")
+        model = solve(formula)
+        assert model == {"a": True, "b": True, "c": True}
+
+    def test_pure_literal(self):
+        formula = CnfFormula.parse("(a | b) & (a | c)")
+        model = solve(formula)
+        assert model is not None and verify_model(formula, model)
+
+    def test_model_is_complete_over_variables(self):
+        formula = CnfFormula.parse("(a | b) & (c | ~c)")
+        model = solve(formula)
+        assert set(model) == {"a", "b", "c"}
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_matches_brute_force(self, seed):
+        rng = random.Random(seed)
+        variables = [f"v{i}" for i in range(rng.randint(1, 6))]
+        clauses = []
+        for _ in range(rng.randint(1, 10)):
+            size = rng.randint(1, 3)
+            clauses.append(
+                [
+                    Literal(rng.choice(variables), rng.random() < 0.5)
+                    for _ in range(size)
+                ]
+            )
+        formula = CnfFormula(clauses)
+        expected = brute_force_sat(formula)
+        assert is_satisfiable(formula) == expected
+        model = solve(formula)
+        if expected:
+            assert verify_model(formula, model)
+        else:
+            assert model is None
+
+
+class TestAllModels:
+    def test_counts_models(self):
+        formula = CnfFormula.parse("(a | b)")
+        assert len(list(all_models(formula))) == 3
+
+    def test_every_model_verifies(self):
+        formula = CnfFormula.parse("(a | b) & (~a | c)")
+        models = list(all_models(formula))
+        assert models
+        assert all(verify_model(formula, model) for model in models)
+
+    def test_limit(self):
+        formula = CnfFormula.parse("(a | ~a) & (b | ~b) & (c | ~c)")
+        assert len(list(all_models(formula, limit=3))) == 3
+
+    def test_unsat_yields_nothing(self):
+        assert list(all_models(CnfFormula.parse("(a) & (~a)"))) == []

@@ -1,0 +1,101 @@
+"""Tree (hierarchical) protocol — the non-two-phase safe family."""
+
+import random
+
+import pytest
+
+from repro.core import DistributedDatabase, TransactionSystem, decide_safety
+from repro.errors import ModelError
+from repro.policies import (
+    EntityTree,
+    follows_tree_protocol,
+    is_two_phase,
+    random_tree_transaction,
+)
+
+
+@pytest.fixture
+def db():
+    # Entities spread over two sites.
+    return DistributedDatabase(
+        {"r": 1, "a": 1, "b": 2, "c": 2, "d": 1}
+    )
+
+
+@pytest.fixture
+def tree():
+    return EntityTree(
+        {"r": None, "a": "r", "b": "r", "c": "a", "d": "a"}
+    )
+
+
+class TestEntityTree:
+    def test_single_root_required(self):
+        with pytest.raises(ModelError):
+            EntityTree({"a": None, "b": None})
+        with pytest.raises(ModelError):
+            EntityTree({"a": "b", "b": "a"})
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(ModelError):
+            EntityTree({"a": None, "b": "zz"})
+
+    def test_children(self, tree):
+        assert sorted(tree.children_of("r")) == ["a", "b"]
+        assert tree.children_of("c") == []
+
+
+class TestProtocolCheck:
+    def test_crab_walk_follows(self, db, tree, rng):
+        tx = random_tree_transaction("T", db, tree, rng, walk_length=3)
+        assert follows_tree_protocol(tx, tree)
+
+    def test_orphan_lock_violates(self, db, tree):
+        from repro.core import TransactionBuilder
+
+        builder = TransactionBuilder("T", db)
+        la = builder.lock("a")
+        builder.update("a")
+        ua = builder.unlock("a")
+        lc = builder.lock("c")
+        builder.update("c")
+        uc = builder.unlock("c")
+        builder.precede(la, lc)
+        builder.precede(ua, lc)  # parent released BEFORE child locked
+        builder.precede(lc, uc)
+        tx = builder.build()
+        order = [s for s in tx.a_linear_extension()]
+        assert not follows_tree_protocol(tx, tree, order)
+
+    def test_first_lock_anywhere(self, db, tree):
+        from repro.core import TransactionBuilder
+
+        builder = TransactionBuilder("T", db)
+        builder.access("c")  # first (and only) lock: allowed anywhere
+        assert follows_tree_protocol(builder.build(), tree)
+
+
+class TestGeneratedWorkloads:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_pairs_are_safe(self, db, tree, seed):
+        rng = random.Random(seed)
+        t1 = random_tree_transaction("T1", db, tree, rng, walk_length=4)
+        t2 = random_tree_transaction("T2", db, tree, rng, walk_length=4)
+        system = TransactionSystem([t1, t2])
+        assert decide_safety(system).safe
+
+    def test_long_walks_are_not_two_phase(self, db, tree):
+        rng = random.Random(4)
+        found_non_2pl = False
+        for seed in range(20):
+            tx = random_tree_transaction(
+                "T", db, tree, random.Random(seed), walk_length=4
+            )
+            if len(tx.locked_entities()) >= 3 and not is_two_phase(tx):
+                found_non_2pl = True
+                break
+        assert found_non_2pl
+
+    def test_walks_respect_length(self, db, tree, rng):
+        tx = random_tree_transaction("T", db, tree, rng, walk_length=2)
+        assert len(tx.locked_entities()) <= 2

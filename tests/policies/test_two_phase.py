@@ -1,0 +1,132 @@
+"""Distributed two-phase locking and its safety theorem."""
+
+import random
+
+import pytest
+
+from repro.core import TransactionSystem, decide_safety
+from repro.errors import TransactionError
+from repro.policies import (
+    is_two_phase,
+    lock_point,
+    two_phase_completion,
+    two_phase_pair_is_safe,
+)
+from repro.workloads import random_pair_system, random_transaction
+
+
+class TestIsTwoPhase:
+    def test_detects_two_phase(self, simple_safe_pair):
+        first, second = simple_safe_pair.pair()
+        assert is_two_phase(first) and is_two_phase(second)
+
+    def test_detects_non_two_phase(self, simple_unsafe_pair):
+        first, second = simple_unsafe_pair.pair()
+        assert not is_two_phase(first)
+        assert not is_two_phase(second)
+
+    def test_concurrent_lock_unlock_is_not_two_phase(self, two_site_db):
+        """Partial-order subtlety: Lz concurrent with Ux fails the
+        distributed two-phase property even though no unlock strictly
+        precedes a lock."""
+        from repro.core import TransactionBuilder
+
+        builder = TransactionBuilder("T", two_site_db)
+        builder.access("x")
+        builder.access("z")  # cross-site, unordered
+        assert not is_two_phase(builder.build())
+
+    def test_generator_two_phase_flag(self, rng):
+        for _ in range(10):
+            tx = random_transaction(
+                "T",
+                random_pair_system(rng, sites=2, entities=4).database,
+                rng,
+                two_phase=True,
+            )
+            assert is_two_phase(tx)
+
+
+class TestLockPoint:
+    def test_lock_point_of_total_order(self, two_site_db):
+        from repro.core import TransactionBuilder
+
+        builder = TransactionBuilder("T", two_site_db)
+        lx = builder.lock("x")
+        builder.update("x")
+        ly = builder.lock("y")
+        builder.update("y")
+        builder.unlock("x")
+        builder.unlock("y")
+        tx = builder.build()
+        assert lock_point(tx) == ly
+
+    def test_none_for_partial_order(self, two_site_db):
+        from repro.core import TransactionBuilder
+
+        builder = TransactionBuilder("T", two_site_db)
+        builder.access("x")
+        builder.access("z")  # cross-site, unordered: genuinely partial
+        assert lock_point(builder.build()) is None
+
+
+class TestSafetyTheorem:
+    def test_two_phase_pair_is_safe_chain(self, simple_safe_pair):
+        assert two_phase_pair_is_safe(*simple_safe_pair.pair())
+
+    def test_rejects_non_two_phase_input(self, simple_unsafe_pair):
+        with pytest.raises(TransactionError):
+            two_phase_pair_is_safe(*simple_unsafe_pair.pair())
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_two_phase_pairs_safe(self, seed):
+        """2PL ⇒ safe at any number of sites — Theorem 1 applied."""
+        rng = random.Random(seed)
+        system = random_pair_system(
+            rng, sites=rng.randint(1, 4), entities=rng.randint(2, 5),
+            shared=rng.randint(2, 4), two_phase=True,
+        )
+        assert two_phase_pair_is_safe(*system.pair())
+        assert decide_safety(system).safe
+
+
+class TestCompletion:
+    def test_completion_creates_two_phase(self, two_site_db):
+        from repro.core import TransactionBuilder
+
+        builder = TransactionBuilder("T", two_site_db)
+        builder.access("x")
+        builder.access("z")  # unordered cross-site: not 2PL
+        tx = builder.build()
+        assert not is_two_phase(tx)
+        completed = two_phase_completion(tx)
+        assert is_two_phase(completed)
+
+    def test_completion_is_identity_on_two_phase(self, simple_safe_pair):
+        first, _ = simple_safe_pair.pair()
+        assert two_phase_completion(first) is first
+
+    def test_completion_impossible_when_unlock_precedes_lock(
+        self, simple_unsafe_pair
+    ):
+        first, _ = simple_unsafe_pair.pair()  # Ux before Lz by design
+        with pytest.raises(TransactionError):
+            two_phase_completion(first)
+
+    def test_completion_makes_unsafe_pair_safe(self, two_site_db):
+        """The classic fix: 2PL-ify both transactions of an unsafe pair
+        (when possible) and the pair becomes safe."""
+        from repro.core import TransactionBuilder
+
+        t1 = TransactionBuilder("T1", two_site_db)
+        t1.access("x")
+        t1.access("z")
+        t2 = TransactionBuilder("T2", two_site_db)
+        t2.access("z")
+        t2.access("x")
+        loose = TransactionSystem([t1.build(), t2.build()])
+        assert not decide_safety(loose).safe
+        tightened = TransactionSystem(
+            [two_phase_completion(tx) for tx in loose.transactions]
+        )
+        assert decide_safety(tightened).safe

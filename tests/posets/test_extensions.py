@@ -1,0 +1,75 @@
+"""Linear-extension enumeration and counting (Lemma 1's universe)."""
+
+import math
+import random
+
+import pytest
+
+from repro.posets import (
+    Poset,
+    count_linear_extensions,
+    extension_pairs,
+    linear_extensions,
+)
+
+
+def random_poset(rng: random.Random, n: int, p: float) -> Poset:
+    items = list(range(n))
+    pairs = [
+        (a, b)
+        for a in items
+        for b in items
+        if a < b and rng.random() < p
+    ]
+    return Poset(items, pairs)
+
+
+class TestEnumeration:
+    def test_antichain_all_permutations(self):
+        extensions = list(linear_extensions(Poset("abc")))
+        assert len(extensions) == 6
+        assert len({tuple(e) for e in extensions}) == 6
+
+    def test_chain_single_extension(self):
+        poset = Poset("abc", [("a", "b"), ("b", "c")])
+        assert list(linear_extensions(poset)) == [["a", "b", "c"]]
+
+    def test_every_yield_is_an_extension(self):
+        rng = random.Random(5)
+        poset = random_poset(rng, 6, 0.3)
+        for extension in linear_extensions(poset):
+            assert poset.is_linear_extension(extension)
+
+    def test_limit_respected(self):
+        assert len(list(linear_extensions(Poset("abcde"), limit=10))) == 10
+
+
+class TestCounting:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_count_matches_enumeration(self, seed):
+        rng = random.Random(seed)
+        poset = random_poset(rng, rng.randint(1, 7), 0.3)
+        assert count_linear_extensions(poset) == len(
+            list(linear_extensions(poset))
+        )
+
+    def test_antichain_count_is_factorial(self):
+        assert count_linear_extensions(Poset(range(6))) == math.factorial(6)
+
+    def test_cap_stops_early(self):
+        assert count_linear_extensions(Poset(range(8)), cap=100) >= 100
+
+
+class TestExtensionPairs:
+    def test_cartesian_product(self):
+        first = Poset("ab")  # 2 extensions
+        second = Poset("xy", [("x", "y")])  # 1 extension
+        pairs = list(extension_pairs(first, second))
+        assert len(pairs) == 2
+        for t1, t2 in pairs:
+            assert first.is_linear_extension(t1)
+            assert second.is_linear_extension(t2)
+
+    def test_limit(self):
+        pairs = list(extension_pairs(Poset("abc"), Poset("xyz"), limit=5))
+        assert len(pairs) == 5

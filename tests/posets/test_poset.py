@@ -1,0 +1,91 @@
+"""Poset semantics: precedence, concurrency, restriction, strengthening."""
+
+import pytest
+
+from repro.posets import NotAPartialOrderError, Poset
+
+
+class TestConstruction:
+    def test_empty_relation(self):
+        poset = Poset("abc")
+        assert len(poset) == 3
+        assert poset.concurrent("a", "b")
+
+    def test_cycle_rejected(self):
+        with pytest.raises(NotAPartialOrderError):
+            Poset("ab", [("a", "b"), ("b", "a")])
+
+    def test_unknown_item_rejected(self):
+        with pytest.raises(KeyError):
+            Poset("ab", [("a", "q")])
+
+
+class TestOrderQueries:
+    @pytest.fixture
+    def diamond(self):
+        return Poset("abcd", [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+
+    def test_precedes_is_transitive(self, diamond):
+        assert diamond.precedes("a", "d")
+
+    def test_precedes_is_irreflexive(self, diamond):
+        assert not diamond.precedes("a", "a")
+
+    def test_incomparable_middle(self, diamond):
+        assert diamond.concurrent("b", "c")
+        assert not diamond.comparable("b", "c")
+
+    def test_down_up_sets(self, diamond):
+        assert diamond.down_set("d") == {"a", "b", "c"}
+        assert diamond.up_set("a") == {"b", "c", "d"}
+
+    def test_minimal_maximal(self, diamond):
+        assert diamond.minimal_items() == ["a"]
+        assert diamond.maximal_items() == ["d"]
+
+    def test_cover_graph_drops_implied(self):
+        poset = Poset("abc", [("a", "b"), ("b", "c"), ("a", "c")])
+        assert set(poset.cover_graph().arcs()) == {("a", "b"), ("b", "c")}
+
+    def test_is_total(self):
+        assert Poset("ab", [("a", "b")]).is_total()
+        assert not Poset("ab").is_total()
+
+
+class TestDerivedOrders:
+    def test_with_precedences_strengthens(self):
+        poset = Poset("abc", [("a", "b")])
+        stronger = poset.with_precedences([("b", "c")])
+        assert stronger.precedes("a", "c")
+        assert not poset.precedes("a", "c")  # original untouched
+
+    def test_with_precedences_detects_cycle(self):
+        poset = Poset("ab", [("a", "b")])
+        with pytest.raises(NotAPartialOrderError):
+            poset.with_precedences([("b", "a")])
+
+    def test_restrict_inherits_transitive_order(self):
+        poset = Poset("abc", [("a", "b"), ("b", "c")])
+        sub = poset.restrict({"a", "c"})
+        assert sub.precedes("a", "c")
+        assert len(sub) == 2
+
+
+class TestLinearExtensionChecks:
+    def test_valid_extension(self):
+        poset = Poset("abc", [("a", "b")])
+        assert poset.is_linear_extension(["a", "c", "b"])
+
+    def test_violating_order_rejected(self):
+        poset = Poset("abc", [("a", "b")])
+        assert not poset.is_linear_extension(["b", "a", "c"])
+
+    def test_wrong_item_set_rejected(self):
+        poset = Poset("abc")
+        assert not poset.is_linear_extension(["a", "b"])
+        assert not poset.is_linear_extension(["a", "b", "b"])
+
+    def test_a_linear_extension_with_key(self):
+        poset = Poset("abc")
+        order = poset.a_linear_extension(key=lambda x: {"a": 2, "b": 1, "c": 0}[x])
+        assert order == ["c", "b", "a"]

@@ -1,0 +1,71 @@
+"""Property-based round-trip tests of the text DSL."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import decide_safety
+from repro.dsl import parse_system, render_system
+from repro.workloads import random_pair_system, random_system
+
+pair_params = st.fixed_dictionaries(
+    {
+        "seed": st.integers(0, 10**9),
+        "sites": st.integers(1, 4),
+        "entities": st.integers(2, 5),
+        "cross_arcs": st.integers(0, 4),
+    }
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(pair_params)
+def test_render_parse_roundtrip_preserves_structure(params):
+    rng = random.Random(params["seed"])
+    system = random_pair_system(
+        rng,
+        sites=params["sites"],
+        entities=params["entities"],
+        shared=params["entities"],
+        cross_arcs=params["cross_arcs"],
+    )
+    reparsed = parse_system(render_system(system))
+    assert reparsed.names == system.names
+    for tx in system.transactions:
+        other = reparsed[tx.name]
+        assert set(map(str, other.steps)) == set(map(str, tx.steps))
+        for a in tx.steps:
+            for b in tx.steps:
+                assert tx.precedes(a, b) == other.precedes(a, b), (
+                    f"{tx.name}: {a} < {b} disagrees after round-trip"
+                )
+
+
+@settings(max_examples=25, deadline=None)
+@given(pair_params)
+def test_roundtrip_preserves_safety_verdict(params):
+    rng = random.Random(params["seed"])
+    system = random_pair_system(
+        rng,
+        sites=min(params["sites"], 2),
+        entities=min(params["entities"], 4),
+        shared=min(params["entities"], 3),
+        cross_arcs=params["cross_arcs"],
+    )
+    reparsed = parse_system(render_system(system))
+    assert (
+        decide_safety(reparsed, want_certificate=False).safe
+        == decide_safety(system, want_certificate=False).safe
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10**9), st.integers(3, 5))
+def test_multi_transaction_roundtrip(seed, k):
+    rng = random.Random(seed)
+    system = random_system(
+        rng, transactions=k, sites=2, entities=4, entities_per_transaction=2
+    )
+    reparsed = parse_system(render_system(system))
+    assert reparsed.names == system.names
+    assert reparsed.total_steps() == system.total_steps()

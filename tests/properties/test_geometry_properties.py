@@ -1,0 +1,84 @@
+"""Property-based tests of the geometric method (§3)."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import GeometricPicture, d_graph_of_total_orders
+from repro.core.schedule import all_legal_schedules
+from repro.graphs import is_strongly_connected
+from repro.workloads import random_total_order_pair
+
+total_order_params = st.fixed_dictionaries(
+    {
+        "seed": st.integers(0, 10**9),
+        "entities": st.integers(2, 4),
+    }
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(total_order_params)
+def test_bits_monotone_along_d_arcs(params):
+    """Theorem 1's key invariant: along every arc (x, y) of D(t1, t2),
+    any legal curve's bits satisfy b_x <= b_y."""
+    rng = random.Random(params["seed"])
+    system, t1, t2 = random_total_order_pair(rng, entities=params["entities"])
+    picture = GeometricPicture(t1, t2)
+    graph = d_graph_of_total_orders(t1, t2)
+    name1 = system.names[0]
+    for schedule in all_legal_schedules(system, limit=25):
+        interleaving = [
+            1 if item.transaction == name1 else 2 for item in schedule.steps
+        ]
+        curve = picture.curve_of(interleaving)
+        bits = picture.bits_of_curve(curve)
+        for x, y in graph.arcs():
+            assert bits[x] <= bits[y]
+
+
+@settings(max_examples=50, deadline=None)
+@given(total_order_params)
+def test_proposition_1(params):
+    """Separation of two rectangles ⟺ non-serializability."""
+    rng = random.Random(params["seed"])
+    system, t1, t2 = random_total_order_pair(rng, entities=params["entities"])
+    picture = GeometricPicture(t1, t2)
+    name1 = system.names[0]
+    for schedule in all_legal_schedules(system, limit=25):
+        interleaving = [
+            1 if item.transaction == name1 else 2 for item in schedule.steps
+        ]
+        curve = picture.curve_of(interleaving)
+        assert picture.separates_two_rectangles(curve) == (
+            not schedule.is_serializable()
+        )
+
+
+@settings(max_examples=50, deadline=None)
+@given(total_order_params)
+def test_centralized_criterion(params):
+    """Single-site Theorem 2 via geometry: a separating curve exists iff
+    D(t1, t2) is not strongly connected."""
+    rng = random.Random(params["seed"])
+    _, t1, t2 = random_total_order_pair(rng, entities=params["entities"])
+    picture = GeometricPicture(t1, t2)
+    assert (picture.find_nonserializable_curve() is None) == (
+        is_strongly_connected(d_graph_of_total_orders(t1, t2))
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(total_order_params)
+def test_curve_schedule_roundtrip(params):
+    """Reading a found curve back as steps reproduces both orders."""
+    rng = random.Random(params["seed"])
+    _, t1, t2 = random_total_order_pair(rng, entities=params["entities"])
+    picture = GeometricPicture(t1, t2)
+    bits = {entity: 0 for entity in picture.entities()}
+    curve = picture.find_curve_with_bits(bits)
+    assert curve is not None  # all-zero is the serial t1-then-t2 family
+    steps = picture.schedule_steps_of_curve(curve)
+    assert [s for axis, s in steps if axis == 1] == list(t1)
+    assert [s for axis, s in steps if axis == 2] == list(t2)
+    assert picture.bits_of_curve(curve) == bits

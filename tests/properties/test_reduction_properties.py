@@ -1,0 +1,111 @@
+"""Property-based tests of Theorem 3's reduction and the SAT substrate."""
+
+import random
+from itertools import product
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.reduction import (
+    decide_satisfiability_via_safety,
+    reduce_cnf_to_pair,
+)
+from repro.graphs import dominators
+from repro.logic import CnfFormula, Literal, is_satisfiable, to_restricted_form
+from repro.workloads import random_restricted_cnf
+
+tiny_formula_params = st.fixed_dictionaries(
+    {
+        "seed": st.integers(0, 10**9),
+        "variables": st.integers(2, 4),
+        "clauses": st.integers(1, 3),
+    }
+)
+
+
+def brute_force_sat(formula: CnfFormula) -> bool:
+    variables = formula.variables()
+    return any(
+        formula.satisfied_by(dict(zip(variables, values)))
+        for values in product([False, True], repeat=len(variables))
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(tiny_formula_params)
+def test_sat_iff_unsafe(params):
+    """Theorem 3: F satisfiable ⟺ {T1(F), T2(F)} unsafe."""
+    rng = random.Random(params["seed"])
+    formula = random_restricted_cnf(
+        rng,
+        variables=params["variables"],
+        clauses=min(params["clauses"], params["variables"]),
+    )
+    assert decide_satisfiability_via_safety(formula) == brute_force_sat(
+        formula
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(tiny_formula_params)
+def test_reduction_dominators_encode_assignments(params):
+    """Every dominator of the reduced D is upper cycle + middle units,
+    and desirable ⟺ encodes a clause-satisfying consistent assignment."""
+    rng = random.Random(params["seed"])
+    formula = random_restricted_cnf(
+        rng,
+        variables=params["variables"],
+        clauses=min(params["clauses"], params["variables"]),
+    )
+    artifacts = reduce_cnf_to_pair(formula)
+    upper = set(artifacts.upper_cycle)
+    for dominator in dominators(artifacts.d_expected):
+        assert upper <= set(dominator)
+        assert set(dominator) - upper <= set(artifacts.middle_nodes)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(0, 10**9),
+    st.integers(1, 4),
+    st.integers(1, 5),
+)
+def test_restricted_form_transform(seed, variables, clauses):
+    """to_restricted_form always yields restricted formulas with the
+    same satisfiability."""
+    rng = random.Random(seed)
+    names = [f"v{i}" for i in range(variables)]
+    formula = CnfFormula(
+        [
+            [
+                Literal(rng.choice(names), rng.random() < 0.5)
+                for _ in range(rng.randint(1, 4))
+            ]
+            for _ in range(clauses)
+        ]
+    )
+    restricted = to_restricted_form(formula)
+    assert restricted.is_restricted_form()
+    assert is_satisfiable(restricted) == brute_force_sat(formula)
+
+
+@settings(max_examples=30, deadline=None)
+@given(tiny_formula_params)
+def test_reduction_size_is_linear(params):
+    """|T1(F)| = |T2(F)| = 3 * |entities| and entities grow linearly in
+    the formula size — the polynomial-time half of Theorem 3."""
+    rng = random.Random(params["seed"])
+    formula = random_restricted_cnf(
+        rng,
+        variables=params["variables"],
+        clauses=min(params["clauses"], params["variables"]),
+    )
+    artifacts = reduce_cnf_to_pair(formula)
+    literal_count = sum(len(clause) for clause in formula.clauses)
+    variable_count = len(formula.variables())
+    entities = len(artifacts.database)
+    # upper: 2*(1 + L); middle: <= 3 per variable; lower: 2*(1 + 2K).
+    assert entities <= 2 * (1 + literal_count) + 3 * variable_count + 2 * (
+        1 + 2 * variable_count
+    )
+    assert len(artifacts.first) == 3 * entities
+    assert len(artifacts.second) == 3 * entities

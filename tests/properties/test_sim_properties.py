@@ -1,0 +1,78 @@
+"""Property-based tests of the simulator against the static theory."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import decide_safety
+from repro.sim import RandomDriver, ReplayDriver, run_once
+from repro.workloads import random_pair_system
+
+pair_params = st.fixed_dictionaries(
+    {
+        "seed": st.integers(0, 10**9),
+        "sites": st.integers(1, 3),
+        "entities": st.integers(2, 4),
+        "two_phase": st.booleans(),
+    }
+)
+
+
+def build(params):
+    rng = random.Random(params["seed"])
+    return random_pair_system(
+        rng,
+        sites=params["sites"],
+        entities=params["entities"],
+        shared=params["entities"],
+        two_phase=params["two_phase"],
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(pair_params, st.integers(0, 1000))
+def test_completed_runs_are_legal_schedules(params, run_seed):
+    """The engine can only produce legal schedules; as_schedule() (which
+    fully re-validates) must never raise on a completed run."""
+    system = build(params)
+    result = run_once(system, RandomDriver(run_seed))
+    if result.completed:
+        result.history.as_schedule()
+        assert result.serializable is not None
+
+
+@settings(max_examples=40, deadline=None)
+@given(pair_params, st.integers(0, 1000))
+def test_static_safety_bounds_dynamic_behaviour(params, run_seed):
+    """A statically safe system never produces a non-serializable run."""
+    system = build(params)
+    verdict = decide_safety(system, want_certificate=False)
+    result = run_once(system, RandomDriver(run_seed))
+    if verdict.safe and result.completed:
+        assert result.serializable
+
+
+@settings(max_examples=25, deadline=None)
+@given(pair_params)
+def test_certificates_replay_to_violations(params):
+    """Every certificate schedule replays on the engine to exactly a
+    non-serializable execution — static analysis is executable."""
+    system = build(dict(params, two_phase=False))
+    verdict = decide_safety(system)
+    if verdict.safe or verdict.witness is None:
+        return
+    result = run_once(system, ReplayDriver(verdict.witness))
+    assert result.completed
+    assert result.outcome == "non-serializable"
+
+
+@settings(max_examples=30, deadline=None)
+@given(pair_params, st.integers(0, 1000))
+def test_two_phase_systems_never_misserialize(params, run_seed):
+    """2PL ⇒ safe, dynamically: runs complete serializable or deadlock."""
+    system = build(dict(params, two_phase=True))
+    result = run_once(system, RandomDriver(run_seed))
+    if result.completed:
+        assert result.serializable
+    else:
+        assert result.deadlocked  # the only other outcome is deadlock

@@ -1,0 +1,109 @@
+"""Property-based tests of the graph/poset substrates."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import (
+    DiGraph,
+    dominators,
+    is_acyclic,
+    is_dominator,
+    is_strongly_connected,
+    strongly_connected_components,
+    topological_sort,
+    transitive_closure,
+    transitive_reduction,
+)
+from repro.posets import Poset, count_linear_extensions, linear_extensions
+
+
+@st.composite
+def digraphs(draw, max_nodes=8):
+    n = draw(st.integers(1, max_nodes))
+    arcs = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=n * 3,
+        )
+    )
+    return DiGraph(range(n), [(a, b) for a, b in arcs if a != b])
+
+
+@st.composite
+def dags(draw, max_nodes=8):
+    n = draw(st.integers(1, max_nodes))
+    arcs = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=n * 3,
+        )
+    )
+    return DiGraph(range(n), [(a, b) for a, b in arcs if a < b])
+
+
+@settings(max_examples=80, deadline=None)
+@given(digraphs())
+def test_scc_partition(graph):
+    components = strongly_connected_components(graph)
+    flat = [node for members in components for node in members]
+    assert sorted(flat) == sorted(graph.nodes())
+    # Mutual reachability inside components.
+    for members in components:
+        for a in members:
+            for b in members:
+                assert graph.has_path(a, b)
+
+
+@settings(max_examples=80, deadline=None)
+@given(digraphs())
+def test_dominators_definition(graph):
+    """Everything enumerate() yields satisfies Definition 2, and a graph
+    has a dominator iff it is not strongly connected (the paper's
+    observation)."""
+    found = list(dominators(graph))
+    for dominator in found:
+        assert is_dominator(graph, dominator)
+    assert bool(found) == (not is_strongly_connected(graph))
+
+
+@settings(max_examples=80, deadline=None)
+@given(dags())
+def test_topological_sort_on_dags(graph):
+    order = topological_sort(graph)
+    position = {node: index for index, node in enumerate(order)}
+    assert all(position[a] < position[b] for a, b in graph.arcs())
+
+
+@settings(max_examples=60, deadline=None)
+@given(dags())
+def test_closure_and_reduction_same_reachability(graph):
+    closed = transitive_closure(graph)
+    reduced = transitive_reduction(graph)
+    closed_again = transitive_closure(reduced)
+    assert set(closed.arcs()) == set(closed_again.arcs())
+    assert is_acyclic(reduced)
+    assert set(reduced.arcs()) <= set(graph.arcs())
+
+
+@settings(max_examples=50, deadline=None)
+@given(dags(max_nodes=6))
+def test_linear_extension_enumeration(graph):
+    poset = Poset(graph.nodes(), graph.arcs())
+    extensions = list(linear_extensions(poset))
+    assert len(extensions) == count_linear_extensions(poset)
+    assert len({tuple(e) for e in extensions}) == len(extensions)
+    for extension in extensions:
+        assert poset.is_linear_extension(extension)
+
+
+@settings(max_examples=50, deadline=None)
+@given(dags(max_nodes=8), st.integers(0, 10**9))
+def test_restrict_preserves_order(graph, seed):
+    poset = Poset(graph.nodes(), graph.arcs())
+    rng = random.Random(seed)
+    keep = [item for item in poset.items() if rng.random() < 0.6]
+    sub = poset.restrict(keep)
+    for a in sub.items():
+        for b in sub.items():
+            assert sub.precedes(a, b) == poset.precedes(a, b)

@@ -1,0 +1,105 @@
+"""Exhaustive distributed deadlock analysis (the paper's open problem,
+brute-forced)."""
+
+import random
+
+import pytest
+
+from repro.core import GeometricPicture
+from repro.errors import ScheduleError
+from repro.sim import (
+    RandomDriver,
+    deadlock_possible_exhaustive,
+    run_once,
+)
+from repro.workloads import (
+    figure_1,
+    figure_5,
+    random_pair_system,
+    random_total_order_pair,
+)
+
+
+class TestKnownSystems:
+    def test_figure_1_is_deadlock_free(self):
+        report = deadlock_possible_exhaustive(figure_1())
+        assert not report.possible
+        assert report.states_explored > 0
+        assert "deadlock-free" in report.describe()
+
+    def test_figure_5_can_deadlock(self):
+        report = deadlock_possible_exhaustive(figure_5())
+        assert report.possible
+        assert report.prefix and report.blocked
+        assert "stuck" in report.describe()
+
+    def test_crossing_two_phase_deadlock(self, two_site_db):
+        from repro.core import TransactionBuilder, TransactionSystem
+
+        builders = []
+        for name, order in (("T1", ("x", "z")), ("T2", ("z", "x"))):
+            builder = TransactionBuilder(name, two_site_db)
+            first_lock = builder.lock(order[0])
+            builder.update(order[0])
+            second_lock = builder.lock(order[1])
+            builder.update(order[1])
+            u1 = builder.unlock(order[0])
+            builder.unlock(order[1])
+            builder.precede(first_lock, second_lock)
+            builder.precede(second_lock, u1)
+            builders.append(builder.build())
+        system = TransactionSystem(builders)
+        assert deadlock_possible_exhaustive(system).possible
+
+    def test_ordered_acquisition_deadlock_free(self, simple_safe_pair):
+        assert not deadlock_possible_exhaustive(simple_safe_pair).possible
+
+
+class TestReportedPrefixIsReal:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_prefix_drives_engine_into_deadlock(self, seed):
+        rng = random.Random(seed)
+        system = random_pair_system(
+            rng, sites=rng.randint(1, 3), entities=rng.randint(2, 4),
+            shared=rng.randint(2, 3), cross_arcs=rng.randint(0, 3),
+        )
+        report = deadlock_possible_exhaustive(system)
+        if not report.possible:
+            return
+        from repro.sim import SimulationEngine
+
+        engine = SimulationEngine(system)
+        for item in report.prefix:
+            engine._execute(item.transaction, item.step)
+        candidates, blocked = engine._executable()
+        assert candidates == []
+        assert sorted(blocked) == report.blocked
+
+
+class TestAgainstOtherAnalyses:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_matches_geometric_analysis_on_total_orders(self, seed):
+        """On centralized totally ordered pairs the exhaustive state
+        search and the O(grid) geometric analysis must agree exactly."""
+        rng = random.Random(700 + seed)
+        system, t1, t2 = random_total_order_pair(rng, entities=rng.randint(2, 4))
+        geometric = GeometricPicture(t1, t2).deadlock_possible()
+        exhaustive = deadlock_possible_exhaustive(system).possible
+        assert geometric == exhaustive
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_deadlock_free_systems_never_stall_in_simulation(self, seed):
+        rng = random.Random(900 + seed)
+        system = random_pair_system(
+            rng, sites=2, entities=rng.randint(2, 3), shared=2
+        )
+        if deadlock_possible_exhaustive(system).possible:
+            return
+        for run_seed in range(10):
+            assert run_once(system, RandomDriver(run_seed)).completed
+
+
+class TestBudget:
+    def test_budget_guard(self, simple_safe_pair):
+        with pytest.raises(ScheduleError):
+            deadlock_possible_exhaustive(simple_safe_pair, state_budget=2)

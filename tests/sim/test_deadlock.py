@@ -1,0 +1,62 @@
+"""Wait-for graphs and deadlock detection."""
+
+from repro.sim import SiteLockManager, find_deadlock, wait_for_graph
+
+
+def make_managers():
+    return {1: SiteLockManager(1), 2: SiteLockManager(2)}
+
+
+class TestWaitForGraph:
+    def test_no_blocks_no_arcs(self):
+        managers = make_managers()
+        graph = wait_for_graph(managers.values(), [])
+        assert graph.arc_count() == 0
+
+    def test_waiting_arc(self):
+        managers = make_managers()
+        managers[1].try_lock("x", "T1")
+        graph = wait_for_graph(managers.values(), [("T2", "x")])
+        assert graph.has_arc("T2", "T1")
+
+    def test_cross_site_cycle(self):
+        managers = make_managers()
+        managers[1].try_lock("x", "T1")
+        managers[2].try_lock("z", "T2")
+        blocked = [("T1", "z"), ("T2", "x")]
+        graph = wait_for_graph(managers.values(), blocked)
+        assert graph.has_arc("T1", "T2") and graph.has_arc("T2", "T1")
+
+
+class TestFindDeadlock:
+    def test_none_without_cycle(self):
+        managers = make_managers()
+        managers[1].try_lock("x", "T1")
+        assert find_deadlock(managers.values(), [("T2", "x")]) is None
+
+    def test_cycle_detected(self):
+        managers = make_managers()
+        managers[1].try_lock("x", "T1")
+        managers[2].try_lock("z", "T2")
+        deadlock = find_deadlock(
+            managers.values(), [("T1", "z"), ("T2", "x")]
+        )
+        assert deadlock is not None
+        assert sorted(deadlock) == ["T1", "T2"]
+
+    def test_three_party_cycle(self):
+        managers = make_managers()
+        managers[1].try_lock("a", "T1")
+        managers[1].try_lock("b", "T2")
+        managers[2].try_lock("c", "T3")
+        deadlock = find_deadlock(
+            managers.values(),
+            [("T1", "b"), ("T2", "c"), ("T3", "a")],
+        )
+        assert deadlock is not None and len(deadlock) == 3
+
+    def test_self_wait_is_not_deadlock(self):
+        managers = make_managers()
+        managers[1].try_lock("x", "T1")
+        # A request by the holder itself never creates a wait arc.
+        assert find_deadlock(managers.values(), [("T1", "x")]) is None

@@ -1,0 +1,66 @@
+"""Driver semantics: random reproducibility, round-robin fairness,
+replay strictness."""
+
+import random
+
+import pytest
+
+from repro.core import decide_safety
+from repro.errors import ScheduleError
+from repro.sim import RandomDriver, ReplayDriver, RoundRobinDriver, run_once
+from repro.sim.drivers import Candidate
+
+
+class TestRandomDriver:
+    def test_seed_reproducibility(self, simple_safe_pair):
+        a = run_once(simple_safe_pair, RandomDriver(42)).history.steps()
+        b = run_once(simple_safe_pair, RandomDriver(42)).history.steps()
+        assert a == b
+
+    def test_accepts_random_instance(self, simple_safe_pair):
+        driver = RandomDriver(random.Random(7))
+        assert run_once(simple_safe_pair, driver).completed
+
+    def test_different_seeds_reach_different_interleavings(
+        self, simple_safe_pair
+    ):
+        histories = {
+            tuple(map(str, run_once(simple_safe_pair, RandomDriver(s)).history.steps()))
+            for s in range(20)
+        }
+        assert len(histories) > 1
+
+
+class TestRoundRobinDriver:
+    def test_alternates_between_transactions(self, simple_safe_pair):
+        result = run_once(simple_safe_pair, RoundRobinDriver())
+        assert result.completed
+        names = [event.transaction for event in result.history.events]
+        # Fair rotation: neither transaction runs all steps in one block.
+        first_block = len(
+            [1 for n in names[: len(names) // 2] if n == names[0]]
+        )
+        assert first_block < len(names) // 2
+
+    def test_deterministic(self, simple_safe_pair):
+        a = run_once(simple_safe_pair, RoundRobinDriver()).history.steps()
+        b = run_once(simple_safe_pair, RoundRobinDriver()).history.steps()
+        assert a == b
+
+
+class TestReplayDriver:
+    def test_exhausted_replay_raises(self, simple_safe_pair):
+        serial = simple_safe_pair.serial_schedule(["T1", "T2"])
+        driver = ReplayDriver(serial)
+        run_once(simple_safe_pair, driver)
+        dummy: list[Candidate] = [("T1", serial.steps[0].step)]
+        with pytest.raises(ScheduleError, match="exhausted"):
+            driver(dummy)
+
+    def test_unavailable_step_raises_with_context(self, simple_unsafe_pair):
+        witness = decide_safety(simple_unsafe_pair).witness
+        driver = ReplayDriver(witness)
+        # Offer a candidate list that cannot contain the wanted step.
+        wrong: list[Candidate] = [("T2", witness.steps[5].step)]
+        with pytest.raises(ScheduleError, match="not executable"):
+            driver(wrong)

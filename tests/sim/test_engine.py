@@ -1,0 +1,156 @@
+"""The distributed execution engine: completion, legality, deadlock,
+replay, and agreement with the static safety analysis."""
+
+import random
+
+import pytest
+
+from repro.core import decide_safety
+from repro.errors import ScheduleError
+from repro.sim import (
+    RandomDriver,
+    ReplayDriver,
+    RoundRobinDriver,
+    SimulationEngine,
+    estimate_violation_rate,
+    run_once,
+)
+from repro.workloads import figure_1, figure_5, random_pair_system
+
+
+class TestBasicExecution:
+    def test_completed_run_is_legal_schedule(self, simple_safe_pair):
+        result = run_once(simple_safe_pair, RandomDriver(1))
+        assert result.completed
+        # as_schedule() inside the engine already validated legality;
+        # do it again from the outside.
+        schedule = result.history.as_schedule()
+        assert len(schedule) == simple_safe_pair.total_steps()
+
+    def test_safe_system_always_serializable(self, simple_safe_pair):
+        for seed in range(30):
+            result = run_once(simple_safe_pair, RandomDriver(seed))
+            if result.completed:
+                assert result.serializable
+
+    def test_unsafe_system_sometimes_misserializes(self, simple_unsafe_pair):
+        outcomes = {
+            run_once(simple_unsafe_pair, RandomDriver(seed)).outcome
+            for seed in range(40)
+        }
+        assert "non-serializable" in outcomes
+
+    def test_history_events_have_sites_and_times(self, simple_safe_pair):
+        result = run_once(simple_safe_pair, RandomDriver(3))
+        times = [event.time for event in result.history.events]
+        assert times == sorted(times) == list(range(len(times)))
+        sites = {event.site for event in result.history.events}
+        assert sites <= {1, 2}
+
+    def test_engine_is_single_use_per_run(self, simple_safe_pair):
+        engine = SimulationEngine(simple_safe_pair)
+        engine.run(RandomDriver(0))
+        # A second run on the same engine has nothing to execute.
+        second = engine.run(RandomDriver(0))
+        assert second.completed
+
+
+class TestDrivers:
+    def test_replay_certificate_misserializes(self, simple_unsafe_pair):
+        verdict = decide_safety(simple_unsafe_pair)
+        result = run_once(simple_unsafe_pair, ReplayDriver(verdict.witness))
+        assert result.completed
+        assert result.outcome == "non-serializable"
+        # The engine executed exactly the witness schedule.
+        executed = [
+            (event.transaction, event.step)
+            for event in result.history.events
+        ]
+        wanted = [
+            (item.transaction, item.step) for item in verdict.witness.steps
+        ]
+        assert executed == wanted
+
+    def test_replay_serial_schedule(self, simple_safe_pair):
+        serial = simple_safe_pair.serial_schedule(["T2", "T1"])
+        result = run_once(simple_safe_pair, ReplayDriver(serial))
+        assert result.completed and result.serializable
+
+    def test_round_robin_completes(self, simple_safe_pair):
+        result = run_once(simple_safe_pair, RoundRobinDriver())
+        assert result.completed
+
+    def test_replay_rejects_foreign_schedule(
+        self, simple_safe_pair, simple_unsafe_pair
+    ):
+        foreign = decide_safety(simple_unsafe_pair).witness
+        with pytest.raises(ScheduleError):
+            run_once(simple_safe_pair, ReplayDriver(foreign))
+
+
+class TestDeadlock:
+    def test_two_phase_crossing_deadlocks_sometimes(self, two_site_db):
+        from repro.core import TransactionBuilder, TransactionSystem
+
+        t1 = TransactionBuilder("T1", two_site_db)
+        lx1 = t1.lock("x")
+        t1.update("x")
+        lz1 = t1.lock("z")
+        t1.update("z")
+        ux1 = t1.unlock("x")
+        uz1 = t1.unlock("z")
+        t1.precede(lx1, lz1)
+        t1.precede(lz1, ux1)
+        t2 = TransactionBuilder("T2", two_site_db)
+        lz2 = t2.lock("z")
+        t2.update("z")
+        lx2 = t2.lock("x")
+        t2.update("x")
+        uz2 = t2.unlock("z")
+        ux2 = t2.unlock("x")
+        t2.precede(lz2, lx2)
+        t2.precede(lx2, uz2)
+        system = TransactionSystem([t1.build(), t2.build()])
+        outcomes = {
+            run_once(system, RandomDriver(seed)).outcome
+            for seed in range(30)
+        }
+        assert "deadlock" in outcomes
+        # Deadlocked runs name the cycle participants.
+        for seed in range(30):
+            result = run_once(system, RandomDriver(seed))
+            if result.outcome == "deadlock":
+                assert sorted(result.deadlocked) == ["T1", "T2"]
+                break
+
+    def test_deadlock_never_reported_on_serial_replay(self, simple_unsafe_pair):
+        serial = simple_unsafe_pair.serial_schedule(["T1", "T2"])
+        result = run_once(simple_unsafe_pair, ReplayDriver(serial))
+        assert result.completed
+
+
+class TestMonteCarlo:
+    def test_rates_sum_to_one(self):
+        rates = estimate_violation_rate(figure_1(), runs=50, seed=5)
+        assert abs(sum(rates.values()) - 1.0) < 1e-9
+
+    def test_unsafe_system_has_violations(self):
+        rates = estimate_violation_rate(figure_1(), runs=100, seed=6)
+        assert rates["non-serializable"] > 0
+
+    def test_safe_system_has_none(self):
+        rates = estimate_violation_rate(figure_5(), runs=100, seed=7)
+        assert rates["non-serializable"] == 0
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_simulator_agrees_with_static_analysis(self, seed):
+        """A system the simulator mis-serializes must be statically
+        unsafe (the converse needs luck, so it is not asserted)."""
+        rng = random.Random(seed)
+        system = random_pair_system(
+            rng, sites=2, entities=rng.randint(2, 4),
+            shared=rng.randint(2, 3), cross_arcs=rng.randint(0, 2),
+        )
+        rates = estimate_violation_rate(system, runs=60, seed=seed)
+        if rates["non-serializable"] > 0:
+            assert not decide_safety(system).safe

@@ -1,0 +1,93 @@
+"""FIFO-fair lock grants: fairness restricts interleavings but never
+compromises (or masks) safety."""
+
+import random
+
+import pytest
+
+from repro.core import decide_safety
+from repro.sim import RandomDriver, SimulationEngine, estimate_violation_rate, run_once
+from repro.workloads import figure_1, figure_5, random_pair_system
+
+
+class TestFifoSemantics:
+    def test_first_blocked_requester_wins(self, two_site_db):
+        """Engineer: T1 holds x; T2 then T3 block on x; after T1's
+        unlock, only T2's lock is executable under FIFO."""
+        from repro.core import TransactionBuilder, TransactionSystem
+
+        builders = []
+        for name in ("T1", "T2", "T3"):
+            builder = TransactionBuilder(name, two_site_db)
+            builder.access("x")
+            builders.append(builder.build())
+        system = TransactionSystem(builders)
+        engine = SimulationEngine(system, fifo_grants=True)
+        t1, t2, t3 = system.names
+        steps = {name: system[name].a_linear_extension() for name in system.names}
+        engine._execute(t1, steps[t1][0])  # T1 locks x
+        # Both T2 and T3 become blocked; arrival order T2 then T3 is
+        # established by the candidate scan (insertion order).
+        candidates, blocked = engine._executable()
+        assert ("T2", "x") in blocked and ("T3", "x") in blocked
+        engine._execute(t1, steps[t1][1])  # update
+        engine._execute(t1, steps[t1][2])  # unlock
+        candidates, _ = engine._executable()
+        lock_candidates = [
+            name for name, step in candidates if step.is_lock
+        ]
+        assert lock_candidates == ["T2"]  # T3 must wait its turn
+
+    def test_without_fifo_any_waiter_may_win(self, two_site_db):
+        from repro.core import TransactionBuilder, TransactionSystem
+
+        builders = []
+        for name in ("T1", "T2", "T3"):
+            builder = TransactionBuilder(name, two_site_db)
+            builder.access("x")
+            builders.append(builder.build())
+        system = TransactionSystem(builders)
+        engine = SimulationEngine(system)  # fifo off
+        t1 = system.names[0]
+        steps = system[t1].a_linear_extension()
+        for step in steps:
+            engine._execute(t1, step)
+        candidates, _ = engine._executable()
+        lock_candidates = {name for name, step in candidates if step.is_lock}
+        assert lock_candidates == {"T2", "T3"}
+
+
+class TestFifoPreservesCorrectness:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_completed_fifo_runs_are_legal(self, seed):
+        rng = random.Random(seed)
+        system = random_pair_system(
+            rng, sites=2, entities=rng.randint(2, 4), shared=2
+        )
+        result = run_once(system, RandomDriver(seed), fifo_grants=True)
+        if result.completed:
+            result.history.as_schedule()
+
+    def test_safe_system_stays_clean_under_fifo(self):
+        rates = estimate_violation_rate(
+            figure_5(), runs=200, seed=3, fifo_grants=True
+        )
+        assert rates["non-serializable"] == 0.0
+
+    def test_unsafe_system_still_violates_under_fifo(self):
+        rates = estimate_violation_rate(
+            figure_1(), runs=200, seed=4, fifo_grants=True
+        )
+        assert rates["non-serializable"] > 0.0
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_fifo_violations_imply_static_unsafety(self, seed):
+        rng = random.Random(100 + seed)
+        system = random_pair_system(
+            rng, sites=2, entities=rng.randint(2, 4), shared=2
+        )
+        rates = estimate_violation_rate(
+            system, runs=40, seed=seed, fifo_grants=True
+        )
+        if rates["non-serializable"] > 0:
+            assert not decide_safety(system, want_certificate=False).safe

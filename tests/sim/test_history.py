@@ -1,0 +1,55 @@
+"""Execution histories: serializability, grouping, schedule round-trip."""
+
+import pytest
+
+from repro.core import Step, StepKind
+from repro.errors import ScheduleError
+from repro.sim import Event, ExecutionHistory, RandomDriver, run_once
+
+
+@pytest.fixture
+def completed_history(simple_safe_pair):
+    return run_once(simple_safe_pair, RandomDriver(11)).history
+
+
+class TestHistory:
+    def test_completeness(self, simple_safe_pair, completed_history):
+        assert completed_history.is_complete()
+        partial = ExecutionHistory(simple_safe_pair)
+        assert not partial.is_complete()
+
+    def test_steps_projection(self, completed_history):
+        steps = completed_history.steps()
+        assert len(steps) == len(completed_history)
+        assert all(isinstance(step, Step) for _, step in steps)
+
+    def test_as_schedule_roundtrip(self, completed_history):
+        schedule = completed_history.as_schedule()
+        assert len(schedule) == len(completed_history)
+
+    def test_as_schedule_rejects_partial(self, simple_safe_pair):
+        partial = ExecutionHistory(simple_safe_pair)
+        partial.append(
+            Event(0, 1, "T1", Step(StepKind.LOCK, "x"))
+        )
+        with pytest.raises(ScheduleError):
+            partial.as_schedule()
+
+    def test_per_site_grouping(self, completed_history):
+        grouped = completed_history.per_site()
+        total = sum(len(events) for events in grouped.values())
+        assert total == len(completed_history)
+        for site, events in grouped.items():
+            assert all(event.site == site for event in events)
+
+    def test_serial_order_witness(self, simple_safe_pair):
+        from repro.sim import ReplayDriver
+
+        serial = simple_safe_pair.serial_schedule(["T1", "T2"])
+        history = run_once(simple_safe_pair, ReplayDriver(serial)).history
+        assert history.equivalent_serial_order() == ["T1", "T2"]
+
+    def test_describe(self, completed_history):
+        text = completed_history.describe()
+        assert "events" in text
+        assert "s1" in text or "s2" in text

@@ -1,0 +1,74 @@
+"""Per-site lock tables."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.sim import SiteLockManager
+
+
+@pytest.fixture
+def manager():
+    return SiteLockManager(site=1)
+
+
+class TestLocking:
+    def test_grant_free_lock(self, manager):
+        assert manager.try_lock("x", "T1")
+        assert manager.holder("x") == "T1"
+
+    def test_deny_held_lock_and_queue(self, manager):
+        manager.try_lock("x", "T1")
+        assert not manager.try_lock("x", "T2")
+        assert manager.waiters("x") == ["T2"]
+
+    def test_no_duplicate_wait_entries(self, manager):
+        manager.try_lock("x", "T1")
+        manager.try_lock("x", "T2")
+        manager.try_lock("x", "T2")
+        assert manager.waiters("x") == ["T2"]
+
+    def test_relock_by_holder_rejected(self, manager):
+        manager.try_lock("x", "T1")
+        with pytest.raises(ScheduleError):
+            manager.try_lock("x", "T1")
+
+    def test_grant_after_unlock(self, manager):
+        manager.try_lock("x", "T1")
+        manager.try_lock("x", "T2")
+        manager.unlock("x", "T1")
+        assert manager.try_lock("x", "T2")
+        assert manager.waiters("x") == []
+
+
+class TestUnlocking:
+    def test_unlock_requires_holder(self, manager):
+        manager.try_lock("x", "T1")
+        with pytest.raises(ScheduleError):
+            manager.unlock("x", "T2")
+
+    def test_unlock_unheld_rejected(self, manager):
+        with pytest.raises(ScheduleError):
+            manager.unlock("x", "T1")
+
+
+class TestBookkeeping:
+    def test_held_by_and_snapshot(self, manager):
+        manager.try_lock("x", "T1")
+        manager.try_lock("y", "T1")
+        manager.try_lock("z", "T2")
+        assert sorted(manager.held_by("T1")) == ["x", "y"]
+        assert manager.held_entities() == {"x": "T1", "y": "T1", "z": "T2"}
+
+    def test_release_all(self, manager):
+        manager.try_lock("x", "T1")
+        manager.try_lock("y", "T1")
+        manager.try_lock("x", "T2")  # queues
+        released = manager.release_all("T1")
+        assert sorted(released) == ["x", "y"]
+        assert manager.holder("x") is None
+
+    def test_drop_waiter(self, manager):
+        manager.try_lock("x", "T1")
+        manager.try_lock("x", "T2")
+        manager.drop_waiter("T2")
+        assert manager.waiters("x") == []

@@ -1,0 +1,177 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+FIG3_LIKE = """
+database
+  site 1: x y
+  site 2: z
+
+transaction T1
+  site 1: Lx x Ly y Ux Uy
+  site 2: Lz z Uz
+
+transaction T2
+  site 1: Ly y Lx x Uy Ux
+  site 2: Lz z Uz
+"""
+
+SAFE_PAIR = """
+database
+  site 1: x
+  site 2: z
+
+transaction T1
+  site 1: Lx x Ux
+  site 2: Lz z Uz
+  precede Lx -> Uz
+  precede Lz -> Ux
+
+transaction T2
+  site 1: Lx x Ux
+  site 2: Lz z Uz
+  precede Lx -> Uz
+  precede Lz -> Ux
+"""
+
+TOTAL_PAIR = """
+database
+  site 1: x z
+
+transaction T1
+  site 1: Lx x Ux Lz z Uz
+
+transaction T2
+  site 1: Lz z Uz Lx x Ux
+"""
+
+
+@pytest.fixture
+def unsafe_file(tmp_path):
+    path = tmp_path / "unsafe.sys"
+    path.write_text(FIG3_LIKE)
+    return str(path)
+
+
+@pytest.fixture
+def safe_file(tmp_path):
+    path = tmp_path / "safe.sys"
+    path.write_text(SAFE_PAIR)
+    return str(path)
+
+
+@pytest.fixture
+def total_file(tmp_path):
+    path = tmp_path / "total.sys"
+    path.write_text(TOTAL_PAIR)
+    return str(path)
+
+
+class TestAnalyze:
+    def test_unsafe_exits_1(self, unsafe_file, capsys):
+        assert main(["analyze", unsafe_file]) == 1
+        out = capsys.readouterr().out
+        assert "safe:         False" in out
+        assert "theorem-2" in out
+
+    def test_safe_exits_0(self, safe_file, capsys):
+        assert main(["analyze", safe_file]) == 0
+        assert "safe:         True" in capsys.readouterr().out
+
+    def test_certificate_flag(self, unsafe_file, capsys):
+        main(["analyze", unsafe_file, "--certificate"])
+        assert "Unsafeness certificate" in capsys.readouterr().out
+
+    def test_exhaustive_flag(self, unsafe_file, capsys):
+        assert main(["analyze", unsafe_file, "--exhaustive"]) == 1
+        assert "agree: True" in capsys.readouterr().out
+
+    def test_dot_flag(self, unsafe_file, capsys):
+        main(["analyze", unsafe_file, "--dot"])
+        assert 'digraph "D(T1,T2)"' in capsys.readouterr().out
+
+    def test_missing_file_exits_2(self, capsys):
+        assert main(["analyze", "/nonexistent.sys"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_json_output(self, unsafe_file, capsys):
+        import json
+
+        code = main(["analyze", unsafe_file, "--json", "--certificate"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["safe"] is False
+        assert payload["method"] == "theorem-2"
+        assert payload["transactions"] == ["T1", "T2"]
+        assert payload["certificate"]["dominator"] == ["x", "y"]
+        assert len(payload["witness"]) == 18
+
+    def test_json_with_exhaustive_flag(self, safe_file, capsys):
+        import json
+
+        code = main(["analyze", safe_file, "--json", "--exhaustive"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["exhaustive_agrees"] is True
+
+    def test_parse_error_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.sys"
+        bad.write_text("nonsense\n")
+        assert main(["analyze", str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestSimulate:
+    def test_safe_system_exits_0(self, safe_file, capsys):
+        assert main(["simulate", safe_file, "--runs", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "non-serializable:   0.00%" in out
+
+    def test_unsafe_system_exits_1(self, unsafe_file, capsys):
+        assert main(["simulate", unsafe_file, "--runs", "200"]) == 1
+
+
+class TestPlane:
+    def test_total_pair_rendered(self, total_file, capsys):
+        code = main(["plane", total_file])
+        out = capsys.readouterr().out
+        assert "#" in out  # rectangles
+        assert code == 1  # this pair is unsafe
+        assert "UNSAFE" in out
+
+    def test_partial_orders_rejected(self, unsafe_file, capsys):
+        assert main(["plane", unsafe_file]) == 2
+        assert "not totally ordered" in capsys.readouterr().err
+
+
+class TestReduce:
+    def test_satisfiable_formula(self, capsys):
+        assert main(["reduce", "(a | b) & (~a | b)"]) == 0
+        out = capsys.readouterr().out
+        assert "UNSAFE" in out
+        assert "Theorem 3 check (unsafe ⟺ satisfiable): True" in out
+
+    def test_trivial_unsat(self, capsys):
+        assert main(["reduce", "(a) & (~a)"]) == 0
+        assert "satisfiable=False" in capsys.readouterr().out
+
+    def test_unrestricted_input_transformed(self, capsys):
+        assert main(["reduce", "(a | b | c | d)"]) == 0
+        assert "restricted form" in capsys.readouterr().out
+
+
+class TestFigures:
+    def test_all_figures(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "# fig1" in out and "# fig3" in out and "# fig5" in out
+
+    def test_single_figure(self, capsys):
+        assert main(["figures", "fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "safe=True" in out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figures", "fig99"]) == 2

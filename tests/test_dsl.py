@@ -1,0 +1,161 @@
+"""The text DSL: parsing, validation errors, render round-trip."""
+
+import pytest
+
+from repro.dsl import DslError, parse_system, render_system
+from repro.core import decide_safety
+
+FIG3_LIKE = """
+# comment line
+database
+  site 1: x y
+  site 2: z
+
+transaction T1
+  site 1: Lx x Ly y Ux Uy
+  site 2: Lz z Uz
+
+transaction T2
+  site 1: Ly y Lx x Uy Ux
+  site 2: Lz z Uz
+"""
+
+
+class TestParsing:
+    def test_basic_system(self):
+        system = parse_system(FIG3_LIKE)
+        assert system.names == ["T1", "T2"]
+        assert system.database.sites == 2
+        assert sorted(system.shared_locked_entities()) == ["x", "y", "z"]
+
+    def test_verdict_matches_hand_built(self):
+        system = parse_system(FIG3_LIKE)
+        assert not decide_safety(system).safe
+
+    def test_precede_directive(self):
+        text = """
+database
+  site 1: x
+  site 2: z
+transaction T1
+  site 1: Lx x Ux
+  site 2: Lz z Uz
+  precede Ux -> Lz
+"""
+        system = parse_system(text)
+        tx = system["T1"]
+        assert tx.precedes(tx.unlock_step("x"), tx.lock_step("z"))
+
+    def test_repeated_update_token(self):
+        text = """
+database
+  site 1: x
+transaction T1
+  site 1: Lx x x#1 Ux
+"""
+        system = parse_system(text)
+        assert len(system["T1"].update_steps("x")) == 2
+
+    def test_comments_and_blanks_ignored(self):
+        system = parse_system(FIG3_LIKE + "\n\n# trailing comment\n")
+        assert len(system) == 2
+
+
+class TestErrors:
+    def test_unknown_entity_in_step(self):
+        text = """
+database
+  site 1: x
+transaction T1
+  site 1: Lq q Uq
+"""
+        with pytest.raises(DslError, match="cannot resolve"):
+            parse_system(text)
+
+    def test_wrong_site_for_entity(self):
+        text = """
+database
+  site 1: x
+  site 2: z
+transaction T1
+  site 1: Lx x Ux Lz z Uz
+"""
+        with pytest.raises(DslError, match="stored at site"):
+            parse_system(text)
+
+    def test_transaction_before_database(self):
+        with pytest.raises(DslError, match="declare the database"):
+            parse_system("transaction T1\n  site 1: Lx x Ux\n")
+
+    def test_duplicate_entity_declaration(self):
+        with pytest.raises(DslError, match="declared twice"):
+            parse_system("database\n  site 1: x\n  site 2: x\n")
+
+    def test_duplicate_step(self):
+        text = """
+database
+  site 1: x
+transaction T1
+  site 1: Lx x x Ux
+"""
+        with pytest.raises(DslError, match="repeated"):
+            parse_system(text)
+
+    def test_locking_violation_reported_with_line_info(self):
+        text = """
+database
+  site 1: x
+transaction T1
+  site 1: Lx Ux x
+"""
+        with pytest.raises(DslError):
+            parse_system(text)
+
+    def test_unknown_directive(self):
+        with pytest.raises(DslError, match="unrecognized"):
+            parse_system("database\n  site 1: x\nfrobnicate\n")
+
+    def test_empty_input(self):
+        with pytest.raises(DslError):
+            parse_system("")
+
+    def test_precede_on_undeclared_step(self):
+        text = """
+database
+  site 1: x
+  site 2: z
+transaction T1
+  site 1: Lx x Ux
+  precede Ux -> Lz
+"""
+        with pytest.raises(DslError, match="not declared"):
+            parse_system(text)
+
+
+class TestRoundTrip:
+    def test_render_then_parse_same_verdict(self):
+        original = parse_system(FIG3_LIKE)
+        rendered = render_system(original)
+        reparsed = parse_system(rendered)
+        assert reparsed.names == original.names
+        assert (
+            decide_safety(reparsed).safe == decide_safety(original).safe
+        )
+
+    def test_figures_round_trip(self):
+        from repro.workloads import figure_1, figure_3, figure_5
+
+        for build in (figure_1, figure_3, figure_5):
+            original = build()
+            reparsed = parse_system(render_system(original))
+            assert (
+                decide_safety(reparsed, want_certificate=False).safe
+                == decide_safety(original, want_certificate=False).safe
+            )
+            for tx in original.transactions:
+                other = reparsed[tx.name]
+                assert len(other) == len(tx)
+                # Same precedence relation on identical step sets.
+                for a in tx.steps:
+                    for b in tx.steps:
+                        assert tx.precedes(a, b) == other.precedes(a, b)

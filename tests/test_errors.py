@@ -1,0 +1,82 @@
+"""The exception hierarchy: every error is catchable as ReproError and
+carries an informative message."""
+
+import pytest
+
+from repro.errors import (
+    CertificateError,
+    DatabaseError,
+    LockingError,
+    ModelError,
+    ReductionError,
+    ReproError,
+    ScheduleError,
+    SiteOrderError,
+    TransactionError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_type",
+        [
+            CertificateError,
+            DatabaseError,
+            LockingError,
+            ModelError,
+            ReductionError,
+            ScheduleError,
+            SiteOrderError,
+            TransactionError,
+        ],
+    )
+    def test_all_are_repro_errors(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+
+    def test_model_errors_are_value_errors(self):
+        assert issubclass(ModelError, ValueError)
+        assert issubclass(DatabaseError, ValueError)
+
+    def test_locking_and_site_order_are_transaction_errors(self):
+        assert issubclass(LockingError, TransactionError)
+        assert issubclass(SiteOrderError, TransactionError)
+
+
+class TestMessages:
+    def test_database_error_names_entity(self):
+        from repro.core import DistributedDatabase
+
+        db = DistributedDatabase({"x": 1})
+        with pytest.raises(DatabaseError, match="ghost"):
+            db.site_of("ghost")
+
+    def test_locking_error_names_transaction_and_entity(self):
+        from repro.core import DistributedDatabase, Step, StepKind, Transaction
+
+        db = DistributedDatabase({"x": 1})
+        with pytest.raises(LockingError, match="T9.*x"):
+            Transaction("T9", db, [Step(StepKind.LOCK, "x")], [])
+
+    def test_schedule_error_is_specific(self):
+        from repro.core import TransactionBuilder, TransactionSystem, Schedule
+
+        db_builder = TransactionBuilder(
+            "T",
+            __import__("repro.core", fromlist=["DistributedDatabase"])
+            .DistributedDatabase({"x": 1}),
+        )
+        db_builder.access("x")
+        system = TransactionSystem([db_builder.build()])
+        with pytest.raises(ScheduleError, match="total order"):
+            Schedule(system, [])
+
+    def test_one_catch_all(self):
+        """A caller can wrap the whole library in one except clause."""
+        from repro.core import DistributedDatabase
+
+        try:
+            DistributedDatabase({})
+        except ReproError as exc:
+            assert "entity" in str(exc)
+        else:  # pragma: no cover
+            raise AssertionError("expected ReproError")

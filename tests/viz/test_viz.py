@@ -1,0 +1,55 @@
+"""Renderers: ASCII coordinated plane and DOT export."""
+
+from repro.core import GeometricPicture, d_graph
+from repro.graphs import DiGraph
+from repro.viz import digraph_to_dot, render_plane, transaction_to_dot
+from repro.workloads import figure_2_total_orders, figure_3
+
+
+class TestRenderPlane:
+    def setup_method(self):
+        _, t1, t2 = figure_2_total_orders()
+        self.picture = GeometricPicture(t1, t2)
+
+    def test_contains_rectangles_and_axes(self):
+        text = render_plane(self.picture)
+        assert "#" in text
+        assert "t1" in text and "t2" in text
+        assert "Lx" in text and "Uz" in text
+
+    def test_curve_drawn_when_given(self):
+        curve = self.picture.find_nonserializable_curve()
+        text = render_plane(self.picture, curve)
+        assert "*" in text
+        assert "schedule curve" in text
+
+    def test_legend_lists_entities(self):
+        text = render_plane(self.picture)
+        for entity in self.picture.entities():
+            assert f"{entity}:" in text
+
+
+class TestDotExport:
+    def test_digraph_dot_shape(self):
+        graph = DiGraph("ab", [("a", "b")])
+        dot = digraph_to_dot(graph, name="D")
+        assert dot.startswith('digraph "D" {')
+        assert '"a" -> "b";' in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_highlighted_dominator(self):
+        graph = d_graph(*figure_3().pair())
+        dot = digraph_to_dot(graph, highlight={"x", "y"})
+        assert dot.count("fillcolor=lightgray") == 2
+
+    def test_transaction_dot_has_site_clusters(self):
+        first, _ = figure_3().pair()
+        dot = transaction_to_dot(first)
+        assert "cluster_site1" in dot
+        assert "cluster_site2" in dot
+        assert '"Lx"' in dot
+
+    def test_quoting_special_names(self):
+        graph = DiGraph(['we"ird'], [])
+        dot = digraph_to_dot(graph)
+        assert r"\"" in dot

@@ -1,0 +1,138 @@
+"""Every figure reconstruction must exhibit exactly the properties the
+paper states for it — these tests ARE the figure reproductions."""
+
+import pytest
+
+from repro.core import (
+    GeometricPicture,
+    d_graph,
+    d_graph_of_total_orders,
+    decide_safety,
+    decide_safety_exact,
+    decide_safety_exhaustive,
+    dominators_of,
+)
+from repro.core.closure import ClosureContradiction, close_with_respect_to
+from repro.graphs import is_strongly_connected
+from repro.logic import is_satisfiable
+from repro.workloads import (
+    figure_1,
+    figure_2_total_orders,
+    figure_3,
+    figure_3_extension_pairs,
+    figure_5,
+    figure_8_formula,
+)
+
+
+class TestFigure1:
+    """Two transactions at two sites; the system is unsafe and a
+    non-serializable schedule exists."""
+
+    def test_layout(self):
+        system = figure_1()
+        db = system.database
+        assert db.sites == 2
+        assert sorted(db.entities_at(1)) == ["x", "y"]
+        assert sorted(db.entities_at(2)) == ["w", "z"]
+
+    def test_unsafe_with_nonserializable_schedule(self):
+        system = figure_1()
+        verdict = decide_safety(system)
+        assert not verdict.safe
+        assert verdict.witness is not None
+        assert not verdict.witness.is_serializable()
+
+    def test_exhaustive_agrees(self):
+        assert not decide_safety_exhaustive(figure_1()).safe
+
+
+class TestFigure2:
+    """The geometric picture: three rectangles, a curve separating the
+    x- and z-rectangles, and the two serial curves."""
+
+    def test_rectangles_exist(self):
+        _, t1, t2 = figure_2_total_orders()
+        picture = GeometricPicture(t1, t2)
+        assert sorted(picture.rectangles) == ["x", "y", "z"]
+
+    def test_separating_curve_between_x_and_z(self):
+        _, t1, t2 = figure_2_total_orders()
+        picture = GeometricPicture(t1, t2)
+        curve = picture.find_nonserializable_curve()
+        assert curve is not None
+        bits = picture.bits_of_curve(curve)
+        assert bits["x"] != bits["z"]
+
+    def test_pair_unsafe_iff_not_connected(self):
+        _, t1, t2 = figure_2_total_orders()
+        assert not is_strongly_connected(d_graph_of_total_orders(t1, t2))
+
+
+class TestFigure3:
+    """Unsafe distributed system whose extension pairs split: one safe
+    (Fig. 3c), one unsafe (Fig. 3d); D(T1, T2) has dominator {x, y}."""
+
+    def test_system_unsafe(self):
+        assert not decide_safety(figure_3()).safe
+        assert not decide_safety_exhaustive(figure_3()).safe
+
+    def test_extension_pairs_split(self):
+        safe_pair, unsafe_pair = figure_3_extension_pairs()
+        assert is_strongly_connected(d_graph_of_total_orders(*safe_pair))
+        assert not is_strongly_connected(
+            d_graph_of_total_orders(*unsafe_pair)
+        )
+
+    def test_extension_pairs_are_compatible(self):
+        first, second = figure_3().pair()
+        safe_pair, unsafe_pair = figure_3_extension_pairs()
+        for t1, t2 in (safe_pair, unsafe_pair):
+            assert first.is_linear_extension(t1)
+            assert second.is_linear_extension(t2)
+
+    def test_dominator_x_y(self):
+        graph = d_graph(*figure_3().pair())
+        assert frozenset({"x", "y"}) in set(dominators_of(graph))
+
+
+class TestFigure5:
+    """Four sites; D not strongly connected; system nevertheless SAFE;
+    the only dominator's closure forces the Ux1/Ux2 cycle."""
+
+    def test_four_sites(self):
+        system = figure_5()
+        first, second = system.pair()
+        assert len(first.sites_used() | second.sites_used()) == 4
+
+    def test_d_not_strongly_connected(self):
+        assert not is_strongly_connected(d_graph(*figure_5().pair()))
+
+    def test_system_is_safe(self):
+        verdict = decide_safety_exact(*figure_5().pair())
+        assert verdict.safe
+
+    def test_unique_dominator(self):
+        graph = d_graph(*figure_5().pair())
+        assert list(dominators_of(graph)) == [frozenset({"x1", "x2"})]
+
+    def test_closure_contradiction_as_described(self):
+        first, second = figure_5().pair()
+        with pytest.raises(ClosureContradiction) as excinfo:
+            close_with_respect_to(first, second, {"x1", "x2"})
+        message = str(excinfo.value)
+        assert "Ux1" in message and "Ux2" in message
+
+    def test_strong_connectivity_not_necessary_beyond_two_sites(self):
+        """The headline of §3-§4: Theorem 2's converse fails at 4 sites."""
+        first, second = figure_5().pair()
+        assert not is_strongly_connected(d_graph(first, second))
+        assert decide_safety_exact(first, second).safe
+
+
+class TestFigure8:
+    def test_formula_matches_paper(self):
+        formula = figure_8_formula()
+        assert str(formula) == "(x1 | x2 | x3) & (~x1 | x2 | ~x3)"
+        assert formula.is_restricted_form()
+        assert is_satisfiable(formula)

@@ -1,0 +1,47 @@
+"""Random restricted CNF generation."""
+
+import random
+
+import pytest
+
+from repro.errors import ReductionError
+from repro.workloads import random_restricted_cnf
+
+
+class TestRandomRestrictedCnf:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_always_restricted(self, seed):
+        rng = random.Random(seed)
+        variables = rng.randint(2, 8)
+        formula = random_restricted_cnf(
+            rng, variables=variables, clauses=rng.randint(1, variables)
+        )
+        assert formula.is_restricted_form()
+        assert all(2 <= len(clause) <= 3 for clause in formula.clauses)
+
+    def test_requested_shape(self, rng):
+        formula = random_restricted_cnf(rng, variables=6, clauses=4)
+        assert len(formula) == 4
+        assert len(formula.variables()) <= 6
+
+    def test_budget_exhaustion_raises(self, rng):
+        with pytest.raises(ReductionError):
+            random_restricted_cnf(rng, variables=2, clauses=10)
+
+    def test_bad_clause_size_rejected(self, rng):
+        with pytest.raises(ReductionError):
+            random_restricted_cnf(
+                rng, variables=4, clauses=2, clause_size=(1, 3)
+            )
+
+    def test_no_duplicate_variable_within_clause(self, rng):
+        for _ in range(20):
+            formula = random_restricted_cnf(rng, variables=5, clauses=3)
+            for clause in formula.clauses:
+                names = [lit.variable for lit in clause]
+                assert len(set(names)) == len(names)
+
+    def test_determinism(self):
+        a = random_restricted_cnf(random.Random(9), variables=5, clauses=3)
+        b = random_restricted_cnf(random.Random(9), variables=5, clauses=3)
+        assert str(a) == str(b)

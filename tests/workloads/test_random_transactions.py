@@ -1,0 +1,90 @@
+"""Random workload generators: every output must satisfy the model."""
+
+import random
+
+import pytest
+
+from repro.core import Transaction
+from repro.errors import ModelError
+from repro.policies import is_two_phase
+from repro.workloads import (
+    random_database,
+    random_pair_system,
+    random_system,
+    random_total_order_pair,
+    random_transaction,
+)
+
+
+class TestRandomDatabase:
+    def test_covers_requested_sites(self, rng):
+        db = random_database(rng, entities=10, sites=4)
+        assert db.sites == 4
+        assert {db.site_of(e) for e in db.entities} == {1, 2, 3, 4}
+
+    def test_rejects_bad_parameters(self, rng):
+        with pytest.raises(ModelError):
+            random_database(rng, entities=0, sites=1)
+
+
+class TestRandomTransaction:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_always_valid(self, seed):
+        """Validation runs in the Transaction constructor; surviving it
+        means every §2 constraint holds."""
+        rng = random.Random(seed)
+        db = random_database(
+            rng, entities=rng.randint(1, 6), sites=rng.randint(1, 4)
+        )
+        tx = random_transaction(
+            "T", db, rng, cross_arcs=rng.randint(0, 4)
+        )
+        assert isinstance(tx, Transaction)
+        assert len(tx) == 3 * len(tx.locked_entities())
+
+    def test_entity_subset_respected(self, rng):
+        db = random_database(rng, entities=6, sites=2)
+        tx = random_transaction("T", db, rng, entities=["e0", "e3"])
+        assert sorted(tx.locked_entities()) == ["e0", "e3"]
+
+    def test_two_phase_flag(self, rng):
+        db = random_database(rng, entities=5, sites=3)
+        for _ in range(10):
+            tx = random_transaction("T", db, rng, two_phase=True, cross_arcs=3)
+            assert is_two_phase(tx)
+
+    def test_empty_entity_list_rejected(self, rng):
+        db = random_database(rng, entities=3, sites=1)
+        with pytest.raises(ModelError):
+            random_transaction("T", db, rng, entities=[])
+
+    def test_determinism(self):
+        db = random_database(random.Random(5), entities=4, sites=2)
+        tx_a = random_transaction("T", db, random.Random(42), cross_arcs=2)
+        tx_b = random_transaction("T", db, random.Random(42), cross_arcs=2)
+        assert [str(s) for s in tx_a.steps] == [str(s) for s in tx_b.steps]
+        assert tx_a.poset().arcs() == tx_b.poset().arcs()
+
+
+class TestRandomSystems:
+    def test_pair_shares_requested_entities(self, rng):
+        system = random_pair_system(rng, sites=2, entities=5, shared=3)
+        assert len(system.shared_locked_entities()) >= 3
+
+    def test_pair_has_two_transactions(self, rng):
+        assert len(random_pair_system(rng, sites=2, entities=3)) == 2
+
+    def test_k_transaction_system(self, rng):
+        system = random_system(
+            rng, transactions=4, sites=2, entities=5,
+            entities_per_transaction=2,
+        )
+        assert len(system) == 4
+
+    def test_total_order_pair_is_single_site_and_total(self, rng):
+        system, t1, t2 = random_total_order_pair(rng, entities=3)
+        first, second = system.pair()
+        assert system.database.sites == 1
+        assert first.is_totally_ordered()
+        assert first.is_linear_extension(t1)
+        assert second.is_linear_extension(t2)

@@ -7,10 +7,31 @@ reproduction's measured shape) to stdout *and* persists it under
 
 from __future__ import annotations
 
+import json
 import pathlib
 from collections.abc import Sequence
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_json(name: str, payload: dict) -> pathlib.Path:
+    """Merge *payload* into ``results/<name>.json`` (machine-readable
+    perf trajectory; keys from earlier calls in the same run survive).
+
+    Returns the path written, so experiments can mention it in their
+    text output.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    merged: dict = {}
+    if path.exists():
+        try:
+            merged = json.loads(path.read_text())
+        except (OSError, ValueError):
+            merged = {}
+    merged.update(payload)
+    path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def report(experiment: str, title: str, lines: Sequence[str]) -> None:

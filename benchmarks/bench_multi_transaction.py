@@ -11,7 +11,7 @@ import time
 from repro.core import decide_safety_exhaustive, decide_safety_multi
 from repro.workloads import random_system
 
-from _series import report, table
+from _series import report, table, write_json
 
 
 def test_proposition_2_agreement(benchmark):
@@ -42,11 +42,20 @@ def test_proposition_2_agreement(benchmark):
             f"({unsafe_count} unsafe systems among them)",
         ],
     )
+    write_json(
+        "BENCH_multi",
+        {
+            "agreement": agreements,
+            "systems": total,
+            "unsafe_systems": unsafe_count,
+        },
+    )
     assert agreements == total
 
 
 def test_proposition_2_scaling(benchmark):
     rows = []
+    scaling = []
     for k in (3, 4, 5, 6, 8):
         rng = random.Random(k * 3)
         system = random_system(
@@ -58,6 +67,13 @@ def test_proposition_2_scaling(benchmark):
         elapsed = time.perf_counter() - start
         rows.append(
             (k, f"{elapsed * 1e3:.1f} ms", "safe" if verdict.safe else "unsafe")
+        )
+        scaling.append(
+            {
+                "k": k,
+                "milliseconds": round(elapsed * 1e3, 3),
+                "safe": verdict.safe,
+            }
         )
     rng2 = random.Random(11)
     system = random_system(
@@ -73,3 +89,4 @@ def test_proposition_2_scaling(benchmark):
             "enumeration kicks in as the interaction graph densifies",
         ],
     )
+    write_json("BENCH_multi", {"scaling": scaling})

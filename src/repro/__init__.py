@@ -60,6 +60,7 @@ from .core import (
     is_safe_two_site,
 )
 from .errors import (
+    AdmissionError,
     CertificateError,
     DatabaseError,
     LockingError,
@@ -74,6 +75,7 @@ from .errors import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionError",
     "CertificateError",
     "DatabaseError",
     "DistributedDatabase",

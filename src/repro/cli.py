@@ -22,11 +22,23 @@ Subcommands
 
 ``figures [NAME]``
     Print the paper's figure systems in the DSL, with their verdicts.
+
+``vet FILE...``
+    Batch-vet many system files through one admission registry
+    (:mod:`repro.service`): every transaction is admitted incrementally,
+    with fingerprint-cached pair verdicts and optional parallel vetting
+    (``--workers N``).
+
+``serve``
+    Long-running line-oriented admission loop on stdin/stdout:
+    ``ADMIT <dsl with ';' for newlines>``, ``EVICT <name>``, ``STATS``,
+    ``QUIT``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .core import GeometricPicture, d_graph, decide_safety, decide_safety_exhaustive
@@ -46,8 +58,6 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     system = _load_system(args.file)
     verdict = decide_safety(system, want_certificate=args.certificate)
     if args.json:
-        import json
-
         payload = verdict.to_dict()
         payload["transactions"] = system.names
         if args.exhaustive:
@@ -57,7 +67,10 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         print(json.dumps(payload, indent=2))
         return 0 if verdict.safe else 1
     print(f"transactions: {', '.join(system.names)}")
-    print(f"sites used:   {sorted(set().union(*(t.sites_used() for t in system.transactions)))}")
+    sites_used: set[int] = set()
+    for tx in system.transactions:
+        sites_used |= tx.sites_used()
+    print(f"sites used:   {sorted(sites_used)}")
     print(f"safe:         {verdict.safe}")
     print(f"method:       {verdict.method}")
     print(f"detail:       {verdict.detail}")
@@ -81,6 +94,20 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 def cmd_simulate(args: argparse.Namespace) -> int:
     system = _load_system(args.file)
     rates = estimate_violation_rate(system, runs=args.runs, seed=args.seed)
+    if args.json:
+        verdict = decide_safety(system, want_certificate=False)
+        payload = {
+            "runs": args.runs,
+            "seed": args.seed,
+            "rates": rates,
+            "verdict": verdict.to_dict(),
+            # The simulator saw no violation iff the static decision
+            # says safe — false negatives are possible at low run
+            # counts, so the bit is reported, not asserted.
+            "agreement": (rates["non-serializable"] == 0) == verdict.safe,
+        }
+        print(json.dumps(payload, indent=2))
+        return 0 if rates["non-serializable"] == 0 else 1
     print(f"runs: {args.runs} (seed {args.seed})")
     for outcome in ("serializable", "non-serializable", "deadlock"):
         print(f"  {outcome:>18}: {rates[outcome]:7.2%}")
@@ -117,24 +144,40 @@ def cmd_reduce(args: argparse.Namespace) -> int:
     from .logic import to_restricted_form
 
     formula = CnfFormula.parse(args.formula)
-    print(f"F = {formula}")
+    payload: dict = {"formula": str(formula)}
     sat = is_satisfiable(formula)
-    print(f"satisfiable (DPLL): {sat}")
+    payload["satisfiable"] = sat
+    if not args.json:
+        print(f"F = {payload['formula']}")
+        print(f"satisfiable (DPLL): {sat}")
     if not formula.is_restricted_form():
         formula = to_restricted_form(formula)
-        print(f"restricted form: {formula}")
+        payload["restricted_form"] = str(formula)
+        if not args.json:
+            print(f"restricted form: {formula}")
     prepared = propagate_units(formula)
     if isinstance(prepared, bool):
-        print(f"settled by unit propagation: satisfiable={prepared}")
+        if args.json:
+            payload["settled_by_unit_propagation"] = prepared
+            print(json.dumps(payload, indent=2))
+        else:
+            print(f"settled by unit propagation: satisfiable={prepared}")
         return 0
     artifacts = reduce_cnf_to_pair(prepared)
+    verdict = decide_safety_exact(artifacts.first, artifacts.second)
+    agree = (not verdict.safe) == sat
+    if args.json:
+        payload["entities"] = len(artifacts.database)
+        payload["steps_per_transaction"] = len(artifacts.first)
+        payload["verdict"] = verdict.to_dict()
+        payload["agreement"] = agree
+        print(json.dumps(payload, indent=2))
+        return 0 if agree else 2
     print(
         f"reduced pair: {len(artifacts.database)} entities "
         f"(one per site), {len(artifacts.first)} steps per transaction"
     )
-    verdict = decide_safety_exact(artifacts.first, artifacts.second)
     print(f"safety: {'SAFE' if verdict.safe else 'UNSAFE'} ({verdict.detail})")
-    agree = (not verdict.safe) == sat
     print(f"Theorem 3 check (unsafe ⟺ satisfiable): {agree}")
     return 0 if agree else 2
 
@@ -155,6 +198,160 @@ def cmd_figures(args: argparse.Namespace) -> int:
         verdict = decide_safety(system, want_certificate=False)
         print(f"# {name}: safe={verdict.safe} via {verdict.method}")
         print(render_system(system))
+    return 0
+
+
+def _renamed(transaction, new_name):
+    """A copy of *transaction* under *new_name* (for cross-file name
+    collisions in batch vetting)."""
+    from .core import Transaction
+
+    return Transaction(
+        new_name,
+        transaction.database,
+        transaction.steps,
+        transaction.poset().arcs(),
+    )
+
+
+def cmd_vet(args: argparse.Namespace) -> int:
+    from .service import AdmissionRegistry, PairVettingPool, VerdictCache
+
+    registry = AdmissionRegistry(
+        cache=VerdictCache(args.cache_size),
+        pool=PairVettingPool(workers=args.workers),
+        cycle_limit=args.cycle_limit,
+    )
+    decisions = []
+    try:
+        for path in args.files:
+            system = _load_system(path)
+            for transaction in system.transactions:
+                if transaction.name in registry:
+                    suffix = 2
+                    while f"{transaction.name}@{suffix}" in registry:
+                        suffix += 1
+                    transaction = _renamed(
+                        transaction, f"{transaction.name}@{suffix}"
+                    )
+                decisions.append(
+                    registry.admit(
+                        transaction, want_certificate=args.certificate
+                    )
+                )
+    finally:
+        registry.pool.close()
+    admitted = sum(decision.admitted for decision in decisions)
+    if args.json:
+        payload = {
+            "files": list(args.files),
+            "workers": args.workers,
+            "admitted": admitted,
+            "rejected": len(decisions) - admitted,
+            "decisions": [decision.to_dict() for decision in decisions],
+            "stats": registry.stats_dict(),
+        }
+        print(json.dumps(payload, indent=2))
+        return 0 if admitted == len(decisions) else 1
+    for decision in decisions:
+        if decision.admitted:
+            print(
+                f"ADMIT  {decision.name}  "
+                f"(trivial={decision.pairs_trivial} "
+                f"cached={decision.pairs_from_cache} "
+                f"vetted={decision.pairs_vetted} "
+                f"cycles={decision.cycles_checked})"
+            )
+        else:
+            print(f"REJECT {decision.name}  {decision.verdict.detail}")
+            if args.certificate and decision.verdict.certificate is not None:
+                print(decision.verdict.certificate.describe())
+    print(
+        f"vetted {len(decisions)} transactions: "
+        f"{admitted} admitted, {len(decisions) - admitted} rejected"
+    )
+    print(registry.stats.render())
+    return 0 if admitted == len(decisions) else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .service import AdmissionRegistry, PairVettingPool, VerdictCache
+
+    registry = AdmissionRegistry(
+        cache=VerdictCache(args.cache_size),
+        pool=PairVettingPool(workers=args.workers),
+        cycle_limit=args.cycle_limit,
+    )
+
+    def respond(line: str) -> None:
+        print(line, flush=True)
+
+    def database_prelude() -> str | None:
+        """The registry's database rendered back into DSL, so ADMIT
+        requests after the first can omit the ``database`` section."""
+        database = registry.database
+        if database is None:
+            return None
+        lines = ["database"]
+        for site in range(1, database.sites + 1):
+            entities = database.entities_at(site)
+            if entities:
+                lines.append(f"  site {site}: {' '.join(entities)}")
+        return "\n".join(lines)
+
+    respond("READY")
+    try:
+        for raw in sys.stdin:
+            line = raw.strip()
+            if not line:
+                continue
+            command, _, rest = line.partition(" ")
+            command = command.upper()
+            try:
+                if command == "QUIT":
+                    respond("OK bye")
+                    break
+                if command == "STATS":
+                    respond("STATS " + json.dumps(registry.stats_dict()))
+                elif command == "EVICT":
+                    name = rest.strip()
+                    registry.evict(name)
+                    respond(f"OK evicted {name}")
+                elif command == "ADMIT":
+                    # The request line carries a DSL document with ';'
+                    # standing in for newlines; the database section may
+                    # be omitted once the registry has one.
+                    text = rest.replace(";", "\n")
+                    prelude = database_prelude()
+                    if prelude is not None and not any(
+                        line.strip() == "database"
+                        for line in text.splitlines()
+                    ):
+                        text = prelude + "\n" + text
+                    system = parse_system(text)
+                    admitted_names = []
+                    rejection = None
+                    for transaction in system.transactions:
+                        decision = registry.admit(
+                            transaction, want_certificate=False
+                        )
+                        if not decision.admitted:
+                            rejection = decision
+                            break
+                        admitted_names.append(decision.name)
+                    if rejection is not None:
+                        respond(
+                            f"REJECT {rejection.name} "
+                            f"{rejection.verdict.detail}"
+                        )
+                    else:
+                        respond(f"OK admitted {' '.join(admitted_names)}")
+                else:
+                    respond(f"ERR unknown command {command!r}")
+            except ReproError as exc:
+                respond(f"ERR {exc}")
+    finally:
+        registry.pool.close()
     return 0
 
 
@@ -180,6 +377,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("file")
     simulate.add_argument("--runs", type=int, default=1000)
     simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--json", action="store_true")
     simulate.set_defaults(func=cmd_simulate)
 
     plane = sub.add_parser("plane", help="render the coordinated plane")
@@ -188,11 +386,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     reduce_cmd = sub.add_parser("reduce", help="Theorem 3 on a CNF formula")
     reduce_cmd.add_argument("formula")
+    reduce_cmd.add_argument("--json", action="store_true")
     reduce_cmd.set_defaults(func=cmd_reduce)
 
     figures = sub.add_parser("figures", help="print the paper's systems")
     figures.add_argument("name", nargs="?")
     figures.set_defaults(func=cmd_figures)
+
+    vet = sub.add_parser(
+        "vet", help="batch-vet system files through one admission registry"
+    )
+    vet.add_argument("files", nargs="+")
+    vet.add_argument("--workers", type=int, default=1)
+    vet.add_argument("--cache-size", type=int, default=65536)
+    vet.add_argument("--cycle-limit", type=int, default=None)
+    vet.add_argument("--certificate", action="store_true")
+    vet.add_argument("--json", action="store_true")
+    vet.set_defaults(func=cmd_vet)
+
+    serve = sub.add_parser(
+        "serve", help="line-oriented admission request loop on stdin"
+    )
+    serve.add_argument("--workers", type=int, default=1)
+    serve.add_argument("--cache-size", type=int, default=65536)
+    serve.add_argument("--cycle-limit", type=int, default=None)
+    serve.set_defaults(func=cmd_serve)
 
     return parser
 
@@ -208,6 +426,13 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed the pipe early.
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -59,6 +59,7 @@ Method = Literal[
     "exact-bit-vector",
     "exhaustive",
     "proposition-2",
+    "admission",
 ]
 
 
@@ -402,6 +403,12 @@ def decide_safety(
         from .multi import decide_safety_multi
 
         return decide_safety_multi(system)
+    if len(system) == 0:
+        return SafetyVerdict(
+            safe=True,
+            method="trivial",
+            detail="an empty system has no schedules to mis-serialize",
+        )
     if len(system) == 1:
         return SafetyVerdict(
             safe=True,

@@ -29,6 +29,7 @@ from collections.abc import Iterable, Iterator, Sequence
 
 from ..errors import ScheduleError, TransactionError
 from ..graphs import DiGraph, is_acyclic
+from .entity import DistributedDatabase
 from .step import Step
 from .transaction import Transaction
 
@@ -50,13 +51,22 @@ class TransactionSystem:
     """A set ``T = {T1, ..., Tk}`` of locked transactions over a common
     distributed database."""
 
-    def __init__(self, transactions: Sequence[Transaction]) -> None:
-        if not transactions:
-            raise TransactionError("a transaction system needs transactions")
+    def __init__(
+        self,
+        transactions: Sequence[Transaction],
+        *,
+        database: "DistributedDatabase | None" = None,
+    ) -> None:
+        if not transactions and database is None:
+            raise TransactionError(
+                "a transaction system needs transactions (or an explicit "
+                "database= for an empty system)"
+            )
         names = [tx.name for tx in transactions]
         if len(set(names)) != len(names):
             raise TransactionError(f"duplicate transaction names: {names}")
-        database = transactions[0].database
+        if database is None:
+            database = transactions[0].database
         for tx in transactions:
             if tx.database != database:
                 raise TransactionError(

@@ -259,6 +259,41 @@ class Transaction:
         """Is *order* a total order compatible with this transaction?"""
         return self._poset.is_linear_extension(order)
 
+    def canonical_form(self) -> tuple:
+        """A deterministic, name-independent description of the
+        transaction's structure: its steps (with the site each entity is
+        stored at) and the full strict precedence relation, both in a
+        canonical sort order.
+
+        Two transactions have equal canonical forms iff they perform the
+        same steps on the same entities (stored at the same sites) under
+        the same partial order — regardless of transaction name, step
+        insertion order, or which generating arcs were supplied.  Safety
+        of a pair depends only on the canonical forms of its members,
+        which is what makes the form usable as a verdict-sharing cache
+        key (:mod:`repro.service.fingerprint`).
+        """
+        encode = {
+            step: (step.kind.value, step.entity, step.seq)
+            for step in self._steps
+        }
+        steps = tuple(sorted(encode.values()))
+        sites = tuple(
+            sorted(
+                (entity, self.database.site_of(entity))
+                for entity in {step.entity for step in self._steps}
+            )
+        )
+        order = tuple(
+            sorted(
+                (encode[a], encode[b])
+                for a in self._steps
+                for b in self._steps
+                if a != b and self._poset.precedes(a, b)
+            )
+        )
+        return (steps, sites, order)
+
     def describe(self) -> str:
         """Human-readable rendering: per-site chains plus cross-site arcs."""
         lines = [f"Transaction {self.name}"]

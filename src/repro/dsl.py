@@ -201,10 +201,14 @@ def parse_system(text: str) -> TransactionSystem:
         raise DslError(line_number, f"unrecognized directive {head!r}")
 
     if database is None:
-        raise DslError(0, "no transactions declared")
+        if not stored_at:
+            raise DslError(0, "no database declared")
+        # A database with no transactions is a valid (empty) system —
+        # the admission service starts from exactly this state.
+        database = DistributedDatabase(stored_at)
     finish_transaction(len(text.splitlines()))
     try:
-        return TransactionSystem(transactions)
+        return TransactionSystem(transactions, database=database)
     except ModelError as exc:
         raise DslError(0, str(exc)) from exc
 

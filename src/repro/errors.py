@@ -48,3 +48,10 @@ class CertificateError(ReproError):
 class ReductionError(ReproError):
     """The Theorem 3 reduction was fed a formula outside the restricted
     CNF form it requires."""
+
+
+class AdmissionError(ReproError):
+    """A protocol-level mistake against the admission service
+    (:mod:`repro.service`): duplicate transaction name, database
+    mismatch, or eviction of an unknown transaction.  Distinct from a
+    *rejection*, which is a normal decision outcome."""

@@ -1,0 +1,96 @@
+"""A bounded LRU cache of pair safety verdicts.
+
+Keys are unordered fingerprint pairs (:func:`repro.service.fingerprint.
+pair_key`); values are :class:`CachedVerdict` records — the
+name-independent part of a :class:`~repro.core.SafetyVerdict`.
+Certificates and witness schedules are *not* cached: they mention
+concrete transaction names, and only the single rejecting pair of an
+admission ever needs one, so rejections re-derive their evidence from
+the live pair instead.
+
+Invariants:
+
+* at most ``capacity`` entries are retained; inserting beyond that
+  evicts the least recently *used* entry (gets count as uses);
+* a hit never changes the stored verdict — entries are immutable;
+* ``hits + misses`` equals the number of :meth:`VerdictCache.get` calls.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..errors import AdmissionError
+from .fingerprint import PairKey
+
+
+@dataclass(frozen=True)
+class CachedVerdict:
+    """The shareable portion of a pair safety verdict."""
+
+    safe: bool
+    method: str
+    detail: str
+
+
+class VerdictCache:
+    """Bounded LRU map from fingerprint pairs to pair verdicts."""
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise AdmissionError(
+                f"verdict cache capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self._entries: OrderedDict[PairKey, CachedVerdict] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: PairKey) -> bool:
+        return key in self._entries
+
+    def get(self, key: PairKey) -> CachedVerdict | None:
+        """The cached verdict for *key*, refreshing its recency; counts
+        a hit or a miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: PairKey, verdict: CachedVerdict) -> None:
+        """Insert (or refresh) *key*, evicting the LRU entry if full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = verdict
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry; counters are kept (they describe the
+        cache's lifetime, not its contents)."""
+        self._entries.clear()
+
+    def hit_rate(self) -> float:
+        """Fraction of gets that hit; 0.0 before any lookup."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """Counters as a JSON-friendly dict."""
+        return {
+            "capacity": self.capacity,
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate(), 4),
+        }

@@ -1,0 +1,69 @@
+"""Content-addressed transaction fingerprints.
+
+Safety of a two-transaction subsystem is a function of the two
+transactions' *structures* only — the steps, the sites their entities
+live at, and the partial order — never of the transaction names
+(:meth:`repro.core.Transaction.canonical_form`).  Hashing that canonical
+form therefore yields a fingerprint with the property the verdict cache
+needs: equal fingerprints ⇒ interchangeable in any pair verdict.
+
+Fleets of structurally identical transactions (the common case in a
+high-throughput admission service: many clients running the same
+transaction template) collapse onto one fingerprint and share every
+cached pair verdict.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import weakref
+
+from ..core.transaction import Transaction
+
+#: A fingerprint is a hex digest string; a pair key is the sorted pair.
+Fingerprint = str
+PairKey = tuple[str, str]
+
+# Transactions are immutable once built, so a fingerprint can be
+# computed once per object; keyed weakly so the memo never keeps a
+# retired transaction alive.
+_memo: "weakref.WeakKeyDictionary[Transaction, Fingerprint]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _flatten(value, out: list[str]) -> None:
+    if isinstance(value, tuple):
+        out.append("(")
+        for item in value:
+            _flatten(item, out)
+        out.append(")")
+    else:
+        out.append(repr(value))
+
+
+def fingerprint_of(transaction: Transaction) -> Fingerprint:
+    """SHA-256 digest of the transaction's canonical form.
+
+    Deterministic across processes and sessions (no reliance on hash
+    randomization), independent of the transaction's name and of the
+    insertion order of its steps and precedence arcs.  Memoized per
+    transaction object.
+    """
+    cached = _memo.get(transaction)
+    if cached is not None:
+        return cached
+    pieces: list[str] = []
+    _flatten(transaction.canonical_form(), pieces)
+    digest = hashlib.sha256("\x1f".join(pieces).encode("utf-8")).hexdigest()
+    _memo[transaction] = digest
+    return digest
+
+
+def pair_key(first: Fingerprint, second: Fingerprint) -> PairKey:
+    """The cache key of an unordered fingerprint pair.
+
+    Safety of ``{T1, T2}`` is symmetric, so the key sorts the two
+    fingerprints: ``pair_key(a, b) == pair_key(b, a)``.
+    """
+    return (first, second) if first <= second else (second, first)

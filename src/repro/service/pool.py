@@ -1,0 +1,119 @@
+"""Parallel pair vetting over a process pool.
+
+The admission decision procedure is embarrassingly parallel across the
+new-vs-existing pairs (each ``D(Ti, Tj)`` is independent), so cache
+misses are fanned out to a ``concurrent.futures.ProcessPoolExecutor``
+in contiguous chunks.  Chunk results carry their input indices, and the
+merge reassembles verdicts **in submission order** regardless of which
+worker finished first — callers can zip the result against their pair
+list.
+
+``workers <= 1`` vets inline in the calling process (no pool, no
+pickling); the executor is created lazily on the first parallel call
+and reused until :meth:`PairVettingPool.close`, so per-admission
+batches amortize the worker start-up cost.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from ..core.safety import decide_safety
+from ..core.schedule import TransactionSystem
+from ..core.transaction import Transaction
+
+Pair = tuple[Transaction, Transaction]
+
+
+@dataclass(frozen=True)
+class PairVerdict:
+    """The outcome of vetting one transaction pair."""
+
+    safe: bool
+    method: str
+    detail: str
+
+
+def _vet_chunk(
+    chunk: Sequence[tuple[int, Transaction, Transaction]],
+) -> list[tuple[int, bool, str, str]]:
+    """Worker entry point: decide each indexed pair of *chunk*."""
+    results = []
+    for index, first, second in chunk:
+        verdict = decide_safety(
+            TransactionSystem([first, second]), want_certificate=False
+        )
+        results.append((index, verdict.safe, verdict.method, verdict.detail))
+    return results
+
+
+class PairVettingPool:
+    """Vets batches of transaction pairs, serially or in parallel."""
+
+    def __init__(
+        self, workers: int = 1, *, chunk_size: int | None = None
+    ) -> None:
+        """*workers* processes; *chunk_size* pairs per task (default:
+        batch split evenly, two chunks per worker, at least one pair)."""
+        self.workers = max(1, int(workers))
+        self.chunk_size = chunk_size
+        self._executor: ProcessPoolExecutor | None = None
+
+    # ------------------------------------------------------------------
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX platforms
+                context = multiprocessing.get_context()
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=context
+            )
+        return self._executor
+
+    def _chunks_of(self, indexed: list) -> list[list]:
+        size = self.chunk_size
+        if size is None:
+            size = max(1, math.ceil(len(indexed) / (self.workers * 2)))
+        return [
+            indexed[start : start + size]
+            for start in range(0, len(indexed), size)
+        ]
+
+    # ------------------------------------------------------------------
+    def vet(self, pairs: Sequence[Pair]) -> list[PairVerdict]:
+        """Verdicts for *pairs*, in the same order as *pairs*."""
+        indexed = [
+            (index, first, second)
+            for index, (first, second) in enumerate(pairs)
+        ]
+        if self.workers <= 1 or len(indexed) <= 1:
+            rows = _vet_chunk(indexed)
+        else:
+            executor = self._ensure_executor()
+            rows = []
+            for chunk_rows in executor.map(
+                _vet_chunk, self._chunks_of(indexed)
+            ):
+                rows.extend(chunk_rows)
+        merged: list[PairVerdict | None] = [None] * len(indexed)
+        for index, safe, method, detail in rows:
+            merged[index] = PairVerdict(safe=safe, method=method, detail=detail)
+        assert all(item is not None for item in merged)
+        return merged  # type: ignore[return-value]
+
+    def close(self) -> None:
+        """Shut the executor down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "PairVettingPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,70 @@
+"""Structured service counters and phase timers.
+
+Every admission walks the same phases — fingerprint, pair vetting,
+cycle check — and :class:`ServiceStats` accumulates both event counters
+and wall-clock seconds per phase, so throughput regressions can be
+attributed to a phase instead of guessed at.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+
+class ServiceStats:
+    """Counters and per-phase wall time for one admission service."""
+
+    COUNTERS = (
+        "admitted",
+        "rejected",
+        "evicted",
+        "fingerprints",
+        "pairs_considered",
+        "pairs_trivial",
+        "pairs_vetted",
+        "pairs_from_cache",
+        "cycles_checked",
+    )
+
+    def __init__(self) -> None:
+        for name in self.COUNTERS:
+            setattr(self, name, 0)
+        self.phase_seconds: dict[str, float] = {}
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Add *amount* to the counter *name* (must be a known counter)."""
+        if name not in self.COUNTERS:
+            raise KeyError(f"unknown service counter {name!r}")
+        setattr(self, name, getattr(self, name) + amount)
+
+    @contextmanager
+    def phase(self, name: str):
+        """Context manager accumulating wall time under *name*."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + (
+                time.perf_counter() - start
+            )
+
+    def as_dict(self) -> dict:
+        """All counters and phase times, JSON-friendly."""
+        payload = {name: getattr(self, name) for name in self.COUNTERS}
+        payload["phase_seconds"] = {
+            name: round(seconds, 6)
+            for name, seconds in sorted(self.phase_seconds.items())
+        }
+        return payload
+
+    def render(self) -> str:
+        """Human-readable multi-line rendering of :meth:`as_dict`."""
+        lines = ["service stats:"]
+        for name in self.COUNTERS:
+            lines.append(f"  {name:>16}: {getattr(self, name)}")
+        if self.phase_seconds:
+            lines.append("  wall time per phase:")
+            for name, seconds in sorted(self.phase_seconds.items()):
+                lines.append(f"  {name:>16}: {seconds * 1e3:8.2f} ms")
+        return "\n".join(lines)

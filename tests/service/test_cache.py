@@ -1,0 +1,86 @@
+"""The bounded LRU verdict cache."""
+
+import pytest
+
+from repro.errors import AdmissionError
+from repro.service import CachedVerdict, VerdictCache
+
+SAFE = CachedVerdict(safe=True, method="theorem-2", detail="ok")
+UNSAFE = CachedVerdict(safe=False, method="theorem-2", detail="not ok")
+
+
+class TestBasics:
+    def test_roundtrip(self):
+        cache = VerdictCache()
+        cache.put(("a", "b"), SAFE)
+        assert cache.get(("a", "b")) == SAFE
+        assert ("a", "b") in cache
+        assert len(cache) == 1
+
+    def test_miss_returns_none(self):
+        cache = VerdictCache()
+        assert cache.get(("a", "b")) is None
+
+    def test_put_refreshes_value(self):
+        cache = VerdictCache()
+        cache.put(("a", "b"), SAFE)
+        cache.put(("a", "b"), UNSAFE)
+        assert cache.get(("a", "b")) == UNSAFE
+        assert len(cache) == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(AdmissionError):
+            VerdictCache(0)
+
+
+class TestLru:
+    def test_insertion_beyond_capacity_evicts_oldest(self):
+        cache = VerdictCache(2)
+        cache.put(("a", "a"), SAFE)
+        cache.put(("b", "b"), SAFE)
+        cache.put(("c", "c"), SAFE)
+        assert ("a", "a") not in cache
+        assert ("b", "b") in cache and ("c", "c") in cache
+        assert cache.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = VerdictCache(2)
+        cache.put(("a", "a"), SAFE)
+        cache.put(("b", "b"), SAFE)
+        cache.get(("a", "a"))  # now ("b", "b") is the LRU entry
+        cache.put(("c", "c"), SAFE)
+        assert ("a", "a") in cache
+        assert ("b", "b") not in cache
+
+
+class TestCounters:
+    def test_hits_plus_misses_counts_gets(self):
+        cache = VerdictCache()
+        cache.put(("a", "a"), SAFE)
+        cache.get(("a", "a"))
+        cache.get(("b", "b"))
+        cache.get(("a", "a"))
+        assert cache.hits == 2 and cache.misses == 1
+        assert cache.hit_rate() == pytest.approx(2 / 3)
+
+    def test_hit_rate_defined_before_any_lookup(self):
+        assert VerdictCache().hit_rate() == 0.0
+
+    def test_clear_keeps_lifetime_counters(self):
+        cache = VerdictCache()
+        cache.put(("a", "a"), SAFE)
+        cache.get(("a", "a"))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+
+    def test_stats_dict(self):
+        cache = VerdictCache(8)
+        cache.put(("a", "a"), SAFE)
+        cache.get(("a", "a"))
+        stats = cache.stats()
+        assert stats["capacity"] == 8
+        assert stats["entries"] == 1
+        assert stats["hits"] == 1
+        assert stats["misses"] == 0
+        assert stats["hit_rate"] == 1.0

@@ -1,0 +1,58 @@
+"""Content-addressed transaction fingerprints."""
+
+import random
+
+from repro.core import DistributedDatabase, TransactionBuilder
+from repro.service import fingerprint_of, pair_key
+from repro.workloads import random_database, random_transaction
+
+
+def chain(name, db, entities):
+    builder = TransactionBuilder(name, db)
+    steps = []
+    for entity in entities:
+        steps.extend(builder.access(entity))
+    for before, after in zip(steps, steps[1:]):
+        builder.precede(before, after)
+    return builder.build()
+
+
+class TestFingerprintOf:
+    def test_name_independent(self):
+        db = DistributedDatabase.single_site(["a", "b"])
+        assert fingerprint_of(chain("T1", db, ["a", "b"])) == fingerprint_of(
+            chain("SomethingElse", db, ["a", "b"])
+        )
+
+    def test_structure_sensitive(self):
+        db = DistributedDatabase.single_site(["a", "b"])
+        assert fingerprint_of(chain("T", db, ["a", "b"])) != fingerprint_of(
+            chain("T", db, ["b", "a"])
+        )
+
+    def test_site_assignment_sensitive(self):
+        one_site = DistributedDatabase.single_site(["a", "b"])
+        two_sites = DistributedDatabase({"a": 1, "b": 2}, sites=2)
+        assert fingerprint_of(chain("T", one_site, ["a", "b"])) != (
+            fingerprint_of(chain("T", two_sites, ["a", "b"]))
+        )
+
+    def test_stable_across_calls(self):
+        rng = random.Random(7)
+        db = random_database(rng, entities=4, sites=2)
+        transaction = random_transaction("T", db, rng, cross_arcs=2)
+        assert fingerprint_of(transaction) == fingerprint_of(transaction)
+
+    def test_is_a_hex_digest(self):
+        db = DistributedDatabase.single_site(["a"])
+        digest = fingerprint_of(chain("T", db, ["a"]))
+        assert len(digest) == 64
+        assert set(digest) <= set("0123456789abcdef")
+
+
+class TestPairKey:
+    def test_symmetric(self):
+        assert pair_key("aa", "bb") == pair_key("bb", "aa") == ("aa", "bb")
+
+    def test_reflexive_pair_allowed(self):
+        assert pair_key("aa", "aa") == ("aa", "aa")

@@ -1,0 +1,75 @@
+"""Process-pool pair vetting."""
+
+import random
+
+from repro.core import TransactionSystem, decide_safety
+from repro.service import PairVettingPool
+from repro.workloads import random_pair_system
+
+
+def sample_pairs(count, *, seed=400):
+    pairs = []
+    for offset in range(count):
+        rng = random.Random(seed + offset)
+        system = random_pair_system(
+            rng, sites=2, entities=3, shared=2, cross_arcs=rng.randint(0, 2)
+        )
+        pairs.append(tuple(system.transactions))
+    return pairs
+
+
+class TestSerial:
+    def test_matches_decide_safety(self):
+        pairs = sample_pairs(6)
+        with PairVettingPool(workers=1) as pool:
+            verdicts = pool.vet(pairs)
+        for (first, second), verdict in zip(pairs, verdicts):
+            expected = decide_safety(TransactionSystem([first, second]))
+            assert verdict.safe == expected.safe
+            assert verdict.method == expected.method
+
+    def test_empty_batch(self):
+        with PairVettingPool(workers=1) as pool:
+            assert pool.vet([]) == []
+
+
+class TestParallel:
+    def test_matches_serial_in_order(self):
+        pairs = sample_pairs(9)
+        with PairVettingPool(workers=1) as serial:
+            expected = serial.vet(pairs)
+        with PairVettingPool(workers=2) as parallel:
+            assert parallel.vet(pairs) == expected
+
+    def test_executor_reused_between_batches(self):
+        pairs = sample_pairs(4)
+        with PairVettingPool(workers=2) as pool:
+            pool.vet(pairs)
+            first_executor = pool._executor
+            pool.vet(pairs)
+            assert pool._executor is first_executor
+        assert pool._executor is None  # closed on exit
+
+    def test_single_pair_stays_inline(self):
+        pairs = sample_pairs(1)
+        with PairVettingPool(workers=4) as pool:
+            pool.vet(pairs)
+            assert pool._executor is None
+
+
+class TestChunking:
+    def test_default_two_chunks_per_worker(self):
+        pool = PairVettingPool(workers=2)
+        chunks = pool._chunks_of(list(range(8)))
+        assert [len(chunk) for chunk in chunks] == [2, 2, 2, 2]
+
+    def test_explicit_chunk_size(self):
+        pool = PairVettingPool(workers=2, chunk_size=3)
+        chunks = pool._chunks_of(list(range(8)))
+        assert [len(chunk) for chunk in chunks] == [3, 3, 2]
+
+    def test_chunks_cover_everything_in_order(self):
+        pool = PairVettingPool(workers=3)
+        items = list(range(11))
+        chunks = pool._chunks_of(items)
+        assert [item for chunk in chunks for item in chunk] == items

@@ -1,0 +1,222 @@
+"""The incremental admission state machine."""
+
+import pytest
+
+from repro.core import (
+    DistributedDatabase,
+    TransactionBuilder,
+    TransactionSystem,
+    decide_safety,
+)
+from repro.errors import AdmissionError
+from repro.service import AdmissionRegistry, VerdictCache
+
+
+def chain(name, db, entities, two_phase=False):
+    """Totally ordered transaction accessing *entities* in sequence."""
+    builder = TransactionBuilder(name, db)
+    if two_phase:
+        steps = [builder.lock(entity) for entity in entities]
+        for entity in entities:
+            builder.update(entity)
+        steps += [builder.unlock(entity) for entity in entities]
+    else:
+        steps = []
+        for entity in entities:
+            steps.extend(builder.access(entity))
+    for before, after in zip(steps, steps[1:]):
+        builder.precede(before, after)
+    return builder.build()
+
+
+@pytest.fixture
+def db():
+    return DistributedDatabase.single_site(["a", "b", "c"])
+
+
+class TestAdmission:
+    def test_safe_pair_admitted(self, db):
+        registry = AdmissionRegistry()
+        registry.admit(chain("T1", db, ["a", "b"], two_phase=True))
+        decision = registry.admit(chain("T2", db, ["a", "b"], two_phase=True))
+        assert decision.admitted
+        assert decision.verdict.method == "admission"
+        assert decision.pairs_vetted == 1
+        assert registry.names == ["T1", "T2"]
+
+    def test_unsafe_pair_rejected_and_registry_unchanged(self, db):
+        registry = AdmissionRegistry()
+        registry.admit(chain("T1", db, ["a", "b"]))
+        decision = registry.admit(chain("T2", db, ["b", "a"]))
+        assert not decision.admitted
+        assert decision.failing_pair == ("T2", "T1")
+        assert "unsafe" in decision.verdict.detail
+        assert registry.names == ["T1"]
+
+    def test_rejection_carries_certificate_on_request(self, db):
+        registry = AdmissionRegistry()
+        registry.admit(chain("T1", db, ["a", "b"]))
+        decision = registry.admit(
+            chain("T2", db, ["b", "a"]), want_certificate=True
+        )
+        assert decision.verdict.certificate is not None
+        assert decision.verdict.witness is not None
+
+    def test_trivial_pair_not_vetted(self, db):
+        registry = AdmissionRegistry()
+        registry.admit(chain("T1", db, ["a", "b"]))
+        decision = registry.admit(chain("T2", db, ["b", "c"]))
+        assert decision.admitted
+        assert decision.pairs_trivial == 1
+        assert decision.pairs_vetted == 0
+
+    def test_verdict_matches_offline_decider(self, db):
+        registry = AdmissionRegistry()
+        first = chain("T1", db, ["a", "b"])
+        second = chain("T2", db, ["a", "b"], two_phase=True)
+        registry.admit(first)
+        decision = registry.admit(second)
+        offline = decide_safety(TransactionSystem([first, second]))
+        assert decision.admitted == offline.safe
+
+
+class TestProtocolErrors:
+    def test_duplicate_name(self, db):
+        registry = AdmissionRegistry()
+        registry.admit(chain("T1", db, ["a"]))
+        with pytest.raises(AdmissionError, match="already live"):
+            registry.admit(chain("T1", db, ["b"]))
+
+    def test_database_mismatch(self, db):
+        other_db = DistributedDatabase({"a": 1, "b": 2}, sites=2)
+        registry = AdmissionRegistry()
+        registry.admit(chain("T1", db, ["a"]))
+        with pytest.raises(AdmissionError, match="different database"):
+            registry.admit(chain("T2", other_db, ["a"]))
+
+    def test_evict_unknown(self, db):
+        with pytest.raises(AdmissionError, match="unknown transaction"):
+            AdmissionRegistry().evict("ghost")
+
+    def test_member_unknown(self, db):
+        with pytest.raises(AdmissionError, match="no live transaction"):
+            AdmissionRegistry().member("ghost")
+
+
+class TestCycleCondition:
+    def triangle(self, db):
+        return [
+            chain("T1", db, ["a", "b"]),
+            chain("T2", db, ["b", "c"]),
+            chain("T3", db, ["c", "a"]),
+        ]
+
+    def test_pairwise_safe_triangle_rejected(self, db):
+        registry = AdmissionRegistry()
+        t1, t2, t3 = self.triangle(db)
+        assert registry.admit(t1).admitted
+        assert registry.admit(t2).admitted
+        decision = registry.admit(t3)
+        assert not decision.admitted
+        assert decision.verdict.method == "proposition-2"
+        assert decision.failing_cycle is not None
+        assert set(decision.failing_cycle) == {"T1", "T2", "T3"}
+
+    def test_eviction_reopens_admission(self, db):
+        registry = AdmissionRegistry()
+        t1, t2, t3 = self.triangle(db)
+        registry.admit(t1)
+        registry.admit(t2)
+        registry.evict(t2.name)
+        assert registry.admit(t3).admitted
+        assert registry.names == ["T1", "T3"]
+
+    def test_cycle_limit_raises_rather_than_guessing(self, db):
+        registry = AdmissionRegistry(cycle_limit=1)
+        t1, t2, t3 = self.triangle(db)
+        registry.admit(t1)
+        registry.admit(t2)
+        with pytest.raises(AdmissionError, match="cycle enumeration"):
+            registry.admit(t3)
+
+    def test_admit_system_skips_rejections(self, db):
+        registry = AdmissionRegistry()
+        decisions = registry.admit_system(TransactionSystem(self.triangle(db)))
+        assert [decision.admitted for decision in decisions] == [
+            True, True, False,
+        ]
+        assert registry.names == ["T1", "T2"]
+
+
+class TestEvictionIndex:
+    def test_evicted_member_no_longer_blocks(self, db):
+        registry = AdmissionRegistry()
+        registry.admit(chain("T1", db, ["a", "b"]))
+        registry.admit(chain("T2", db, ["b", "c"]))
+        assert not registry.admit(chain("T3", db, ["b", "a"])).admitted
+        registry.evict("T1")
+        assert registry.admit(chain("T3", db, ["b", "a"])).admitted
+
+    def test_interaction_edges_follow_evictions(self, db):
+        registry = AdmissionRegistry()
+        registry.admit(chain("T1", db, ["a", "b"]))
+        registry.admit(chain("T2", db, ["b", "c"]))
+        assert registry.interaction_edges() == [("T1", "T2")]
+        registry.evict("T1")
+        assert registry.interaction_edges() == []
+
+
+class TestCacheSharing:
+    def test_second_registry_reuses_verdicts(self, db):
+        cache = VerdictCache()
+        fleet = [
+            chain("T1", db, ["a", "b"], two_phase=True),
+            chain("T2", db, ["a", "b"], two_phase=True),
+        ]
+        first = AdmissionRegistry(cache=cache)
+        for transaction in fleet:
+            first.admit(transaction)
+        assert first.stats.pairs_vetted == 1
+
+        second = AdmissionRegistry(cache=cache)
+        decisions = [second.admit(t) for t in fleet]
+        assert all(decision.admitted for decision in decisions)
+        assert second.stats.pairs_vetted == 0
+        assert second.stats.pairs_from_cache == 1
+
+    def test_unsafe_verdict_cached_but_evidence_fresh(self, db):
+        cache = VerdictCache()
+        first = AdmissionRegistry(cache=cache)
+        first.admit(chain("T1", db, ["a", "b"]))
+        first.admit(chain("T2", db, ["b", "a"]))
+
+        second = AdmissionRegistry(cache=cache)
+        second.admit(chain("T1", db, ["a", "b"]))
+        decision = second.admit(
+            chain("T2", db, ["b", "a"]), want_certificate=True
+        )
+        assert not decision.admitted
+        assert decision.pairs_from_cache == 1
+        assert decision.verdict.certificate is not None
+
+
+class TestIntrospection:
+    def test_stats_dict_shape(self, db):
+        registry = AdmissionRegistry()
+        registry.admit(chain("T1", db, ["a"]))
+        payload = registry.stats_dict()
+        assert payload["live_transactions"] == 1
+        assert payload["service"]["admitted"] == 1
+        assert "hit_rate" in payload["cache"]
+
+    def test_system_roundtrip(self, db):
+        registry = AdmissionRegistry()
+        registry.admit(chain("T1", db, ["a", "b"], two_phase=True))
+        registry.admit(chain("T2", db, ["b", "c"], two_phase=True))
+        system = registry.system()
+        assert [t.name for t in system.transactions] == ["T1", "T2"]
+        assert decide_safety(system).safe
+
+    def test_system_requires_a_database(self):
+        with pytest.raises(AdmissionError, match="no database"):
+            AdmissionRegistry().system()

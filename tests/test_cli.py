@@ -1,5 +1,8 @@
 """The command-line interface."""
 
+import io
+import json
+
 import pytest
 
 from repro.cli import main
@@ -160,6 +163,196 @@ class TestReduce:
     def test_unrestricted_input_transformed(self, capsys):
         assert main(["reduce", "(a | b | c | d)"]) == 0
         assert "restricted form" in capsys.readouterr().out
+
+
+DATABASE_ONLY = """
+database
+  site 1: x y
+  site 2: z
+"""
+
+TRIANGLE_FILES = {
+    "t1.sys": """
+database
+  site 1: a b c
+
+transaction T1
+  site 1: La a Ua Lb b Ub
+""",
+    "t2.sys": """
+database
+  site 1: a b c
+
+transaction T2
+  site 1: Lb b Ub Lc c Uc
+""",
+    "t3.sys": """
+database
+  site 1: a b c
+
+transaction T3
+  site 1: Lc c Uc La a Ua
+""",
+}
+
+
+@pytest.fixture
+def triangle_files(tmp_path):
+    paths = []
+    for name, text in TRIANGLE_FILES.items():
+        path = tmp_path / name
+        path.write_text(text)
+        paths.append(str(path))
+    return paths
+
+
+class TestAnalyzeEmptySystem:
+    def test_database_only_file_is_trivially_safe(self, tmp_path, capsys):
+        path = tmp_path / "empty.sys"
+        path.write_text(DATABASE_ONLY)
+        assert main(["analyze", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "transactions: " in out
+        assert "sites used:   []" in out
+        assert "safe:         True" in out
+
+
+class TestSimulateJson:
+    def test_payload_shape(self, safe_file, capsys):
+        code = main(
+            ["simulate", safe_file, "--runs", "50", "--seed", "9", "--json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["runs"] == 50
+        assert payload["seed"] == 9
+        assert payload["rates"]["non-serializable"] == 0.0
+        assert payload["verdict"]["safe"] is True
+        assert payload["agreement"] is True
+
+    def test_unsafe_system(self, unsafe_file, capsys):
+        code = main(["simulate", unsafe_file, "--runs", "200", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["rates"]["non-serializable"] > 0
+        assert payload["verdict"]["safe"] is False
+
+
+class TestReduceJson:
+    def test_satisfiable_formula(self, capsys):
+        assert main(["reduce", "(a | b) & (~a | b)", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["satisfiable"] is True
+        assert payload["verdict"]["safe"] is False
+        assert payload["agreement"] is True
+        assert payload["entities"] > 0
+
+    def test_trivial_unsat_settled_early(self, capsys):
+        assert main(["reduce", "(a) & (~a)", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["satisfiable"] is False
+        assert payload["settled_by_unit_propagation"] is False
+
+    def test_unrestricted_input_reports_transform(self, capsys):
+        assert main(["reduce", "(a | b | c | d)", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "restricted_form" in payload
+
+
+class TestVet:
+    def test_safe_files_all_admitted(self, safe_file, capsys):
+        assert main(["vet", safe_file]) == 0
+        out = capsys.readouterr().out
+        assert "ADMIT  T1" in out and "ADMIT  T2" in out
+        assert "2 admitted, 0 rejected" in out
+        assert "service stats:" in out
+
+    def test_unsafe_pair_rejected(self, unsafe_file, capsys):
+        assert main(["vet", unsafe_file]) == 1
+        out = capsys.readouterr().out
+        assert "ADMIT  T1" in out
+        assert "REJECT T2" in out and "unsafe" in out
+
+    def test_cycle_condition_across_files(self, triangle_files, capsys):
+        assert main(["vet", *triangle_files]) == 1
+        out = capsys.readouterr().out
+        assert "ADMIT  T1" in out and "ADMIT  T2" in out
+        assert "REJECT T3" in out and "B_c is acyclic" in out
+
+    def test_name_collisions_renamed(self, safe_file, capsys):
+        assert main(["vet", safe_file, safe_file]) == 0
+        out = capsys.readouterr().out
+        assert "ADMIT  T1@2" in out and "ADMIT  T2@2" in out
+
+    def test_json_payload(self, unsafe_file, capsys):
+        code = main(["vet", unsafe_file, "--json", "--workers", "1"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["admitted"] == 1 and payload["rejected"] == 1
+        decisions = payload["decisions"]
+        assert decisions[0]["admitted"] is True
+        assert decisions[1]["admitted"] is False
+        assert decisions[1]["failing_pair"] == ["T2", "T1"]
+        assert payload["stats"]["live_transactions"] == 1
+
+    def test_missing_file_exits_2(self, capsys):
+        assert main(["vet", "/nonexistent.sys"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestServe:
+    def run_serve(self, monkeypatch, capsys, lines):
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("".join(line + "\n" for line in lines))
+        )
+        assert main(["serve"]) == 0
+        return capsys.readouterr().out.splitlines()
+
+    def test_admit_evict_stats_loop(self, monkeypatch, capsys):
+        out = self.run_serve(
+            monkeypatch,
+            capsys,
+            [
+                "ADMIT database; site 1: a b c;"
+                " transaction T1; site 1: La a Ua Lb b Ub",
+                "ADMIT transaction T2; site 1: Lb b Ub Lc c Uc",
+                "ADMIT transaction T3; site 1: Lc c Uc La a Ua",
+                "STATS",
+                "EVICT T2",
+                "ADMIT transaction T3; site 1: Lc c Uc La a Ua",
+                "QUIT",
+            ],
+        )
+        assert out[0] == "READY"
+        assert out[1] == "OK admitted T1"
+        assert out[2] == "OK admitted T2"
+        assert out[3].startswith("REJECT T3")
+        stats = json.loads(out[4].removeprefix("STATS "))
+        assert stats["live_transactions"] == 2
+        assert out[5] == "OK evicted T2"
+        assert out[6] == "OK admitted T3"
+        assert out[7] == "OK bye"
+
+    def test_protocol_errors_are_reported_not_fatal(self, monkeypatch, capsys):
+        out = self.run_serve(
+            monkeypatch,
+            capsys,
+            [
+                "EVICT ghost",
+                "FROBNICATE",
+                "ADMIT transaction T1; site 1: La a Ua",
+                "QUIT",
+            ],
+        )
+        assert out[1].startswith("ERR cannot evict unknown")
+        assert out[2].startswith("ERR unknown command")
+        # No database was ever declared, so the bare ADMIT fails cleanly.
+        assert out[3].startswith("ERR")
+        assert out[4] == "OK bye"
+
+    def test_blank_lines_ignored_and_eof_terminates(self, monkeypatch, capsys):
+        out = self.run_serve(monkeypatch, capsys, ["", "   "])
+        assert out == ["READY"]
 
 
 class TestFigures:

@@ -18,6 +18,7 @@ PUBLIC_MODULES = [
     "repro.sim",
     "repro.policies",
     "repro.workloads",
+    "repro.service",
     "repro.viz",
     "repro.dsl",
     "repro.cli",
@@ -73,7 +74,10 @@ class TestDocFiles:
 
     @pytest.mark.parametrize(
         "filename",
-        ["model.md", "algorithms.md", "reduction.md", "dsl.md", "api.md"],
+        [
+            "model.md", "algorithms.md", "reduction.md", "dsl.md",
+            "service.md", "api.md",
+        ],
     )
     def test_docs_directory_complete(self, filename):
         path = ROOT / "docs" / filename

@@ -14,6 +14,31 @@ from collections.abc import Sequence
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def metrics_snapshot(stats=None, cache=None, *, decisions=False) -> dict:
+    """An observability snapshot to embed into a result row: per-phase
+    wall seconds (and error counts) from *stats* (a
+    :class:`~repro.service.ServiceStats`), the hit ratio from *cache*
+    (a :class:`~repro.service.VerdictCache`), and — with *decisions* —
+    the process-wide ``repro_decisions_total`` counter series (which
+    decision-ladder rungs fired, cumulative for this process)."""
+    snapshot: dict = {}
+    if stats is not None:
+        snapshot["phase_seconds"] = {
+            name: round(seconds, 6)
+            for name, seconds in sorted(stats.phase_seconds.items())
+        }
+        if stats.phase_errors:
+            snapshot["phase_errors"] = dict(sorted(stats.phase_errors.items()))
+    if cache is not None:
+        snapshot["cache_hit_rate"] = round(cache.hit_rate(), 4)
+    if decisions:
+        from repro.obs import metrics
+
+        dump = metrics.REGISTRY.to_dict().get("repro_decisions_total", {})
+        snapshot["decisions"] = dump.get("series", {})
+    return snapshot
+
+
 def write_json(name: str, payload: dict) -> pathlib.Path:
     """Merge *payload* into ``results/<name>.json`` (machine-readable
     perf trajectory; keys from earlier calls in the same run survive).

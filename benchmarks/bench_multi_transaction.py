@@ -11,7 +11,7 @@ import time
 from repro.core import decide_safety_exhaustive, decide_safety_multi
 from repro.workloads import random_system
 
-from _series import report, table, write_json
+from _series import metrics_snapshot, report, table, write_json
 
 
 def test_proposition_2_agreement(benchmark):
@@ -48,6 +48,7 @@ def test_proposition_2_agreement(benchmark):
             "agreement": agreements,
             "systems": total,
             "unsafe_systems": unsafe_count,
+            "metrics": metrics_snapshot(decisions=True),
         },
     )
     assert agreements == total
@@ -89,4 +90,7 @@ def test_proposition_2_scaling(benchmark):
             "enumeration kicks in as the interaction graph densifies",
         ],
     )
-    write_json("BENCH_multi", {"scaling": scaling})
+    write_json(
+        "BENCH_multi",
+        {"scaling": scaling, "metrics": metrics_snapshot(decisions=True)},
+    )

@@ -1,0 +1,95 @@
+"""E12 — observability overhead: disabled tracing must be ~free.
+
+Series: the 208-transaction clustered fleet of E9 pushed through the
+admission service twice — once with tracing off (the production
+default) and once tracing every span into a JSONL file — plus a direct
+measurement of the disabled-span fast path (a dict lookup, a falsy
+branch, no allocation).
+
+The claim under test is the instrumentation contract: with tracing
+*disabled*, the spans sprinkled through decide/vet must cost less than
+3% of the fleet's admission wall time.  The wall-clock delta of a
+single enabled-vs-disabled run is also recorded, but the assertion is
+made on ``spans_per_run x ns_per_disabled_span`` — the honest estimate
+of what the disabled path adds, immune to the run-to-run noise of a
+shared host.
+"""
+
+import random
+import time
+
+from repro.obs import trace
+from repro.service import VerdictCache
+
+from _series import report, write_json
+from bench_service_throughput import FLEET_SEED, admit_all, clustered_fleet
+
+OVERHEAD_BUDGET = 0.03
+
+
+def _disabled_span_ns(samples: int = 200_000) -> float:
+    """Mean cost of one ``with span(...)`` while tracing is off."""
+    assert not trace.tracing_enabled()
+    span = trace.span
+    start = time.perf_counter_ns()
+    for _ in range(samples):
+        with span("obs.bench.noop"):
+            pass
+    return (time.perf_counter_ns() - start) / samples
+
+
+def test_tracing_overhead(benchmark, tmp_path):
+    rng = random.Random(FLEET_SEED)
+    database, fleet = clustered_fleet(rng)
+    assert len(fleet) >= 200
+
+    assert not trace.tracing_enabled()
+    _, disabled_seconds, _, _ = admit_all(
+        fleet, database=database, cache=VerdictCache()
+    )
+
+    trace_file = tmp_path / "fleet.jsonl"
+    trace.start_tracing(str(trace_file))
+    try:
+        _, enabled_seconds, _, _ = admit_all(
+            fleet, database=database, cache=VerdictCache()
+        )
+    finally:
+        trace.stop_tracing()
+    spans_per_run = sum(1 for line in trace_file.read_text().splitlines() if line)
+    assert spans_per_run > len(fleet)  # at least one span per admission
+
+    ns_per_disabled_span = _disabled_span_ns()
+    benchmark(lambda: _disabled_span_ns(2_000))
+
+    # What the disabled instrumentation actually adds to the fleet run.
+    disabled_overhead = (
+        spans_per_run * ns_per_disabled_span / (disabled_seconds * 1e9)
+    )
+    enabled_ratio = enabled_seconds / disabled_seconds
+
+    report(
+        "E12-obs-overhead",
+        f"span instrumentation cost on the {len(fleet)}-transaction fleet",
+        [
+            f"tracing off: {disabled_seconds:.3f} s",
+            f"tracing on:  {enabled_seconds:.3f} s "
+            f"({enabled_ratio:.2f}x, {spans_per_run} spans recorded)",
+            f"disabled span: {ns_per_disabled_span:.0f} ns each -> "
+            f"{disabled_overhead:.4%} of the untraced run",
+        ],
+    )
+    write_json(
+        "BENCH_obs",
+        {
+            "fleet": len(fleet),
+            "disabled_seconds": round(disabled_seconds, 4),
+            "enabled_seconds": round(enabled_seconds, 4),
+            "enabled_ratio": round(enabled_ratio, 3),
+            "spans_per_run": spans_per_run,
+            "ns_per_disabled_span": round(ns_per_disabled_span, 1),
+            "disabled_overhead_fraction": round(disabled_overhead, 6),
+            "overhead_budget": OVERHEAD_BUDGET,
+        },
+    )
+    assert disabled_overhead < OVERHEAD_BUDGET

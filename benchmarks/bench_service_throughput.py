@@ -21,7 +21,7 @@ from repro.core import DistributedDatabase, TransactionSystem, decide_safety
 from repro.service import AdmissionRegistry, PairVettingPool, VerdictCache
 from repro.workloads import random_transaction
 
-from _series import report, table, write_json
+from _series import metrics_snapshot, report, table, write_json
 
 CLUSTERS = 52
 CLUSTER_SIZE = 4
@@ -100,7 +100,8 @@ def reference_admissions(fleet):
 
 def admit_all(fleet, *, database, cache, workers=1):
     """Push the whole fleet through one registry; return the admitted
-    names and the elapsed wall time."""
+    names, the elapsed wall time, the stats dict and an observability
+    snapshot (per-phase seconds, cache hit rate)."""
     registry = AdmissionRegistry(
         database=database,
         cache=cache,
@@ -116,7 +117,8 @@ def admit_all(fleet, *, database, cache, workers=1):
         registry.pool.close()
     elapsed = time.perf_counter() - start
     admitted = {d.name for d in decisions if d.admitted}
-    return admitted, elapsed, registry.stats_dict()
+    snapshot = metrics_snapshot(registry.stats, registry.cache)
+    return admitted, elapsed, registry.stats_dict(), snapshot
 
 
 def test_service_cache_warmup(benchmark):
@@ -125,10 +127,10 @@ def test_service_cache_warmup(benchmark):
     assert len(fleet) >= 200
 
     cache = VerdictCache()
-    cold_admitted, cold_seconds, cold_stats = admit_all(
+    cold_admitted, cold_seconds, cold_stats, cold_metrics = admit_all(
         fleet, database=database, cache=cache
     )
-    warm_admitted, warm_seconds, warm_stats = admit_all(
+    warm_admitted, warm_seconds, warm_stats, warm_metrics = admit_all(
         fleet, database=database, cache=cache
     )
     reference = reference_admissions(fleet)
@@ -180,6 +182,8 @@ def test_service_cache_warmup(benchmark):
                 warm_stats["service"]["pairs_from_cache"]
             ),
             "identity_with_decide_safety": cold_admitted == reference,
+            "cold_metrics": cold_metrics,
+            "warm_metrics": warm_metrics,
         },
     )
     assert cold_admitted == warm_admitted == reference

@@ -32,7 +32,17 @@ Subcommands
 ``serve``
     Long-running line-oriented admission loop on stdin/stdout:
     ``ADMIT <dsl with ';' for newlines>``, ``EVICT <name>``, ``STATS``,
-    ``QUIT``.
+    ``METRICS``, ``QUIT``.
+
+``trace-report FILE``
+    Aggregate a span trace (written by ``--trace``) into a top-spans
+    table: call counts, total / self / max time per span name.
+
+Observability (:mod:`repro.obs`) cuts across the subcommands: ``-v`` /
+``--quiet`` tune narration globally (``--log-json`` swaps it onto a
+JSON-lines logger), while ``analyze`` / ``simulate`` / ``vet`` accept
+``--trace FILE`` (record a span timeline) and ``--metrics`` (dump the
+process metrics registry to stderr, Prometheus text format, on exit).
 """
 
 from __future__ import annotations
@@ -45,6 +55,7 @@ from .core import GeometricPicture, d_graph, decide_safety, decide_safety_exhaus
 from .dsl import parse_system, render_system
 from .errors import ReproError
 from .logic import CnfFormula, is_satisfiable
+from .obs import log, metrics, trace
 from .sim import estimate_violation_rate
 from .viz import digraph_to_dot, render_plane
 
@@ -55,6 +66,7 @@ def _load_system(path: str):
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
+    log.info(f"loading {args.file}")
     system = _load_system(args.file)
     verdict = decide_safety(system, want_certificate=args.certificate)
     if args.json:
@@ -64,35 +76,45 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             payload["exhaustive_agrees"] = (
                 decide_safety_exhaustive(system).safe == verdict.safe
             )
-        print(json.dumps(payload, indent=2))
+        log.result(json.dumps(payload, indent=2))
         return 0 if verdict.safe else 1
-    print(f"transactions: {', '.join(system.names)}")
+    log.out(f"transactions: {', '.join(system.names)}")
     sites_used: set[int] = set()
     for tx in system.transactions:
         sites_used |= tx.sites_used()
-    print(f"sites used:   {sorted(sites_used)}")
-    print(f"safe:         {verdict.safe}")
-    print(f"method:       {verdict.method}")
-    print(f"detail:       {verdict.detail}")
+    log.out(f"sites used:   {sorted(sites_used)}")
+    log.result(f"safe:         {verdict.safe}")
+    log.result(f"method:       {verdict.method}")
+    log.result(f"detail:       {verdict.detail}")
     if verdict.witness is not None:
-        print(f"witness:      {verdict.witness}")
+        log.result(f"witness:      {verdict.witness}")
     if args.certificate and verdict.certificate is not None:
-        print()
-        print(verdict.certificate.describe())
+        log.result()
+        log.result(verdict.certificate.describe())
     if args.exhaustive:
         ground_truth = decide_safety_exhaustive(system)
         agree = ground_truth.safe == verdict.safe
-        print(f"exhaustive:   safe={ground_truth.safe} (agree: {agree})")
+        log.out(f"exhaustive:   safe={ground_truth.safe} (agree: {agree})")
         if not agree:
             return 2
     if args.dot and len(system) == 2:
-        print()
-        print(digraph_to_dot(d_graph(*system.pair()), name="D(T1,T2)"))
+        log.result()
+        log.result(digraph_to_dot(d_graph(*system.pair()), name="D(T1,T2)"))
     return 0 if verdict.safe else 1
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
+    log.info(f"loading {args.file}")
     system = _load_system(args.file)
+    if args.events:
+        from .obs.events import EventLog
+        from .sim import RandomDriver, run_once
+
+        event_log = EventLog()
+        result = run_once(system, RandomDriver(args.seed), event_log=event_log)
+        log.result(event_log.render())
+        log.result(f"outcome: {result.outcome}")
+        return 0 if result.outcome != "non-serializable" else 1
     rates = estimate_violation_rate(system, runs=args.runs, seed=args.seed)
     if args.json:
         verdict = decide_safety(system, want_certificate=False)
@@ -106,11 +128,11 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             # counts, so the bit is reported, not asserted.
             "agreement": (rates["non-serializable"] == 0) == verdict.safe,
         }
-        print(json.dumps(payload, indent=2))
+        log.result(json.dumps(payload, indent=2))
         return 0 if rates["non-serializable"] == 0 else 1
-    print(f"runs: {args.runs} (seed {args.seed})")
+    log.out(f"runs: {args.runs} (seed {args.seed})")
     for outcome in ("serializable", "non-serializable", "deadlock"):
-        print(f"  {outcome:>18}: {rates[outcome]:7.2%}")
+        log.result(f"  {outcome:>18}: {rates[outcome]:7.2%}")
     return 0 if rates["non-serializable"] == 0 else 1
 
 
@@ -119,22 +141,21 @@ def cmd_plane(args: argparse.Namespace) -> int:
     first, second = system.pair()
     for tx in (first, second):
         if not tx.is_totally_ordered():
-            print(
+            log.error(
                 f"error: {tx.name} is not totally ordered; 'plane' draws "
-                "the Fig. 2 picture of total orders",
-                file=sys.stderr,
+                "the Fig. 2 picture of total orders"
             )
             return 2
     picture = GeometricPicture(
         first.a_linear_extension(), second.a_linear_extension()
     )
     curve = picture.find_nonserializable_curve()
-    print(render_plane(picture, curve))
-    print()
+    log.result(render_plane(picture, curve))
+    log.result()
     if curve is None:
-        print("no separating curve: the pair is safe (Proposition 1)")
+        log.result("no separating curve: the pair is safe (Proposition 1)")
         return 0
-    print("separating curve shown: the pair is UNSAFE (Proposition 1)")
+    log.result("separating curve shown: the pair is UNSAFE (Proposition 1)")
     return 1
 
 
@@ -148,20 +169,20 @@ def cmd_reduce(args: argparse.Namespace) -> int:
     sat = is_satisfiable(formula)
     payload["satisfiable"] = sat
     if not args.json:
-        print(f"F = {payload['formula']}")
-        print(f"satisfiable (DPLL): {sat}")
+        log.out(f"F = {payload['formula']}")
+        log.result(f"satisfiable (DPLL): {sat}")
     if not formula.is_restricted_form():
         formula = to_restricted_form(formula)
         payload["restricted_form"] = str(formula)
         if not args.json:
-            print(f"restricted form: {formula}")
+            log.out(f"restricted form: {formula}")
     prepared = propagate_units(formula)
     if isinstance(prepared, bool):
         if args.json:
             payload["settled_by_unit_propagation"] = prepared
-            print(json.dumps(payload, indent=2))
+            log.result(json.dumps(payload, indent=2))
         else:
-            print(f"settled by unit propagation: satisfiable={prepared}")
+            log.result(f"settled by unit propagation: satisfiable={prepared}")
         return 0
     artifacts = reduce_cnf_to_pair(prepared)
     verdict = decide_safety_exact(artifacts.first, artifacts.second)
@@ -171,14 +192,14 @@ def cmd_reduce(args: argparse.Namespace) -> int:
         payload["steps_per_transaction"] = len(artifacts.first)
         payload["verdict"] = verdict.to_dict()
         payload["agreement"] = agree
-        print(json.dumps(payload, indent=2))
+        log.result(json.dumps(payload, indent=2))
         return 0 if agree else 2
-    print(
+    log.out(
         f"reduced pair: {len(artifacts.database)} entities "
         f"(one per site), {len(artifacts.first)} steps per transaction"
     )
-    print(f"safety: {'SAFE' if verdict.safe else 'UNSAFE'} ({verdict.detail})")
-    print(f"Theorem 3 check (unsafe ⟺ satisfiable): {agree}")
+    log.result(f"safety: {'SAFE' if verdict.safe else 'UNSAFE'} ({verdict.detail})")
+    log.result(f"Theorem 3 check (unsafe ⟺ satisfiable): {agree}")
     return 0 if agree else 2
 
 
@@ -189,15 +210,14 @@ def cmd_figures(args: argparse.Namespace) -> int:
     names = [args.name] if args.name else sorted(available)
     for name in names:
         if name not in available:
-            print(
-                f"unknown figure {name!r}; choose from {sorted(available)}",
-                file=sys.stderr,
+            log.error(
+                f"unknown figure {name!r}; choose from {sorted(available)}"
             )
             return 2
         system = available[name]()
         verdict = decide_safety(system, want_certificate=False)
-        print(f"# {name}: safe={verdict.safe} via {verdict.method}")
-        print(render_system(system))
+        log.result(f"# {name}: safe={verdict.safe} via {verdict.method}")
+        log.result(render_system(system))
     return 0
 
 
@@ -215,6 +235,7 @@ def _renamed(transaction, new_name):
 
 
 def cmd_vet(args: argparse.Namespace) -> int:
+    from .errors import AdmissionError
     from .service import AdmissionRegistry, PairVettingPool, VerdictCache
 
     registry = AdmissionRegistry(
@@ -223,8 +244,10 @@ def cmd_vet(args: argparse.Namespace) -> int:
         cycle_limit=args.cycle_limit,
     )
     decisions = []
+    skipped: list[str] = []
     try:
         for path in args.files:
+            log.info(f"loading {path}")
             system = _load_system(path)
             for transaction in system.transactions:
                 if transaction.name in registry:
@@ -234,28 +257,37 @@ def cmd_vet(args: argparse.Namespace) -> int:
                     transaction = _renamed(
                         transaction, f"{transaction.name}@{suffix}"
                     )
-                decisions.append(
-                    registry.admit(
-                        transaction, want_certificate=args.certificate
+                try:
+                    decisions.append(
+                        registry.admit(
+                            transaction, want_certificate=args.certificate
+                        )
                     )
-                )
+                except AdmissionError as exc:
+                    # A protocol-level problem with this one transaction
+                    # (wrong database, undecided cycle enumeration) must
+                    # not abort the rest of the batch.
+                    skipped.append(transaction.name)
+                    log.error(f"SKIP   {transaction.name}  {exc}")
     finally:
         registry.pool.close()
     admitted = sum(decision.admitted for decision in decisions)
+    clean = admitted == len(decisions) and not skipped
     if args.json:
         payload = {
             "files": list(args.files),
             "workers": args.workers,
             "admitted": admitted,
             "rejected": len(decisions) - admitted,
+            "skipped": skipped,
             "decisions": [decision.to_dict() for decision in decisions],
             "stats": registry.stats_dict(),
         }
-        print(json.dumps(payload, indent=2))
-        return 0 if admitted == len(decisions) else 1
+        log.result(json.dumps(payload, indent=2))
+        return 0 if clean else 1
     for decision in decisions:
         if decision.admitted:
-            print(
+            log.out(
                 f"ADMIT  {decision.name}  "
                 f"(trivial={decision.pairs_trivial} "
                 f"cached={decision.pairs_from_cache} "
@@ -263,15 +295,18 @@ def cmd_vet(args: argparse.Namespace) -> int:
                 f"cycles={decision.cycles_checked})"
             )
         else:
-            print(f"REJECT {decision.name}  {decision.verdict.detail}")
+            log.out(f"REJECT {decision.name}  {decision.verdict.detail}")
             if args.certificate and decision.verdict.certificate is not None:
-                print(decision.verdict.certificate.describe())
-    print(
+                log.out(decision.verdict.certificate.describe())
+    summary = (
         f"vetted {len(decisions)} transactions: "
         f"{admitted} admitted, {len(decisions) - admitted} rejected"
     )
-    print(registry.stats.render())
-    return 0 if admitted == len(decisions) else 1
+    if skipped:
+        summary += f", {len(skipped)} skipped"
+    log.result(summary)
+    log.out(registry.stats.render())
+    return 0 if clean else 1
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -313,6 +348,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
                     break
                 if command == "STATS":
                     respond("STATS " + json.dumps(registry.stats_dict()))
+                elif command == "METRICS":
+                    respond(
+                        "METRICS " + json.dumps(metrics.REGISTRY.to_dict())
+                    )
                 elif command == "EVICT":
                     name = rest.strip()
                     registry.evict(name)
@@ -355,6 +394,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace_report(args: argparse.Namespace) -> int:
+    from .obs.report import summarize
+
+    try:
+        log.result(summarize(args.file, limit=args.limit))
+    except ValueError as exc:
+        log.error(f"error: {exc}")
+        return 2
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -363,7 +413,40 @@ def build_parser() -> argparse.ArgumentParser:
             "(Kanellakis & Papadimitriou, PODS 1982)"
         ),
     )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="more narration (-vv for diagnostics)",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="count",
+        default=0,
+        help="less narration (-qq silences even results)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit output as JSON-lines log records on stderr",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_obs_flags(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--trace",
+            metavar="FILE",
+            default=None,
+            help="record a JSONL span trace into FILE",
+        )
+        command.add_argument(
+            "--metrics",
+            action="store_true",
+            help="dump the metrics registry to stderr on exit "
+            "(Prometheus text format)",
+        )
 
     analyze = sub.add_parser("analyze", help="decide safety of a system file")
     analyze.add_argument("file")
@@ -371,6 +454,7 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--exhaustive", action="store_true")
     analyze.add_argument("--dot", action="store_true")
     analyze.add_argument("--json", action="store_true")
+    add_obs_flags(analyze)
     analyze.set_defaults(func=cmd_analyze)
 
     simulate = sub.add_parser("simulate", help="Monte-Carlo execution")
@@ -378,6 +462,12 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--runs", type=int, default=1000)
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument("--json", action="store_true")
+    simulate.add_argument(
+        "--events",
+        action="store_true",
+        help="run once and print the lock/step event timeline",
+    )
+    add_obs_flags(simulate)
     simulate.set_defaults(func=cmd_simulate)
 
     plane = sub.add_parser("plane", help="render the coordinated plane")
@@ -402,7 +492,20 @@ def build_parser() -> argparse.ArgumentParser:
     vet.add_argument("--cycle-limit", type=int, default=None)
     vet.add_argument("--certificate", action="store_true")
     vet.add_argument("--json", action="store_true")
+    add_obs_flags(vet)
     vet.set_defaults(func=cmd_vet)
+
+    trace_report = sub.add_parser(
+        "trace-report", help="summarize a --trace span file"
+    )
+    trace_report.add_argument("file")
+    trace_report.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="show only the top N spans by self time",
+    )
+    trace_report.set_defaults(func=cmd_trace_report)
 
     serve = sub.add_parser(
         "serve", help="line-oriented admission request loop on stdin"
@@ -418,13 +521,21 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    log.set_verbosity(args.verbose - args.quiet)
+    if args.log_json:
+        log.use_json_logging()
+    else:
+        log.use_plain_output()
+    trace_file = getattr(args, "trace", None)
+    if trace_file:
+        trace.start_tracing(trace_file)
     try:
         return args.func(args)
     except FileNotFoundError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        log.error(f"error: {exc}")
         return 2
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        log.error(f"error: {exc}")
         return 2
     except BrokenPipeError:
         # Downstream consumer (e.g. `| head`) closed the pipe early.
@@ -433,6 +544,12 @@ def main(argv: list[str] | None = None) -> int:
         except BrokenPipeError:
             pass
         return 0
+    finally:
+        if trace_file:
+            trace.stop_tracing()
+            log.info(f"trace written to {trace_file}")
+        if getattr(args, "metrics", False):
+            print(metrics.REGISTRY.to_prometheus(), file=sys.stderr, end="")
 
 
 if __name__ == "__main__":  # pragma: no cover

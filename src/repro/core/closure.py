@@ -29,6 +29,7 @@ from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 from ..errors import ReproError, TransactionError
+from ..obs.trace import current_span
 from .dgraph import d_graph, is_dominator_of, shared_locked_entities
 from .step import Step
 from .transaction import Transaction
@@ -127,6 +128,9 @@ def close_with_respect_to(
     while True:
         violations = closure_violations(result.first, result.second, members)
         if not violations:
+            sp = current_span()
+            if sp:
+                sp.set(closure_rounds=result.rounds)
             return result
         result.rounds += 1
         if result.rounds > round_cap:

@@ -31,6 +31,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from ..graphs import DiGraph, has_cycle, simple_cycles
+from ..obs import trace
 from .schedule import TransactionSystem
 from .transaction import Transaction
 
@@ -132,37 +133,45 @@ def decide_safety_multi(system: TransactionSystem, *, cycle_limit: int | None = 
 
     transactions = system.transactions
     # (a) every two-transaction subsystem safe.
-    for i, first in enumerate(transactions):
-        for second in transactions[i + 1 :]:
-            sub = TransactionSystem([first, second])
-            verdict = decide_safety(sub, want_certificate=False)
-            if not verdict.safe:
+    with trace.span("multi.pairs") as sp:
+        if sp:
+            sp.set(transactions=len(transactions))
+        for i, first in enumerate(transactions):
+            for second in transactions[i + 1 :]:
+                sub = TransactionSystem([first, second])
+                verdict = decide_safety(sub, want_certificate=False)
+                if not verdict.safe:
+                    return SafetyVerdict(
+                        safe=False,
+                        method="proposition-2",
+                        detail=(
+                            f"two-transaction subsystem "
+                            f"{{{first.name}, {second.name}}} is unsafe: "
+                            f"{verdict.detail}"
+                        ),
+                        witness=verdict.witness,
+                        certificate=verdict.certificate,
+                    )
+    # (b) every directed cycle's B_c has a cycle.
+    checked = 0
+    with trace.span("multi.cycles") as sp:
+        for cycle in directed_cycles_of_interaction_graph(
+            system, limit=cycle_limit
+        ):
+            checked += 1
+            if not has_cycle(b_graph_of_cycle(system, cycle)):
+                if sp:
+                    sp.set(cycles_checked=checked)
                 return SafetyVerdict(
                     safe=False,
                     method="proposition-2",
                     detail=(
-                        f"two-transaction subsystem "
-                        f"{{{first.name}, {second.name}}} is unsafe: "
-                        f"{verdict.detail}"
+                        f"B_c is acyclic for the interaction-graph cycle "
+                        f"{' -> '.join(cycle)}"
                     ),
-                    witness=verdict.witness,
-                    certificate=verdict.certificate,
                 )
-    # (b) every directed cycle's B_c has a cycle.
-    checked = 0
-    for cycle in directed_cycles_of_interaction_graph(
-        system, limit=cycle_limit
-    ):
-        checked += 1
-        if not has_cycle(b_graph_of_cycle(system, cycle)):
-            return SafetyVerdict(
-                safe=False,
-                method="proposition-2",
-                detail=(
-                    f"B_c is acyclic for the interaction-graph cycle "
-                    f"{' -> '.join(cycle)}"
-                ),
-            )
+        if sp:
+            sp.set(cycles_checked=checked)
     return SafetyVerdict(
         safe=True,
         method="proposition-2",

@@ -34,12 +34,14 @@ same objects the paper's Theorem 3 reduction manipulates.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Literal
 
 from ..errors import CertificateError, TransactionError
 from ..graphs import DiGraph, is_strongly_connected, topological_sort
 from ..graphs.topo import CycleError
+from ..obs import metrics, trace
 from .certificates import UnsafenessCertificate, certificate_from_dominator
 from .closure import ClosureContradiction
 from .dgraph import d_graph, dominators_of, shared_locked_entities
@@ -76,6 +78,14 @@ class SafetyVerdict:
     def __bool__(self) -> bool:  # truthiness == safety
         return self.safe
 
+    def record(self) -> "SafetyVerdict":
+        """Count this verdict in the process metrics registry."""
+        metrics.REGISTRY.counter(
+            "repro_decisions_total",
+            "safety verdicts by deciding method",
+        ).labels(method=self.method, safe=str(self.safe).lower()).inc()
+        return self
+
     def to_dict(self) -> dict:
         """JSON-serializable rendering (used by ``repro analyze --json``)."""
         payload: dict = {
@@ -96,6 +106,26 @@ class SafetyVerdict:
                 "t2": [str(step) for step in self.certificate.t2],
             }
         return payload
+
+
+def _traced_verdict(span_name: str):
+    """Wrap a verdict-returning decider in a :func:`repro.obs.trace.span`
+    carrying the method rung that fired and the safe bit.  While tracing
+    is off the wrapper is one extra call and a falsy check."""
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not trace.tracing_enabled():
+                return fn(*args, **kwargs)
+            with trace.span(span_name) as sp:
+                verdict = fn(*args, **kwargs)
+                sp.set(method=verdict.method, safe=verdict.safe)
+                return verdict
+
+        return wrapper
+
+    return decorate
 
 
 # ----------------------------------------------------------------------
@@ -191,6 +221,7 @@ def _realizes_bits(
     return Schedule(system, order)
 
 
+@_traced_verdict("safety.exact")
 def decide_safety_exact(
     first: Transaction, second: Transaction, *, dominator_limit: int | None = None
 ) -> SafetyVerdict:
@@ -214,35 +245,47 @@ def decide_safety_exact(
                 "transactions: no two rectangles to separate"
             ),
         )
-    graph = d_graph(first, second)
-    if is_strongly_connected(graph):
+    with trace.span("safety.d_graph") as sp:
+        graph = d_graph(first, second)
+        connected = is_strongly_connected(graph)
+        if sp:
+            sp.set(shared_entities=len(shared), strongly_connected=connected)
+    if connected:
         return SafetyVerdict(
             safe=True,
             method="theorem-1",
             detail="D(T1, T2) is strongly connected",
         )
-    base = _combined_step_graph(first, second)
-    checked = 0
-    for dominator in dominators_of(graph, limit=dominator_limit):
-        checked += 1
-        bits = {
-            entity: 0 if entity in dominator else 1 for entity in shared
-        }
-        schedule = _realizes_bits(first, second, base, bits)
-        if schedule is not None:
-            assert not schedule.is_serializable(), (
-                "realizable mixed bit vector must yield a "
-                "non-serializable schedule"
-            )
-            return SafetyVerdict(
-                safe=False,
-                method="exact-bit-vector",
-                detail=(
-                    f"dominator {sorted(dominator)} is realizable: "
-                    "witness schedule attached"
-                ),
-                witness=schedule,
-            )
+    with trace.span("safety.dominators") as sp:
+        base = _combined_step_graph(first, second)
+        checked = 0
+        realizable: Schedule | None = None
+        found: frozenset | None = None
+        for dominator in dominators_of(graph, limit=dominator_limit):
+            checked += 1
+            bits = {
+                entity: 0 if entity in dominator else 1 for entity in shared
+            }
+            schedule = _realizes_bits(first, second, base, bits)
+            if schedule is not None:
+                realizable, found = schedule, dominator
+                break
+        if sp:
+            sp.set(dominators_checked=checked, realizable=found is not None)
+    if realizable is not None:
+        assert not realizable.is_serializable(), (
+            "realizable mixed bit vector must yield a "
+            "non-serializable schedule"
+        )
+        return SafetyVerdict(
+            safe=False,
+            method="exact-bit-vector",
+            detail=(
+                f"dominator {sorted(found)} is realizable: "
+                "witness schedule attached"
+            ),
+            witness=realizable,
+        )
     if dominator_limit is not None and checked >= dominator_limit:
         raise TransactionError(
             f"dominator enumeration hit its limit ({dominator_limit}) "
@@ -258,6 +301,7 @@ def decide_safety_exact(
     )
 
 
+@_traced_verdict("safety.lemma1")
 def decide_safety_via_lemma_1(
     first: Transaction,
     second: Transaction,
@@ -364,6 +408,7 @@ def decide_safety_exact_naive(
 # ----------------------------------------------------------------------
 
 
+@_traced_verdict("safety.exhaustive")
 def decide_safety_exhaustive(
     system: TransactionSystem, state_budget: int = 2_000_000
 ) -> SafetyVerdict:
@@ -398,7 +443,28 @@ def decide_safety(
       :class:`UnsafenessCertificate` built by the constructive proof;
     * pair on ≥ 3 sites — Theorem 1 fast path, else the exact decider;
     * ≥ 3 transactions — Proposition 2 (:mod:`repro.core.multi`).
+
+    Every call is observable: the rung of the ladder that fired lands in
+    the ``repro_decisions_total`` metric (labelled by method and
+    verdict) and, when tracing is on, in a ``safety.decide`` span.
     """
+    with trace.span("safety.decide") as sp:
+        verdict = _decide_safety_ladder(
+            system, want_certificate=want_certificate
+        )
+        if sp:
+            sp.set(
+                method=verdict.method,
+                safe=verdict.safe,
+                transactions=len(system),
+            )
+    return verdict.record()
+
+
+def _decide_safety_ladder(
+    system: TransactionSystem, *, want_certificate: bool
+) -> SafetyVerdict:
+    """The method ladder behind :func:`decide_safety`."""
     if len(system) > 2:
         from .multi import decide_safety_multi
 
@@ -437,7 +503,10 @@ def decide_safety(
         )
         if want_certificate:
             try:
-                verdict.certificate = certificate_from_dominator(first, second)
+                with trace.span("safety.certificate"):
+                    verdict.certificate = certificate_from_dominator(
+                        first, second
+                    )
                 verdict.witness = verdict.certificate.schedule
             except (CertificateError, ClosureContradiction) as exc:
                 raise AssertionError(

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from collections.abc import Hashable
 
+from ..obs.trace import current_span
 from .digraph import DiGraph
 
 
@@ -63,6 +64,12 @@ def strongly_connected_components(graph: DiGraph) -> list[list[Hashable]]:
             if work:
                 parent = work[-1][0]
                 lowlink[parent] = min(lowlink[parent], lowlink[node])
+    sp = current_span()
+    if sp:
+        sp.set(
+            scc_count=len(components),
+            scc_max_size=max((len(c) for c in components), default=0),
+        )
     return components
 
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from collections.abc import Hashable
 
+from ..obs.trace import current_span
 from .digraph import DiGraph
 from .topo import CycleError, topological_sort
 
@@ -45,6 +46,9 @@ class TransitiveClosure:
                 mask |= masks[j]
             masks[i] = mask
         self._masks = masks
+        sp = current_span()
+        if sp:
+            sp.set(closure_nodes=len(order))
 
     def reaches(self, a: Hashable, b: Hashable) -> bool:
         """True iff there is a non-empty path from *a* to *b*."""

@@ -1,0 +1,72 @@
+"""Observability: spans, metrics and event timelines for the stack.
+
+Three complementary instruments, all stdlib-only and all near-free when
+switched off:
+
+* :mod:`~repro.obs.trace` — nested context-manager spans with
+  monotonic timing and a JSONL exporter; the safety deciders, the
+  graph algorithms and the admission service annotate their phases so
+  ``repro ... --trace FILE`` shows where a decision's time went (and
+  ``repro trace-report FILE`` aggregates it into a top-spans table);
+* :mod:`~repro.obs.metrics` — a process-wide registry of counters,
+  gauges and histograms with Prometheus-text and JSON dumps
+  (``--metrics``, and the ``METRICS`` command of ``repro serve``);
+* :mod:`~repro.obs.events` — an append-only, logically timestamped
+  event log the simulator fills with lock grants/blocks/releases, step
+  executions and deadlock detections, so a non-serializable run can be
+  replayed as a readable timeline.
+
+:mod:`~repro.obs.log` funnels the CLI's human-readable output through
+one verbosity-aware helper (with a JSON-lines formatter option), and
+:mod:`~repro.obs.report` turns exported traces into summaries.
+"""
+
+from .events import EventLog, SimEvent
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    get_registry,
+)
+from .report import aggregate, load_trace, render_table, summarize
+from .trace import (
+    NULL_SPAN,
+    NullSpan,
+    Span,
+    Tracer,
+    absorb_worker_traces,
+    current_span,
+    span,
+    start_tracing,
+    stop_tracing,
+    trace_path,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NullSpan",
+    "REGISTRY",
+    "SimEvent",
+    "Span",
+    "Tracer",
+    "absorb_worker_traces",
+    "aggregate",
+    "current_span",
+    "get_registry",
+    "load_trace",
+    "render_table",
+    "span",
+    "start_tracing",
+    "stop_tracing",
+    "summarize",
+    "trace_path",
+    "tracing_enabled",
+]

@@ -1,0 +1,125 @@
+"""An append-only event log for the lock-manager simulator.
+
+Where spans answer *where did the time go*, the event log answers *what
+happened, in what order*: every lock grant, block, release, executed
+step and deadlock detection is appended with a logical timestamp (the
+log's own monotone sequence number — simulator runs are already
+step-granular, so wall clocks would only add noise and nondeterminism).
+A non-serializable run replays as a readable timeline, and two runs of
+the same system under the same driver seed produce byte-identical logs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterator
+
+#: The event kinds the simulator emits.
+KINDS = ("grant", "block", "release", "step", "deadlock", "complete")
+
+
+@dataclass(frozen=True)
+class SimEvent:
+    """One timeline entry: a logical timestamp plus who/where/what."""
+
+    seq: int
+    kind: str
+    transaction: str | None = None
+    entity: str | None = None
+    site: int | None = None
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        """JSON-friendly rendering (``None`` fields omitted)."""
+        payload: dict = {"seq": self.seq, "kind": self.kind}
+        if self.transaction is not None:
+            payload["transaction"] = self.transaction
+        if self.entity is not None:
+            payload["entity"] = self.entity
+        if self.site is not None:
+            payload["site"] = self.site
+        if self.detail:
+            payload["detail"] = self.detail
+        return payload
+
+    def __str__(self) -> str:
+        where = f" s{self.site}" if self.site is not None else ""
+        who = f" {self.transaction}" if self.transaction else ""
+        what = f" {self.entity}" if self.entity else ""
+        tail = f"  ({self.detail})" if self.detail else ""
+        return f"[{self.seq:>4}] {self.kind:<8}{who}{what}{where}{tail}"
+
+
+class EventLog:
+    """Append-only, logically timestamped simulator timeline."""
+
+    def __init__(self) -> None:
+        self.events: list[SimEvent] = []
+
+    def emit(
+        self,
+        kind: str,
+        *,
+        transaction: str | None = None,
+        entity: str | None = None,
+        site: int | None = None,
+        detail: str = "",
+    ) -> SimEvent:
+        """Append (and return) one event; the logical timestamp is the
+        log's next sequence number."""
+        if kind not in KINDS:
+            raise ValueError(f"unknown event kind {kind!r}")
+        event = SimEvent(
+            seq=len(self.events),
+            kind=kind,
+            transaction=transaction,
+            entity=entity,
+            site=site,
+            detail=detail,
+        )
+        self.events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[SimEvent]:
+        return iter(self.events)
+
+    def of_kind(self, kind: str) -> list[SimEvent]:
+        """All events of one *kind*, in order."""
+        return [event for event in self.events if event.kind == kind]
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line, in timeline order."""
+        return "\n".join(
+            json.dumps(event.to_dict()) for event in self.events
+        ) + ("\n" if self.events else "")
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "EventLog":
+        """Rebuild a log from :meth:`to_jsonl` output."""
+        log = cls()
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            log.events.append(
+                SimEvent(
+                    seq=record["seq"],
+                    kind=record["kind"],
+                    transaction=record.get("transaction"),
+                    entity=record.get("entity"),
+                    site=record.get("site"),
+                    detail=record.get("detail", ""),
+                )
+            )
+        return log
+
+    def render(self) -> str:
+        """The human-readable timeline, one event per line."""
+        lines = [f"timeline: {len(self.events)} events"]
+        lines.extend(str(event) for event in self.events)
+        return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""One funnel for the CLI's human-readable output.
+
+Instead of bare ``print`` scattered through :mod:`repro.cli`, commands
+route narration through this module so ``-v``/``--quiet`` work
+uniformly:
+
+* :func:`result` — the command's primary product (verdict lines, JSON
+  payloads, rendered planes); printed at every verbosity except
+  ``--quiet --quiet``;
+* :func:`out` — ordinary narration; suppressed by ``--quiet``;
+* :func:`info` — extra detail; printed with ``-v``;
+* :func:`debug` — printed with ``-vv``;
+* :func:`error` — always printed, to stderr.
+
+Verbosity is a module-level integer (default 0; ``-v`` adds one,
+``--quiet`` subtracts one).  The stream is resolved at call time
+(``sys.stdout``/``sys.stderr``), so pytest's ``capsys`` and shell
+redirection both see everything.
+
+:func:`use_json_logging` swaps the funnel onto a structured
+:mod:`logging` logger with a JSON formatter — one JSON object per line
+with ``level``, ``message`` and a timestamp — for machine-ingested
+deployments (``repro --log-json ...``).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+
+_verbosity = 0
+_json_logger: logging.Logger | None = None
+
+#: logging levels for the funnel names, used in JSON mode.
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "out": logging.INFO,
+    "result": logging.INFO,
+    "error": logging.ERROR,
+}
+
+
+def set_verbosity(level: int) -> None:
+    """Set the global verbosity (0 = normal, >0 verbose, <0 quiet)."""
+    global _verbosity
+    _verbosity = level
+
+
+def get_verbosity() -> int:
+    """The current global verbosity."""
+    return _verbosity
+
+
+class JsonLineFormatter(logging.Formatter):
+    """``logging`` formatter emitting one JSON object per record."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(time.time(), 3),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["error_type"] = record.exc_info[0].__name__
+        return json.dumps(payload)
+
+
+def get_logger(name: str = "repro") -> logging.Logger:
+    """The package's :mod:`logging` logger (plain, unconfigured)."""
+    return logging.getLogger(name)
+
+
+def use_json_logging(stream=None) -> logging.Logger:
+    """Route the funnel through a JSON-lines ``logging`` handler."""
+    global _json_logger
+    logger = get_logger()
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonLineFormatter())
+    logger.handlers = [handler]
+    logger.setLevel(logging.DEBUG)
+    logger.propagate = False
+    _json_logger = logger
+    return logger
+
+
+def use_plain_output() -> None:
+    """Back to plain prints (undoes :func:`use_json_logging`)."""
+    global _json_logger
+    if _json_logger is not None:
+        _json_logger.handlers = []
+    _json_logger = None
+
+
+def _emit(channel: str, message: str, *, to_stderr: bool = False) -> None:
+    if _json_logger is not None:
+        _json_logger.log(_LEVELS[channel], message)
+        return
+    stream = sys.stderr if to_stderr else sys.stdout
+    print(message, file=stream)
+
+
+def result(message: str = "") -> None:
+    """The command's primary product; only ``-qq`` silences it."""
+    if _verbosity > -2:
+        _emit("result", message)
+
+
+def out(message: str = "") -> None:
+    """Ordinary narration; suppressed by ``--quiet``."""
+    if _verbosity > -1:
+        _emit("out", message)
+
+
+def info(message: str = "") -> None:
+    """Extra detail; printed with ``-v``."""
+    if _verbosity >= 1:
+        _emit("info", message)
+
+
+def debug(message: str = "") -> None:
+    """Diagnostics; printed with ``-vv``."""
+    if _verbosity >= 2:
+        _emit("debug", message)
+
+
+def error(message: str = "") -> None:
+    """Problems; always printed, to stderr."""
+    _emit("error", message, to_stderr=True)

@@ -1,0 +1,129 @@
+"""Aggregate a JSONL trace into a top-spans table.
+
+``repro trace-report FILE`` funnels here: every record written by
+:mod:`repro.obs.trace` is grouped by span name and summarized as call
+count, **total** time (sum of span durations) and **self** time (total
+minus the time spent in child spans — the number that actually ranks
+where a run went).  Parent/child links are resolved per ``pid``, so a
+trace merged from process-pool workers aggregates correctly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+
+def load_trace(path: str) -> list[dict[str, Any]]:
+    """Parse a JSONL trace file into its records (bad lines raise)."""
+    records = []
+    with open(path, encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                raise ValueError(
+                    f"{path}:{number}: not a JSON trace record: {exc}"
+                ) from exc
+            if "span" not in record or "dur_ns" not in record:
+                raise ValueError(
+                    f"{path}:{number}: record lacks span/dur_ns fields"
+                )
+            records.append(record)
+    return records
+
+
+def aggregate(records: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Per-span-name rows: calls, total/self/max nanoseconds, errors.
+
+    Self time of a span is its duration minus the summed durations of
+    its *direct* children (resolved within the same pid).
+    """
+    child_ns: dict[tuple[int, int], int] = {}
+    for record in records:
+        parent = record.get("parent")
+        if parent is not None:
+            key = (record.get("pid", 0), parent)
+            child_ns[key] = child_ns.get(key, 0) + record["dur_ns"]
+
+    rows: dict[str, dict[str, Any]] = {}
+    for record in records:
+        name = record["span"]
+        row = rows.get(name)
+        if row is None:
+            row = rows[name] = {
+                "span": name,
+                "calls": 0,
+                "total_ns": 0,
+                "self_ns": 0,
+                "max_ns": 0,
+                "errors": 0,
+            }
+        duration = record["dur_ns"]
+        own = duration - child_ns.get(
+            (record.get("pid", 0), record.get("id", -1)), 0
+        )
+        row["calls"] += 1
+        row["total_ns"] += duration
+        row["self_ns"] += max(0, own)
+        row["max_ns"] = max(row["max_ns"], duration)
+        if record.get("attrs", {}).get("error"):
+            row["errors"] += 1
+    return sorted(rows.values(), key=lambda row: -row["self_ns"])
+
+
+def _ms(nanoseconds: int) -> str:
+    return f"{nanoseconds / 1e6:.3f}"
+
+
+def render_table(
+    rows: list[dict[str, Any]], *, limit: int | None = None
+) -> str:
+    """Fixed-width rendering of :func:`aggregate` rows."""
+    shown = rows[:limit] if limit is not None else rows
+    headers = ("span", "calls", "total ms", "self ms", "max ms", "errors")
+    cells = [
+        (
+            row["span"],
+            str(row["calls"]),
+            _ms(row["total_ns"]),
+            _ms(row["self_ns"]),
+            _ms(row["max_ns"]),
+            str(row["errors"]),
+        )
+        for row in shown
+    ]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells))
+        if cells
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def fmt(row: tuple[str, ...]) -> str:
+        first = row[0].ljust(widths[0])
+        rest = "  ".join(
+            cell.rjust(width) for cell, width in zip(row[1:], widths[1:])
+        )
+        return f"{first}  {rest}".rstrip()
+
+    lines = [fmt(headers)]
+    lines.extend(fmt(row) for row in cells)
+    if limit is not None and len(rows) > limit:
+        lines.append(f"... {len(rows) - limit} more span name(s)")
+    return "\n".join(lines)
+
+
+def summarize(path: str, *, limit: int | None = None) -> str:
+    """Load, aggregate and render *path* in one call."""
+    records = load_trace(path)
+    rows = aggregate(records)
+    header = (
+        f"trace {path}: {len(records)} spans, "
+        f"{len(rows)} distinct names, "
+        f"{len({record.get('pid', 0) for record in records})} process(es)"
+    )
+    return header + "\n\n" + render_table(rows, limit=limit)

@@ -1,0 +1,270 @@
+"""Nested context-manager spans with monotonic timing and JSONL export.
+
+The tracer is a process-global switch: :func:`start_tracing` opens a
+JSONL file and every subsequent :func:`span` records one line per
+finished span — name, start offset and duration in nanoseconds
+(``time.perf_counter_ns``), parent span id, the worker pid, and any
+attributes the instrumented code attached.  While tracing is *off*,
+:func:`span` returns one shared :data:`NULL_SPAN` singleton whose
+``__enter__``/``__exit__`` do nothing, so the instrumented hot paths
+cost a dict lookup and a falsy branch and allocate **nothing**.
+
+Idiom (attribute work guarded so the disabled path stays free)::
+
+    with span("safety.decide") as sp:
+        verdict = ...
+        if sp:
+            sp.set(method=verdict.method, safe=verdict.safe)
+
+A span that exits through an exception is still recorded, with
+``error=True`` and the exception type attached (and the exception is
+never swallowed).
+
+Process-pool workers cannot share the parent's file handle, so each
+worker traces into ``<path>.w<pid>`` (:func:`worker_trace_path`, set up
+by :func:`worker_init` from a pool initializer) and the parent merges
+the per-worker files back into the main file with
+:func:`absorb_worker_traces` when the pool is closed.  Records carry
+their ``pid`` so parent ids never collide across processes.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import time
+from typing import Any
+
+
+class NullSpan:
+    """The no-op span returned while tracing is disabled.
+
+    Falsy, so instrumentation can guard attribute computation with
+    ``if sp:`` and pay nothing on the disabled path.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def __bool__(self) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "NullSpan":
+        """Ignore *attrs* (the tracer is off)."""
+        return self
+
+
+NULL_SPAN = NullSpan()
+
+
+class Span:
+    """One live span: a named, timed, attributed region of execution."""
+
+    __slots__ = ("tracer", "name", "span_id", "parent_id", "start_ns", "attrs")
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.span_id = 0
+        self.parent_id: int | None = None
+        self.start_ns = 0
+        self.attrs: dict[str, Any] = {}
+
+    def __bool__(self) -> bool:
+        return True
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach *attrs* to the span record (last write per key wins)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        tracer = self.tracer
+        self.span_id = tracer._next_id
+        tracer._next_id += 1
+        stack = tracer._stack
+        self.parent_id = stack[-1].span_id if stack else None
+        stack.append(self)
+        self.start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end_ns = time.perf_counter_ns()
+        if exc_type is not None:
+            self.attrs["error"] = True
+            self.attrs["error_type"] = exc_type.__name__
+        tracer = self.tracer
+        if tracer._stack and tracer._stack[-1] is self:
+            tracer._stack.pop()
+        else:  # mis-nested exit; drop up to and including this span
+            while tracer._stack:
+                if tracer._stack.pop() is self:
+                    break
+        tracer._write(self, end_ns)
+        return False
+
+
+class Tracer:
+    """Owns the output file, the span stack and the id counter."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        # Line buffered so a fork never duplicates half-written records
+        # out of the parent's buffer into a worker's file.
+        self._file = open(path, "w", encoding="utf-8", buffering=1)
+        self._origin_ns = time.perf_counter_ns()
+        self._next_id = 1
+        self._stack: list[Span] = []
+        self._pid = os.getpid()
+
+    def span(self, name: str) -> Span:
+        return Span(self, name)
+
+    def _write(self, span: Span, end_ns: int) -> None:
+        record: dict[str, Any] = {
+            "span": span.name,
+            "id": span.span_id,
+            "pid": self._pid,
+            "start_ns": span.start_ns - self._origin_ns,
+            "dur_ns": end_ns - span.start_ns,
+        }
+        if span.parent_id is not None:
+            record["parent"] = span.parent_id
+        if span.attrs:
+            record["attrs"] = _jsonable(span.attrs)
+        self._file.write(json.dumps(record) + "\n")
+
+    def absorb(self, path: str) -> int:
+        """Append the records of another trace file (a worker's) into
+        this tracer's file; returns the number of lines absorbed."""
+        absorbed = 0
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    self._file.write(line + "\n")
+                    absorbed += 1
+        return absorbed
+
+    def close(self) -> None:
+        self._file.close()
+
+
+def _jsonable(attrs: dict[str, Any]) -> dict[str, Any]:
+    """Attributes coerced to JSON-safe scalars (repr fallback)."""
+    safe: dict[str, Any] = {}
+    for key, value in attrs.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            safe[key] = value
+        elif isinstance(value, (list, tuple)):
+            safe[key] = [
+                item
+                if isinstance(item, (str, int, float, bool)) or item is None
+                else repr(item)
+                for item in value
+            ]
+        else:
+            safe[key] = repr(value)
+    return safe
+
+
+# ----------------------------------------------------------------------
+# The process-global switch
+# ----------------------------------------------------------------------
+
+_tracer: Tracer | None = None
+
+
+def start_tracing(path: str) -> Tracer:
+    """Begin tracing into the JSONL file *path* (replaces any active
+    tracer; the previous one is flushed and closed)."""
+    global _tracer
+    if _tracer is not None:
+        _tracer.close()
+    _tracer = Tracer(path)
+    return _tracer
+
+
+def stop_tracing() -> str | None:
+    """Flush and close the active tracer; returns its path (or ``None``
+    when tracing was already off)."""
+    global _tracer
+    if _tracer is None:
+        return None
+    path = _tracer.path
+    _tracer.close()
+    _tracer = None
+    return path
+
+
+def tracing_enabled() -> bool:
+    """Is a tracer active in this process?"""
+    return _tracer is not None
+
+
+def trace_path() -> str | None:
+    """The active tracer's output path, or ``None``."""
+    return _tracer.path if _tracer is not None else None
+
+
+def span(name: str):
+    """A context-manager span named *name* — :data:`NULL_SPAN` (shared,
+    allocation-free) while tracing is off."""
+    tracer = _tracer
+    if tracer is None:
+        return NULL_SPAN
+    return Span(tracer, name)
+
+
+def current_span():
+    """The innermost open span, for attaching attributes from helper
+    code (e.g. SCC counts); :data:`NULL_SPAN` when tracing is off or no
+    span is open."""
+    tracer = _tracer
+    if tracer is None or not tracer._stack:
+        return NULL_SPAN
+    return tracer._stack[-1]
+
+
+# ----------------------------------------------------------------------
+# Process-pool boundary
+# ----------------------------------------------------------------------
+
+
+def worker_trace_path(base: str, pid: int) -> str:
+    """Per-worker trace file for the parent trace *base*."""
+    return f"{base}.w{pid}"
+
+
+def worker_init(base: str) -> None:
+    """Pool-worker initializer: trace into this worker's own file.
+
+    Runs in the child after fork; the inherited parent tracer (if any)
+    is *abandoned*, not closed — closing would flush the parent's
+    buffered bytes into the child's copy of the file.
+    """
+    global _tracer
+    _tracer = None
+    start_tracing(worker_trace_path(base, os.getpid()))
+
+
+def absorb_worker_traces(base: str | None = None) -> int:
+    """Merge every ``<base>.w*`` worker file into the active tracer and
+    delete the worker files; returns the number of records absorbed.
+    No-op (returns 0) when tracing is off."""
+    tracer = _tracer
+    if tracer is None:
+        return 0
+    if base is None:
+        base = tracer.path
+    absorbed = 0
+    for worker_file in sorted(glob.glob(f"{glob.escape(base)}.w*")):
+        absorbed += tracer.absorb(worker_file)
+        os.remove(worker_file)
+    return absorbed

@@ -22,7 +22,15 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from ..errors import AdmissionError
+from ..obs import metrics
 from .fingerprint import PairKey
+
+
+def _cache_counter() -> metrics.Counter:
+    return metrics.REGISTRY.counter(
+        "repro_cache_events_total",
+        "verdict-cache lookups and evictions, by event",
+    )
 
 
 @dataclass(frozen=True)
@@ -60,9 +68,11 @@ class VerdictCache:
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
+            _cache_counter().labels(event="miss").inc()
             return None
         self._entries.move_to_end(key)
         self.hits += 1
+        _cache_counter().labels(event="hit").inc()
         return entry
 
     def put(self, key: PairKey, verdict: CachedVerdict) -> None:
@@ -73,6 +83,7 @@ class VerdictCache:
         if len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.evictions += 1
+            _cache_counter().labels(event="eviction").inc()
 
     def clear(self) -> None:
         """Drop every entry; counters are kept (they describe the

@@ -12,6 +12,12 @@ list.
 pickling); the executor is created lazily on the first parallel call
 and reused until :meth:`PairVettingPool.close`, so per-admission
 batches amortize the worker start-up cost.
+
+When tracing (:mod:`repro.obs.trace`) is active at executor creation,
+each worker is initialized to trace into its own ``<path>.w<pid>`` file
+— workers cannot share the parent's file handle — and :meth:`close`
+merges those files back into the parent trace, so vetting spans survive
+the process-pool boundary.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ from dataclasses import dataclass
 from ..core.safety import decide_safety
 from ..core.schedule import TransactionSystem
 from ..core.transaction import Transaction
+from ..obs import trace
 
 Pair = tuple[Transaction, Transaction]
 
@@ -62,6 +69,7 @@ class PairVettingPool:
         self.workers = max(1, int(workers))
         self.chunk_size = chunk_size
         self._executor: ProcessPoolExecutor | None = None
+        self._trace_base: str | None = None
 
     # ------------------------------------------------------------------
     def _ensure_executor(self) -> ProcessPoolExecutor:
@@ -70,8 +78,15 @@ class PairVettingPool:
                 context = multiprocessing.get_context("fork")
             except ValueError:  # pragma: no cover - non-POSIX platforms
                 context = multiprocessing.get_context()
+            self._trace_base = trace.trace_path()
+            init_kwargs = {}
+            if self._trace_base is not None:
+                init_kwargs = {
+                    "initializer": trace.worker_init,
+                    "initargs": (self._trace_base,),
+                }
             self._executor = ProcessPoolExecutor(
-                max_workers=self.workers, mp_context=context
+                max_workers=self.workers, mp_context=context, **init_kwargs
             )
         return self._executor
 
@@ -107,10 +122,14 @@ class PairVettingPool:
         return merged  # type: ignore[return-value]
 
     def close(self) -> None:
-        """Shut the executor down (idempotent)."""
+        """Shut the executor down (idempotent); if the workers were
+        tracing, merge their trace files into the parent trace."""
         if self._executor is not None:
             self._executor.shutdown()
             self._executor = None
+        if self._trace_base is not None:
+            trace.absorb_worker_traces(self._trace_base)
+            self._trace_base = None
 
     def __enter__(self) -> "PairVettingPool":
         return self

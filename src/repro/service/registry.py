@@ -32,6 +32,7 @@ from ..core.schedule import TransactionSystem
 from ..core.transaction import Transaction
 from ..errors import AdmissionError
 from ..graphs import DiGraph, has_cycle, simple_cycles
+from ..obs import trace
 from .cache import CachedVerdict, VerdictCache
 from .fingerprint import fingerprint_of, pair_key
 from .pool import PairVettingPool
@@ -188,6 +189,19 @@ class AdmissionRegistry:
         :class:`AdmissionError`; an unsafe extension returns a rejection
         decision — with the failing pair's certificate or witness when
         *want_certificate* — and leaves the registry unchanged."""
+        with trace.span("service.admit") as sp:
+            if sp:
+                sp.set(name=transaction.name, live=len(self._members))
+            decision = self._admit(
+                transaction, want_certificate=want_certificate
+            )
+            if sp:
+                sp.set(admitted=decision.admitted)
+            return decision
+
+    def _admit(
+        self, transaction: Transaction, *, want_certificate: bool
+    ) -> AdmissionDecision:
         name = transaction.name
         if name in self._members:
             raise AdmissionError(
@@ -376,9 +390,13 @@ class AdmissionRegistry:
                     if neighbour not in component:
                         component.add(neighbour)
                         frontier.append(neighbour)
+            # Insert arcs in sorted order: DiGraph adjacency is
+            # insertion-ordered, so this keeps the cycle enumeration
+            # (and therefore which cycles a cycle_limit sees) the same
+            # across runs regardless of set/hash ordering.
             graph = DiGraph(sorted(component))
-            for node in component:
-                for neighbour in adjacency[node]:
+            for node in sorted(component):
+                for neighbour in sorted(adjacency[node]):
                     graph.add_arc(node, neighbour)
                     graph.add_arc(neighbour, node)
             extended = TransactionSystem(

@@ -4,12 +4,47 @@ Every admission walks the same phases — fingerprint, pair vetting,
 cycle check — and :class:`ServiceStats` accumulates both event counters
 and wall-clock seconds per phase, so throughput regressions can be
 attributed to a phase instead of guessed at.
+
+Since PR 2 the stats ride on the shared observability stack
+(:mod:`repro.obs`): every :meth:`ServiceStats.count` also increments
+the process-wide ``repro_service_events_total`` counter, every
+:meth:`ServiceStats.phase` block is timed into the
+``repro_service_phase_seconds`` histogram *and* wrapped in a
+``service.<phase>`` trace span — while :meth:`as_dict` keeps its
+original per-instance shape, so existing consumers (``repro vet
+--json``, the benchmarks) are unaffected.  A phase that raises still
+records its elapsed time, counts into ``phase_errors`` (and the
+``repro_service_phase_errors_total`` metric), and marks its span with
+``error=True``; the exception propagates untouched.
 """
 
 from __future__ import annotations
 
 import time
 from contextlib import contextmanager
+
+from ..obs import metrics, trace
+
+
+def _events_counter() -> metrics.Counter:
+    return metrics.REGISTRY.counter(
+        "repro_service_events_total",
+        "admission-service event counters, by event",
+    )
+
+
+def _phase_histogram() -> metrics.Histogram:
+    return metrics.REGISTRY.histogram(
+        "repro_service_phase_seconds",
+        "wall time of admission phases, by phase",
+    )
+
+
+def _phase_errors_counter() -> metrics.Counter:
+    return metrics.REGISTRY.counter(
+        "repro_service_phase_errors_total",
+        "admission phases that raised, by phase",
+    )
 
 
 class ServiceStats:
@@ -31,23 +66,45 @@ class ServiceStats:
         for name in self.COUNTERS:
             setattr(self, name, 0)
         self.phase_seconds: dict[str, float] = {}
+        self.phase_errors: dict[str, int] = {}
 
     def count(self, name: str, amount: int = 1) -> None:
-        """Add *amount* to the counter *name* (must be a known counter)."""
+        """Add *amount* to the counter *name* (must be a known counter);
+        the shared metrics registry is incremented alongside."""
         if name not in self.COUNTERS:
             raise KeyError(f"unknown service counter {name!r}")
         setattr(self, name, getattr(self, name) + amount)
+        if amount:
+            _events_counter().labels(event=name).inc(amount)
 
     @contextmanager
     def phase(self, name: str):
-        """Context manager accumulating wall time under *name*."""
+        """Context manager accumulating wall time under *name*.
+
+        The block is also a ``service.<name>`` trace span and a
+        ``repro_service_phase_seconds`` observation.  On an exception
+        the elapsed time is still recorded, the error is counted, and
+        the exception propagates.
+        """
         start = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + (
-                time.perf_counter() - start
-            )
+        failed = False
+        with trace.span(f"service.{name}"):
+            try:
+                yield
+            except BaseException:
+                failed = True
+                raise
+            finally:
+                elapsed = time.perf_counter() - start
+                self.phase_seconds[name] = (
+                    self.phase_seconds.get(name, 0.0) + elapsed
+                )
+                _phase_histogram().labels(phase=name).observe(elapsed)
+                if failed:
+                    self.phase_errors[name] = (
+                        self.phase_errors.get(name, 0) + 1
+                    )
+                    _phase_errors_counter().labels(phase=name).inc()
 
     def as_dict(self) -> dict:
         """All counters and phase times, JSON-friendly."""
@@ -56,6 +113,8 @@ class ServiceStats:
             name: round(seconds, 6)
             for name, seconds in sorted(self.phase_seconds.items())
         }
+        if self.phase_errors:
+            payload["phase_errors"] = dict(sorted(self.phase_errors.items()))
         return payload
 
     def render(self) -> str:
@@ -66,5 +125,10 @@ class ServiceStats:
         if self.phase_seconds:
             lines.append("  wall time per phase:")
             for name, seconds in sorted(self.phase_seconds.items()):
-                lines.append(f"  {name:>16}: {seconds * 1e3:8.2f} ms")
+                suffix = ""
+                if self.phase_errors.get(name):
+                    suffix = f"  ({self.phase_errors[name]} error(s))"
+                lines.append(
+                    f"  {name:>16}: {seconds * 1e3:8.2f} ms{suffix}"
+                )
         return "\n".join(lines)

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from ..core.schedule import TransactionSystem
 from ..core.step import Step
 from ..errors import ScheduleError
+from ..obs.events import EventLog
 from .deadlock import find_deadlock
 from .drivers import Candidate, RandomDriver
 from .history import Event, ExecutionHistory
@@ -40,6 +41,7 @@ class SimulationResult:
     completed: bool
     deadlocked: list[str] = field(default_factory=list)
     serializable: bool | None = None
+    event_log: EventLog | None = None
 
     @property
     def outcome(self) -> str:
@@ -60,19 +62,28 @@ class SimulationEngine:
     """
 
     def __init__(
-        self, system: TransactionSystem, *, fifo_grants: bool = False
+        self,
+        system: TransactionSystem,
+        *,
+        fifo_grants: bool = False,
+        event_log: EventLog | None = None,
     ) -> None:
+        """With an *event_log*, the run's lock grants/blocks/releases,
+        step executions and deadlock detections are appended to it as a
+        logically timestamped timeline (:mod:`repro.obs.events`)."""
         self.system = system
         self.database = system.database
         self.fifo_grants = fifo_grants
+        self.event_log = event_log
         self.managers = {
-            site: SiteLockManager(site)
+            site: SiteLockManager(site, event_log=event_log)
             for site in range(1, self.database.sites + 1)
         }
         self._executed: dict[str, set[Step]] = {
             tx.name: set() for tx in system.transactions
         }
         self._queues: dict[str, list[str]] = {}
+        self._blocked_seen: set[tuple[str, str]] = set()
         self._history = ExecutionHistory(system)
         self._clock = 0
 
@@ -93,6 +104,22 @@ class SimulationEngine:
                 ready.append(step)
         return ready
 
+    def _note_blocked(
+        self, name: str, entity: str, holder: str | None
+    ) -> None:
+        """Timeline a *newly* blocked lock request (re-observations of
+        the same wait on later scheduler rounds stay silent)."""
+        if self.event_log is None or (name, entity) in self._blocked_seen:
+            return
+        self._blocked_seen.add((name, entity))
+        self.event_log.emit(
+            "block",
+            transaction=name,
+            entity=entity,
+            site=self.database.site_of(entity),
+            detail=f"held by {holder}" if holder else "behind FIFO queue",
+        )
+
     def _executable(self) -> tuple[list[Candidate], list[tuple[str, str]]]:
         """(executable candidates, blocked lock requests)."""
         candidates: list[Candidate] = []
@@ -104,6 +131,7 @@ class SimulationEngine:
                     holder = self.managers[site].holder(step.entity)
                     if holder is not None and holder != tx.name:
                         blocked.append((tx.name, step.entity))
+                        self._note_blocked(tx.name, step.entity, holder)
                         if self.fifo_grants:
                             queue = self._queues.setdefault(
                                 step.entity, []
@@ -116,6 +144,7 @@ class SimulationEngine:
                         if queue and queue[0] != tx.name:
                             # Free, but someone arrived first.
                             blocked.append((tx.name, step.entity))
+                            self._note_blocked(tx.name, step.entity, None)
                             if tx.name not in queue:
                                 queue.append(tx.name)
                             continue
@@ -133,6 +162,7 @@ class SimulationEngine:
                 raise ScheduleError(
                     f"engine chose blocked lock {step}[{name}]"
                 )
+            self._blocked_seen.discard((name, step.entity))
             queue = self._queues.get(step.entity)
             if queue and name in queue:
                 queue.remove(name)
@@ -144,6 +174,14 @@ class SimulationEngine:
                 raise ScheduleError(
                     f"{name} updates {step.entity!r} without holding its "
                     f"lock (holder: {holder!r})"
+                )
+            if self.event_log is not None:
+                self.event_log.emit(
+                    "step",
+                    transaction=name,
+                    entity=step.entity,
+                    site=site,
+                    detail=str(step),
                 )
         self._executed[name].add(step)
         self._history.append(Event(self._clock, site, name, step))
@@ -167,12 +205,16 @@ class SimulationEngine:
                 if self._history.is_complete():
                     break
                 deadlock = find_deadlock(self.managers.values(), blocked)
+                stuck = deadlock or sorted({name for name, _ in blocked})
+                if self.event_log is not None:
+                    self.event_log.emit(
+                        "deadlock", detail=" -> ".join(stuck)
+                    )
                 return SimulationResult(
                     history=self._history,
                     completed=False,
-                    deadlocked=deadlock or sorted(
-                        {name for name, _ in blocked}
-                    ),
+                    deadlocked=stuck,
+                    event_log=self.event_log,
                 )
             name, step = driver(candidates)
             self._execute(name, step)
@@ -181,13 +223,23 @@ class SimulationEngine:
                 history=self._history,
                 completed=False,
                 deadlocked=[],
+                event_log=self.event_log,
             )
         # Self-check: a completed run must be a legal paper schedule.
         self._history.as_schedule()
+        serializable = self._history.is_serializable()
+        if self.event_log is not None:
+            self.event_log.emit(
+                "complete",
+                detail=(
+                    "serializable" if serializable else "non-serializable"
+                ),
+            )
         return SimulationResult(
             history=self._history,
             completed=True,
-            serializable=self._history.is_serializable(),
+            serializable=serializable,
+            event_log=self.event_log,
         )
 
 
@@ -197,11 +249,12 @@ def run_once(
     *,
     max_steps: int | None = None,
     fifo_grants: bool = False,
+    event_log: EventLog | None = None,
 ) -> SimulationResult:
     """Convenience: fresh engine, one run."""
-    return SimulationEngine(system, fifo_grants=fifo_grants).run(
-        driver, max_steps=max_steps
-    )
+    return SimulationEngine(
+        system, fifo_grants=fifo_grants, event_log=event_log
+    ).run(driver, max_steps=max_steps)
 
 
 def estimate_violation_rate(

@@ -3,19 +3,23 @@
 Each site of the distributed database runs its own exclusive-lock table,
 exactly as the paper's model prescribes (a lock bit per entity, §2).
 The manager grants, denies and releases locks and keeps the FIFO wait
-queues the deadlock detector inspects.
+queues the deadlock detector inspects.  Given an
+:class:`~repro.obs.events.EventLog`, every grant, newly blocked
+request and release is appended to the timeline with this site's id.
 """
 
 from __future__ import annotations
 
 from ..errors import ScheduleError
+from ..obs.events import EventLog
 
 
 class SiteLockManager:
     """The lock table of one site (exclusive locks only)."""
 
-    def __init__(self, site: int) -> None:
+    def __init__(self, site: int, *, event_log: EventLog | None = None) -> None:
         self.site = site
+        self.event_log = event_log
         self._holder: dict[str, str] = {}
         self._waiting: dict[str, list[str]] = {}
 
@@ -32,6 +36,13 @@ class SiteLockManager:
             queue = self._waiting.get(entity)
             if queue and transaction in queue:
                 queue.remove(transaction)
+            if self.event_log is not None:
+                self.event_log.emit(
+                    "grant",
+                    transaction=transaction,
+                    entity=entity,
+                    site=self.site,
+                )
             return True
         if current == transaction:
             raise ScheduleError(
@@ -41,6 +52,14 @@ class SiteLockManager:
         queue = self._waiting.setdefault(entity, [])
         if transaction not in queue:
             queue.append(transaction)
+            if self.event_log is not None:
+                self.event_log.emit(
+                    "block",
+                    transaction=transaction,
+                    entity=entity,
+                    site=self.site,
+                    detail=f"held by {current}",
+                )
         return False
 
     def unlock(self, entity: str, transaction: str) -> None:
@@ -51,6 +70,13 @@ class SiteLockManager:
                 f"{transaction} unlocks {entity!r} held by {current!r}"
             )
         del self._holder[entity]
+        if self.event_log is not None:
+            self.event_log.emit(
+                "release",
+                transaction=transaction,
+                entity=entity,
+                site=self.site,
+            )
 
     def held_entities(self) -> dict[str, str]:
         """Snapshot of the lock table: entity -> holding transaction."""

@@ -1,0 +1,20 @@
+"""Observability tests mutate process-global switches (the tracer, the
+metrics registry, the log verbosity); every test here starts and ends
+with all three in their defaults."""
+
+import pytest
+
+from repro.obs import log, metrics, trace
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_globals():
+    trace.stop_tracing()
+    metrics.REGISTRY.reset()
+    log.set_verbosity(0)
+    log.use_plain_output()
+    yield
+    trace.stop_tracing()
+    metrics.REGISTRY.reset()
+    log.set_verbosity(0)
+    log.use_plain_output()

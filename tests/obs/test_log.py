@@ -1,0 +1,72 @@
+"""The CLI output funnel: verbosity channels and JSON logging."""
+
+import json
+
+from repro.obs import log
+
+
+class TestChannels:
+    def test_default_shows_result_and_out_only(self, capsys):
+        log.result("the result")
+        log.out("narration")
+        log.info("detail")
+        log.debug("diagnostics")
+        out = capsys.readouterr().out
+        assert "the result" in out
+        assert "narration" in out
+        assert "detail" not in out
+        assert "diagnostics" not in out
+
+    def test_quiet_drops_narration_keeps_result(self, capsys):
+        log.set_verbosity(-1)
+        log.result("the result")
+        log.out("narration")
+        out = capsys.readouterr().out
+        assert "the result" in out
+        assert "narration" not in out
+
+    def test_double_quiet_silences_results_not_errors(self, capsys):
+        log.set_verbosity(-2)
+        log.result("the result")
+        log.error("the error")
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "the error" in captured.err
+
+    def test_verbose_levels(self, capsys):
+        log.set_verbosity(1)
+        log.info("detail")
+        log.debug("diagnostics")
+        assert "detail" in capsys.readouterr().out
+        log.set_verbosity(2)
+        log.debug("diagnostics")
+        assert "diagnostics" in capsys.readouterr().out
+
+    def test_get_verbosity_roundtrip(self):
+        log.set_verbosity(3)
+        assert log.get_verbosity() == 3
+
+
+class TestJsonLogging:
+    def test_records_are_json_lines(self, capsys):
+        log.use_json_logging()
+        log.result("all done")
+        log.error("went wrong")
+        log.use_plain_output()
+        lines = [
+            json.loads(line)
+            for line in capsys.readouterr().err.splitlines()
+        ]
+        assert lines[0]["message"] == "all done"
+        assert lines[0]["level"] == "info"
+        assert lines[1]["message"] == "went wrong"
+        assert lines[1]["level"] == "error"
+        assert all("ts" in line for line in lines)
+
+    def test_plain_output_restored(self, capsys):
+        log.use_json_logging()
+        log.use_plain_output()
+        log.result("plain again")
+        captured = capsys.readouterr()
+        assert "plain again" in captured.out
+        assert captured.err == ""

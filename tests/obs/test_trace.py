@@ -1,0 +1,145 @@
+"""Span tracing: nesting, the disabled fast path, error capture, and
+the process-pool worker-file merge."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.trace import NULL_SPAN, absorb_worker_traces, span
+
+
+def read_records(path):
+    with open(path, encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+class TestDisabledPath:
+    def test_span_returns_the_null_singleton(self):
+        assert not trace.tracing_enabled()
+        assert span("anything") is NULL_SPAN
+        assert trace.current_span() is NULL_SPAN
+
+    def test_null_span_is_falsy_noop(self):
+        with span("x") as sp:
+            assert not sp
+            assert sp.set(a=1) is sp  # swallowed, chainable
+
+    def test_exceptions_pass_through_null_span(self):
+        with pytest.raises(RuntimeError):
+            with span("x"):
+                raise RuntimeError("boom")
+
+
+class TestRecording:
+    def test_nesting_and_parent_ids(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        trace.start_tracing(path)
+        with span("outer") as outer:
+            assert outer
+            assert trace.current_span() is outer
+            with span("inner") as inner:
+                inner.set(answer=42)
+        trace.stop_tracing()
+        records = {r["span"]: r for r in read_records(path)}
+        assert set(records) == {"outer", "inner"}
+        # Children finish (and are written) before their parents.
+        assert records["inner"]["parent"] == records["outer"]["id"]
+        assert records["inner"]["attrs"]["answer"] == 42
+        assert records["outer"]["dur_ns"] >= records["inner"]["dur_ns"]
+        assert records["outer"]["pid"] == os.getpid()
+
+    def test_exception_records_error_and_timing(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        trace.start_tracing(path)
+        with pytest.raises(ValueError):
+            with span("failing") as sp:
+                sp.set(stage="before")
+                raise ValueError("nope")
+        trace.stop_tracing()
+        (record,) = read_records(path)
+        assert record["attrs"]["error"] is True
+        assert record["attrs"]["error_type"] == "ValueError"
+        assert record["attrs"]["stage"] == "before"
+        assert record["dur_ns"] >= 0
+
+    def test_attrs_coerced_to_json_safe(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        trace.start_tracing(path)
+        with span("attrs") as sp:
+            sp.set(names=("a", "b"), obj={1, 2, 3}, flag=True)
+        trace.stop_tracing()
+        (record,) = read_records(path)
+        assert record["attrs"]["names"] == ["a", "b"]
+        assert isinstance(record["attrs"]["obj"], str)
+        assert record["attrs"]["flag"] is True
+
+    def test_start_stop_roundtrip(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        assert trace.trace_path() is None
+        trace.start_tracing(path)
+        assert trace.tracing_enabled()
+        assert trace.trace_path() == path
+        assert trace.stop_tracing() == path
+        assert not trace.tracing_enabled()
+        assert trace.stop_tracing() is None
+
+
+class TestWorkerMerge:
+    def test_absorb_merges_and_deletes_worker_files(self, tmp_path):
+        base = str(tmp_path / "t.jsonl")
+        trace.start_tracing(base)
+        with span("parent.work"):
+            pass
+        worker_file = trace.worker_trace_path(base, 4242)
+        with open(worker_file, "w", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps(
+                    {"span": "worker.work", "id": 1, "pid": 4242,
+                     "start_ns": 0, "dur_ns": 10}
+                )
+                + "\n"
+            )
+        assert absorb_worker_traces(base) == 1
+        trace.stop_tracing()
+        assert not os.path.exists(worker_file)
+        records = read_records(base)
+        assert {r["span"] for r in records} == {"parent.work", "worker.work"}
+        assert {r["pid"] for r in records} == {os.getpid(), 4242}
+
+    def test_absorb_is_noop_when_tracing_off(self, tmp_path):
+        assert absorb_worker_traces(str(tmp_path / "t.jsonl")) == 0
+
+    def test_pool_vetting_spans_cross_the_process_boundary(self, tmp_path):
+        import random
+
+        from repro.service import PairVettingPool
+        from repro.workloads import random_pair_system
+
+        pairs = []
+        for offset in range(6):
+            rng = random.Random(400 + offset)
+            system = random_pair_system(
+                rng, sites=2, entities=3, shared=2,
+                cross_arcs=rng.randint(0, 2),
+            )
+            pairs.append(tuple(system.transactions))
+
+        base = str(tmp_path / "pool.jsonl")
+        trace.start_tracing(base)
+        with PairVettingPool(workers=2) as pool:
+            pool.vet(pairs)
+        trace.stop_tracing()
+        records = read_records(base)
+        worker_pids = {
+            r["pid"] for r in records if r["span"] == "safety.decide"
+        }
+        assert len(records) >= len(pairs)
+        assert worker_pids and os.getpid() not in worker_pids
+        leftovers = [
+            name
+            for name in os.listdir(tmp_path)
+            if name.startswith("pool.jsonl.w")
+        ]
+        assert leftovers == []

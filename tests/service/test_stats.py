@@ -1,0 +1,110 @@
+"""ServiceStats: counters, phase timers, and the shared-registry
+mirror — including the contract that a phase which *raises* still
+records its elapsed time and counts the error."""
+
+import pytest
+
+from repro.obs import metrics, trace
+from repro.service.stats import ServiceStats
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    metrics.REGISTRY.reset()
+    yield
+    metrics.REGISTRY.reset()
+
+
+class TestCounters:
+    def test_count_accumulates(self):
+        stats = ServiceStats()
+        stats.count("admitted")
+        stats.count("admitted", 2)
+        assert stats.admitted == 3
+
+    def test_unknown_counter_rejected(self):
+        with pytest.raises(KeyError):
+            ServiceStats().count("frobnications")
+
+    def test_count_mirrors_into_registry(self):
+        stats = ServiceStats()
+        stats.count("rejected", 4)
+        dump = metrics.REGISTRY.to_dict()["repro_service_events_total"]
+        assert dump["series"]['{event="rejected"}'] == 4
+
+    def test_instances_are_independent_but_share_the_registry(self):
+        first, second = ServiceStats(), ServiceStats()
+        first.count("admitted")
+        second.count("admitted")
+        assert first.admitted == second.admitted == 1
+        dump = metrics.REGISTRY.to_dict()["repro_service_events_total"]
+        assert dump["series"]['{event="admitted"}'] == 2
+
+
+class TestPhase:
+    def test_phase_accumulates_seconds(self):
+        stats = ServiceStats()
+        with stats.phase("pairs"):
+            pass
+        with stats.phase("pairs"):
+            pass
+        assert stats.phase_seconds["pairs"] > 0
+        assert stats.phase_errors == {}
+        hist = metrics.REGISTRY.to_dict()["repro_service_phase_seconds"]
+        assert hist["series"]['{phase="pairs"}']["count"] == 2
+
+    def test_phase_that_raises_still_records_timing(self):
+        stats = ServiceStats()
+        with pytest.raises(RuntimeError, match="vetting exploded"):
+            with stats.phase("pairs"):
+                raise RuntimeError("vetting exploded")
+        assert stats.phase_seconds["pairs"] > 0
+        assert stats.phase_errors == {"pairs": 1}
+        errors = metrics.REGISTRY.to_dict()[
+            "repro_service_phase_errors_total"
+        ]
+        assert errors["series"]['{phase="pairs"}'] == 1
+        hist = metrics.REGISTRY.to_dict()["repro_service_phase_seconds"]
+        assert hist["series"]['{phase="pairs"}']["count"] == 1
+
+    def test_phase_span_marked_error_on_exception(self, tmp_path):
+        import json
+
+        path = str(tmp_path / "t.jsonl")
+        trace.start_tracing(path)
+        stats = ServiceStats()
+        with pytest.raises(ValueError):
+            with stats.phase("cycles"):
+                raise ValueError("nope")
+        trace.stop_tracing()
+        with open(path, encoding="utf-8") as handle:
+            (record,) = [json.loads(line) for line in handle]
+        assert record["span"] == "service.cycles"
+        assert record["attrs"]["error"] is True
+        assert record["attrs"]["error_type"] == "ValueError"
+
+
+class TestRendering:
+    def test_as_dict_shape(self):
+        stats = ServiceStats()
+        stats.count("admitted")
+        with stats.phase("fingerprint"):
+            pass
+        payload = stats.as_dict()
+        assert payload["admitted"] == 1
+        assert "fingerprint" in payload["phase_seconds"]
+        assert "phase_errors" not in payload  # only present after errors
+
+    def test_as_dict_includes_phase_errors_after_failure(self):
+        stats = ServiceStats()
+        with pytest.raises(RuntimeError):
+            with stats.phase("pairs"):
+                raise RuntimeError
+        assert stats.as_dict()["phase_errors"] == {"pairs": 1}
+
+    def test_render_mentions_errors(self):
+        stats = ServiceStats()
+        with pytest.raises(RuntimeError):
+            with stats.phase("pairs"):
+                raise RuntimeError
+        assert "1 error(s)" in stats.render()

@@ -368,3 +368,112 @@ class TestFigures:
 
     def test_unknown_figure(self, capsys):
         assert main(["figures", "fig99"]) == 2
+
+
+class TestVerbosity:
+    def test_quiet_drops_narration_keeps_verdict(self, safe_file, capsys):
+        assert main(["-q", "analyze", safe_file]) == 0
+        out = capsys.readouterr().out
+        assert "safe:         True" in out
+        assert "transactions:" not in out
+
+    def test_double_quiet_silences_stdout(self, safe_file, capsys):
+        assert main(["-qq", "analyze", safe_file]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_verbose_narrates_loading(self, safe_file, capsys):
+        assert main(["-v", "analyze", safe_file]) == 0
+        assert "loading" in capsys.readouterr().out
+
+    def test_log_json_emits_json_lines(self, safe_file, capsys):
+        assert main(["--log-json", "analyze", safe_file]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        records = [json.loads(line) for line in captured.err.splitlines()]
+        assert any("safe:" in record["message"] for record in records)
+        assert all({"ts", "level", "message"} <= set(r) for r in records)
+
+
+class TestTraceAndMetrics:
+    @pytest.fixture(autouse=True)
+    def clean_registry(self):
+        from repro.obs import metrics
+
+        metrics.REGISTRY.reset()
+        yield
+        metrics.REGISTRY.reset()
+
+    def test_vet_trace_then_report(self, safe_file, tmp_path, capsys):
+        trace_file = str(tmp_path / "t.jsonl")
+        assert main(["vet", safe_file, "--trace", trace_file]) == 0
+        capsys.readouterr()
+        from repro.obs import trace
+
+        assert not trace.tracing_enabled()  # stopped by main()
+        assert main(["trace-report", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "service.admit" in out
+        assert "self ms" in out
+
+    def test_trace_report_limit(self, safe_file, tmp_path, capsys):
+        trace_file = str(tmp_path / "t.jsonl")
+        main(["vet", safe_file, "--trace", trace_file])
+        capsys.readouterr()
+        assert main(["trace-report", trace_file, "--limit", "1"]) == 0
+        assert "more span name(s)" in capsys.readouterr().out
+
+    def test_trace_report_rejects_malformed_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        assert main(["trace-report", str(path)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_trace_report_missing_file(self, capsys):
+        assert main(["trace-report", "/nonexistent.jsonl"]) == 2
+
+    def test_metrics_dump_on_stderr(self, unsafe_file, capsys):
+        assert main(["analyze", unsafe_file, "--metrics"]) == 1
+        err = capsys.readouterr().err
+        assert "# TYPE repro_decisions_total counter" in err
+        assert 'repro_decisions_total{method="theorem-2",safe="false"} 1' in err
+
+    def test_vet_metrics_cover_service_phases(self, safe_file, capsys):
+        assert main(["vet", safe_file, "--metrics"]) == 0
+        err = capsys.readouterr().err
+        assert "# TYPE repro_service_phase_seconds histogram" in err
+        assert 'phase="fingerprint"' in err
+
+
+class TestSimulateEvents:
+    def test_timeline_printed_and_deterministic(self, unsafe_file, capsys):
+        main(["simulate", unsafe_file, "--events", "--seed", "7"])
+        first = capsys.readouterr().out
+        main(["simulate", unsafe_file, "--events", "--seed", "7"])
+        second = capsys.readouterr().out
+        assert first == second
+        assert "timeline:" in first
+        assert "grant" in first
+        assert "outcome:" in first
+
+
+class TestServeMetrics:
+    def test_metrics_command_reports_registry(self, monkeypatch, capsys):
+        from repro.obs import metrics
+
+        metrics.REGISTRY.reset()
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO(
+                "ADMIT database; site 1: a b;"
+                " transaction T1; site 1: La a Ua Lb b Ub\n"
+                "METRICS\n"
+                "QUIT\n"
+            ),
+        )
+        assert main(["serve"]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert out[1] == "OK admitted T1"
+        payload = json.loads(out[2].removeprefix("METRICS "))
+        events = payload["repro_service_events_total"]["series"]
+        assert events['{event="admitted"}'] >= 1
+        metrics.REGISTRY.reset()

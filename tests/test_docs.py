@@ -19,6 +19,7 @@ PUBLIC_MODULES = [
     "repro.policies",
     "repro.workloads",
     "repro.service",
+    "repro.obs",
     "repro.viz",
     "repro.dsl",
     "repro.cli",

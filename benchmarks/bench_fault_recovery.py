@@ -1,0 +1,112 @@
+"""E13 — fault recovery: crashed runs must come back, cheaply.
+
+Series: the Fig. 3 pair under a seeded random fault plan (site
+crashes with both lock-table semantics, grant delays, a transaction
+crash), swept across driver seeds once per deadlock-resolution policy.
+For each policy the sweep records the completion rate, the mean
+abort-and-requeue count per run, and the p95 rollback-to-completion
+latency in logical steps.
+
+The claim under test is the recovery contract of :mod:`repro.faults`:
+with a recoverable plan and a resolution policy, every seeded run
+terminates (the step/idle budgets guarantee that) and the overwhelming
+majority *complete* — faults cost retries, not outcomes.  The sweep
+statistics and a process-metrics snapshot land in
+``results/BENCH_faults.json`` for the CI bench-smoke job.
+
+``REPRO_BENCH_QUICK=1`` shrinks the sweep for smoke runs.
+"""
+
+import os
+
+from repro.faults import chaos_sweep, random_plan
+from repro.obs import metrics
+from repro.workloads import figure_3
+
+from _series import report, table, write_json
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+SEEDS = 40 if QUICK else 200
+PLAN_SEED = 42
+POLICIES_SWEPT = ("abort-youngest", "abort-random", "wound-wait")
+MIN_COMPLETION_RATE = 0.9
+
+
+def test_fault_recovery(benchmark):
+    system = figure_3()
+    plan = random_plan(
+        system,
+        PLAN_SEED,
+        site_crashes=2,
+        grant_delays=1,
+        transaction_crashes=1,
+        recoverable=True,
+    )
+
+    sweeps = {
+        policy: chaos_sweep(
+            system, seeds=SEEDS, plan=plan, policy=policy, max_retries=4
+        )
+        for policy in POLICIES_SWEPT
+    }
+    benchmark(
+        lambda: chaos_sweep(
+            system,
+            seeds=5,
+            plan=plan,
+            policy="abort-youngest",
+            max_retries=4,
+        )
+    )
+
+    rows = []
+    for policy, sweep in sweeps.items():
+        p95 = sweep.p95_recovery_latency
+        rows.append(
+            (
+                policy,
+                f"{sweep.completion_rate:.2%}",
+                f"{sweep.mean_retries:.2f}",
+                sweep.deadlocks_resolved,
+                f"{p95:.0f}" if p95 is not None else "n/a",
+            )
+        )
+    report(
+        "E13-fault-recovery",
+        f"{SEEDS}-seed sweeps of figure 3 under plan seed {PLAN_SEED} "
+        f"({len(plan)} faults)",
+        table(
+            ["policy", "completed", "retries/run", "resolved", "p95 steps"],
+            rows,
+        ),
+    )
+
+    registry_dump = metrics.REGISTRY.to_dict()
+    write_json(
+        "BENCH_faults",
+        {
+            "seeds": SEEDS,
+            "plan_seed": PLAN_SEED,
+            "plan": plan.to_dict(),
+            "policies": {
+                policy: sweep.to_dict() for policy, sweep in sweeps.items()
+            },
+            "metrics": {
+                name: registry_dump[name]
+                for name in (
+                    "repro_faults_injected_total",
+                    "repro_deadlocks_resolved_total",
+                    "repro_retries_total",
+                )
+                if name in registry_dump
+            },
+        },
+    )
+
+    for policy, sweep in sweeps.items():
+        # Budgets guarantee termination; completion is the contract.
+        assert sum(sweep.outcomes.values()) == SEEDS, policy
+        assert sweep.completion_rate >= MIN_COMPLETION_RATE, (
+            policy,
+            sweep.outcomes,
+        )

@@ -10,7 +10,17 @@ Subcommands
     ``--dot`` emits ``D(T1, T2)`` in Graphviz DOT.
 
 ``simulate FILE``
-    Monte-Carlo execution on the distributed lock-manager simulator.
+    Monte-Carlo execution on the distributed lock-manager simulator;
+    ``--faults PLAN.json`` injects a seeded fault plan
+    (:mod:`repro.faults`) and ``--deadlock-policy`` /
+    ``--max-retries`` turn detected deadlocks into victim rollback and
+    bounded retry instead of terminal outcomes.
+
+``chaos [FILE]``
+    Sweep many driver seeds under one fault plan and aggregate the
+    recovery statistics (completion rate, retries per run, p95
+    rollback-to-completion latency).  The system file may be embedded
+    in the plan (``"system": "path.sys"``).
 
 ``plane FILE``
     Render the coordinated plane of a totally ordered pair (Fig. 2
@@ -103,19 +113,46 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0 if verdict.safe else 1
 
 
+def _load_plan(args: argparse.Namespace):
+    """The :class:`~repro.faults.FaultPlan` named by ``--faults``, or
+    ``None``; validated against *system* by the caller."""
+    if getattr(args, "faults", None) is None:
+        return None
+    from .faults import FaultPlan
+
+    log.info(f"loading fault plan {args.faults}")
+    return FaultPlan.load(args.faults)
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     log.info(f"loading {args.file}")
     system = _load_system(args.file)
+    plan = _load_plan(args)
+    if plan is not None:
+        plan.validate_against(system)
+    fault_kwargs = {
+        "fault_plan": plan,
+        "deadlock_policy": args.deadlock_policy,
+        "max_retries": args.max_retries,
+    }
     if args.events:
         from .obs.events import EventLog
         from .sim import RandomDriver, run_once
 
         event_log = EventLog()
-        result = run_once(system, RandomDriver(args.seed), event_log=event_log)
+        result = run_once(
+            system,
+            RandomDriver(args.seed),
+            event_log=event_log,
+            fault_seed=args.seed,
+            **fault_kwargs,
+        )
         log.result(event_log.render())
         log.result(f"outcome: {result.outcome}")
         return 0 if result.outcome != "non-serializable" else 1
-    rates = estimate_violation_rate(system, runs=args.runs, seed=args.seed)
+    rates = estimate_violation_rate(
+        system, runs=args.runs, seed=args.seed, **fault_kwargs
+    )
     if args.json:
         verdict = decide_safety(system, want_certificate=False)
         payload = {
@@ -128,12 +165,50 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             # counts, so the bit is reported, not asserted.
             "agreement": (rates["non-serializable"] == 0) == verdict.safe,
         }
+        if plan is not None:
+            payload["fault_plan"] = args.faults
+            payload["deadlock_policy"] = args.deadlock_policy
         log.result(json.dumps(payload, indent=2))
         return 0 if rates["non-serializable"] == 0 else 1
     log.out(f"runs: {args.runs} (seed {args.seed})")
-    for outcome in ("serializable", "non-serializable", "deadlock"):
+    baseline = ("serializable", "non-serializable", "deadlock")
+    extras = sorted(set(rates) - set(baseline))
+    for outcome in (*baseline, *extras):
         log.result(f"  {outcome:>18}: {rates[outcome]:7.2%}")
     return 0 if rates["non-serializable"] == 0 else 1
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from .faults import chaos_sweep
+
+    plan = _load_plan(args)
+    path = args.file
+    if path is None and plan is not None:
+        path = plan.system_path
+    if path is None:
+        log.error(
+            "error: no system to run — pass a system file or a fault "
+            'plan with an embedded "system" path'
+        )
+        return 2
+    log.info(f"loading {path}")
+    system = _load_system(path)
+    if plan is not None:
+        plan.validate_against(system)
+    report = chaos_sweep(
+        system,
+        seeds=args.seeds,
+        plan=plan,
+        policy=args.deadlock_policy,
+        max_retries=args.max_retries,
+        fifo_grants=args.fifo,
+        seed_base=args.seed_base,
+    )
+    if args.json:
+        log.result(json.dumps(report.to_dict(), indent=2))
+    else:
+        log.result(report.render())
+    return 0 if report.completed == report.seeds else 1
 
 
 def cmd_plane(args: argparse.Namespace) -> int:
@@ -240,8 +315,11 @@ def cmd_vet(args: argparse.Namespace) -> int:
 
     registry = AdmissionRegistry(
         cache=VerdictCache(args.cache_size),
-        pool=PairVettingPool(workers=args.workers),
+        pool=PairVettingPool(
+            workers=args.workers, max_retries=args.pool_retries
+        ),
         cycle_limit=args.cycle_limit,
+        admission_timeout=args.admission_timeout,
     )
     decisions = []
     skipped: list[str] = []
@@ -314,8 +392,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     registry = AdmissionRegistry(
         cache=VerdictCache(args.cache_size),
-        pool=PairVettingPool(workers=args.workers),
+        pool=PairVettingPool(
+            workers=args.workers, max_retries=args.pool_retries
+        ),
         cycle_limit=args.cycle_limit,
+        admission_timeout=args.admission_timeout,
     )
 
     def respond(line: str) -> None:
@@ -457,6 +538,29 @@ def build_parser() -> argparse.ArgumentParser:
     add_obs_flags(analyze)
     analyze.set_defaults(func=cmd_analyze)
 
+    def add_fault_flags(command: argparse.ArgumentParser) -> None:
+        from .faults import POLICIES
+
+        command.add_argument(
+            "--faults",
+            metavar="PLAN.json",
+            default=None,
+            help="inject the seeded fault plan in PLAN.json",
+        )
+        command.add_argument(
+            "--deadlock-policy",
+            choices=(*POLICIES, "none"),
+            default=None,
+            help="resolve detected deadlocks by rolling back a victim "
+            "(default: report the deadlock and stop)",
+        )
+        command.add_argument(
+            "--max-retries",
+            type=int,
+            default=3,
+            help="abort-and-requeue budget per transaction (default 3)",
+        )
+
     simulate = sub.add_parser("simulate", help="Monte-Carlo execution")
     simulate.add_argument("file")
     simulate.add_argument("--runs", type=int, default=1000)
@@ -467,8 +571,32 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run once and print the lock/step event timeline",
     )
+    add_fault_flags(simulate)
     add_obs_flags(simulate)
     simulate.set_defaults(func=cmd_simulate)
+
+    chaos = sub.add_parser(
+        "chaos", help="seed-sweep fault injection and recovery statistics"
+    )
+    chaos.add_argument(
+        "file",
+        nargs="?",
+        default=None,
+        help="system file (optional when the plan embeds one)",
+    )
+    chaos.add_argument("--seeds", type=int, default=50)
+    chaos.add_argument(
+        "--seed-base", type=int, default=0, help="first driver seed"
+    )
+    chaos.add_argument(
+        "--fifo",
+        action="store_true",
+        help="grant lock queues first-come-first-served",
+    )
+    chaos.add_argument("--json", action="store_true")
+    add_fault_flags(chaos)
+    chaos.set_defaults(func=cmd_chaos, deadlock_policy="abort-youngest")
+    add_obs_flags(chaos)
 
     plane = sub.add_parser("plane", help="render the coordinated plane")
     plane.add_argument("file")
@@ -492,6 +620,24 @@ def build_parser() -> argparse.ArgumentParser:
     vet.add_argument("--cycle-limit", type=int, default=None)
     vet.add_argument("--certificate", action="store_true")
     vet.add_argument("--json", action="store_true")
+
+    def add_degradation_flags(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--admission-timeout",
+            type=float,
+            metavar="SECONDS",
+            default=None,
+            help="per-admission pair-vetting budget (default: none)",
+        )
+        command.add_argument(
+            "--pool-retries",
+            type=int,
+            default=2,
+            help="worker-respawn attempts per batch before vetting "
+            "inline (default 2)",
+        )
+
+    add_degradation_flags(vet)
     add_obs_flags(vet)
     vet.set_defaults(func=cmd_vet)
 
@@ -513,6 +659,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=1)
     serve.add_argument("--cache-size", type=int, default=65536)
     serve.add_argument("--cycle-limit", type=int, default=None)
+    add_degradation_flags(serve)
     serve.set_defaults(func=cmd_serve)
 
     return parser

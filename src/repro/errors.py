@@ -55,3 +55,16 @@ class AdmissionError(ReproError):
     (:mod:`repro.service`): duplicate transaction name, database
     mismatch, or eviction of an unknown transaction.  Distinct from a
     *rejection*, which is a normal decision outcome."""
+
+
+class AdmissionTimeout(AdmissionError):
+    """One admission exceeded its wall-clock budget
+    (:class:`~repro.service.AdmissionRegistry` ``admission_timeout``).
+    The registry is left unchanged; the caller may retry or shed the
+    request."""
+
+
+class FaultPlanError(ReproError):
+    """An invalid fault-injection plan (:mod:`repro.faults`): unknown
+    site or transaction, malformed times, or an unknown crash
+    semantics / deadlock-resolution policy."""

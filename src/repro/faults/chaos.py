@@ -1,0 +1,149 @@
+"""Seed-sweep chaos harness: many faulty runs, one report.
+
+``repro chaos`` (and :mod:`benchmarks.bench_fault_recovery`) run the
+same system under the same :class:`~repro.faults.plan.FaultPlan` across
+a sweep of driver seeds and aggregate what the fault-recovery layer
+actually delivered: how many runs completed, how the incomplete ones
+ended, how many retries recovery cost, and the tail latency (in
+logical steps) from a rollback to the victim's completion.  Every run
+is seeded and step-budgeted, so a sweep can be large but never hangs.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+from ..core.schedule import TransactionSystem
+from ..sim.drivers import RandomDriver
+from ..sim.engine import SimulationEngine
+from .plan import FaultPlan
+
+
+def percentile(values: list[int] | list[float], q: float) -> float | None:
+    """The *q*-th percentile (nearest-rank) of *values*, or ``None``
+    when there are no observations."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    rank = max(0, math.ceil(q / 100.0 * len(ordered)) - 1)
+    return float(ordered[rank])
+
+
+@dataclass
+class ChaosReport:
+    """Aggregate statistics of one chaos sweep."""
+
+    seeds: int
+    policy: str | None
+    max_retries: int
+    plan_entries: int
+    outcomes: dict[str, int] = field(default_factory=dict)
+    total_retries: int = 0
+    faults_injected: int = 0
+    deadlocks_resolved: int = 0
+    recovery_latencies: list[int] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def completed(self) -> int:
+        """Runs that finished every step."""
+        return self.outcomes.get("serializable", 0) + self.outcomes.get("non-serializable", 0)
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of runs that completed."""
+        return self.completed / self.seeds if self.seeds else 0.0
+
+    @property
+    def mean_retries(self) -> float:
+        """Mean abort-and-requeue events per run."""
+        return self.total_retries / self.seeds if self.seeds else 0.0
+
+    @property
+    def p95_recovery_latency(self) -> float | None:
+        """95th-percentile rollback-to-completion latency (logical
+        steps), ``None`` when no rollback ever completed."""
+        return percentile(self.recovery_latencies, 95)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly rendering (used by ``repro chaos --json`` and
+        ``BENCH_faults.json``)."""
+        return {
+            "seeds": self.seeds,
+            "policy": self.policy,
+            "max_retries": self.max_retries,
+            "plan_entries": self.plan_entries,
+            "outcomes": dict(sorted(self.outcomes.items())),
+            "completion_rate": round(self.completion_rate, 4),
+            "mean_retries": round(self.mean_retries, 4),
+            "total_retries": self.total_retries,
+            "faults_injected": self.faults_injected,
+            "deadlocks_resolved": self.deadlocks_resolved,
+            "recoveries": len(self.recovery_latencies),
+            "p95_recovery_latency_steps": self.p95_recovery_latency,
+            "wall_seconds": round(self.wall_seconds, 4),
+        }
+
+    def render(self) -> str:
+        """Human-readable multi-line rendering."""
+        lines = [
+            f"chaos sweep: {self.seeds} seeds, "
+            f"policy={self.policy or 'none'}, "
+            f"max retries {self.max_retries}, "
+            f"{self.plan_entries} plan entries",
+        ]
+        for outcome, count in sorted(self.outcomes.items()):
+            lines.append(f"  {outcome:>18}: {count:4d}  ({count / self.seeds:7.2%})")
+        lines.append(f"  completion rate:    {self.completion_rate:7.2%}")
+        lines.append(f"  mean retries/run:   {self.mean_retries:7.2f}")
+        lines.append(f"  faults injected:    {self.faults_injected}")
+        lines.append(f"  deadlocks resolved: {self.deadlocks_resolved}")
+        p95 = self.p95_recovery_latency
+        lines.append(
+            "  p95 recovery:       "
+            + (f"{p95:.0f} steps" if p95 is not None else "n/a (no recoveries)")
+        )
+        lines.append(f"  wall time:          {self.wall_seconds:.2f} s")
+        return "\n".join(lines)
+
+
+def chaos_sweep(
+    system: TransactionSystem,
+    *,
+    seeds: int,
+    plan: FaultPlan | None = None,
+    policy: str | None = "abort-youngest",
+    max_retries: int = 3,
+    fifo_grants: bool = False,
+    seed_base: int = 0,
+    max_steps: int | None = None,
+) -> ChaosReport:
+    """Run *system* under *plan* for driver seeds ``seed_base ..
+    seed_base + seeds - 1`` and aggregate the outcomes."""
+    report = ChaosReport(
+        seeds=seeds,
+        policy=policy if policy != "none" else None,
+        max_retries=max_retries,
+        plan_entries=len(plan) if plan is not None else 0,
+    )
+    start = time.perf_counter()
+    for offset in range(seeds):
+        seed = seed_base + offset
+        engine = SimulationEngine(
+            system,
+            fifo_grants=fifo_grants,
+            fault_plan=plan,
+            deadlock_policy=policy,
+            max_retries=max_retries,
+            fault_seed=seed,
+        )
+        result = engine.run(RandomDriver(seed), max_steps=max_steps)
+        report.outcomes[result.outcome] = report.outcomes.get(result.outcome, 0) + 1
+        report.total_retries += result.total_retries
+        report.faults_injected += result.faults_injected
+        report.deadlocks_resolved += result.deadlocks_resolved
+        report.recovery_latencies.extend(result.recovery_latencies)
+    report.wall_seconds = time.perf_counter() - start
+    return report

@@ -1,0 +1,310 @@
+"""Deterministic, seedable fault-injection plans.
+
+A :class:`FaultPlan` is a declarative script of misfortune the engine
+replays against one run: sites crash and recover at logical times,
+lock grants are withheld for a while, and transactions die after a
+prescribed number of executed steps.  Time is the engine's logical
+clock (one tick per executed step, plus idle jumps while everything is
+stalled), so the same plan against the same driver seed reproduces the
+same run byte-for-byte — chaos here is replayable, not flaky.
+
+Three fault shapes:
+
+* :class:`SiteCrash` — the site's steps become non-executable between
+  ``at`` and ``recover_at`` (``None`` = never recovers).  Its lock
+  table follows one of two semantics: ``"freeze"`` keeps every lock
+  held (waiters stall until recovery, as when a lock server loses
+  power but keeps its durable state), while ``"release"`` clears the
+  table and *aborts* every transaction that held a lock there (as when
+  a lease-based lock service expires its locks on failover).
+* :class:`GrantDelay` — lock requests for ``entity`` (or any entity of
+  ``site``) are withheld while ``at <= clock < until``: the slow-grant
+  half of the fault space, enough to reorder grant races without
+  killing anything.
+* :class:`TransactionCrash` — the transaction aborts right after its
+  ``after_steps``-th executed step, once per run; with retries enabled
+  it rolls back and runs again.
+
+Plans round-trip through JSON (:meth:`FaultPlan.load` /
+:meth:`FaultPlan.to_dict`), may name the system file they were written
+for (``"system"``, resolved relative to the plan file), and
+:func:`random_plan` samples valid plans from a seed for chaos sweeps
+and property tests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from dataclasses import dataclass, field
+
+from ..core.schedule import TransactionSystem
+from ..errors import FaultPlanError
+
+#: Lock-table semantics of a crashed site.
+CRASH_SEMANTICS = ("freeze", "release")
+
+
+@dataclass(frozen=True)
+class SiteCrash:
+    """Site *site* is down from logical time *at* until *recover_at*."""
+
+    site: int
+    at: int
+    recover_at: int | None = None
+    semantics: str = "freeze"
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise FaultPlanError(f"site crash at negative time {self.at}")
+        if self.recover_at is not None and self.recover_at <= self.at:
+            raise FaultPlanError(
+                f"site {self.site} would recover at {self.recover_at}, "
+                f"not after its crash at {self.at}"
+            )
+        if self.semantics not in CRASH_SEMANTICS:
+            raise FaultPlanError(
+                f"unknown crash semantics {self.semantics!r} "
+                f"(choose from {CRASH_SEMANTICS})"
+            )
+
+    def to_dict(self) -> dict:
+        """JSON-friendly rendering (``None`` recover_at omitted)."""
+        payload: dict = {
+            "site": self.site,
+            "at": self.at,
+            "semantics": self.semantics,
+        }
+        if self.recover_at is not None:
+            payload["recover_at"] = self.recover_at
+        return payload
+
+
+@dataclass(frozen=True)
+class GrantDelay:
+    """Lock grants withheld while ``at <= clock < until``."""
+
+    at: int
+    until: int
+    entity: str | None = None
+    site: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.entity is None and self.site is None:
+            raise FaultPlanError("a grant delay needs an entity or a site to slow down")
+        if self.at < 0 or self.until <= self.at:
+            raise FaultPlanError(f"bad grant-delay window [{self.at}, {self.until})")
+
+    def applies_to(self, entity: str, site: int, clock: int) -> bool:
+        """Is a lock on *entity* at *site* withheld at *clock*?"""
+        if not (self.at <= clock < self.until):
+            return False
+        if self.entity is not None:
+            return entity == self.entity
+        return site == self.site
+
+    def to_dict(self) -> dict:
+        """JSON-friendly rendering (unset scope fields omitted)."""
+        payload: dict = {"at": self.at, "until": self.until}
+        if self.entity is not None:
+            payload["entity"] = self.entity
+        if self.site is not None:
+            payload["site"] = self.site
+        return payload
+
+
+@dataclass(frozen=True)
+class TransactionCrash:
+    """*transaction* aborts right after its *after_steps*-th step."""
+
+    transaction: str
+    after_steps: int
+
+    def __post_init__(self) -> None:
+        if self.after_steps < 1:
+            raise FaultPlanError(
+                f"{self.transaction} cannot crash after "
+                f"{self.after_steps} steps (need >= 1)"
+            )
+
+    def to_dict(self) -> dict:
+        """JSON-friendly rendering."""
+        return {
+            "transaction": self.transaction,
+            "after_steps": self.after_steps,
+        }
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The full script of faults one run replays."""
+
+    site_crashes: tuple[SiteCrash, ...] = ()
+    grant_delays: tuple[GrantDelay, ...] = ()
+    transaction_crashes: tuple[TransactionCrash, ...] = ()
+    #: Optional path of the system file this plan was written for
+    #: (resolved against the plan file's directory by :meth:`load`).
+    system_path: str | None = field(default=None, compare=False)
+
+    def __len__(self) -> int:
+        return len(self.site_crashes) + len(self.grant_delays) + len(self.transaction_crashes)
+
+    def validate_against(self, system: TransactionSystem) -> None:
+        """Raise :class:`FaultPlanError` if the plan names a site or
+        transaction the system does not have."""
+        sites = set(range(1, system.database.sites + 1))
+        for crash in self.site_crashes:
+            if crash.site not in sites:
+                raise FaultPlanError(
+                    f"plan crashes unknown site {crash.site} "
+                    f"(system has sites {sorted(sites)})"
+                )
+        for delay in self.grant_delays:
+            if delay.site is not None and delay.site not in sites:
+                raise FaultPlanError(f"plan delays grants at unknown site {delay.site}")
+            if delay.entity is not None and delay.entity not in system.database.entities:
+                raise FaultPlanError(f"plan delays grants on unknown entity {delay.entity!r}")
+        names = set(system.names)
+        for crash in self.transaction_crashes:
+            if crash.transaction not in names:
+                raise FaultPlanError(
+                    f"plan crashes unknown transaction "
+                    f"{crash.transaction!r} (system has {sorted(names)})"
+                )
+
+    # ------------------------------------------------------------------
+    # (De)serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-friendly rendering, :meth:`from_dict`'s inverse."""
+        payload: dict = {}
+        if self.system_path is not None:
+            payload["system"] = self.system_path
+        if self.site_crashes:
+            payload["site_crashes"] = [crash.to_dict() for crash in self.site_crashes]
+        if self.grant_delays:
+            payload["grant_delays"] = [delay.to_dict() for delay in self.grant_delays]
+        if self.transaction_crashes:
+            payload["transaction_crashes"] = [tx.to_dict() for tx in self.transaction_crashes]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultPlan":
+        """Build a plan from parsed JSON; raises
+        :class:`FaultPlanError` on malformed entries."""
+        if not isinstance(payload, dict):
+            raise FaultPlanError(f"a fault plan is a JSON object, not {type(payload).__name__}")
+        known = {
+            "system",
+            "site_crashes",
+            "grant_delays",
+            "transaction_crashes",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise FaultPlanError(
+                f"unknown fault-plan keys {sorted(unknown)} "
+                f"(known: {sorted(known)})"
+            )
+        try:
+            return cls(
+                site_crashes=tuple(
+                    SiteCrash(**entry) for entry in payload.get("site_crashes", ())
+                ),
+                grant_delays=tuple(
+                    GrantDelay(**entry) for entry in payload.get("grant_delays", ())
+                ),
+                transaction_crashes=tuple(
+                    TransactionCrash(**entry) for entry in payload.get("transaction_crashes", ())
+                ),
+                system_path=payload.get("system"),
+            )
+        except TypeError as exc:
+            raise FaultPlanError(f"malformed fault-plan entry: {exc}") from None
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        """Read a plan from a JSON file; a relative ``"system"`` path
+        is resolved against the plan file's directory."""
+        with open(path, encoding="utf-8") as handle:
+            try:
+                payload = json.load(handle)
+            except ValueError as exc:
+                raise FaultPlanError(f"{path}: not valid JSON ({exc})") from None
+        plan = cls.from_dict(payload)
+        if plan.system_path is not None and not os.path.isabs(plan.system_path):
+            resolved = os.path.join(os.path.dirname(path), plan.system_path)
+            plan = cls(
+                site_crashes=plan.site_crashes,
+                grant_delays=plan.grant_delays,
+                transaction_crashes=plan.transaction_crashes,
+                system_path=resolved,
+            )
+        return plan
+
+
+def random_plan(
+    system: TransactionSystem,
+    seed: int,
+    *,
+    site_crashes: int = 1,
+    grant_delays: int = 1,
+    transaction_crashes: int = 1,
+    horizon: int | None = None,
+    recoverable: bool = True,
+) -> FaultPlan:
+    """A seeded random plan that is valid for *system*.
+
+    Fault times are sampled inside ``[0, horizon)`` (default: the
+    system's step count), crash durations are short relative to the
+    horizon, and with *recoverable* every crashed site comes back — the
+    configuration chaos sweeps and the termination property test use.
+    """
+    rng = random.Random(seed)
+    if horizon is None:
+        horizon = max(4, system.total_steps())
+    sites = list(range(1, system.database.sites + 1))
+    entities = sorted(system.database.entities)
+    crashes = []
+    for _ in range(site_crashes):
+        at = rng.randrange(horizon)
+        duration = rng.randint(1, max(2, horizon // 2))
+        recover_at: int | None = at + duration
+        if not recoverable and rng.random() < 0.25:
+            recover_at = None
+        crashes.append(
+            SiteCrash(
+                site=rng.choice(sites),
+                at=at,
+                recover_at=recover_at,
+                semantics=rng.choice(CRASH_SEMANTICS),
+            )
+        )
+    delays = []
+    for _ in range(grant_delays):
+        at = rng.randrange(horizon)
+        delays.append(
+            GrantDelay(
+                at=at,
+                until=at + rng.randint(1, max(2, horizon // 2)),
+                entity=rng.choice(entities),
+            )
+        )
+    tx_crashes = []
+    victims = rng.sample(system.names, min(transaction_crashes, len(system.names)))
+    for name in victims:
+        steps = len(system[name])
+        tx_crashes.append(
+            TransactionCrash(
+                transaction=name,
+                after_steps=rng.randint(1, max(1, steps - 1)),
+            )
+        )
+    plan = FaultPlan(
+        site_crashes=tuple(crashes),
+        grant_delays=tuple(delays),
+        transaction_crashes=tuple(tx_crashes),
+    )
+    plan.validate_against(system)
+    return plan

@@ -15,8 +15,21 @@ import json
 from dataclasses import dataclass
 from typing import Iterator
 
-#: The event kinds the simulator emits.
-KINDS = ("grant", "block", "release", "step", "deadlock", "complete")
+#: The event kinds the simulator emits.  The last four belong to the
+#: fault-injection layer (:mod:`repro.faults`): site/transaction
+#: crashes, site recoveries, victim rollbacks and retry wake-ups.
+KINDS = (
+    "grant",
+    "block",
+    "release",
+    "step",
+    "deadlock",
+    "complete",
+    "crash",
+    "recover",
+    "abort",
+    "retry",
+)
 
 
 @dataclass(frozen=True)

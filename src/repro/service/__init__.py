@@ -16,7 +16,12 @@ long-running service:
   new-vs-existing pairs plus the interaction cycles through the
   newcomer (Proposition 2);
 * :mod:`~repro.service.pool` — a process-pool fan-out that vets pair
-  batches in parallel with chunking and an ordered-result merge;
+  batches in parallel with chunking and an ordered-result merge, and
+  degrades gracefully (PR 3): worker deaths respawn-and-resubmit only
+  the lost chunks, repeated failures trip a circuit breaker, and the
+  batch falls back to inline vetting instead of being lost;
+* :mod:`~repro.service.breaker` — the consecutive-failure circuit
+  breaker guarding the pool;
 * :mod:`~repro.service.stats` — structured counters and per-phase wall
   time.
 
@@ -25,6 +30,7 @@ one registry) and ``repro serve`` (line-oriented request loop); see
 ``docs/service.md``.
 """
 
+from .breaker import CircuitBreaker
 from .cache import CachedVerdict, VerdictCache
 from .fingerprint import fingerprint_of, pair_key
 from .pool import PairVerdict, PairVettingPool
@@ -35,6 +41,7 @@ __all__ = [
     "AdmissionDecision",
     "AdmissionRegistry",
     "CachedVerdict",
+    "CircuitBreaker",
     "PairVerdict",
     "PairVettingPool",
     "ServiceStats",

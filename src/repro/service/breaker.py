@@ -1,0 +1,101 @@
+"""A consecutive-failure circuit breaker for the vetting pool.
+
+When process-pool workers keep dying, re-spawning them for every
+admission turns one infrastructure fault into a latency storm.  The
+breaker watches consecutive pool failures and, past a threshold,
+*opens*: the pool stops being offered work and the registry vets
+inline (slower, but always correct — the decision procedure is pure
+Python).  After a cooldown the breaker goes *half-open* and lets one
+batch probe the pool; success closes it again, another failure re-opens
+it.  State changes are mirrored into the ``repro_breaker_state`` gauge
+(0 closed / 1 open / 2 half-open) and counted in
+``repro_breaker_transitions_total``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from ..obs import metrics
+
+#: Breaker states, in gauge-value order.
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half-open"
+STATE_VALUES = {CLOSED: 0, OPEN: 1, HALF_OPEN: 2}
+
+
+def _state_gauge() -> metrics.Gauge:
+    return metrics.REGISTRY.gauge(
+        "repro_breaker_state",
+        "vetting-pool circuit breaker (0 closed / 1 open / 2 half-open)",
+    )
+
+
+def _transitions_counter() -> metrics.Counter:
+    return metrics.REGISTRY.counter(
+        "repro_breaker_transitions_total",
+        "circuit-breaker state changes, by new state",
+    )
+
+
+class CircuitBreaker:
+    """Closed until *failure_threshold* consecutive failures; open for
+    *cooldown_seconds*; then half-open until the next verdict.
+
+    *clock* is injectable for tests (defaults to
+    :func:`time.monotonic`)."""
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 3,
+        cooldown_seconds: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown_seconds = cooldown_seconds
+        self._clock = clock
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        _state_gauge().set(STATE_VALUES[CLOSED])
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """``closed`` / ``open`` / ``half-open`` (cooldown applied)."""
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.cooldown_seconds
+        ):
+            self._transition(HALF_OPEN)
+        return self._state
+
+    def allow(self) -> bool:
+        """May the pool be offered work right now?"""
+        return self.state != OPEN
+
+    def record_success(self) -> None:
+        """A pool batch finished without a worker failure."""
+        self._failures = 0
+        if self._state != CLOSED:
+            self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        """A pool batch lost a worker."""
+        self._failures += 1
+        if self._state == HALF_OPEN or self._failures >= self.failure_threshold:
+            self._opened_at = self._clock()
+            if self._state != OPEN:
+                self._transition(OPEN)
+
+    def _transition(self, state: str) -> None:
+        self._state = state
+        _state_gauge().set(STATE_VALUES[state])
+        _transitions_counter().labels(state=state).inc()
+
+    def as_dict(self) -> dict:
+        """Current state and failure streak, JSON-friendly."""
+        return {"state": self.state, "consecutive_failures": self._failures}

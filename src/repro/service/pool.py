@@ -1,4 +1,4 @@
-"""Parallel pair vetting over a process pool.
+"""Parallel pair vetting over a process pool, with graceful degradation.
 
 The admission decision procedure is embarrassingly parallel across the
 new-vs-existing pairs (each ``D(Ti, Tj)`` is independent), so cache
@@ -13,6 +13,23 @@ pickling); the executor is created lazily on the first parallel call
 and reused until :meth:`PairVettingPool.close`, so per-admission
 batches amortize the worker start-up cost.
 
+Degradation ladder (PR 3) — a batch handed to :meth:`vet` is never
+lost:
+
+* a worker killed mid-batch (``BrokenProcessPool``) only invalidates
+  the chunks whose futures died; the pool respawns its workers after a
+  brief backoff and resubmits exactly those chunks, up to
+  ``max_retries`` times;
+* past the retry budget — or while the :class:`~repro.service.breaker.
+  CircuitBreaker` is open after repeated failures — the remaining
+  chunks are vetted *inline* in the calling process;
+* a *timeout* (seconds) bounds the whole batch; both the parallel wait
+  and the inline loop honor it and raise
+  :class:`~repro.errors.AdmissionTimeout`.
+
+Pool retries and fallbacks are counted in ``repro_retries_total``
+(scope ``pool``) and ``repro_pool_fallbacks_total``.
+
 When tracing (:mod:`repro.obs.trace`) is active at executor creation,
 each worker is initialized to trace into its own ``<path>.w<pid>`` file
 — workers cannot share the parent's file handle — and :meth:`close`
@@ -24,16 +41,35 @@ from __future__ import annotations
 
 import math
 import multiprocessing
+import time
 from collections.abc import Sequence
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
 from ..core.safety import decide_safety
 from ..core.schedule import TransactionSystem
 from ..core.transaction import Transaction
-from ..obs import trace
+from ..errors import AdmissionTimeout
+from ..obs import metrics, trace
+from .breaker import CircuitBreaker
 
 Pair = tuple[Transaction, Transaction]
+
+
+def _pool_retries_counter() -> metrics.Counter:
+    return metrics.REGISTRY.counter(
+        "repro_retries_total",
+        "aborted-and-requeued work units, by scope",
+    )
+
+
+def _fallbacks_counter() -> metrics.Counter:
+    return metrics.REGISTRY.counter(
+        "repro_pool_fallbacks_total",
+        "vetting batches (fully or partially) degraded to inline",
+    )
 
 
 @dataclass(frozen=True)
@@ -58,16 +94,45 @@ def _vet_chunk(
     return results
 
 
+def _vet_inline(
+    items: Sequence[tuple[int, Transaction, Transaction]],
+    deadline: float | None,
+) -> list[tuple[int, bool, str, str]]:
+    """Vet *items* in the calling process, checking *deadline* between
+    pairs (cooperative per-admission timeout)."""
+    rows: list[tuple[int, bool, str, str]] = []
+    for item in items:
+        if deadline is not None and time.monotonic() > deadline:
+            raise AdmissionTimeout(
+                f"pair vetting exceeded its admission timeout with "
+                f"{len(items) - len(rows)} pairs left"
+            )
+        rows.extend(_vet_chunk([item]))
+    return rows
+
+
 class PairVettingPool:
     """Vets batches of transaction pairs, serially or in parallel."""
 
     def __init__(
-        self, workers: int = 1, *, chunk_size: int | None = None
+        self,
+        workers: int = 1,
+        *,
+        chunk_size: int | None = None,
+        max_retries: int = 2,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         """*workers* processes; *chunk_size* pairs per task (default:
-        batch split evenly, two chunks per worker, at least one pair)."""
+        batch split evenly, two chunks per worker, at least one pair);
+        *max_retries* worker-respawn attempts per batch before
+        degrading inline; *breaker* may be shared between pools."""
         self.workers = max(1, int(workers))
         self.chunk_size = chunk_size
+        self.max_retries = max(0, int(max_retries))
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        #: Worker-respawn retries and inline degradations, lifetime.
+        self.retries = 0
+        self.fallbacks = 0
         self._executor: ProcessPoolExecutor | None = None
         self._trace_base: str | None = None
 
@@ -78,7 +143,8 @@ class PairVettingPool:
                 context = multiprocessing.get_context("fork")
             except ValueError:  # pragma: no cover - non-POSIX platforms
                 context = multiprocessing.get_context()
-            self._trace_base = trace.trace_path()
+            if self._trace_base is None:
+                self._trace_base = trace.trace_path()
             init_kwargs = {}
             if self._trace_base is not None:
                 init_kwargs = {
@@ -90,6 +156,12 @@ class PairVettingPool:
             )
         return self._executor
 
+    def _discard_executor(self) -> None:
+        """Drop a broken executor so the next call respawns workers."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
     def _chunks_of(self, indexed: list) -> list[list]:
         size = self.chunk_size
         if size is None:
@@ -100,26 +172,94 @@ class PairVettingPool:
         ]
 
     # ------------------------------------------------------------------
-    def vet(self, pairs: Sequence[Pair]) -> list[PairVerdict]:
-        """Verdicts for *pairs*, in the same order as *pairs*."""
+    def vet(
+        self, pairs: Sequence[Pair], *, timeout: float | None = None
+    ) -> list[PairVerdict]:
+        """Verdicts for *pairs*, in the same order as *pairs*.
+
+        *timeout* (seconds) bounds the whole batch; on expiry
+        :class:`~repro.errors.AdmissionTimeout` is raised and no
+        verdict is returned."""
+        deadline = None if timeout is None else time.monotonic() + timeout
         indexed = [
             (index, first, second)
             for index, (first, second) in enumerate(pairs)
         ]
         if self.workers <= 1 or len(indexed) <= 1:
-            rows = _vet_chunk(indexed)
+            rows = _vet_inline(indexed, deadline)
+        elif not self.breaker.allow():
+            self.fallbacks += 1
+            _fallbacks_counter().inc()
+            rows = _vet_inline(indexed, deadline)
         else:
-            executor = self._ensure_executor()
-            rows = []
-            for chunk_rows in executor.map(
-                _vet_chunk, self._chunks_of(indexed)
-            ):
-                rows.extend(chunk_rows)
+            rows = self._vet_parallel(indexed, deadline)
         merged: list[PairVerdict | None] = [None] * len(indexed)
         for index, safe, method, detail in rows:
             merged[index] = PairVerdict(safe=safe, method=method, detail=detail)
         assert all(item is not None for item in merged)
         return merged  # type: ignore[return-value]
+
+    def _vet_parallel(
+        self,
+        indexed: list[tuple[int, Transaction, Transaction]],
+        deadline: float | None,
+    ) -> list[tuple[int, bool, str, str]]:
+        """Fan chunks out to the pool; on worker death resubmit exactly
+        the chunks that died, then degrade inline past the budget."""
+        pending = self._chunks_of(indexed)
+        rows: list[tuple[int, bool, str, str]] = []
+        attempt = 0
+        while pending:
+            executor = self._ensure_executor()
+            futures = {
+                executor.submit(_vet_chunk, chunk): chunk
+                for chunk in pending
+            }
+            pending = []
+            remaining = (
+                None if deadline is None else deadline - time.monotonic()
+            )
+            try:
+                for future in as_completed(futures, timeout=remaining):
+                    try:
+                        rows.extend(future.result())
+                    except BrokenProcessPool:
+                        pending.append(futures[future])
+            except FuturesTimeout:
+                for future in futures:
+                    future.cancel()
+                raise AdmissionTimeout(
+                    f"pair vetting exceeded its admission timeout with "
+                    f"{len(futures)} chunks in flight"
+                ) from None
+            if not pending:
+                self.breaker.record_success()
+                break
+            # A worker died mid-batch: the chunks whose futures broke
+            # are still owed.  Respawn and resubmit them.
+            self._discard_executor()
+            self.breaker.record_failure()
+            attempt += 1
+            if attempt > self.max_retries or not self.breaker.allow():
+                self.fallbacks += 1
+                _fallbacks_counter().inc()
+                flat = [item for chunk in pending for item in chunk]
+                rows.extend(_vet_inline(flat, deadline))
+                break
+            self.retries += 1
+            _pool_retries_counter().labels(scope="pool").inc()
+            # Brief backoff before respawning a fresh worker fleet.
+            time.sleep(min(0.05 * (2 ** (attempt - 1)), 0.5))
+        return rows
+
+    def health_dict(self) -> dict:
+        """Pool degradation counters and breaker state."""
+        return {
+            "workers": self.workers,
+            "retries": self.retries,
+            "fallbacks": self.fallbacks,
+            "breaker": self.breaker.as_dict(),
+        }
 
     def close(self) -> None:
         """Shut the executor down (idempotent); if the workers were

@@ -30,7 +30,7 @@ from ..core.multi import b_graph_of_cycle
 from ..core.safety import SafetyVerdict, decide_safety
 from ..core.schedule import TransactionSystem
 from ..core.transaction import Transaction
-from ..errors import AdmissionError
+from ..errors import AdmissionError, AdmissionTimeout
 from ..graphs import DiGraph, has_cycle, simple_cycles
 from ..obs import trace
 from .cache import CachedVerdict, VerdictCache
@@ -91,18 +91,23 @@ class AdmissionRegistry:
         pool: PairVettingPool | None = None,
         stats: ServiceStats | None = None,
         cycle_limit: int | None = None,
+        admission_timeout: float | None = None,
     ) -> None:
         """*database* may be fixed up front or adopted from the first
         admission.  *cache* and *pool* may be shared between registries
         (that is how a warmed cache carries over); *cycle_limit* bounds
         the Proposition 2 cycle enumeration per admission (``None`` =
         exhaustive; hitting the bound raises :class:`AdmissionError`
-        rather than answering unsoundly)."""
+        rather than answering unsoundly); *admission_timeout* (seconds)
+        bounds each admission's pair-vetting work — expiry raises
+        :class:`~repro.errors.AdmissionTimeout` and leaves the registry
+        unchanged."""
         self.database = database
         self.cache = cache if cache is not None else VerdictCache()
         self.pool = pool if pool is not None else PairVettingPool(workers=1)
         self.stats = stats if stats is not None else ServiceStats()
         self.cycle_limit = cycle_limit
+        self.admission_timeout = admission_timeout
         self._members: dict[str, _Member] = {}
         # entity name -> names of live members locking it, so vetting
         # touches only the newcomer's actual neighbours instead of
@@ -152,11 +157,12 @@ class AdmissionRegistry:
         return edges
 
     def stats_dict(self) -> dict:
-        """Service counters, cache counters and registry size."""
+        """Service counters, cache counters, pool health and size."""
         return {
             "live_transactions": len(self._members),
             "service": self.stats.as_dict(),
             "cache": self.cache.stats(),
+            "pool": self.pool.health_dict(),
         }
 
     # ------------------------------------------------------------------
@@ -192,9 +198,15 @@ class AdmissionRegistry:
         with trace.span("service.admit") as sp:
             if sp:
                 sp.set(name=transaction.name, live=len(self._members))
-            decision = self._admit(
-                transaction, want_certificate=want_certificate
-            )
+            try:
+                decision = self._admit(
+                    transaction, want_certificate=want_certificate
+                )
+            except AdmissionTimeout:
+                self.stats.count("admission_timeouts")
+                if sp:
+                    sp.set(timed_out=True)
+                raise
             if sp:
                 sp.set(admitted=decision.admitted)
             return decision
@@ -315,7 +327,8 @@ class AdmissionRegistry:
                 to_vet.append((other_name, record.transaction))
             if unsafe_partner is None and to_vet:
                 verdicts = self.pool.vet(
-                    [(transaction, other) for _, other in to_vet]
+                    [(transaction, other) for _, other in to_vet],
+                    timeout=self.admission_timeout,
                 )
                 decision.pairs_vetted += len(to_vet)
                 self.stats.count("pairs_vetted", len(to_vet))

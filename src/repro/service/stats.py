@@ -60,6 +60,7 @@ class ServiceStats:
         "pairs_vetted",
         "pairs_from_cache",
         "cycles_checked",
+        "admission_timeouts",
     )
 
     def __init__(self) -> None:

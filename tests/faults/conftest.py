@@ -1,0 +1,33 @@
+"""Fixtures for the fault-injection suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import TransactionBuilder, TransactionSystem
+
+
+@pytest.fixture
+def crossing_pair(two_site_db) -> TransactionSystem:
+    """Two-phase transactions acquiring x and z in opposite orders:
+    deadlock-prone under random interleaving, but safe — the canonical
+    workload for deadlock *resolution*."""
+    t1 = TransactionBuilder("T1", two_site_db)
+    lx1 = t1.lock("x")
+    t1.update("x")
+    lz1 = t1.lock("z")
+    t1.update("z")
+    ux1 = t1.unlock("x")
+    t1.unlock("z")
+    t1.precede(lx1, lz1)
+    t1.precede(lz1, ux1)
+    t2 = TransactionBuilder("T2", two_site_db)
+    lz2 = t2.lock("z")
+    t2.update("z")
+    lx2 = t2.lock("x")
+    t2.update("x")
+    uz2 = t2.unlock("z")
+    t2.unlock("x")
+    t2.precede(lz2, lx2)
+    t2.precede(lx2, uz2)
+    return TransactionSystem([t1.build(), t2.build()])

@@ -1,0 +1,55 @@
+"""The chaos sweep harness and its aggregate report."""
+
+from repro.faults import chaos_sweep, percentile, random_plan
+from repro.workloads import figure_3
+
+
+class TestPercentile:
+    def test_empty_is_none(self):
+        assert percentile([], 95) is None
+
+    def test_nearest_rank(self):
+        values = list(range(1, 101))
+        assert percentile(values, 95) == 95.0
+        assert percentile(values, 50) == 50.0
+        assert percentile([7], 95) == 7.0
+
+
+class TestChaosSweep:
+    def test_every_seed_terminates_and_is_counted(self):
+        system = figure_3()
+        plan = random_plan(system, 42)
+        report = chaos_sweep(system, seeds=25, plan=plan)
+        assert report.seeds == 25
+        assert sum(report.outcomes.values()) == 25
+        assert 0.0 <= report.completion_rate <= 1.0
+
+    def test_report_round_trips_to_dict(self):
+        system = figure_3()
+        report = chaos_sweep(system, seeds=10, plan=random_plan(system, 3))
+        payload = report.to_dict()
+        assert payload["seeds"] == 10
+        assert payload["completion_rate"] == round(report.completion_rate, 4)
+        assert set(payload["outcomes"]) == set(report.outcomes)
+        assert payload["mean_retries"] == round(report.mean_retries, 4)
+
+    def test_render_mentions_every_outcome(self):
+        system = figure_3()
+        report = chaos_sweep(system, seeds=10, plan=random_plan(system, 3))
+        text = report.render()
+        for outcome in report.outcomes:
+            assert outcome in text
+
+    def test_faultless_sweep_matches_plain_simulation(self):
+        system = figure_3()
+        report = chaos_sweep(system, seeds=15, plan=None, policy=None)
+        assert report.faults_injected == 0
+        assert report.total_retries == 0
+
+    def test_sweep_is_deterministic(self):
+        system = figure_3()
+        plan = random_plan(system, 9)
+        first = chaos_sweep(system, seeds=12, plan=plan)
+        second = chaos_sweep(system, seeds=12, plan=plan)
+        assert first.outcomes == second.outcomes
+        assert first.recovery_latencies == second.recovery_latencies

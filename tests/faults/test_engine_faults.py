@@ -1,0 +1,182 @@
+"""Fault injection and recovery threaded through the engine."""
+
+from repro.faults import FaultPlan, GrantDelay, SiteCrash, TransactionCrash
+from repro.obs.events import EventLog
+from repro.sim import RandomDriver, run_once
+
+
+def plan_of(**kwargs) -> FaultPlan:
+    return FaultPlan(**kwargs)
+
+
+class TestSiteCrashes:
+    def test_freeze_crash_recovers_and_completes(self, simple_safe_pair):
+        plan = plan_of(
+            site_crashes=(
+                SiteCrash(site=1, at=2, recover_at=8, semantics="freeze"),
+            )
+        )
+        result = run_once(
+            simple_safe_pair, RandomDriver(0), fault_plan=plan
+        )
+        assert result.completed
+        assert result.faults_injected >= 1
+
+    def test_release_crash_aborts_holders_then_retries(
+        self, simple_safe_pair
+    ):
+        event_log = EventLog()
+        plan = plan_of(
+            site_crashes=(
+                SiteCrash(site=1, at=3, recover_at=7, semantics="release"),
+            )
+        )
+        result = run_once(
+            simple_safe_pair,
+            RandomDriver(0),
+            fault_plan=plan,
+            event_log=event_log,
+        )
+        assert result.completed
+        kinds = {event.kind for event in event_log.events}
+        assert "crash" in kinds and "recover" in kinds
+        # Someone held a site-1 lock at time 3, so release semantics
+        # must have rolled at least one transaction back.
+        assert "abort" in kinds
+        assert result.total_retries >= 1
+        assert result.recovery_latencies  # the victims came back
+
+    def test_unrecovered_crash_reports_crashed_not_deadlock(
+        self, simple_safe_pair
+    ):
+        plan = plan_of(site_crashes=(SiteCrash(site=1, at=0),))
+        result = run_once(
+            simple_safe_pair, RandomDriver(0), fault_plan=plan
+        )
+        assert not result.completed
+        assert result.outcome == "crashed"
+        assert sorted(result.crashed) == ["T1", "T2"]
+        assert not result.deadlocked
+
+    def test_completed_run_after_faults_is_a_legal_schedule(
+        self, simple_safe_pair
+    ):
+        plan = plan_of(
+            site_crashes=(
+                SiteCrash(site=2, at=1, recover_at=5, semantics="release"),
+            )
+        )
+        result = run_once(
+            simple_safe_pair, RandomDriver(3), fault_plan=plan
+        )
+        assert result.completed
+        # Rollback must not leave ghost events: the history still
+        # re-validates as a full legal schedule.
+        schedule = result.history.as_schedule()
+        assert len(schedule) == simple_safe_pair.total_steps()
+
+
+class TestGrantDelays:
+    def test_delay_defers_but_does_not_kill(self, simple_safe_pair):
+        plan = plan_of(grant_delays=(GrantDelay(at=0, until=6, entity="x"),))
+        result = run_once(
+            simple_safe_pair, RandomDriver(1), fault_plan=plan
+        )
+        assert result.completed
+        assert result.faults_injected >= 1
+
+
+class TestTransactionCrashes:
+    def test_crashed_transaction_retries_to_completion(
+        self, simple_safe_pair
+    ):
+        plan = plan_of(
+            transaction_crashes=(
+                TransactionCrash(transaction="T1", after_steps=2),
+            )
+        )
+        result = run_once(
+            simple_safe_pair, RandomDriver(0), fault_plan=plan
+        )
+        assert result.completed
+        assert result.retries.get("T1", 0) == 1
+
+    def test_exhausted_retries_reported_distinctly(self, simple_safe_pair):
+        plan = plan_of(
+            transaction_crashes=(
+                TransactionCrash(transaction="T1", after_steps=2),
+            )
+        )
+        result = run_once(
+            simple_safe_pair,
+            RandomDriver(0),
+            fault_plan=plan,
+            max_retries=0,
+        )
+        assert result.outcome == "retry-exhausted"
+        assert "T1" in result.retry_exhausted
+
+
+class TestDeadlockResolution:
+    def test_crossing_pair_always_completes_with_resolution(
+        self, crossing_pair
+    ):
+        resolved_total = 0
+        for seed in range(30):
+            result = run_once(
+                crossing_pair,
+                RandomDriver(seed),
+                deadlock_policy="abort-youngest",
+            )
+            assert result.completed, seed
+            assert result.serializable  # two-phase => safe
+            resolved_total += result.deadlocks_resolved
+        # The crossing pair does deadlock under some of these seeds.
+        assert resolved_total > 0
+
+    def test_without_policy_deadlock_stays_terminal(self, crossing_pair):
+        outcomes = {
+            run_once(crossing_pair, RandomDriver(seed)).outcome
+            for seed in range(30)
+        }
+        assert "deadlock" in outcomes
+
+    def test_resolution_emits_deadlock_and_abort_events(self, crossing_pair):
+        for seed in range(30):
+            event_log = EventLog()
+            result = run_once(
+                crossing_pair,
+                RandomDriver(seed),
+                deadlock_policy="wound-wait",
+                event_log=event_log,
+            )
+            if result.deadlocks_resolved:
+                kinds = [event.kind for event in event_log.events]
+                assert "deadlock" in kinds and "abort" in kinds
+                assert result.completed
+                return
+        raise AssertionError("no seed deadlocked in 30 tries")
+
+
+class TestDeterminism:
+    def test_same_seed_same_faulty_run(self, crossing_pair):
+        plan = plan_of(
+            site_crashes=(
+                SiteCrash(site=1, at=2, recover_at=6, semantics="release"),
+            ),
+            grant_delays=(GrantDelay(at=0, until=3, entity="z"),),
+        )
+
+        def record(seed):
+            event_log = EventLog()
+            run_once(
+                crossing_pair,
+                RandomDriver(seed),
+                fault_plan=plan,
+                deadlock_policy="abort-random",
+                fault_seed=seed,
+                event_log=event_log,
+            )
+            return [event.to_dict() for event in event_log.events]
+
+        assert record(11) == record(11)

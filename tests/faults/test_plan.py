@@ -1,0 +1,127 @@
+"""Fault-plan construction, validation and (de)serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import FaultPlanError
+from repro.faults import (
+    FaultPlan,
+    GrantDelay,
+    SiteCrash,
+    TransactionCrash,
+    random_plan,
+)
+from repro.workloads import figure_3
+
+
+class TestEntryValidation:
+    def test_crash_recovery_must_follow_crash(self):
+        with pytest.raises(FaultPlanError):
+            SiteCrash(site=1, at=5, recover_at=5)
+
+    def test_crash_rejects_unknown_semantics(self):
+        with pytest.raises(FaultPlanError):
+            SiteCrash(site=1, at=0, semantics="explode")
+
+    def test_delay_needs_a_scope(self):
+        with pytest.raises(FaultPlanError):
+            GrantDelay(at=0, until=3)
+
+    def test_delay_window_must_be_nonempty(self):
+        with pytest.raises(FaultPlanError):
+            GrantDelay(at=4, until=4, entity="x")
+
+    def test_transaction_crash_needs_a_step(self):
+        with pytest.raises(FaultPlanError):
+            TransactionCrash(transaction="T1", after_steps=0)
+
+    def test_delay_applies_only_inside_window(self):
+        delay = GrantDelay(at=2, until=5, entity="x")
+        assert delay.applies_to("x", 1, 2)
+        assert delay.applies_to("x", 9, 4)
+        assert not delay.applies_to("x", 1, 5)
+        assert not delay.applies_to("y", 1, 3)
+
+
+class TestSystemValidation:
+    def test_unknown_site_rejected(self):
+        plan = FaultPlan(site_crashes=(SiteCrash(site=9, at=0),))
+        with pytest.raises(FaultPlanError):
+            plan.validate_against(figure_3())
+
+    def test_unknown_transaction_rejected(self):
+        plan = FaultPlan(
+            transaction_crashes=(
+                TransactionCrash(transaction="nope", after_steps=1),
+            )
+        )
+        with pytest.raises(FaultPlanError):
+            plan.validate_against(figure_3())
+
+    def test_unknown_entity_delay_rejected(self):
+        plan = FaultPlan(grant_delays=(GrantDelay(at=0, until=2, entity="q"),))
+        with pytest.raises(FaultPlanError):
+            plan.validate_against(figure_3())
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        plan = FaultPlan(
+            site_crashes=(
+                SiteCrash(site=1, at=2, recover_at=6, semantics="release"),
+                SiteCrash(site=2, at=0),
+            ),
+            grant_delays=(GrantDelay(at=1, until=4, entity="x"),),
+            transaction_crashes=(
+                TransactionCrash(transaction="T1", after_steps=2),
+            ),
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+        assert len(plan) == 4
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_dict({"site_crashes": [], "surprise": 1})
+
+    def test_malformed_entry_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_dict({"site_crashes": [{"when": 3}]})
+
+    def test_load_resolves_embedded_system_path(self, tmp_path):
+        system_file = tmp_path / "sys.sys"
+        system_file.write_text("unused")
+        plan_file = tmp_path / "plan.json"
+        plan_file.write_text(
+            json.dumps(
+                {
+                    "system": "sys.sys",
+                    "site_crashes": [{"site": 1, "at": 0}],
+                }
+            )
+        )
+        plan = FaultPlan.load(str(plan_file))
+        assert plan.system_path == str(system_file)
+
+    def test_load_rejects_non_json(self, tmp_path):
+        bad = tmp_path / "plan.json"
+        bad.write_text("{nope")
+        with pytest.raises(FaultPlanError):
+            FaultPlan.load(str(bad))
+
+
+class TestRandomPlan:
+    def test_is_valid_and_deterministic(self):
+        system = figure_3()
+        plan = random_plan(system, 7, site_crashes=2, grant_delays=2)
+        plan.validate_against(system)  # must not raise
+        assert plan == random_plan(system, 7, site_crashes=2, grant_delays=2)
+        assert plan != random_plan(system, 8, site_crashes=2, grant_delays=2)
+
+    def test_recoverable_plans_always_recover(self):
+        system = figure_3()
+        for seed in range(20):
+            plan = random_plan(system, seed, site_crashes=3, recoverable=True)
+            assert all(
+                crash.recover_at is not None for crash in plan.site_crashes
+            )

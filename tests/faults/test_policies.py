@@ -1,0 +1,59 @@
+"""Deadlock-resolution victim selection."""
+
+import random
+
+import pytest
+
+from repro.errors import FaultPlanError
+from repro.faults import POLICIES, choose_victim, validate_policy
+
+
+class TestValidatePolicy:
+    def test_known_policies_pass_through(self):
+        for policy in POLICIES:
+            assert validate_policy(policy) == policy
+
+    def test_none_means_no_resolution(self):
+        assert validate_policy(None) is None
+        assert validate_policy("none") is None
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(FaultPlanError):
+            validate_policy("abort-oldest")
+
+
+class TestChooseVictim:
+    AGES = {"T1": 0, "T2": 1, "T3": 2}
+
+    def test_abort_youngest_kills_the_newest(self):
+        victim = choose_victim(
+            "abort-youngest", ["T2", "T3", "T1"], self.AGES, random.Random(0)
+        )
+        assert victim == "T3"
+
+    def test_wound_wait_kills_the_oldests_successor(self):
+        # Cycle order T2 -> T3 -> T1 -> T2; oldest is T1, so its cycle
+        # successor T2 dies (the oldest wounds whoever it waits on).
+        victim = choose_victim(
+            "wound-wait", ["T2", "T3", "T1"], self.AGES, random.Random(0)
+        )
+        assert victim == "T2"
+
+    def test_abort_random_is_seeded(self):
+        cycle = ["T1", "T2", "T3"]
+        first = choose_victim(
+            "abort-random", cycle, self.AGES, random.Random(5)
+        )
+        again = choose_victim(
+            "abort-random", cycle, self.AGES, random.Random(5)
+        )
+        assert first == again
+        assert first in cycle
+
+    def test_victim_is_always_in_the_cycle(self):
+        for policy in POLICIES:
+            for seed in range(10):
+                victim = choose_victim(
+                    policy, ["T3", "T1"], self.AGES, random.Random(seed)
+                )
+                assert victim in {"T3", "T1"}

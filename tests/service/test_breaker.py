@@ -1,0 +1,200 @@
+"""Circuit breaker, pool degradation and admission timeouts."""
+
+from concurrent.futures import Future
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+from repro.errors import AdmissionTimeout
+from repro.service import AdmissionRegistry, CircuitBreaker, PairVettingPool
+from repro.service.breaker import CLOSED, HALF_OPEN, OPEN
+from repro.service.pool import _vet_chunk
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN and not breaker.allow()
+
+    def test_success_resets_the_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_cooldown_half_opens_then_success_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_seconds=10.0, clock=clock
+        )
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.now = 9.9
+        assert breaker.state == OPEN
+        clock.now = 10.0
+        assert breaker.state == HALF_OPEN and breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_half_open_failure_reopens_immediately(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=3, cooldown_seconds=5.0, clock=clock
+        )
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now = 5.0
+        assert breaker.state == HALF_OPEN
+        breaker.record_failure()  # one strike in half-open is enough
+        assert breaker.state == OPEN
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+
+    def test_as_dict(self):
+        breaker = CircuitBreaker(failure_threshold=2, clock=FakeClock())
+        breaker.record_failure()
+        assert breaker.as_dict() == {
+            "state": "closed",
+            "consecutive_failures": 1,
+        }
+
+
+class _BrokenExecutor:
+    """Every submitted future dies of a broken process pool."""
+
+    def submit(self, fn, chunk):
+        future: Future = Future()
+        future.set_exception(BrokenProcessPool("worker died"))
+        return future
+
+    def shutdown(self, **kwargs):
+        pass
+
+
+class _WorkingExecutor:
+    """Runs chunks synchronously in-process."""
+
+    def submit(self, fn, chunk):
+        future: Future = Future()
+        future.set_result(fn(chunk))
+        return future
+
+    def shutdown(self, **kwargs):
+        pass
+
+
+class _StuckExecutor:
+    """Futures that never complete (for timeout tests)."""
+
+    def submit(self, fn, chunk):
+        return Future()
+
+    def shutdown(self, **kwargs):
+        pass
+
+
+def _scripted_pool(executors, monkeypatch, **kwargs) -> PairVettingPool:
+    """A pool whose executor "respawns" walk through *executors*."""
+    pool = PairVettingPool(workers=2, **kwargs)
+    script = list(executors)
+
+    def next_executor():
+        if pool._executor is None:
+            pool._executor = script.pop(0)
+        return pool._executor
+
+    monkeypatch.setattr(pool, "_ensure_executor", next_executor)
+    monkeypatch.setattr(pool, "_discard_executor", lambda: setattr(pool, "_executor", None))
+    return pool
+
+
+class TestPoolDegradation:
+    def pairs(self, simple_safe_pair, count=4):
+        first, second = simple_safe_pair.transactions
+        return [(first, second)] * count
+
+    def test_worker_death_retries_without_losing_the_batch(
+        self, simple_safe_pair, monkeypatch
+    ):
+        pool = _scripted_pool(
+            [_BrokenExecutor(), _WorkingExecutor()], monkeypatch
+        )
+        pairs = self.pairs(simple_safe_pair)
+        verdicts = pool.vet(pairs)
+        assert len(verdicts) == len(pairs)
+        assert pool.retries == 1 and pool.fallbacks == 0
+        # The eventual clean pass reset the breaker.
+        assert pool.breaker.state == CLOSED
+
+    def test_exhausted_retries_fall_back_inline(
+        self, simple_safe_pair, monkeypatch
+    ):
+        pool = _scripted_pool(
+            [_BrokenExecutor()] * 3, monkeypatch, max_retries=1
+        )
+        pairs = self.pairs(simple_safe_pair)
+        verdicts = pool.vet(pairs)
+        assert len(verdicts) == len(pairs)
+        assert pool.fallbacks == 1
+        # Inline results agree with a direct vet.
+        direct = _vet_chunk([(0, *pairs[0])])[0]
+        assert verdicts[0].safe == direct[1]
+
+    def test_open_breaker_skips_the_pool_entirely(
+        self, simple_safe_pair, monkeypatch
+    ):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()
+        pool = _scripted_pool([], monkeypatch, breaker=breaker)
+        verdicts = pool.vet(self.pairs(simple_safe_pair))
+        assert len(verdicts) == 4
+        assert pool.fallbacks == 1  # never touched an executor
+
+    def test_parallel_timeout_raises_admission_timeout(
+        self, simple_safe_pair, monkeypatch
+    ):
+        pool = _scripted_pool([_StuckExecutor()], monkeypatch)
+        with pytest.raises(AdmissionTimeout):
+            pool.vet(self.pairs(simple_safe_pair), timeout=0.05)
+
+    def test_inline_timeout_raises_admission_timeout(self, simple_safe_pair):
+        pool = PairVettingPool(workers=1)
+        with pytest.raises(AdmissionTimeout):
+            pool.vet(self.pairs(simple_safe_pair, count=8), timeout=0.0)
+
+    def test_health_dict_shape(self):
+        pool = PairVettingPool(workers=2)
+        health = pool.health_dict()
+        assert health["workers"] == 2
+        assert health["breaker"]["state"] == CLOSED
+
+
+class TestRegistryTimeout:
+    def test_timed_out_admission_is_counted_and_rolled_back(
+        self, simple_safe_pair
+    ):
+        registry = AdmissionRegistry(admission_timeout=0.0)
+        first, second = simple_safe_pair.transactions
+        registry.admit(first)  # no pairs to vet, cannot time out
+        with pytest.raises(AdmissionTimeout):
+            registry.admit(second)
+        assert registry.stats.admission_timeouts == 1
+        assert second.name not in registry  # nothing half-admitted
+        assert registry.stats_dict()["pool"]["breaker"]["state"] == CLOSED

@@ -128,6 +128,19 @@ class TestDeadlock:
         result = run_once(simple_unsafe_pair, ReplayDriver(serial))
         assert result.completed
 
+    def test_crash_stall_is_not_misreported_as_deadlock(
+        self, simple_safe_pair
+    ):
+        """Incomplete-because-a-site-died and incomplete-because-of-a-
+        wait-cycle are different outcomes (PR 3 outcome split)."""
+        from repro.faults import FaultPlan, SiteCrash
+
+        plan = FaultPlan(site_crashes=(SiteCrash(site=1, at=0),))
+        result = run_once(simple_safe_pair, RandomDriver(0), fault_plan=plan)
+        assert not result.completed
+        assert result.outcome == "crashed"
+        assert not result.deadlocked
+
 
 class TestMonteCarlo:
     def test_rates_sum_to_one(self):

@@ -16,6 +16,7 @@ PUBLIC_MODULES = [
     "repro.posets",
     "repro.logic",
     "repro.sim",
+    "repro.faults",
     "repro.policies",
     "repro.workloads",
     "repro.service",
@@ -77,7 +78,7 @@ class TestDocFiles:
         "filename",
         [
             "model.md", "algorithms.md", "reduction.md", "dsl.md",
-            "service.md", "api.md",
+            "service.md", "faults.md", "api.md",
         ],
     )
     def test_docs_directory_complete(self, filename):

@@ -8,6 +8,7 @@ reproduction's measured shape) to stdout *and* persists it under
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 from collections.abc import Sequence
 
@@ -56,6 +57,44 @@ def write_json(name: str, payload: dict) -> pathlib.Path:
             merged = {}
     merged.update(payload)
     path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def write_bench(
+    name: str, *, params: dict, samples: dict, metrics: dict | None = None
+) -> pathlib.Path:
+    """Persist a benchmark result in the standard envelope.
+
+    Every ``BENCH_*.json`` file has the same four-part shape: ``name``,
+    ``params`` (the knobs that produced the run — seeds, sweep sizes,
+    budgets), ``samples`` (the measured series, keyed by sample name),
+    an optional ``metrics`` snapshot (:func:`metrics_snapshot` or a
+    registry excerpt), and the host ``cpu_count`` (so parallelism
+    numbers can be read honestly on single-CPU CI hosts).
+
+    Two experiments writing into the same file (E8's agreement and
+    scaling runs both land in ``BENCH_multi.json``) merge: the
+    ``params``/``samples``/``metrics`` mappings are combined key-wise,
+    later calls winning on conflicts.
+    """
+    path = RESULTS_DIR / f"{name}.json"
+    merged: dict = {}
+    if path.exists():
+        try:
+            merged = json.loads(path.read_text())
+        except (OSError, ValueError):
+            merged = {}
+    envelope = {
+        "name": name,
+        "params": {**merged.get("params", {}), **params},
+        "samples": {**merged.get("samples", {}), **samples},
+        "cpu_count": os.cpu_count() or 1,
+    }
+    combined_metrics = {**merged.get("metrics", {}), **(metrics or {})}
+    if combined_metrics:
+        envelope["metrics"] = combined_metrics
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path.write_text(json.dumps(envelope, indent=2, sort_keys=True) + "\n")
     return path
 
 

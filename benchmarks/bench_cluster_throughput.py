@@ -1,0 +1,164 @@
+"""E14 — cluster throughput: simulator vs memory transport vs TCP.
+
+Series: the safe two-site transfer pair (two 2PL transactions locking
+``x`` and ``y`` in opposite orders — deadlock-capable, so the run
+exercises probes and retries, not just the happy path) executed three
+ways: the in-process lock-step simulator (:func:`repro.sim.run_once`),
+the full :mod:`repro.cluster` runtime over the deterministic memory
+transport, and the same runtime over real TCP sockets on loopback.
+
+The claims under test are the cluster runtime's contracts:
+
+* every committed history is conflict-serializable — re-audited here
+  with :func:`repro.sim.analysis.serializable_from_site_orders`
+  directly on the reported site orders, not just the report flag;
+* in full mode the TCP path executes >= 1000 transactions;
+* the memory transport is deterministic: the same seed yields the same
+  per-entity committed orders (equal history fingerprints).
+
+Throughput lands in ``results/BENCH_cluster.json`` in the standard
+envelope.  ``REPRO_BENCH_QUICK=1`` shrinks the sweep for smoke runs.
+"""
+
+import os
+import time
+
+from repro.cluster import run_cluster_sync
+from repro.core.entity import DistributedDatabase
+from repro.core.schedule import TransactionSystem
+from repro.core.step import lock, unlock, update
+from repro.core.transaction import Transaction
+from repro.sim import RandomDriver, run_once
+from repro.sim.analysis import serializable_from_site_orders
+
+from _series import report, table, write_bench
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+#: Two transactions per round: full mode puts >= 1000 through TCP.
+ROUNDS = 25 if QUICK else 500
+SEED = 14
+#: High contention (every clone wants x and y) means deadlock churn;
+#: a generous retry budget and modest concurrency let every
+#: transaction commit rather than exhaust retries.
+MAX_RETRIES = 16
+CONCURRENCY = 4
+
+
+def transfer_pair():
+    """Two 2PL transactions over a two-site database, locking the
+    entities in opposite orders."""
+    database = DistributedDatabase({"x": 1, "y": 2})
+
+    def chain(name, entities):
+        steps = []
+        for entity in entities:
+            steps.append(lock(entity))
+            steps.append(update(entity))
+        for entity in entities:
+            steps.append(unlock(entity))
+        order = [(steps[i], steps[i + 1]) for i in range(len(steps) - 1)]
+        return Transaction(name, database, steps, order)
+
+    return TransactionSystem(
+        [chain("T1", ["x", "y"]), chain("T2", ["y", "x"])]
+    )
+
+
+def _throughput(transactions, seconds):
+    return transactions / seconds if seconds else float("inf")
+
+
+def test_cluster_throughput(benchmark):
+    system = transfer_pair()
+    samples = {}
+
+    started = time.perf_counter()
+    for run in range(ROUNDS):
+        run_once(system, RandomDriver(SEED + run))
+    elapsed = time.perf_counter() - started
+    txns = ROUNDS * len(system)
+    samples["simulator"] = {
+        "transactions": txns,
+        "seconds": round(elapsed, 4),
+        "txn_per_s": round(_throughput(txns, elapsed), 1),
+    }
+
+    reports = {}
+    for transport in ("memory", "tcp"):
+        cluster_report = run_cluster_sync(
+            system,
+            transport=transport,
+            rounds=ROUNDS,
+            seed=SEED,
+            max_retries=MAX_RETRIES,
+            concurrency=CONCURRENCY,
+            request_timeout=30.0 if transport == "tcp" else None,
+        )
+        reports[transport] = cluster_report
+        samples[transport] = {
+            "transactions": cluster_report.transactions,
+            "committed": cluster_report.committed,
+            "seconds": round(cluster_report.wall_seconds, 4),
+            "txn_per_s": round(
+                _throughput(
+                    cluster_report.transactions, cluster_report.wall_seconds
+                ),
+                1,
+            ),
+            "serializable": cluster_report.serializable,
+            "history_fingerprint": cluster_report.history_fingerprint,
+        }
+
+    # Determinism of the memory transport: same seed, same history.
+    rerun = run_cluster_sync(
+        system, transport="memory", rounds=ROUNDS, seed=SEED,
+        max_retries=MAX_RETRIES, concurrency=CONCURRENCY,
+    )
+
+    benchmark(
+        lambda: run_cluster_sync(
+            system, rounds=2, seed=SEED, max_retries=MAX_RETRIES
+        )
+    )
+
+    rows = [
+        (
+            name,
+            row["transactions"],
+            f"{row['seconds']:.3f}",
+            f"{row['txn_per_s']:.0f}",
+        )
+        for name, row in samples.items()
+    ]
+    report(
+        "E14-cluster-throughput",
+        f"transfer pair x {ROUNDS} rounds, simulator vs cluster transports",
+        table(["path", "txns", "seconds", "txn/s"], rows)
+        + [
+            "memory-transport determinism: "
+            f"{rerun.history_fingerprint == reports['memory'].history_fingerprint}",
+        ],
+    )
+    write_bench(
+        "BENCH_cluster",
+        params={
+            "rounds": ROUNDS,
+            "seed": SEED,
+            "max_retries": MAX_RETRIES,
+            "concurrency": CONCURRENCY,
+            "sites": 2,
+        },
+        samples=samples,
+    )
+
+    for transport, cluster_report in reports.items():
+        assert cluster_report.committed == cluster_report.transactions, (
+            transport
+        )
+        # Re-audit the committed site orders independently of the flag.
+        assert serializable_from_site_orders(cluster_report.site_orders), (
+            transport
+        )
+    if not QUICK:
+        assert reports["tcp"].transactions >= 1000
+    assert rerun.history_fingerprint == reports["memory"].history_fingerprint

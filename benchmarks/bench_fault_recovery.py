@@ -23,7 +23,7 @@ from repro.faults import chaos_sweep, random_plan
 from repro.obs import metrics
 from repro.workloads import figure_3
 
-from _series import report, table, write_json
+from _series import report, table, write_bench
 
 QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
 SEEDS = 40 if QUICK else 200
@@ -82,24 +82,24 @@ def test_fault_recovery(benchmark):
     )
 
     registry_dump = metrics.REGISTRY.to_dict()
-    write_json(
+    write_bench(
         "BENCH_faults",
-        {
+        params={
             "seeds": SEEDS,
             "plan_seed": PLAN_SEED,
             "plan": plan.to_dict(),
-            "policies": {
-                policy: sweep.to_dict() for policy, sweep in sweeps.items()
-            },
-            "metrics": {
-                name: registry_dump[name]
-                for name in (
-                    "repro_faults_injected_total",
-                    "repro_deadlocks_resolved_total",
-                    "repro_retries_total",
-                )
-                if name in registry_dump
-            },
+        },
+        samples={
+            policy: sweep.to_dict() for policy, sweep in sweeps.items()
+        },
+        metrics={
+            name: registry_dump[name]
+            for name in (
+                "repro_faults_injected_total",
+                "repro_deadlocks_resolved_total",
+                "repro_retries_total",
+            )
+            if name in registry_dump
         },
     )
 

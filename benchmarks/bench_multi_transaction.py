@@ -11,7 +11,7 @@ import time
 from repro.core import decide_safety_exhaustive, decide_safety_multi
 from repro.workloads import random_system
 
-from _series import metrics_snapshot, report, table, write_json
+from _series import metrics_snapshot, report, table, write_bench
 
 
 def test_proposition_2_agreement(benchmark):
@@ -42,14 +42,16 @@ def test_proposition_2_agreement(benchmark):
             f"({unsafe_count} unsafe systems among them)",
         ],
     )
-    write_json(
+    write_bench(
         "BENCH_multi",
-        {
-            "agreement": agreements,
-            "systems": total,
-            "unsafe_systems": unsafe_count,
-            "metrics": metrics_snapshot(decisions=True),
+        params={"transactions": 3, "systems": total},
+        samples={
+            "agreement": {
+                "agreements": agreements,
+                "unsafe_systems": unsafe_count,
+            },
         },
+        metrics=metrics_snapshot(decisions=True),
     )
     assert agreements == total
 
@@ -90,7 +92,9 @@ def test_proposition_2_scaling(benchmark):
             "enumeration kicks in as the interaction graph densifies",
         ],
     )
-    write_json(
+    write_bench(
         "BENCH_multi",
-        {"scaling": scaling, "metrics": metrics_snapshot(decisions=True)},
+        params={"scaling_ks": [row["k"] for row in scaling]},
+        samples={"scaling": scaling},
+        metrics=metrics_snapshot(decisions=True),
     )

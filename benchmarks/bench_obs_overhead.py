@@ -22,7 +22,7 @@ import time
 from repro.obs import trace
 from repro.service import VerdictCache
 
-from _series import report, write_json
+from _series import report, write_bench
 from bench_service_throughput import FLEET_SEED, admit_all, clustered_fleet
 
 OVERHEAD_BUDGET = 0.03
@@ -85,17 +85,22 @@ def test_tracing_overhead(benchmark, tmp_path):
             f"{disabled_overhead:.4%} of the untraced run",
         ],
     )
-    write_json(
+    write_bench(
         "BENCH_obs",
-        {
+        params={
             "fleet": len(fleet),
-            "disabled_seconds": round(disabled_seconds, 4),
-            "enabled_seconds": round(enabled_seconds, 4),
-            "enabled_ratio": round(enabled_ratio, 3),
-            "spans_per_run": spans_per_run,
-            "ns_per_disabled_span": round(ns_per_disabled_span, 1),
-            "disabled_overhead_fraction": round(disabled_overhead, 6),
+            "span_samples": SPAN_SAMPLES,
             "overhead_budget": OVERHEAD_BUDGET,
+        },
+        samples={
+            "tracing": {
+                "disabled_seconds": round(disabled_seconds, 4),
+                "enabled_seconds": round(enabled_seconds, 4),
+                "enabled_ratio": round(enabled_ratio, 3),
+                "spans_per_run": spans_per_run,
+                "ns_per_disabled_span": round(ns_per_disabled_span, 1),
+                "disabled_overhead_fraction": round(disabled_overhead, 6),
+            },
         },
     )
     assert disabled_overhead < OVERHEAD_BUDGET

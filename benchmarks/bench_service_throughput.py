@@ -21,7 +21,7 @@ from repro.core import DistributedDatabase, TransactionSystem, decide_safety
 from repro.service import AdmissionRegistry, PairVettingPool, VerdictCache
 from repro.workloads import random_transaction
 
-from _series import metrics_snapshot, report, table, write_json
+from _series import metrics_snapshot, report, table, write_bench
 
 CLUSTERS = 52
 CLUSTER_SIZE = 4
@@ -167,24 +167,24 @@ def test_service_cache_warmup(benchmark):
             f"{cold_admitted == reference}",
         ],
     )
-    write_json(
+    write_bench(
         "BENCH_service",
-        {
-            "fleet": len(fleet),
-            "clusters": CLUSTERS,
-            "admitted": len(cold_admitted),
-            "rejected": rejected,
-            "cold_seconds": round(cold_seconds, 4),
-            "warm_seconds": round(warm_seconds, 4),
-            "warm_speedup": round(speedup, 2),
-            "cold_pairs_vetted": cold_stats["service"]["pairs_vetted"],
-            "warm_pairs_from_cache": (
-                warm_stats["service"]["pairs_from_cache"]
-            ),
-            "identity_with_decide_safety": cold_admitted == reference,
-            "cold_metrics": cold_metrics,
-            "warm_metrics": warm_metrics,
+        params={"fleet": len(fleet), "clusters": CLUSTERS},
+        samples={
+            "cache_warmup": {
+                "admitted": len(cold_admitted),
+                "rejected": rejected,
+                "cold_seconds": round(cold_seconds, 4),
+                "warm_seconds": round(warm_seconds, 4),
+                "warm_speedup": round(speedup, 2),
+                "cold_pairs_vetted": cold_stats["service"]["pairs_vetted"],
+                "warm_pairs_from_cache": (
+                    warm_stats["service"]["pairs_from_cache"]
+                ),
+                "identity_with_decide_safety": cold_admitted == reference,
+            },
         },
+        metrics={"cold": cold_metrics, "warm": warm_metrics},
     )
     assert cold_admitted == warm_admitted == reference
     assert warm_stats["service"]["pairs_vetted"] == 0
@@ -228,13 +228,14 @@ def test_service_parallel_batch(benchmark):
             "overhead; on a multi-core host workers=4 takes the lead",
         ],
     )
-    write_json(
+    write_bench(
         "BENCH_service",
-        {
-            "batch_pairs": len(pairs),
-            "workers_1_seconds": round(timings[1], 4),
-            "workers_4_seconds": round(timings[4], 4),
-            "cpu_count": cpu_count,
+        params={"batch_pairs": len(pairs)},
+        samples={
+            "parallel_batch": {
+                "workers_1_seconds": round(timings[1], 4),
+                "workers_4_seconds": round(timings[4], 4),
+            },
         },
     )
     if cpu_count >= 4:

@@ -44,6 +44,15 @@ Subcommands
     ``ADMIT <dsl with ';' for newlines>``, ``EVICT <name>``, ``STATS``,
     ``METRICS``, ``QUIT``.
 
+``cluster run|serve|bench``
+    The networked runtime (:mod:`repro.cluster`): ``run`` boots an
+    in-process multi-site cluster (``--transport memory`` for
+    deterministic queues, ``tcp`` for real sockets), executes
+    ``--rounds`` instances of a system and audits every committed
+    history for serializability; ``serve`` runs one TCP site server in
+    the foreground; ``bench`` compares simulator vs memory vs TCP
+    throughput.
+
 ``trace-report FILE``
     Aggregate a span trace (written by ``--trace``) into a top-spans
     table: call counts, total / self / max time per span name.
@@ -475,6 +484,140 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cluster_run(args: argparse.Namespace) -> int:
+    from .cluster import run_cluster_sync
+    from .obs.events import EventLog
+
+    log.info(f"loading {args.file}")
+    system = _load_system(args.file)
+    plan = _load_plan(args)
+    event_log = EventLog() if args.events else None
+    report = run_cluster_sync(
+        system,
+        transport=args.transport,
+        rounds=args.rounds,
+        concurrency=args.concurrency,
+        deadlock_policy=args.deadlock_policy or "abort-youngest",
+        max_retries=args.max_retries,
+        seed=args.seed,
+        vet=not args.no_vet,
+        fault_plan=plan,
+        event_log=event_log,
+        grant_timeout=args.grant_timeout,
+        request_timeout=args.request_timeout,
+    )
+    if args.json:
+        log.result(json.dumps(report.to_dict(), indent=2))
+    else:
+        log.result(report.render())
+    if event_log is not None and not args.json:
+        log.result()
+        for event in event_log:
+            log.result(str(event))
+    ok = (
+        report.serializable
+        and report.committed == report.transactions
+    )
+    return 0 if ok else 1
+
+
+def cmd_cluster_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .cluster import SiteServer, TcpTransport
+
+    addresses: dict[int, tuple[str, int]] = {}
+    for spec in args.peer or ():
+        site_text, _, host_port = spec.partition("=")
+        host, _, port_text = host_port.rpartition(":")
+        try:
+            addresses[int(site_text)] = (host, int(port_text))
+        except ValueError:
+            log.error(f"error: bad --peer {spec!r} (want SITE=HOST:PORT)")
+            return 2
+    addresses[args.site] = (args.host, args.port)
+
+    async def serve() -> None:
+        transport = TcpTransport(addresses)
+        server = SiteServer(
+            args.site,
+            transport=transport,
+            peers=tuple(sorted(addresses)),
+            deadlock_policy=args.deadlock_policy or "abort-youngest",
+            grant_timeout=args.grant_timeout,
+            seed=args.seed,
+        )
+        await server.start()
+        bound = transport.addresses[args.site]
+        log.result(f"site {args.site} listening on {bound[0]}:{bound[1]}")
+        try:
+            while server.running:
+                await asyncio.sleep(0.2)
+        finally:
+            await server.stop()
+            await transport.close()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        log.info("interrupted")
+    return 0
+
+
+def cmd_cluster_bench(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from .cluster import run_cluster_sync
+    from .sim import RandomDriver, run_once
+
+    log.info(f"loading {args.file}")
+    system = _load_system(args.file)
+    results: dict[str, dict] = {}
+
+    started = _time.perf_counter()
+    for run in range(args.rounds):
+        run_once(system, RandomDriver(args.seed + run))
+    elapsed = _time.perf_counter() - started
+    txns = args.rounds * len(system)
+    results["simulator"] = {
+        "transactions": txns,
+        "seconds": elapsed,
+        "txn_per_s": txns / elapsed if elapsed else float("inf"),
+    }
+
+    for transport in ("memory", "tcp"):
+        report = run_cluster_sync(
+            system,
+            transport=transport,
+            rounds=args.rounds,
+            concurrency=args.concurrency,
+            seed=args.seed,
+            request_timeout=30.0 if transport == "tcp" else None,
+        )
+        results[transport] = {
+            "transactions": report.transactions,
+            "committed": report.committed,
+            "seconds": report.wall_seconds,
+            "txn_per_s": (
+                report.transactions / report.wall_seconds
+                if report.wall_seconds
+                else float("inf")
+            ),
+            "serializable": report.serializable,
+        }
+
+    if args.json:
+        log.result(json.dumps(results, indent=2))
+        return 0
+    log.result(f"{'path':<10} {'txns':>6} {'seconds':>9} {'txn/s':>10}")
+    for name, row in results.items():
+        log.result(
+            f"{name:<10} {row['transactions']:>6} "
+            f"{row['seconds']:>9.3f} {row['txn_per_s']:>10.0f}"
+        )
+    return 0
+
+
 def cmd_trace_report(args: argparse.Namespace) -> int:
     from .obs.report import summarize
 
@@ -640,6 +783,105 @@ def build_parser() -> argparse.ArgumentParser:
     add_degradation_flags(vet)
     add_obs_flags(vet)
     vet.set_defaults(func=cmd_vet)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="the networked multi-site runtime (repro.cluster)",
+    )
+    cluster_sub = cluster.add_subparsers(dest="cluster_command", required=True)
+
+    cluster_run = cluster_sub.add_parser(
+        "run", help="boot an in-process cluster and run a system through it"
+    )
+    cluster_run.add_argument("file")
+    cluster_run.add_argument(
+        "--transport",
+        choices=("memory", "tcp"),
+        default="memory",
+        help="deterministic in-memory queues, or real localhost sockets",
+    )
+    cluster_run.add_argument(
+        "--rounds",
+        type=int,
+        default=1,
+        help="instances of every transaction to run (default 1)",
+    )
+    cluster_run.add_argument(
+        "--concurrency",
+        type=int,
+        default=8,
+        help="coordinators running at once (default 8)",
+    )
+    cluster_run.add_argument("--seed", type=int, default=0)
+    cluster_run.add_argument(
+        "--no-vet",
+        action="store_true",
+        help="skip the static admission gateway",
+    )
+    cluster_run.add_argument(
+        "--grant-timeout",
+        type=int,
+        default=None,
+        metavar="TICKS",
+        help="per-site lock-grant timeout (fallback when probes are lost)",
+    )
+    cluster_run.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request round-trip bound (needed under message drops)",
+    )
+    cluster_run.add_argument(
+        "--events",
+        action="store_true",
+        help="collect and print the cluster event timeline",
+    )
+    cluster_run.add_argument("--json", action="store_true")
+    add_fault_flags(cluster_run)
+    add_obs_flags(cluster_run)
+    cluster_run.set_defaults(
+        func=cmd_cluster_run, deadlock_policy="abort-youngest"
+    )
+
+    cluster_serve = cluster_sub.add_parser(
+        "serve", help="run one TCP site server in the foreground"
+    )
+    cluster_serve.add_argument("--site", type=int, required=True)
+    cluster_serve.add_argument("--host", default="127.0.0.1")
+    cluster_serve.add_argument(
+        "--port", type=int, default=0, help="0 picks an ephemeral port"
+    )
+    cluster_serve.add_argument(
+        "--peer",
+        action="append",
+        metavar="SITE=HOST:PORT",
+        help="address of another site (repeat per peer; needed for "
+        "deadlock probes)",
+    )
+    cluster_serve.add_argument("--seed", type=int, default=0)
+    cluster_serve.add_argument(
+        "--grant-timeout", type=int, default=None, metavar="TICKS"
+    )
+    from .faults import POLICIES as _policies
+
+    cluster_serve.add_argument(
+        "--deadlock-policy",
+        choices=(*_policies, "none"),
+        default="abort-youngest",
+    )
+    cluster_serve.set_defaults(func=cmd_cluster_serve)
+
+    cluster_bench = cluster_sub.add_parser(
+        "bench",
+        help="quick simulator vs memory vs TCP throughput comparison",
+    )
+    cluster_bench.add_argument("file")
+    cluster_bench.add_argument("--rounds", type=int, default=50)
+    cluster_bench.add_argument("--concurrency", type=int, default=8)
+    cluster_bench.add_argument("--seed", type=int, default=0)
+    cluster_bench.add_argument("--json", action="store_true")
+    cluster_bench.set_defaults(func=cmd_cluster_bench)
 
     trace_report = sub.add_parser(
         "trace-report", help="summarize a --trace span file"

@@ -1,0 +1,279 @@
+"""The client side of a distributed transaction.
+
+A :class:`Coordinator` executes one :class:`~repro.core.transaction.
+Transaction` against a live cluster **as the partial order it is**: a
+step is issued to its entity's site the moment every poset predecessor
+has been *acknowledged*, steps at different sites run concurrently,
+and steps at the same site flow down one connection in the site total
+order the paper requires.  That invariant — never send a step before
+all its predecessors are acked — is what the property test in
+``tests/cluster/test_partial_order.py`` checks against random
+workloads.
+
+A reply of ``deadlock`` (a probe cycle chose this transaction as
+victim), ``timeout`` (a site's lock-grant timer fired) or ``aborted``
+(a racing release) makes the attempt fail: the coordinator sends
+``release`` to every involved site, backs off exponentially with
+seeded jitter on the transport's tick clock, and retries up to
+*max_retries* times before reporting ``retry-exhausted``.  On success
+it sends ``commit`` everywhere, which is what promotes the
+transaction's tentative updates into the committed site orders.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+
+from ..core.transaction import Transaction
+from ..obs.metrics import REGISTRY
+from . import protocol
+from .transport import Connection, Transport, TransportError
+
+_OUTCOMES = None
+
+
+def _outcomes_counter():
+    global _OUTCOMES
+    if _OUTCOMES is None:
+        _OUTCOMES = REGISTRY.counter(
+            "repro_cluster_txn_outcomes_total",
+            "Distributed transactions by final outcome.",
+        )
+    return _OUTCOMES
+
+
+@dataclass
+class TxnOutcome:
+    """How one distributed transaction ended."""
+
+    name: str
+    outcome: str  # "committed" | "retry-exhausted" | "error"
+    retries: int = 0
+    sites: list[int] = field(default_factory=list)
+    detail: str = ""
+
+    @property
+    def committed(self) -> bool:
+        return self.outcome == "committed"
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "outcome": self.outcome,
+            "retries": self.retries,
+            "sites": self.sites,
+            **({"detail": self.detail} if self.detail else {}),
+        }
+
+
+class _SiteClient:
+    """One connection to a site: sequential requests, routed replies.
+
+    Requests carry ids; a reader task resolves the matching future.
+    Replies for ids nobody waits on any more (a timed-out request, a
+    cancelled branch) are dropped — the site may legally answer late.
+    """
+
+    def __init__(self, connection: Connection) -> None:
+        self.connection = connection
+        self._waiters: dict[int, asyncio.Future] = {}
+        self._next_id = 0
+        self._reader = asyncio.ensure_future(self._read_loop())
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                message = await self.connection.recv()
+                if message is None:
+                    break
+                future = self._waiters.pop(message.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(message)
+        except asyncio.CancelledError:
+            raise
+        except Exception:
+            pass
+        for future in self._waiters.values():
+            if not future.done():
+                future.set_exception(TransportError("site connection closed"))
+        self._waiters.clear()
+
+    async def request(self, kind: str, *, timeout: int | None = None, **fields) -> dict:
+        self._next_id += 1
+        request_id = self._next_id
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._waiters[request_id] = future
+        await self.connection.send(protocol.request(kind, request_id, **fields))
+        if timeout is None:
+            return await future
+        try:
+            return await asyncio.wait_for(future, timeout)
+        except asyncio.TimeoutError:
+            self._waiters.pop(request_id, None)
+            return {"type": "reply", "id": request_id, "status": "timeout"}
+
+    async def close(self) -> None:
+        self._reader.cancel()
+        try:
+            await self._reader
+        except (asyncio.CancelledError, Exception):
+            pass
+        await self.connection.close()
+
+
+class Coordinator:
+    """Executes one transaction's poset against the cluster."""
+
+    def __init__(
+        self,
+        transaction: Transaction,
+        *,
+        transport: Transport,
+        age: int = 0,
+        max_retries: int = 3,
+        backoff_base: int = 1,
+        backoff_jitter: int = 2,
+        request_timeout: float | None = None,
+        seed: int = 0,
+        on_send=None,
+        on_ack=None,
+    ) -> None:
+        self.transaction = transaction
+        self.transport = transport
+        self.age = age
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_jitter = backoff_jitter
+        self.request_timeout = request_timeout
+        self.rng = random.Random(f"{seed}/{transaction.name}")
+        self.on_send = on_send
+        self.on_ack = on_ack
+        self._clients: dict[int, _SiteClient] = {}
+
+    # ------------------------------------------------------------------
+    async def run(self) -> TxnOutcome:
+        """Attempt, abort-and-retry, commit; always closes connections."""
+        name = self.transaction.name
+        sites = sorted(
+            {self.transaction.database.site_of(step.entity) for step in self.transaction.steps}
+        )
+        try:
+            for attempt in range(self.max_retries + 1):
+                failure = await self._attempt()
+                if failure is None:
+                    await self._commit()
+                    _outcomes_counter().labels(outcome="committed").inc()
+                    return TxnOutcome(name, "committed", retries=attempt, sites=sites)
+                await self._abort()
+                if attempt < self.max_retries:
+                    await self._backoff(attempt)
+            _outcomes_counter().labels(outcome="retry-exhausted").inc()
+            return TxnOutcome(
+                name,
+                "retry-exhausted",
+                retries=self.max_retries,
+                sites=sites,
+                detail=failure,
+            )
+        except TransportError as exc:
+            _outcomes_counter().labels(outcome="error").inc()
+            return TxnOutcome(name, "error", sites=sites, detail=str(exc))
+        finally:
+            await self._close()
+
+    # ------------------------------------------------------------------
+    async def _client(self, site: int) -> _SiteClient:
+        client = self._clients.get(site)
+        if client is None:
+            client = _SiteClient(await self.transport.connect(site))
+            self._clients[site] = client
+        return client
+
+    async def _attempt(self) -> str | None:
+        """One pass over the poset; ``None`` on success, else the
+        failure status."""
+        tx = self.transaction
+        poset = tx.poset()
+        steps = list(tx.steps)
+        acked: set = set()
+        in_flight: dict[asyncio.Task, object] = {}
+        failure: str | None = None
+        try:
+            while len(acked) < len(steps) and failure is None:
+                for step in steps:
+                    if step in acked or any(step is flying for flying in in_flight.values()):
+                        continue
+                    if all(other in acked for other in steps if poset.precedes(other, step)):
+                        task = asyncio.ensure_future(self._issue(step))
+                        in_flight[task] = step
+                if not in_flight:  # pragma: no cover - poset is acyclic
+                    return "stuck"
+                done, _ = await asyncio.wait(in_flight, return_when=asyncio.FIRST_COMPLETED)
+                for task in sorted(done, key=lambda t: steps.index(in_flight[t])):
+                    step = in_flight.pop(task)
+                    status = task.result()
+                    if status in ("granted", "released", "applied"):
+                        acked.add(step)
+                        if self.on_ack is not None:
+                            self.on_ack(tx.name, step)
+                    else:
+                        failure = status
+            return failure
+        finally:
+            for task in in_flight:
+                task.cancel()
+            for task in in_flight:
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):
+                    pass
+
+    async def _issue(self, step) -> str:
+        site = self.transaction.database.site_of(step.entity)
+        client = await self._client(site)
+        if self.on_send is not None:
+            self.on_send(self.transaction.name, step)
+        if step.is_lock:
+            kind = "lock"
+        elif step.is_unlock:
+            kind = "unlock"
+        else:
+            kind = "update"
+        reply = await client.request(
+            kind,
+            txn=self.transaction.name,
+            entity=step.entity,
+            age=self.age,
+            timeout=self.request_timeout,
+        )
+        return reply.get("status", "error")
+
+    async def _abort(self) -> None:
+        for site in sorted(self._clients):
+            try:
+                await self._clients[site].request(
+                    "release",
+                    txn=self.transaction.name,
+                    timeout=self.request_timeout,
+                )
+            except TransportError:
+                pass
+
+    async def _commit(self) -> None:
+        for site in sorted(self._clients):
+            await self._clients[site].request(
+                "commit",
+                txn=self.transaction.name,
+                timeout=self.request_timeout,
+            )
+
+    async def _backoff(self, attempt: int) -> None:
+        ticks = self.backoff_base * (2**attempt) + self.rng.randrange(self.backoff_jitter + 1)
+        await self.transport.sleep(ticks)
+
+    async def _close(self) -> None:
+        for client in self._clients.values():
+            await client.close()
+        self._clients.clear()

@@ -1,0 +1,108 @@
+"""The cluster's length-prefixed JSON wire protocol.
+
+Every message — client request, site reply, or site-to-site probe — is
+one *frame*: a 4-byte big-endian payload length followed by a compact,
+key-sorted JSON object.  Both transports (:mod:`repro.cluster.
+transport`) carry encoded frames, so the deterministic in-memory tests
+exercise exactly the bytes a TCP deployment puts on the wire.
+
+Requests carry an ``id`` the reply echoes (the coordinator routes
+replies by it); site-to-site messages (``probe``, ``resolve``) are
+fire-and-forget and carry none.  The full message table is documented
+in ``docs/cluster.md``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..errors import ReproError
+
+#: Frames above this size are refused (a corrupt length prefix
+#: otherwise asks the reader to allocate gigabytes).
+MAX_FRAME = 16 * 1024 * 1024
+
+#: Client-to-site request kinds (each gets a reply with the same id).
+REQUEST_KINDS = (
+    "lock",
+    "unlock",
+    "update",
+    "release",
+    "commit",
+    "history",
+    "ping",
+    "shutdown",
+)
+
+#: Site-to-site kinds (fire-and-forget, no id, no reply).
+PEER_KINDS = ("probe", "resolve")
+
+
+class ProtocolError(ReproError):
+    """A malformed or oversized frame, or an ill-typed message."""
+
+
+def encode(message: dict) -> bytes:
+    """One wire frame: 4-byte big-endian length + compact JSON."""
+    payload = json.dumps(message, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError(f"frame of {len(payload)} bytes exceeds MAX_FRAME ({MAX_FRAME})")
+    return len(payload).to_bytes(4, "big") + payload
+
+
+def decode(frame: bytes) -> dict:
+    """Parse one full frame (prefix included) back into a message."""
+    if len(frame) < 4:
+        raise ProtocolError(f"truncated frame: {len(frame)} bytes")
+    length = int.from_bytes(frame[:4], "big")
+    if length > MAX_FRAME:
+        raise ProtocolError(f"frame length {length} exceeds MAX_FRAME")
+    if len(frame) - 4 != length:
+        raise ProtocolError(f"frame length prefix says {length}, payload is {len(frame) - 4}")
+    return decode_payload(frame[4:])
+
+
+def decode_payload(payload: bytes) -> dict:
+    """Parse a frame payload (prefix already stripped)."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"frame payload is not valid JSON: {exc}") from None
+    if not isinstance(message, dict) or "type" not in message:
+        raise ProtocolError("a message is a JSON object with a 'type' key")
+    return message
+
+
+async def read_message(reader) -> dict | None:
+    """Read one message from an :class:`asyncio.StreamReader`
+    (``None`` at EOF)."""
+    import asyncio
+
+    try:
+        prefix = await reader.readexactly(4)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    length = int.from_bytes(prefix, "big")
+    if length > MAX_FRAME:
+        raise ProtocolError(f"frame length {length} exceeds MAX_FRAME")
+    try:
+        payload = await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    return decode_payload(payload)
+
+
+def request(kind: str, request_id: int, **fields) -> dict:
+    """A client request frame body (``id`` echoed by the reply)."""
+    if kind not in REQUEST_KINDS:
+        raise ProtocolError(f"unknown request kind {kind!r} (choose from {REQUEST_KINDS})")
+    message = {"type": kind, "id": request_id}
+    message.update(fields)
+    return message
+
+
+def reply(request_id: int, status: str, **fields) -> dict:
+    """A site reply to the request with *request_id*."""
+    message = {"type": "reply", "id": request_id, "status": status}
+    message.update(fields)
+    return message

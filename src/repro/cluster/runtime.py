@@ -1,0 +1,313 @@
+"""Boot a cluster, run a workload through it, audit the result.
+
+:func:`run_cluster` is the one-call harness the CLI and the benchmark
+use: it starts one :class:`~repro.cluster.siteserver.SiteServer` per
+site on the chosen transport, vets the workload through the
+:class:`~repro.cluster.gateway.Gateway`, executes *rounds* copies of
+every transaction with a bounded number of concurrent
+:class:`~repro.cluster.coordinator.Coordinator` clients, then pulls
+each site's committed per-entity update orders and checks the whole
+distributed history for conflict-serializability with
+:func:`repro.sim.analysis.serializable_from_site_orders`.
+
+Under the memory transport the entire run — message order, deadlock
+victims, backoff jitter, final histories — is a pure function of the
+workload and *seed*; the :class:`ClusterReport` carries a history
+fingerprint so the benchmark can assert exactly that.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+
+from ..core.schedule import TransactionSystem
+from ..core.transaction import Transaction
+from ..errors import ReproError
+from ..faults.plan import FaultPlan
+from ..obs import trace
+from ..obs.events import EventLog
+from ..sim.analysis import (
+    serial_witness_from_site_orders,
+    serializable_from_site_orders,
+)
+from . import protocol
+from .coordinator import Coordinator, TxnOutcome
+from .gateway import Gateway, GatewayDecision
+from .netfaults import NetworkFaultAdapter
+from .siteserver import SiteServer
+from .transport import MemoryTransport, TcpTransport, Transport
+
+
+class ClusterError(ReproError):
+    """The cluster runtime was configured or driven incorrectly."""
+
+
+@dataclass
+class ClusterReport:
+    """Everything one cluster run produced."""
+
+    transport: str
+    sites: int
+    mode: str
+    transactions: int
+    outcomes: list[TxnOutcome] = field(default_factory=list)
+    site_orders: dict[str, list[str]] = field(default_factory=dict)
+    serializable: bool = True
+    serial_witness: list[str] | None = None
+    messages: int = 0
+    dropped: int = 0
+    wall_seconds: float = 0.0
+    gateway: GatewayDecision | None = None
+
+    @property
+    def committed(self) -> int:
+        return sum(1 for o in self.outcomes if o.committed)
+
+    @property
+    def retry_exhausted(self) -> int:
+        return sum(1 for o in self.outcomes if o.outcome == "retry-exhausted")
+
+    @property
+    def retries_total(self) -> int:
+        return sum(o.retries for o in self.outcomes)
+
+    @property
+    def history_fingerprint(self) -> str:
+        """SHA-256 of the committed site orders (determinism checks)."""
+        blob = json.dumps(self.site_orders, sort_keys=True).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()
+
+    def to_dict(self) -> dict:
+        payload = {
+            "transport": self.transport,
+            "sites": self.sites,
+            "mode": self.mode,
+            "transactions": self.transactions,
+            "committed": self.committed,
+            "retry_exhausted": self.retry_exhausted,
+            "retries_total": self.retries_total,
+            "serializable": self.serializable,
+            "serial_witness": self.serial_witness,
+            "messages": self.messages,
+            "dropped": self.dropped,
+            "history_fingerprint": self.history_fingerprint,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "outcomes": [o.to_dict() for o in self.outcomes],
+        }
+        if self.gateway is not None:
+            payload["gateway"] = {
+                "mode": self.gateway.mode,
+                "admitted": self.gateway.admitted,
+                "rejected": self.gateway.rejected,
+            }
+        return payload
+
+    def render(self) -> str:
+        lines = [
+            f"cluster run: {self.transactions} transactions over "
+            f"{self.sites} sites ({self.transport} transport, {self.mode})",
+            f"  committed        {self.committed}",
+            f"  retry-exhausted  {self.retry_exhausted}",
+            f"  retries          {self.retries_total}",
+            f"  messages         {self.messages}"
+            + (f" ({self.dropped} dropped)" if self.dropped else ""),
+            f"  serializable     {'yes' if self.serializable else 'NO'}",
+        ]
+        if self.serial_witness:
+            preview = ", ".join(self.serial_witness[:6])
+            if len(self.serial_witness) > 6:
+                preview += ", ..."
+            lines.append(f"  witness          {preview}")
+        lines.append(f"  wall time        {self.wall_seconds:.3f}s")
+        return "\n".join(lines)
+
+
+def _clone(tx: Transaction, name: str) -> Transaction:
+    """The same program under a new instance name."""
+    return Transaction(
+        name,
+        tx.database,
+        list(tx.steps),
+        tx.poset().arcs(),
+        validate_locking=False,
+    )
+
+
+def _build_workload(system: TransactionSystem, rounds: int) -> list[Transaction]:
+    """*rounds* instances of every transaction; round 1 keeps the
+    original names so single-round runs read like the paper."""
+    workload: list[Transaction] = []
+    for round_no in range(1, rounds + 1):
+        for tx in system.transactions:
+            if round_no == 1:
+                workload.append(tx)
+            else:
+                workload.append(_clone(tx, f"{tx.name}@r{round_no}"))
+    return workload
+
+
+async def _fetch_history(transport: Transport, site: int) -> dict[str, list[str]]:
+    """One-shot ``history`` request: the committed per-entity update
+    orders of *site*."""
+    connection = await transport.connect(site)
+    try:
+        await connection.send(protocol.request("history", 1))
+        reply = await connection.recv()
+    finally:
+        await connection.close()
+    if reply is None:
+        return {}
+    return reply.get("site_orders", {})
+
+
+async def run_cluster(
+    system: TransactionSystem,
+    *,
+    transport: str | Transport = "memory",
+    rounds: int = 1,
+    concurrency: int = 8,
+    deadlock_policy: str = "abort-youngest",
+    max_retries: int = 5,
+    seed: int = 0,
+    vet: bool = True,
+    fault_plan: FaultPlan | None = None,
+    event_log: EventLog | None = None,
+    grant_timeout: int | None = None,
+    request_timeout: float | None = None,
+    gateway: Gateway | None = None,
+) -> ClusterReport:
+    """Execute *rounds* copies of *system* on a live cluster.
+
+    *transport* is ``"memory"``, ``"tcp"`` or a ready
+    :class:`~repro.cluster.transport.Transport`; *concurrency* bounds
+    simultaneously running coordinators; *grant_timeout* (transport
+    ticks) arms per-site lock-grant timers; *request_timeout*
+    (seconds) bounds each request round trip — required when message
+    drops are injected, since a dropped request gets no reply.
+    """
+    if rounds < 1:
+        raise ClusterError(f"need at least one round, got {rounds}")
+    if concurrency < 1:
+        raise ClusterError(f"need concurrency >= 1, got {concurrency}")
+    if fault_plan is not None:
+        fault_plan.validate_against(system)
+
+    started = time.perf_counter()
+    if isinstance(transport, Transport):
+        live_transport = transport
+        transport_name = type(transport).__name__
+        own_transport = False
+    elif transport == "memory":
+        live_transport = MemoryTransport()
+        transport_name = "memory"
+        own_transport = True
+    elif transport == "tcp":
+        live_transport = TcpTransport()
+        transport_name = "tcp"
+        own_transport = True
+    else:
+        raise ClusterError(f"unknown transport {transport!r} (memory, tcp, or a Transport)")
+
+    with trace.span("cluster.run") as sp:
+        if sp:
+            sp.set(
+                transport=transport_name,
+                sites=system.database.sites,
+                rounds=rounds,
+            )
+        decision: GatewayDecision | None = None
+        own_gateway = False
+        if vet:
+            if gateway is None:
+                gateway = Gateway()
+                own_gateway = True
+            decision = gateway.vet(system)
+            mode = decision.mode
+        else:
+            mode = "unvetted"
+
+        faults = NetworkFaultAdapter(fault_plan, event_log=event_log)
+        sites = tuple(range(1, system.database.sites + 1))
+        servers = [
+            SiteServer(
+                site,
+                transport=live_transport,
+                peers=sites,
+                deadlock_policy=deadlock_policy,
+                grant_timeout=grant_timeout,
+                faults=faults if fault_plan is not None else None,
+                event_log=event_log,
+                seed=seed,
+            )
+            for site in sites
+        ]
+        try:
+            for server in servers:
+                await server.start()
+
+            workload = _build_workload(system, rounds)
+            gate = asyncio.Semaphore(concurrency)
+
+            async def run_one(index: int, tx: Transaction) -> TxnOutcome:
+                async with gate:
+                    coordinator = Coordinator(
+                        tx,
+                        transport=live_transport,
+                        age=index,
+                        max_retries=max_retries,
+                        request_timeout=request_timeout,
+                        seed=seed,
+                    )
+                    return await coordinator.run()
+
+            outcomes = list(
+                await asyncio.gather(*(run_one(i, tx) for i, tx in enumerate(workload)))
+            )
+
+            site_orders: dict[str, list[str]] = {}
+            for server in servers:
+                if not server.running:
+                    continue
+                for entity, order in (await _fetch_history(live_transport, server.site)).items():
+                    site_orders[entity] = order
+
+            messages = sum(server.processed for server in servers)
+        finally:
+            for server in servers:
+                await server.stop()
+            if own_transport:
+                await live_transport.close()
+            if own_gateway and gateway is not None:
+                gateway.close()
+
+        serializable = serializable_from_site_orders(site_orders)
+        witness = serial_witness_from_site_orders(site_orders) if serializable else None
+        report = ClusterReport(
+            transport=transport_name,
+            sites=system.database.sites,
+            mode=mode,
+            transactions=len(workload),
+            outcomes=outcomes,
+            site_orders=site_orders,
+            serializable=serializable,
+            serial_witness=witness,
+            messages=messages,
+            dropped=faults.dropped,
+            wall_seconds=time.perf_counter() - started,
+            gateway=decision,
+        )
+        if sp:
+            sp.set(
+                committed=report.committed,
+                serializable=report.serializable,
+            )
+        return report
+
+
+def run_cluster_sync(system: TransactionSystem, **kwargs) -> ClusterReport:
+    """:func:`run_cluster` from synchronous code (CLI, benchmarks)."""
+    return asyncio.run(run_cluster(system, **kwargs))

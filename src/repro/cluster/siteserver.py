@@ -1,0 +1,522 @@
+"""One networked lock-manager site.
+
+A :class:`SiteServer` owns exactly the state the paper assigns a site:
+the lock table of the entities stored there (a :class:`~repro.sim.
+lockmanager.SiteLockManager`, FIFO-fair) plus the site-local total
+order of update steps — the ground truth the final serializability
+check is computed from.  It speaks the :mod:`repro.cluster.protocol`
+over any :class:`~repro.cluster.transport.Transport` and takes part in
+distributed deadlock detection by edge-chasing probes:
+
+* when a lock request blocks, the site broadcasts a ``probe`` carrying
+  the waiter's name, age and waiting site toward the blocker;
+* a site that finds the probe's target blocked here extends the path
+  and re-broadcasts; a target already on the path closes a cycle;
+* the detecting site picks a victim with :func:`repro.faults.policies.
+  choose_victim` (ages travel inside requests and probes) and sends
+  ``resolve`` to the victim's waiting site, which answers the victim's
+  pending lock request with ``status="deadlock"`` — the coordinator
+  aborts and retries from there.
+
+Optional per-site *grant timeouts* bound the wait when probes are lost
+(e.g. under injected message drops): a request still queued after the
+deadline is withdrawn and answered ``status="timeout"``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+from ..faults.policies import choose_victim, validate_policy
+from ..obs.events import EventLog
+from ..obs.metrics import REGISTRY
+from ..sim.lockmanager import SiteLockManager
+from . import protocol
+from .netfaults import NetworkFaultAdapter
+from .transport import Connection, Transport, TransportError
+
+#: Buckets for grant latency measured in site-local processed messages.
+GRANT_BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 250.0, 1000.0)
+
+_MESSAGES = None
+_GRANT_LATENCY = None
+
+
+def _messages_counter():
+    global _MESSAGES
+    if _MESSAGES is None:
+        _MESSAGES = REGISTRY.counter(
+            "repro_cluster_messages_total",
+            "Protocol messages processed by cluster site servers.",
+        )
+    return _MESSAGES
+
+
+def _grant_histogram():
+    global _GRANT_LATENCY
+    if _GRANT_LATENCY is None:
+        _GRANT_LATENCY = REGISTRY.histogram(
+            "repro_cluster_grant_latency_steps",
+            "Site-local messages processed between a lock request queuing and its grant.",
+            buckets=GRANT_BUCKETS,
+        )
+    return _GRANT_LATENCY
+
+
+class _PendingLock:
+    """A blocked lock request awaiting grant, timeout or deadlock."""
+
+    __slots__ = ("connection", "request_id", "enqueued_at", "timer")
+
+    def __init__(
+        self,
+        connection: Connection,
+        request_id: int,
+        enqueued_at: int,
+        timer: asyncio.Task | None = None,
+    ) -> None:
+        self.connection = connection
+        self.request_id = request_id
+        self.enqueued_at = enqueued_at
+        self.timer = timer
+
+
+class SiteServer:
+    """The lock table, update log and deadlock detector of one site."""
+
+    def __init__(
+        self,
+        site: int,
+        *,
+        transport: Transport,
+        peers: tuple[int, ...] = (),
+        deadlock_policy: str = "abort-youngest",
+        grant_timeout: int | None = None,
+        faults: NetworkFaultAdapter | None = None,
+        event_log: EventLog | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.site = site
+        self.transport = transport
+        self.peers = tuple(p for p in peers if p != site)
+        #: ``None`` disables probe-based resolution (timeouts only).
+        self.deadlock_policy = validate_policy(deadlock_policy)
+        self.grant_timeout = grant_timeout
+        self.faults = faults
+        self.event_log = event_log
+        self.locks = SiteLockManager(site, event_log=event_log)
+        self.rng = random.Random(f"{seed}/site-{site}")
+        self.processed = 0
+        self.running = False
+        #: (transaction, entity) -> blocked request bookkeeping.
+        self._pending: dict[tuple[str, str], _PendingLock] = {}
+        #: Admission ages carried inside requests and probes.
+        self._ages: dict[str, int] = {}
+        #: Per-entity update log (tentative until the txn commits).
+        self._updates: dict[str, list[str]] = {}
+        self._committed: set[str] = set()
+        #: Request ids already applied per transaction (retry dedupe).
+        self._applied_ids: dict[str, set[int]] = {}
+        self._peer_connections: dict[int, Connection] = {}
+        self._deferred_replies: list[asyncio.Task] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Register with the transport and begin serving."""
+        await self.transport.listen(self.site, self._serve_connection)
+        self.running = True
+
+    async def stop(self) -> None:
+        self.running = False
+        for task in self._deferred_replies:
+            task.cancel()
+        for pending in self._pending.values():
+            if pending.timer is not None:
+                pending.timer.cancel()
+        self._pending.clear()
+        for connection in self._peer_connections.values():
+            await connection.close()
+        self._peer_connections.clear()
+
+    # ------------------------------------------------------------------
+    # Connection loop
+    # ------------------------------------------------------------------
+    async def _serve_connection(self, connection: Connection) -> None:
+        while True:
+            message = await connection.recv()
+            if message is None:
+                break
+            await self._process(connection, message)
+
+    async def _process(self, connection: Connection, message: dict) -> None:
+        if self.faults is not None:
+            self.faults.tick()
+            # A crashed server stops consuming: stall until the window
+            # closes (every wait-tick advances the fault clock, so
+            # finite windows always close).
+            while self.running and self.faults.site_down(self.site):
+                self.faults.tick()
+                await self.transport.sleep(1)
+            if self.faults.drop(
+                self.site,
+                message.get("type", "?"),
+                transaction=message.get("txn"),
+            ):
+                return
+        if not self.running:
+            return
+        self.processed += 1
+        kind = message.get("type", "?")
+        _messages_counter().labels(site=str(self.site), kind=kind).inc()
+        if self.event_log is not None and kind not in ("history", "ping"):
+            self.event_log.emit(
+                "msg",
+                transaction=message.get("txn"),
+                entity=message.get("entity"),
+                site=self.site,
+                detail=kind,
+            )
+        handler = getattr(self, f"_on_{kind}", None)
+        if handler is None:
+            if "id" in message:
+                await self._safe_send(
+                    connection,
+                    protocol.reply(message["id"], "error", reason=f"unknown type {kind!r}"),
+                )
+            return
+        await handler(connection, message)
+
+    async def _safe_send(self, connection: Connection, message: dict) -> None:
+        try:
+            await connection.send(message)
+        except TransportError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Request handlers
+    # ------------------------------------------------------------------
+    async def _on_lock(self, connection: Connection, message: dict) -> None:
+        txn = message["txn"]
+        entity = message["entity"]
+        self._ages.setdefault(txn, int(message.get("age", 0)))
+        if self.locks.holder(entity) == txn:
+            # Retried request whose original grant reply was lost.
+            await self._reply_granted(connection, message["id"], txn, entity, 0)
+            return
+        if self.locks.try_lock(entity, txn):
+            await self._reply_granted(connection, message["id"], txn, entity, 0)
+            return
+        pending = _PendingLock(connection, message["id"], self.processed)
+        self._pending[(txn, entity)] = pending
+        if self.grant_timeout is not None:
+            pending.timer = asyncio.ensure_future(self._expire(txn, entity, self.grant_timeout))
+        blocker = self._blocker_of(txn, entity)
+        if blocker is not None and self.deadlock_policy is not None:
+            await self._broadcast_probe(
+                path=[{"txn": txn, "age": self._ages[txn], "site": self.site}],
+                target=blocker,
+            )
+
+    async def _on_unlock(self, connection: Connection, message: dict) -> None:
+        txn = message["txn"]
+        entity = message["entity"]
+        if self.locks.holder(entity) == txn:
+            self.locks.unlock(entity, txn)
+            await self._promote(entity)
+        await self._safe_send(connection, protocol.reply(message["id"], "released"))
+
+    async def _on_update(self, connection: Connection, message: dict) -> None:
+        txn = message["txn"]
+        entity = message["entity"]
+        request_id = message["id"]
+        if self.locks.holder(entity) != txn:
+            await self._safe_send(
+                connection,
+                protocol.reply(
+                    request_id,
+                    "error",
+                    reason=f"{txn} updates {entity!r} without holding its lock",
+                ),
+            )
+            return
+        applied = self._applied_ids.setdefault(txn, set())
+        if request_id not in applied:
+            applied.add(request_id)
+            self._updates.setdefault(entity, []).append(txn)
+            if self.event_log is not None:
+                self.event_log.emit("step", transaction=txn, entity=entity, site=self.site)
+        await self._safe_send(connection, protocol.reply(request_id, "applied"))
+
+    async def _on_release(self, connection: Connection, message: dict) -> None:
+        """Abort: drop queue entries, locks and tentative updates."""
+        txn = message["txn"]
+        vacated = self.locks.queued_entities(txn)
+        for entity in self._waiting_entities(txn):
+            stale = self._pending.pop((txn, entity), None)
+            if stale is not None and stale.timer is not None:
+                stale.timer.cancel()
+            await self._safe_send(
+                stale.connection,
+                protocol.reply(stale.request_id, "aborted", entity=entity),
+            )
+        released = self.locks.release_all(txn)
+        if txn not in self._committed:
+            for order in self._updates.values():
+                while txn in order:
+                    order.remove(txn)
+        self._applied_ids.pop(txn, None)
+        if self.event_log is not None:
+            self.event_log.emit(
+                "abort",
+                transaction=txn,
+                site=self.site,
+                detail=f"released {len(released)} locks",
+            )
+        for entity in released:
+            await self._promote(entity)
+        # Queues the aborter merely waited in have a changed wait-for
+        # shape too (its successors moved up a slot).
+        for entity in vacated:
+            if entity not in released:
+                await self._promote(entity)
+                await self._reprobe(entity)
+        await self._safe_send(connection, protocol.reply(message["id"], "aborted"))
+
+    async def _on_commit(self, connection: Connection, message: dict) -> None:
+        txn = message["txn"]
+        self._committed.add(txn)
+        if self.event_log is not None:
+            self.event_log.emit("complete", transaction=txn, site=self.site)
+        await self._safe_send(connection, protocol.reply(message["id"], "committed"))
+
+    async def _on_history(self, connection: Connection, message: dict) -> None:
+        orders = {
+            entity: [txn for txn in order if txn in self._committed]
+            for entity, order in sorted(self._updates.items())
+        }
+        await self._safe_send(
+            connection,
+            protocol.reply(message["id"], "history", site_orders=orders),
+        )
+
+    async def _on_ping(self, connection: Connection, message: dict) -> None:
+        await self._safe_send(
+            connection,
+            protocol.reply(message["id"], "pong", site=self.site),
+        )
+
+    async def _on_shutdown(self, connection: Connection, message: dict) -> None:
+        await self._safe_send(connection, protocol.reply(message["id"], "stopping"))
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Grants, promotion, timeouts
+    # ------------------------------------------------------------------
+    async def _reply_granted(
+        self,
+        connection: Connection,
+        request_id: int,
+        txn: str,
+        entity: str,
+        latency: int,
+    ) -> None:
+        _grant_histogram().observe(float(latency))
+        if self.faults is not None and self.faults.grant_delayed(entity, self.site):
+            task = asyncio.ensure_future(
+                self._deliver_delayed_grant(connection, request_id, entity)
+            )
+            self._deferred_replies.append(task)
+            return
+        await self._safe_send(connection, protocol.reply(request_id, "granted", entity=entity))
+
+    async def _deliver_delayed_grant(
+        self, connection: Connection, request_id: int, entity: str
+    ) -> None:
+        """GrantDelay as a message delay: hold the reply, not the lock."""
+        while self.running and self.faults.grant_delayed(entity, self.site):
+            self.faults.tick()
+            await self.transport.sleep(1)
+        await self._safe_send(connection, protocol.reply(request_id, "granted", entity=entity))
+
+    async def _promote(self, entity: str) -> None:
+        """Grant a freed entity to the longest-waiting requester."""
+        head = self.locks.next_waiter(entity)
+        if head is None or self.locks.holder(entity) is not None:
+            return
+        pending = self._pending.pop((head, entity), None)
+        if pending is None:
+            # Withdrawn (timeout/abort) but still queued: clean up and
+            # look at the next waiter.
+            self.locks.withdraw(entity, head)
+            await self._promote(entity)
+            return
+        if not self.locks.try_lock(entity, head):  # pragma: no cover
+            self._pending[(head, entity)] = pending
+            return
+        if pending.timer is not None:
+            pending.timer.cancel()
+        await self._reply_granted(
+            pending.connection,
+            pending.request_id,
+            head,
+            entity,
+            self.processed - pending.enqueued_at,
+        )
+        # The remaining waiters now wait for the new holder.
+        await self._reprobe(entity)
+
+    async def _expire(self, txn: str, entity: str, timeout: int) -> None:
+        """Withdraw a request still queued after *timeout* ticks."""
+        await self.transport.sleep(timeout)
+        pending = self._pending.pop((txn, entity), None)
+        if pending is None:
+            return
+        self.locks.withdraw(entity, txn)
+        if self.event_log is not None:
+            self.event_log.emit(
+                "deadlock",
+                transaction=txn,
+                entity=entity,
+                site=self.site,
+                detail=f"lock-grant timeout after {timeout} ticks",
+            )
+        await self._safe_send(
+            pending.connection,
+            protocol.reply(pending.request_id, "timeout", entity=entity),
+        )
+        await self._promote(entity)
+        await self._reprobe(entity)
+
+    # ------------------------------------------------------------------
+    # Deadlock detection (edge-chasing probes)
+    # ------------------------------------------------------------------
+    async def _reprobe(self, entity: str) -> None:
+        """Re-launch probes for everyone still waiting on *entity*.
+
+        Wait-for edges change whenever the entity's holder or queue
+        changes (a grant, a withdrawn waiter, an abort) — a cycle that
+        only *becomes* minimal then would never be seen by the probes
+        sent at block time alone.
+        """
+        if self.deadlock_policy is None:
+            return
+        for txn, ent in list(self._pending):
+            if ent != entity:
+                continue
+            blocker = self._blocker_of(txn, ent)
+            if blocker is not None:
+                await self._broadcast_probe(
+                    path=[{"txn": txn, "age": self._ages.get(txn, 0), "site": self.site}],
+                    target=blocker,
+                )
+
+    def _blocker_of(self, txn: str, entity: str) -> str | None:
+        """Who *txn* waits for on *entity*: the holder, or the waiter
+        immediately ahead in the FIFO queue."""
+        holder = self.locks.holder(entity)
+        queue = self.locks.waiters(entity)
+        if txn not in queue:
+            return None
+        index = queue.index(txn)
+        if index > 0:
+            return queue[index - 1]
+        return holder
+
+    def _waiting_entities(self, txn: str) -> list[str]:
+        return [e for (t, e) in self._pending if t == txn]
+
+    async def _peer_connection(self, site: int) -> Connection | None:
+        connection = self._peer_connections.get(site)
+        if connection is None:
+            try:
+                connection = await self.transport.connect(site)
+            except TransportError:
+                return None
+            self._peer_connections[site] = connection
+        return connection
+
+    async def _broadcast_probe(self, *, path: list[dict], target: str) -> None:
+        """Send the probe everywhere the target might be waiting
+        (including this site)."""
+        message = {"type": "probe", "path": path, "target": target}
+        await self._handle_probe(message)
+        for peer in self.peers:
+            connection = await self._peer_connection(peer)
+            if connection is not None:
+                await self._safe_send(connection, message)
+
+    async def _on_probe(self, connection: Connection, message: dict) -> None:
+        await self._handle_probe(message)
+
+    async def _handle_probe(self, message: dict) -> None:
+        if self.deadlock_policy is None:
+            return
+        target = message["target"]
+        path = message["path"]
+        on_path = {entry["txn"] for entry in path}
+        if target in on_path:
+            return  # the originating site already closed this cycle
+        for entry in path:
+            self._ages.setdefault(entry["txn"], int(entry["age"]))
+        for entity in self._waiting_entities(target):
+            blocker = self._blocker_of(target, entity)
+            if blocker is None:
+                continue
+            extended = path + [{"txn": target, "age": self._ages.get(target, 0), "site": self.site}]
+            member_names = [entry["txn"] for entry in extended]
+            if blocker in member_names:
+                cycle = member_names[member_names.index(blocker) :]
+                await self._resolve_cycle(cycle, extended)
+            else:
+                await self._broadcast_probe(path=extended, target=blocker)
+
+    async def _resolve_cycle(self, cycle: list[str], path: list[dict]) -> None:
+        ages = {name: self._ages.get(name, 0) for name in cycle}
+        victim = choose_victim(self.deadlock_policy, cycle, ages=ages, rng=self.rng)
+        if self.event_log is not None:
+            self.event_log.emit(
+                "deadlock",
+                transaction=victim,
+                site=self.site,
+                detail=f"cycle {' -> '.join(cycle)}; victim {victim}",
+            )
+        victim_site = next(
+            (entry["site"] for entry in path if entry["txn"] == victim),
+            self.site,
+        )
+        message = {"type": "resolve", "victim": victim, "cycle": cycle}
+        if victim_site == self.site:
+            await self._handle_resolve(message)
+        else:
+            connection = await self._peer_connection(victim_site)
+            if connection is not None:
+                await self._safe_send(connection, message)
+
+    async def _on_resolve(self, connection: Connection, message: dict) -> None:
+        await self._handle_resolve(message)
+
+    async def _handle_resolve(self, message: dict) -> None:
+        """Answer the victim's pending lock request with ``deadlock``."""
+        victim = message["victim"]
+        for entity in self._waiting_entities(victim):
+            pending = self._pending.pop((victim, entity), None)
+            if pending is None:
+                continue
+            if pending.timer is not None:
+                pending.timer.cancel()
+            self.locks.withdraw(entity, victim)
+            await self._safe_send(
+                pending.connection,
+                protocol.reply(
+                    pending.request_id,
+                    "deadlock",
+                    entity=entity,
+                    victim=victim,
+                    cycle=message.get("cycle", []),
+                ),
+            )
+            await self._promote(entity)
+            await self._reprobe(entity)

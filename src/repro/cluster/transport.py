@@ -1,0 +1,210 @@
+"""Pluggable cluster transports: deterministic memory and real TCP.
+
+Both transports move *encoded protocol frames* (:func:`repro.cluster.
+protocol.encode`), so the wire format is exercised even when no socket
+exists.  The memory transport pairs asyncio queues inside one event
+loop — message order is a pure function of task scheduling, which is
+deterministic for a fixed workload and seed, so cluster tests and the
+benchmark's determinism check run on it.  The TCP transport is plain
+``asyncio`` streams over localhost or a real network; ``port 0``
+listeners get ephemeral ports that are published back into the address
+map so an in-process cluster can wire itself up.
+
+``Transport.sleep(ticks)`` is the one time source the runtime uses for
+backoff and fault windows: memory ticks are bare event-loop yields
+(``asyncio.sleep(0)``), TCP ticks are milliseconds.  Nothing else in
+the deterministic path consults a wall clock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from ..errors import ReproError
+from . import protocol
+
+
+class TransportError(ReproError):
+    """A connection to a site could not be made or has gone away."""
+
+
+class Connection:
+    """One bidirectional frame pipe between a client and a site."""
+
+    async def send(self, message: dict) -> None:
+        raise NotImplementedError
+
+    async def recv(self) -> dict | None:
+        """Next message, or ``None`` once the peer closed."""
+        raise NotImplementedError
+
+    async def close(self) -> None:
+        raise NotImplementedError
+
+
+class Transport:
+    """Factory for listeners and connections, plus the tick clock."""
+
+    #: Whether message order is reproducible for a fixed seed.
+    deterministic = False
+
+    async def listen(self, site: int, handler) -> None:
+        """Start serving *site*; *handler* is ``async f(connection)``
+        invoked once per inbound connection."""
+        raise NotImplementedError
+
+    async def connect(self, site: int) -> Connection:
+        raise NotImplementedError
+
+    async def sleep(self, ticks: int) -> None:
+        raise NotImplementedError
+
+    async def close(self) -> None:
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# In-memory transport
+# ----------------------------------------------------------------------
+class _MemoryConnection(Connection):
+    def __init__(self, outbox: asyncio.Queue, inbox: asyncio.Queue) -> None:
+        self._outbox = outbox
+        self._inbox = inbox
+        self._closed = False
+
+    async def send(self, message: dict) -> None:
+        if self._closed:
+            raise TransportError("send on a closed memory connection")
+        await self._outbox.put(protocol.encode(message))
+
+    async def recv(self) -> dict | None:
+        frame = await self._inbox.get()
+        if frame is None:
+            return None
+        return protocol.decode(frame)
+
+    async def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            await self._outbox.put(None)
+
+
+class MemoryTransport(Transport):
+    """Queue-paired connections inside one event loop (deterministic)."""
+
+    deterministic = True
+
+    def __init__(self) -> None:
+        self._handlers: dict[int, object] = {}
+        self._server_tasks: list[asyncio.Task] = []
+
+    async def listen(self, site: int, handler) -> None:
+        if site in self._handlers:
+            raise TransportError(f"site {site} is already listening")
+        self._handlers[site] = handler
+
+    async def connect(self, site: int) -> Connection:
+        handler = self._handlers.get(site)
+        if handler is None:
+            raise TransportError(f"no site {site} is listening")
+        to_server: asyncio.Queue = asyncio.Queue()
+        to_client: asyncio.Queue = asyncio.Queue()
+        client = _MemoryConnection(to_server, to_client)
+        server = _MemoryConnection(to_client, to_server)
+        task = asyncio.ensure_future(handler(server))
+        self._server_tasks.append(task)
+        return client
+
+    async def sleep(self, ticks: int) -> None:
+        for _ in range(max(1, ticks)):
+            await asyncio.sleep(0)
+
+    async def close(self) -> None:
+        for task in self._server_tasks:
+            task.cancel()
+        for task in self._server_tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._server_tasks.clear()
+        self._handlers.clear()
+
+
+# ----------------------------------------------------------------------
+# TCP transport
+# ----------------------------------------------------------------------
+class _TcpConnection(Connection):
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+
+    async def send(self, message: dict) -> None:
+        try:
+            self._writer.write(protocol.encode(message))
+            await self._writer.drain()
+        except ConnectionError as exc:
+            raise TransportError(f"peer went away: {exc}") from None
+
+    async def recv(self) -> dict | None:
+        return await protocol.read_message(self._reader)
+
+    async def close(self) -> None:
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+class TcpTransport(Transport):
+    """Real sockets via asyncio streams.
+
+    *addresses* maps ``site -> (host, port)``.  Sites absent from the
+    map are assigned ``127.0.0.1`` with an ephemeral port at
+    :meth:`listen` time, and the chosen port is published back into
+    ``self.addresses`` — the in-process benchmark cluster relies on
+    this.  One tick of :meth:`sleep` is ``tick_seconds`` (default 1ms).
+    """
+
+    deterministic = False
+
+    def __init__(
+        self,
+        addresses: dict[int, tuple[str, int]] | None = None,
+        *,
+        tick_seconds: float = 0.001,
+    ) -> None:
+        self.addresses: dict[int, tuple[str, int]] = dict(addresses or {})
+        self.tick_seconds = tick_seconds
+        self._servers: list[asyncio.base_events.Server] = []
+
+    async def listen(self, site: int, handler) -> None:
+        host, port = self.addresses.get(site, ("127.0.0.1", 0))
+
+        async def on_connect(reader, writer):
+            await handler(_TcpConnection(reader, writer))
+
+        server = await asyncio.start_server(on_connect, host, port)
+        bound = server.sockets[0].getsockname()
+        self.addresses[site] = (bound[0], bound[1])
+        self._servers.append(server)
+
+    async def connect(self, site: int) -> Connection:
+        address = self.addresses.get(site)
+        if address is None:
+            raise TransportError(f"no address for site {site} (known: {sorted(self.addresses)})")
+        try:
+            reader, writer = await asyncio.open_connection(*address)
+        except (ConnectionError, OSError) as exc:
+            raise TransportError(f"cannot reach site {site} at {address}: {exc}") from None
+        return _TcpConnection(reader, writer)
+
+    async def sleep(self, ticks: int) -> None:
+        await asyncio.sleep(max(1, ticks) * self.tick_seconds)
+
+    async def close(self) -> None:
+        for server in self._servers:
+            server.close()
+            await server.wait_closed()
+        self._servers.clear()

@@ -23,6 +23,7 @@ from .plan import (
     CRASH_SEMANTICS,
     FaultPlan,
     GrantDelay,
+    MessageDrop,
     SiteCrash,
     TransactionCrash,
     random_plan,
@@ -35,6 +36,7 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "GrantDelay",
+    "MessageDrop",
     "POLICIES",
     "SiteCrash",
     "TransactionCrash",

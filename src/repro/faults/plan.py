@@ -24,6 +24,11 @@ Three fault shapes:
 * :class:`TransactionCrash` — the transaction aborts right after its
   ``after_steps``-th executed step, once per run; with retries enabled
   it rolls back and runs again.
+* :class:`MessageDrop` — cluster-only (:mod:`repro.cluster`): protocol
+  messages addressed to ``site`` (optionally only those of ``kind``)
+  are dropped while ``at <= clock < until`` on the cluster's logical
+  message clock.  The simulator has no network, so its engine ignores
+  these entries.
 
 Plans round-trip through JSON (:meth:`FaultPlan.load` /
 :meth:`FaultPlan.to_dict`), may name the system file they were written
@@ -137,18 +142,62 @@ class TransactionCrash:
 
 
 @dataclass(frozen=True)
+class MessageDrop:
+    """Messages to *site* dropped while ``at <= clock < until``.
+
+    Interpreted only by the cluster runtime's network-fault adapter
+    (:mod:`repro.cluster.netfaults`); *kind* narrows the drop to one
+    protocol message type (e.g. ``"lock"``), ``None`` drops any.
+    """
+
+    site: int
+    at: int
+    until: int
+    kind: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.at < 0 or self.until <= self.at:
+            raise FaultPlanError(
+                f"bad message-drop window [{self.at}, {self.until})"
+            )
+
+    def applies_to(self, site: int, kind: str, clock: int) -> bool:
+        """Is a *kind* message to *site* dropped at *clock*?"""
+        if site != self.site or not (self.at <= clock < self.until):
+            return False
+        return self.kind is None or kind == self.kind
+
+    def to_dict(self) -> dict:
+        """JSON-friendly rendering (unset kind omitted)."""
+        payload: dict = {
+            "site": self.site,
+            "at": self.at,
+            "until": self.until,
+        }
+        if self.kind is not None:
+            payload["kind"] = self.kind
+        return payload
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """The full script of faults one run replays."""
 
     site_crashes: tuple[SiteCrash, ...] = ()
     grant_delays: tuple[GrantDelay, ...] = ()
     transaction_crashes: tuple[TransactionCrash, ...] = ()
+    message_drops: tuple[MessageDrop, ...] = ()
     #: Optional path of the system file this plan was written for
     #: (resolved against the plan file's directory by :meth:`load`).
     system_path: str | None = field(default=None, compare=False)
 
     def __len__(self) -> int:
-        return len(self.site_crashes) + len(self.grant_delays) + len(self.transaction_crashes)
+        return (
+            len(self.site_crashes)
+            + len(self.grant_delays)
+            + len(self.transaction_crashes)
+            + len(self.message_drops)
+        )
 
     def validate_against(self, system: TransactionSystem) -> None:
         """Raise :class:`FaultPlanError` if the plan names a site or
@@ -172,6 +221,11 @@ class FaultPlan:
                     f"plan crashes unknown transaction "
                     f"{crash.transaction!r} (system has {sorted(names)})"
                 )
+        for drop in self.message_drops:
+            if drop.site not in sites:
+                raise FaultPlanError(
+                    f"plan drops messages to unknown site {drop.site}"
+                )
 
     # ------------------------------------------------------------------
     # (De)serialization
@@ -187,6 +241,8 @@ class FaultPlan:
             payload["grant_delays"] = [delay.to_dict() for delay in self.grant_delays]
         if self.transaction_crashes:
             payload["transaction_crashes"] = [tx.to_dict() for tx in self.transaction_crashes]
+        if self.message_drops:
+            payload["message_drops"] = [drop.to_dict() for drop in self.message_drops]
         return payload
 
     @classmethod
@@ -200,6 +256,7 @@ class FaultPlan:
             "site_crashes",
             "grant_delays",
             "transaction_crashes",
+            "message_drops",
         }
         unknown = set(payload) - known
         if unknown:
@@ -217,6 +274,9 @@ class FaultPlan:
                 ),
                 transaction_crashes=tuple(
                     TransactionCrash(**entry) for entry in payload.get("transaction_crashes", ())
+                ),
+                message_drops=tuple(
+                    MessageDrop(**entry) for entry in payload.get("message_drops", ())
                 ),
                 system_path=payload.get("system"),
             )
@@ -239,6 +299,7 @@ class FaultPlan:
                 site_crashes=plan.site_crashes,
                 grant_delays=plan.grant_delays,
                 transaction_crashes=plan.transaction_crashes,
+                message_drops=plan.message_drops,
                 system_path=resolved,
             )
         return plan

@@ -15,9 +15,12 @@ import json
 from dataclasses import dataclass
 from typing import Iterator
 
-#: The event kinds the simulator emits.  The last four belong to the
-#: fault-injection layer (:mod:`repro.faults`): site/transaction
-#: crashes, site recoveries, victim rollbacks and retry wake-ups.
+#: The event kinds the simulator emits.  ``crash`` / ``recover`` /
+#: ``abort`` / ``retry`` belong to the fault-injection layer
+#: (:mod:`repro.faults`): site/transaction crashes, site recoveries,
+#: victim rollbacks and retry wake-ups.  ``msg`` / ``drop`` belong to
+#: the cluster runtime (:mod:`repro.cluster`): a delivered protocol
+#: message and a network-fault message drop.
 KINDS = (
     "grant",
     "block",
@@ -29,6 +32,8 @@ KINDS = (
     "recover",
     "abort",
     "retry",
+    "msg",
+    "drop",
 )
 
 

@@ -6,7 +6,13 @@ histories — the system substrate on which unsafe transaction systems
 visibly mis-serialize and safe ones never do.
 """
 
-from .analysis import DeadlockReport, deadlock_possible_exhaustive
+from .analysis import (
+    DeadlockReport,
+    conflicts_from_site_orders,
+    deadlock_possible_exhaustive,
+    serial_witness_from_site_orders,
+    serializable_from_site_orders,
+)
 from .interpretation import AffineInterpretation
 from .deadlock import find_deadlock, wait_for_graph
 from .drivers import RandomDriver, ReplayDriver, RoundRobinDriver
@@ -30,9 +36,12 @@ __all__ = [
     "SimulationEngine",
     "SimulationResult",
     "SiteLockManager",
+    "conflicts_from_site_orders",
     "deadlock_possible_exhaustive",
     "estimate_violation_rate",
     "find_deadlock",
     "run_once",
+    "serial_witness_from_site_orders",
+    "serializable_from_site_orders",
     "wait_for_graph",
 ]

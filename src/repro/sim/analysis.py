@@ -20,10 +20,12 @@ in polynomial time, and the two are cross-validated.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from collections.abc import Mapping, Sequence
 
 from ..core.schedule import ScheduledStep, TransactionSystem
 from ..core.step import Step
 from ..errors import ScheduleError
+from ..graphs import DiGraph, is_acyclic, topological_sort
 
 
 @dataclass
@@ -48,6 +50,58 @@ class DeadlockReport:
         return (
             f"deadlock reachable after: {steps}\n  stuck: {waits}"
         )
+
+
+def conflicts_from_site_orders(
+    site_orders: Mapping[str, Sequence[str]],
+) -> DiGraph:
+    """The transaction conflict graph implied by per-entity update
+    orders.
+
+    *site_orders* maps each entity to the committed update sequence its
+    owning site observed (transaction names, in site-local order).
+    Every entity is stored at exactly one site, so these per-entity
+    orders are the ground truth of the distributed execution — the
+    cluster runtime (:mod:`repro.cluster`) collects them from its
+    :class:`~repro.cluster.siteserver.SiteServer` lock tables and the
+    simulator can produce them from an
+    :class:`~repro.sim.history.ExecutionHistory`.
+    """
+    names: list[str] = []
+    seen: set[str] = set()
+    for order in site_orders.values():
+        for name in order:
+            if name not in seen:
+                seen.add(name)
+                names.append(name)
+    graph = DiGraph(sorted(names))
+    for order in site_orders.values():
+        previous: list[str] = []
+        for name in order:
+            for other in previous:
+                if other != name:
+                    graph.add_arc(other, name)
+            if name not in previous:
+                previous.append(name)
+    return graph
+
+
+def serializable_from_site_orders(
+    site_orders: Mapping[str, Sequence[str]],
+) -> bool:
+    """Conflict-serializability of a committed distributed history
+    given as per-entity update orders (acyclic conflict graph)."""
+    return is_acyclic(conflicts_from_site_orders(site_orders))
+
+
+def serial_witness_from_site_orders(
+    site_orders: Mapping[str, Sequence[str]],
+) -> list[str] | None:
+    """A serial order witnessing serializability, or ``None``."""
+    graph = conflicts_from_site_orders(site_orders)
+    if not is_acyclic(graph):
+        return None
+    return topological_sort(graph)
 
 
 def _prepare(system: TransactionSystem):

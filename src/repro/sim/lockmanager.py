@@ -3,9 +3,13 @@
 Each site of the distributed database runs its own exclusive-lock table,
 exactly as the paper's model prescribes (a lock bit per entity, §2).
 The manager grants, denies and releases locks and keeps the FIFO wait
-queues the deadlock detector inspects.  Given an
-:class:`~repro.obs.events.EventLog`, every grant, newly blocked
-request and release is appended to the timeline with this site's id.
+queues the deadlock detector inspects.  The queues are *binding*: a
+free entity with a nonempty wait queue is only granted to the
+longest-waiting requester, so a releaser that immediately re-requests
+the same entity queues behind everyone it made wait instead of starving
+them.  Given an :class:`~repro.obs.events.EventLog`, every grant, newly
+blocked request and release is appended to the timeline with this
+site's id.
 """
 
 from __future__ import annotations
@@ -29,11 +33,28 @@ class SiteLockManager:
         return self._holder.get(entity)
 
     def try_lock(self, entity: str, transaction: str) -> bool:
-        """Attempt to set the lock bit; enqueue the requester on failure."""
+        """Attempt to set the lock bit; enqueue the requester on failure.
+
+        A free entity with waiters is granted FIFO: only the
+        longest-waiting requester may take it, everyone else (including
+        a releaser immediately re-requesting) queues behind the line.
+        """
         current = self._holder.get(entity)
+        queue = self._waiting.get(entity)
+        if current is None and queue and queue[0] != transaction:
+            if transaction not in queue:
+                queue.append(transaction)
+                if self.event_log is not None:
+                    self.event_log.emit(
+                        "block",
+                        transaction=transaction,
+                        entity=entity,
+                        site=self.site,
+                        detail=f"behind FIFO queue ({queue[0]} waited longest)",
+                    )
+            return False
         if current is None:
             self._holder[entity] = transaction
-            queue = self._waiting.get(entity)
             if queue and transaction in queue:
                 queue.remove(transaction)
             if self.event_log is not None:
@@ -85,6 +106,27 @@ class SiteLockManager:
     def waiters(self, entity: str) -> list[str]:
         """Transactions queued on *entity*."""
         return list(self._waiting.get(entity, ()))
+
+    def next_waiter(self, entity: str) -> str | None:
+        """The longest-waiting requester of *entity* (the only one
+        :meth:`try_lock` may grant a free entity to), or ``None``."""
+        queue = self._waiting.get(entity)
+        return queue[0] if queue else None
+
+    def withdraw(self, entity: str, transaction: str) -> None:
+        """Remove *transaction* from the wait queue of *entity* only
+        (lock-grant timeout support; abort uses :meth:`drop_waiter`)."""
+        queue = self._waiting.get(entity)
+        if queue and transaction in queue:
+            queue.remove(transaction)
+
+    def queued_entities(self, transaction: str) -> list[str]:
+        """Entities whose wait queues contain *transaction*."""
+        return [
+            entity
+            for entity, queue in self._waiting.items()
+            if transaction in queue
+        ]
 
     def drop_waiter(self, transaction: str) -> None:
         """Remove *transaction* from every wait queue (abort support)."""

@@ -1,0 +1,63 @@
+"""The length-prefixed JSON wire protocol."""
+
+import pytest
+
+from repro.cluster import protocol
+from repro.cluster.protocol import ProtocolError
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        message = {"type": "lock", "id": 7, "txn": "T1", "entity": "x"}
+        assert protocol.decode(protocol.encode(message)) == message
+
+    def test_prefix_is_big_endian_length(self):
+        frame = protocol.encode({"type": "ping", "id": 1})
+        assert int.from_bytes(frame[:4], "big") == len(frame) - 4
+
+    def test_encoding_is_canonical(self):
+        a = protocol.encode({"type": "ping", "id": 1, "z": 0, "a": 1})
+        b = protocol.encode({"a": 1, "z": 0, "id": 1, "type": "ping"})
+        assert a == b
+
+    def test_truncated_frame_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode(b"\x00\x00")
+
+    def test_length_mismatch_rejected(self):
+        frame = protocol.encode({"type": "ping", "id": 1})
+        with pytest.raises(ProtocolError):
+            protocol.decode(frame + b"extra")
+
+    def test_oversized_length_rejected(self):
+        huge = (protocol.MAX_FRAME + 1).to_bytes(4, "big") + b"{}"
+        with pytest.raises(ProtocolError):
+            protocol.decode(huge)
+
+    def test_non_json_payload_rejected(self):
+        frame = len(b"not json").to_bytes(4, "big") + b"not json"
+        with pytest.raises(ProtocolError):
+            protocol.decode(frame)
+
+    def test_untyped_message_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_payload(b'{"id": 1}')
+
+
+class TestMessages:
+    def test_request_builder(self):
+        message = protocol.request("lock", 3, txn="T1", entity="x")
+        assert message == {"type": "lock", "id": 3, "txn": "T1", "entity": "x"}
+
+    def test_unknown_request_kind_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.request("gossip", 1)
+
+    def test_reply_builder(self):
+        message = protocol.reply(3, "granted", entity="x")
+        assert message["type"] == "reply"
+        assert message["id"] == 3
+        assert message["status"] == "granted"
+
+    def test_kind_tables_are_disjoint(self):
+        assert not set(protocol.REQUEST_KINDS) & set(protocol.PEER_KINDS)

@@ -1,0 +1,155 @@
+"""End-to-end cluster runs: vetting, faults, serializability audit."""
+
+import asyncio
+
+import pytest
+
+from repro.cluster import ClusterError, run_cluster_sync
+from repro.cluster.runtime import run_cluster
+from repro.faults import FaultPlan, GrantDelay, MessageDrop, SiteCrash
+from repro.obs.events import EventLog
+from repro.workloads import figure_1
+
+
+class TestSafeWorkloads:
+    def test_deadlock_prone_pair_commits_serializably(
+        self, deadlock_prone_system
+    ):
+        report = run_cluster_sync(
+            deadlock_prone_system, rounds=4, seed=3, max_retries=8
+        )
+        assert report.mode == "vetted-safe"
+        assert report.serializable
+        assert report.serial_witness is not None
+        assert report.committed == report.transactions
+
+    def test_round_clones_get_distinct_names(self, deadlock_prone_system):
+        report = run_cluster_sync(deadlock_prone_system, rounds=3, seed=0)
+        names = {outcome.name for outcome in report.outcomes}
+        assert "T1" in names and "T1@r2" in names and "T1@r3" in names
+        assert len(names) == 6
+
+    def test_tcp_transport_run(self, deadlock_prone_system):
+        report = run_cluster_sync(
+            deadlock_prone_system,
+            transport="tcp",
+            rounds=3,
+            seed=1,
+            max_retries=8,
+            request_timeout=30.0,
+        )
+        assert report.transport == "tcp"
+        assert report.serializable
+        assert report.committed == report.transactions
+
+
+class TestUnsafeWorkloads:
+    def test_figure_1_runs_runtime_guarded(self):
+        report = run_cluster_sync(figure_1(), rounds=3, seed=7)
+        assert report.mode == "runtime-guarded"
+        assert report.gateway is not None and report.gateway.rejected
+
+    def test_figure_1_exhibits_non_serializable_history(self):
+        # The paper's Fig. 1 pair is unsafe; under concurrent rounds the
+        # anomaly actually materializes in the committed site orders.
+        report = run_cluster_sync(figure_1(), rounds=3, seed=7)
+        assert not report.serializable
+        assert report.serial_witness is None
+
+
+class TestDeterminism:
+    def test_same_seed_same_history(self, deadlock_prone_system):
+        first = run_cluster_sync(deadlock_prone_system, rounds=4, seed=11)
+        second = run_cluster_sync(deadlock_prone_system, rounds=4, seed=11)
+        assert first.history_fingerprint == second.history_fingerprint
+        assert [o.to_dict() for o in first.outcomes] == [
+            o.to_dict() for o in second.outcomes
+        ]
+
+    def test_unsafe_history_deterministic_too(self):
+        first = run_cluster_sync(figure_1(), rounds=3, seed=7)
+        second = run_cluster_sync(figure_1(), rounds=3, seed=7)
+        assert first.history_fingerprint == second.history_fingerprint
+
+
+class TestNetworkFaults:
+    def test_message_drops_survived_via_request_timeout(
+        self, deadlock_prone_system
+    ):
+        plan = FaultPlan(message_drops=(MessageDrop(site=1, at=2, until=6),))
+        log = EventLog()
+        report = run_cluster_sync(
+            deadlock_prone_system,
+            rounds=2,
+            seed=3,
+            fault_plan=plan,
+            request_timeout=0.5,
+            max_retries=8,
+            event_log=log,
+        )
+        assert report.dropped >= 1
+        assert len(log.of_kind("drop")) == report.dropped
+        assert report.serializable
+
+    def test_site_crash_freezes_then_recovers(self, deadlock_prone_system):
+        plan = FaultPlan(site_crashes=(SiteCrash(site=2, at=3, recover_at=10),))
+        log = EventLog()
+        report = run_cluster_sync(
+            deadlock_prone_system,
+            rounds=2,
+            seed=3,
+            fault_plan=plan,
+            max_retries=8,
+            event_log=log,
+        )
+        assert len(log.of_kind("crash")) == 1
+        assert len(log.of_kind("recover")) == 1
+        assert report.committed == report.transactions
+        assert report.serializable
+
+    def test_grant_delay_slows_but_preserves_correctness(
+        self, deadlock_prone_system
+    ):
+        plan = FaultPlan(grant_delays=(GrantDelay(at=1, until=8, entity="x"),))
+        report = run_cluster_sync(
+            deadlock_prone_system,
+            rounds=2,
+            seed=3,
+            fault_plan=plan,
+            max_retries=8,
+        )
+        assert report.committed == report.transactions
+        assert report.serializable
+
+    def test_plan_validated_against_system(self, deadlock_prone_system):
+        plan = FaultPlan(message_drops=(MessageDrop(site=9, at=0, until=4),))
+        with pytest.raises(Exception):
+            run_cluster_sync(deadlock_prone_system, fault_plan=plan)
+
+
+class TestConfiguration:
+    def test_bad_rounds_rejected(self, deadlock_prone_system):
+        with pytest.raises(ClusterError):
+            run_cluster_sync(deadlock_prone_system, rounds=0)
+
+    def test_bad_transport_rejected(self, deadlock_prone_system):
+        with pytest.raises(ClusterError):
+            run_cluster_sync(deadlock_prone_system, transport="carrier-pigeon")
+
+    def test_unvetted_mode(self, deadlock_prone_system):
+        report = run_cluster_sync(deadlock_prone_system, vet=False, seed=0)
+        assert report.mode == "unvetted"
+        assert report.gateway is None
+
+    def test_report_to_dict_is_json_shaped(self, deadlock_prone_system):
+        import json
+
+        report = run_cluster_sync(deadlock_prone_system, rounds=2, seed=0)
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["transport"] == "memory"
+        assert payload["committed"] == report.committed
+        assert payload["history_fingerprint"] == report.history_fingerprint
+
+    def test_run_cluster_is_a_coroutine(self, deadlock_prone_system):
+        report = asyncio.run(run_cluster(deadlock_prone_system, seed=0))
+        assert report.committed == 2

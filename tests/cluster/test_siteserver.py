@@ -1,0 +1,184 @@
+"""One site server driven directly over the wire protocol."""
+
+import asyncio
+
+from repro.cluster import protocol
+from repro.cluster.siteserver import SiteServer
+from repro.cluster.transport import MemoryTransport
+
+
+async def _rpc(connection, kind, request_id, **fields):
+    await connection.send(protocol.request(kind, request_id, **fields))
+    return await connection.recv()
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _boot():
+    transport = MemoryTransport()
+    server = SiteServer(1, transport=transport)
+    await server.start()
+    return transport, server
+
+
+class TestLockProtocol:
+    def test_grant_release_grant(self):
+        async def scenario():
+            transport, server = await _boot()
+            a = await transport.connect(1)
+            b = await transport.connect(1)
+            first = await _rpc(a, "lock", 1, txn="T1", entity="x", age=0)
+            assert first["status"] == "granted"
+            # T2 blocks; the reply arrives only after T1 unlocks.
+            await b.send(protocol.request("lock", 1, txn="T2", entity="x", age=1))
+            await transport.sleep(5)
+            released = await _rpc(a, "unlock", 2, txn="T1", entity="x")
+            assert released["status"] == "released"
+            second = await b.recv()
+            await transport.close()
+            return second
+
+        reply = run(scenario())
+        assert reply["status"] == "granted"
+
+    def test_lock_retry_is_idempotent(self):
+        async def scenario():
+            transport, server = await _boot()
+            a = await transport.connect(1)
+            await _rpc(a, "lock", 1, txn="T1", entity="x", age=0)
+            again = await _rpc(a, "lock", 2, txn="T1", entity="x", age=0)
+            await transport.close()
+            return again
+
+        assert run(scenario())["status"] == "granted"
+
+    def test_update_requires_lock(self):
+        async def scenario():
+            transport, server = await _boot()
+            a = await transport.connect(1)
+            denied = await _rpc(a, "update", 1, txn="T1", entity="x")
+            await _rpc(a, "lock", 2, txn="T1", entity="x", age=0)
+            applied = await _rpc(a, "update", 3, txn="T1", entity="x")
+            await transport.close()
+            return denied, applied
+
+        denied, applied = run(scenario())
+        assert denied["status"] == "error"
+        assert applied["status"] == "applied"
+
+    def test_history_reports_only_committed_updates(self):
+        async def scenario():
+            transport, server = await _boot()
+            a = await transport.connect(1)
+            await _rpc(a, "lock", 1, txn="T1", entity="x", age=0)
+            await _rpc(a, "update", 2, txn="T1", entity="x")
+            before = await _rpc(a, "history", 3)
+            await _rpc(a, "commit", 4, txn="T1")
+            after = await _rpc(a, "history", 5)
+            await transport.close()
+            return before, after
+
+        before, after = run(scenario())
+        assert before["site_orders"] == {"x": []}
+        assert after["site_orders"] == {"x": ["T1"]}
+
+    def test_release_aborts_pending_and_scrubs_updates(self):
+        async def scenario():
+            transport, server = await _boot()
+            a = await transport.connect(1)
+            b = await transport.connect(1)
+            await _rpc(a, "lock", 1, txn="T1", entity="x", age=0)
+            await _rpc(a, "update", 2, txn="T1", entity="x")
+            await b.send(protocol.request("lock", 1, txn="T2", entity="x", age=1))
+            await transport.sleep(5)
+            aborted = await _rpc(a, "release", 3, txn="T1")
+            assert aborted["status"] == "aborted"
+            granted = await b.recv()  # T2 promoted after the abort
+            history = await _rpc(b, "history", 2)
+            await transport.close()
+            return granted, history
+
+        granted, history = run(scenario())
+        assert granted["status"] == "granted"
+        assert history["site_orders"] == {"x": []}
+
+    def test_ping_and_unknown_kind(self):
+        async def scenario():
+            transport, server = await _boot()
+            a = await transport.connect(1)
+            pong = await _rpc(a, "ping", 1)
+            await a.send({"type": "gossip", "id": 2})
+            unknown = await a.recv()
+            await transport.close()
+            return pong, unknown
+
+        pong, unknown = run(scenario())
+        assert pong["status"] == "pong" and pong["site"] == 1
+        assert unknown["status"] == "error"
+
+
+class TestDeadlockHandling:
+    def test_single_site_cycle_resolved_by_probe(self):
+        async def scenario():
+            transport = MemoryTransport()
+            server = SiteServer(1, transport=transport)
+            await server.start()
+            a = await transport.connect(1)
+            b = await transport.connect(1)
+            await _rpc(a, "lock", 1, txn="T1", entity="x", age=0)
+            await _rpc(b, "lock", 1, txn="T2", entity="y", age=1)
+            await a.send(protocol.request("lock", 2, txn="T1", entity="y", age=0))
+            await transport.sleep(5)
+            await b.send(protocol.request("lock", 2, txn="T2", entity="x", age=1))
+            # One of the two pending requests must be answered
+            # "deadlock" (abort-youngest kills T2, the higher age).
+            reply = await b.recv()
+            await transport.close()
+            return reply
+
+        reply = run(scenario())
+        assert reply["status"] == "deadlock"
+        assert reply["victim"] == "T2"
+        assert set(reply["cycle"]) == {"T1", "T2"}
+
+    def test_grant_timeout_answers_waiters(self):
+        async def scenario():
+            transport = MemoryTransport()
+            server = SiteServer(
+                1, transport=transport, deadlock_policy="none", grant_timeout=5
+            )
+            await server.start()
+            a = await transport.connect(1)
+            b = await transport.connect(1)
+            await _rpc(a, "lock", 1, txn="T1", entity="x", age=0)
+            await b.send(protocol.request("lock", 1, txn="T2", entity="x", age=1))
+            reply = await b.recv()
+            await transport.close()
+            return reply
+
+        reply = run(scenario())
+        assert reply["status"] == "timeout"
+
+    def test_fifo_queue_served_in_arrival_order(self):
+        async def scenario():
+            transport, server = await _boot()
+            a = await transport.connect(1)
+            b = await transport.connect(1)
+            c = await transport.connect(1)
+            await _rpc(a, "lock", 1, txn="T1", entity="x", age=0)
+            await b.send(protocol.request("lock", 1, txn="T2", entity="x", age=1))
+            await transport.sleep(5)
+            await c.send(protocol.request("lock", 1, txn="T3", entity="x", age=2))
+            await transport.sleep(5)
+            await _rpc(a, "unlock", 2, txn="T1", entity="x")
+            second = await b.recv()
+            await _rpc(b, "unlock", 2, txn="T2", entity="x")
+            third = await c.recv()
+            await transport.close()
+            return second, third
+
+        second, third = run(scenario())
+        assert second["status"] == "granted"
+        assert third["status"] == "granted"

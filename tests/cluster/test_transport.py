@@ -1,0 +1,99 @@
+"""Memory and TCP transports carry identical frames."""
+
+import asyncio
+
+import pytest
+
+from repro.cluster.transport import (
+    MemoryTransport,
+    TcpTransport,
+    TransportError,
+)
+
+
+async def _echo_handler(connection):
+    while True:
+        message = await connection.recv()
+        if message is None:
+            break
+        message["echoed"] = True
+        await connection.send(message)
+
+
+class TestMemoryTransport:
+    def test_roundtrip(self):
+        async def scenario():
+            transport = MemoryTransport()
+            await transport.listen(1, _echo_handler)
+            connection = await transport.connect(1)
+            await connection.send({"type": "ping", "id": 1})
+            reply = await connection.recv()
+            await transport.close()
+            return reply
+
+        reply = asyncio.run(scenario())
+        assert reply == {"type": "ping", "id": 1, "echoed": True}
+
+    def test_connect_unknown_site_fails(self):
+        async def scenario():
+            transport = MemoryTransport()
+            with pytest.raises(TransportError):
+                await transport.connect(9)
+
+        asyncio.run(scenario())
+
+    def test_duplicate_listen_fails(self):
+        async def scenario():
+            transport = MemoryTransport()
+            await transport.listen(1, _echo_handler)
+            with pytest.raises(TransportError):
+                await transport.listen(1, _echo_handler)
+
+        asyncio.run(scenario())
+
+    def test_close_makes_recv_return_none(self):
+        async def scenario():
+            transport = MemoryTransport()
+            received = []
+
+            async def handler(connection):
+                received.append(await connection.recv())
+
+            await transport.listen(1, handler)
+            connection = await transport.connect(1)
+            await connection.close()
+            await transport.sleep(3)
+            await transport.close()
+            return received
+
+        assert asyncio.run(scenario()) == [None]
+
+    def test_is_deterministic_flagged(self):
+        assert MemoryTransport.deterministic is True
+        assert TcpTransport.deterministic is False
+
+
+class TestTcpTransport:
+    def test_roundtrip_over_real_socket(self):
+        async def scenario():
+            transport = TcpTransport()
+            await transport.listen(1, _echo_handler)
+            host, port = transport.addresses[1]
+            assert host == "127.0.0.1" and port > 0
+            connection = await transport.connect(1)
+            await connection.send({"type": "ping", "id": 42})
+            reply = await connection.recv()
+            await connection.close()
+            await transport.close()
+            return reply
+
+        reply = asyncio.run(scenario())
+        assert reply == {"type": "ping", "id": 42, "echoed": True}
+
+    def test_connect_without_address_fails(self):
+        async def scenario():
+            transport = TcpTransport()
+            with pytest.raises(TransportError):
+                await transport.connect(5)
+
+        asyncio.run(scenario())

@@ -39,6 +39,27 @@ class TestLocking:
         assert manager.try_lock("x", "T2")
         assert manager.waiters("x") == []
 
+    def test_releaser_cannot_starve_queued_waiters(self, manager):
+        """Regression: T1 unlocks x and immediately re-requests it while
+        T2 (and T3) are queued — the grant must go to the
+        longest-waiting requester, with T1 queued at the back."""
+        manager.try_lock("x", "T1")
+        manager.try_lock("x", "T2")
+        manager.try_lock("x", "T3")
+        manager.unlock("x", "T1")
+        assert not manager.try_lock("x", "T1")  # free, but T2 waited longer
+        assert manager.waiters("x") == ["T2", "T3", "T1"]
+        assert manager.next_waiter("x") == "T2"
+        assert not manager.try_lock("x", "T3")  # still not T3's turn
+        assert manager.try_lock("x", "T2")
+        assert manager.holder("x") == "T2"
+        manager.unlock("x", "T2")
+        assert not manager.try_lock("x", "T1")  # T3 is next in line
+        assert manager.try_lock("x", "T3")
+        manager.unlock("x", "T3")
+        assert manager.try_lock("x", "T1")  # finally T1's turn
+        assert manager.waiters("x") == []
+
 
 class TestUnlocking:
     def test_unlock_requires_holder(self, manager):

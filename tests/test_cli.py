@@ -477,3 +477,98 @@ class TestServeMetrics:
         events = payload["repro_service_events_total"]["series"]
         assert events['{event="admitted"}'] >= 1
         metrics.REGISTRY.reset()
+
+
+class TestChaosJson:
+    def test_json_report_schema(self, unsafe_file, capsys):
+        code = main(["chaos", unsafe_file, "--seeds", "5", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        expected = {
+            "seeds",
+            "policy",
+            "max_retries",
+            "plan_entries",
+            "outcomes",
+            "completion_rate",
+            "mean_retries",
+            "total_retries",
+            "faults_injected",
+            "deadlocks_resolved",
+            "recoveries",
+            "p95_recovery_latency_steps",
+            "wall_seconds",
+        }
+        assert expected <= set(payload)
+        assert payload["seeds"] == 5
+        assert payload["policy"] == "abort-youngest"
+        assert isinstance(payload["outcomes"], dict)
+        assert sum(payload["outcomes"].values()) == payload["seeds"]
+        assert 0.0 <= payload["completion_rate"] <= 1.0
+        assert code == (0 if payload["completion_rate"] == 1.0 else 1)
+
+    def test_json_is_deterministic_modulo_wall_time(self, unsafe_file, capsys):
+        main(["chaos", unsafe_file, "--seeds", "4", "--json"])
+        first = json.loads(capsys.readouterr().out)
+        main(["chaos", unsafe_file, "--seeds", "4", "--json"])
+        second = json.loads(capsys.readouterr().out)
+        first.pop("wall_seconds")
+        second.pop("wall_seconds")
+        assert first == second
+
+
+class TestClusterCli:
+    def test_run_safe_pair_exits_zero(self, capsys, tmp_path):
+        path = tmp_path / "pair.sys"
+        path.write_text(
+            "database\n"
+            "  site 1: x\n"
+            "  site 2: y\n"
+            "\n"
+            "transaction T1\n"
+            "  site 1: Lx x Ux\n"
+            "  site 2: Ly y Uy\n"
+            "  precede Lx -> Ly\n"
+            "  precede Ly -> Ux\n"
+            "  precede Lx -> Uy\n"
+            "\n"
+            "transaction T2\n"
+            "  site 1: Lx x Ux\n"
+            "  site 2: Ly y Uy\n"
+            "  precede Lx -> Ly\n"
+            "  precede Ly -> Ux\n"
+            "  precede Lx -> Uy\n"
+        )
+        code = main(
+            ["cluster", "run", str(path), "--rounds", "3", "--json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["mode"] == "vetted-safe"
+        assert payload["serializable"] is True
+        assert payload["committed"] == payload["transactions"] == 6
+
+    def test_run_unsafe_pair_exits_one(self, unsafe_file, capsys):
+        code = main(
+            [
+                "cluster",
+                "run",
+                unsafe_file,
+                "--rounds",
+                "3",
+                "--seed",
+                "5",
+                "--json",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["mode"] == "runtime-guarded"
+
+    def test_run_events_timeline(self, safe_file, capsys):
+        main(["cluster", "run", safe_file, "--events"])
+        out = capsys.readouterr().out
+        assert "grant" in out
+        assert "cluster run:" in out
+
+    def test_missing_file_exits_two(self, capsys):
+        assert main(["cluster", "run", "nope.sys"]) == 2

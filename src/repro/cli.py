@@ -516,6 +516,7 @@ def cmd_cluster_run(args: argparse.Namespace) -> int:
             log.result(str(event))
     ok = (
         report.serializable
+        and report.audit_complete
         and report.committed == report.transactions
     )
     return 0 if ok else 1

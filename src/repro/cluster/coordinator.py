@@ -49,13 +49,18 @@ class TxnOutcome:
     """How one distributed transaction ended."""
 
     name: str
-    outcome: str  # "committed" | "retry-exhausted" | "error"
+    outcome: str  # "committed" | "partial-commit" | "retry-exhausted" | "error"
     retries: int = 0
     sites: list[int] = field(default_factory=list)
     detail: str = ""
+    #: Sites whose ``commit`` was never acknowledged ("partial-commit"):
+    #: their copy of the history may be missing this transaction, so
+    #: the serializability audit must treat the run as incomplete.
+    unacked_commit_sites: list[int] = field(default_factory=list)
 
     @property
     def committed(self) -> bool:
+        """Fully committed — acknowledged at every involved site."""
         return self.outcome == "committed"
 
     def to_dict(self) -> dict:
@@ -65,6 +70,11 @@ class TxnOutcome:
             "retries": self.retries,
             "sites": self.sites,
             **({"detail": self.detail} if self.detail else {}),
+            **(
+                {"unacked_commit_sites": self.unacked_commit_sites}
+                if self.unacked_commit_sites
+                else {}
+            ),
         }
 
 
@@ -163,7 +173,17 @@ class Coordinator:
             for attempt in range(self.max_retries + 1):
                 failure = await self._attempt()
                 if failure is None:
-                    await self._commit()
+                    unacked = await self._commit()
+                    if unacked:
+                        _outcomes_counter().labels(outcome="partial-commit").inc()
+                        return TxnOutcome(
+                            name,
+                            "partial-commit",
+                            retries=attempt,
+                            sites=sites,
+                            detail=f"commit un-acked at sites {unacked}",
+                            unacked_commit_sites=unacked,
+                        )
                     _outcomes_counter().labels(outcome="committed").inc()
                     return TxnOutcome(name, "committed", retries=attempt, sites=sites)
                 await self._abort()
@@ -261,13 +281,42 @@ class Coordinator:
             except TransportError:
                 pass
 
-    async def _commit(self) -> None:
+    #: Attempts per site before a commit is declared un-acked.
+    COMMIT_ATTEMPTS = 3
+
+    async def _commit(self) -> list[int]:
+        """Send ``commit`` everywhere and insist on an ack.
+
+        Commit is idempotent site-side, so a lost request or reply
+        (injected drop, dead connection) is retried — on a fresh
+        connection if the old one raised.  Returns the sites that
+        never acknowledged; the caller reports those as a
+        ``partial-commit`` so the history audit can flag the run
+        instead of silently auditing an incomplete history.
+        """
+        unacked: list[int] = []
         for site in sorted(self._clients):
-            await self._clients[site].request(
-                "commit",
-                txn=self.transaction.name,
-                timeout=self.request_timeout,
-            )
+            if not await self._commit_site(site):
+                unacked.append(site)
+        return unacked
+
+    async def _commit_site(self, site: int) -> bool:
+        for _ in range(self.COMMIT_ATTEMPTS):
+            try:
+                client = await self._client(site)
+                reply = await client.request(
+                    "commit",
+                    txn=self.transaction.name,
+                    timeout=self.request_timeout,
+                )
+            except TransportError:
+                stale = self._clients.pop(site, None)
+                if stale is not None:
+                    await stale.close()
+                continue
+            if reply.get("status") == "committed":
+                return True
+        return False
 
     async def _backoff(self, attempt: int) -> None:
         ticks = self.backoff_base * (2**attempt) + self.rng.randrange(self.backoff_jitter + 1)

@@ -39,7 +39,7 @@ from .coordinator import Coordinator, TxnOutcome
 from .gateway import Gateway, GatewayDecision
 from .netfaults import NetworkFaultAdapter
 from .siteserver import SiteServer
-from .transport import MemoryTransport, TcpTransport, Transport
+from .transport import MemoryTransport, TcpTransport, Transport, TransportError
 
 
 class ClusterError(ReproError):
@@ -62,10 +62,24 @@ class ClusterReport:
     dropped: int = 0
     wall_seconds: float = 0.0
     gateway: GatewayDecision | None = None
+    #: Sites whose history could not be collected — the audit below
+    #: ran without their site orders and is incomplete.
+    unreachable_sites: list[int] = field(default_factory=list)
 
     @property
     def committed(self) -> int:
         return sum(1 for o in self.outcomes if o.committed)
+
+    @property
+    def partial_commits(self) -> int:
+        """Transactions whose commit went un-acked at some site; their
+        updates may be missing from the audited site orders."""
+        return sum(1 for o in self.outcomes if o.outcome == "partial-commit")
+
+    @property
+    def audit_complete(self) -> bool:
+        """Did the serializability audit see the whole history?"""
+        return not self.unreachable_sites and self.partial_commits == 0
 
     @property
     def retry_exhausted(self) -> int:
@@ -88,9 +102,12 @@ class ClusterReport:
             "mode": self.mode,
             "transactions": self.transactions,
             "committed": self.committed,
+            "partial_commits": self.partial_commits,
             "retry_exhausted": self.retry_exhausted,
             "retries_total": self.retries_total,
             "serializable": self.serializable,
+            "audit_complete": self.audit_complete,
+            "unreachable_sites": self.unreachable_sites,
             "serial_witness": self.serial_witness,
             "messages": self.messages,
             "dropped": self.dropped,
@@ -115,8 +132,16 @@ class ClusterReport:
             f"  retries          {self.retries_total}",
             f"  messages         {self.messages}"
             + (f" ({self.dropped} dropped)" if self.dropped else ""),
-            f"  serializable     {'yes' if self.serializable else 'NO'}",
+            f"  serializable     {'yes' if self.serializable else 'NO'}"
+            + ("" if self.audit_complete else " (audit INCOMPLETE)"),
         ]
+        if self.partial_commits:
+            lines.append(f"  partial-commit   {self.partial_commits}")
+        if self.unreachable_sites:
+            lines.append(
+                "  unreachable      sites "
+                + ", ".join(str(s) for s in self.unreachable_sites)
+            )
         if self.serial_witness:
             preview = ", ".join(self.serial_witness[:6])
             if len(self.serial_witness) > 6:
@@ -150,18 +175,33 @@ def _build_workload(system: TransactionSystem, rounds: int) -> list[Transaction]
     return workload
 
 
-async def _fetch_history(transport: Transport, site: int) -> dict[str, list[str]]:
+#: Last-resort bound (seconds) on one history fetch, so a wedged site
+#: can never hang :func:`run_cluster` at collection time.
+HISTORY_TIMEOUT = 30.0
+
+
+async def _fetch_history(
+    transport: Transport, site: int, timeout: float
+) -> dict[str, list[str]] | None:
     """One-shot ``history`` request: the committed per-entity update
-    orders of *site*."""
-    connection = await transport.connect(site)
+    orders of *site*, or ``None`` when the site is unreachable or does
+    not answer within *timeout* seconds."""
+
+    async def fetch() -> dict[str, list[str]]:
+        connection = await transport.connect(site)
+        try:
+            await connection.send(protocol.request("history", 1))
+            reply = await connection.recv()
+        finally:
+            await connection.close()
+        if reply is None:
+            return {}
+        return reply.get("site_orders", {})
+
     try:
-        await connection.send(protocol.request("history", 1))
-        reply = await connection.recv()
-    finally:
-        await connection.close()
-    if reply is None:
-        return {}
-    return reply.get("site_orders", {})
+        return await asyncio.wait_for(fetch(), timeout)
+    except (asyncio.TimeoutError, TransportError):
+        return None
 
 
 async def run_cluster(
@@ -195,6 +235,14 @@ async def run_cluster(
         raise ClusterError(f"need concurrency >= 1, got {concurrency}")
     if fault_plan is not None:
         fault_plan.validate_against(system)
+        if request_timeout is None and any(
+            crash.recover_at is None for crash in fault_plan.site_crashes
+        ):
+            raise ClusterError(
+                "fault plan crashes a site permanently (recover_at omitted); "
+                "set request_timeout so requests to the dead site can fail "
+                "instead of hanging the run"
+            )
 
     started = time.perf_counter()
     if isinstance(transport, Transport):
@@ -268,11 +316,21 @@ async def run_cluster(
                 await asyncio.gather(*(run_one(i, tx) for i, tx in enumerate(workload)))
             )
 
+            history_timeout = (
+                request_timeout if request_timeout is not None else HISTORY_TIMEOUT
+            )
             site_orders: dict[str, list[str]] = {}
+            unreachable: list[int] = []
             for server in servers:
                 if not server.running:
                     continue
-                for entity, order in (await _fetch_history(live_transport, server.site)).items():
+                fetched = await _fetch_history(
+                    live_transport, server.site, timeout=history_timeout
+                )
+                if fetched is None:
+                    unreachable.append(server.site)
+                    continue
+                for entity, order in fetched.items():
                     site_orders[entity] = order
 
             messages = sum(server.processed for server in servers)
@@ -299,6 +357,7 @@ async def run_cluster(
             dropped=faults.dropped,
             wall_seconds=time.perf_counter() - started,
             gateway=decision,
+            unreachable_sites=unreachable,
         )
         if sp:
             sp.set(

@@ -206,6 +206,20 @@ class SiteServer:
             # Retried request whose original grant reply was lost.
             await self._reply_granted(connection, message["id"], txn, entity, 0)
             return
+        existing = self._pending.get((txn, entity))
+        if existing is not None:
+            # Retried while the original request is still queued: the
+            # original waiter gave up client-side, so answer its id and
+            # re-point the pending entry (keeping its queue slot and
+            # timer) at the retry instead of installing a second entry
+            # whose stale timer would fire prematurely.
+            await self._safe_send(
+                existing.connection,
+                protocol.reply(existing.request_id, "superseded", entity=entity),
+            )
+            existing.connection = connection
+            existing.request_id = message["id"]
+            return
         if self.locks.try_lock(entity, txn):
             await self._reply_granted(connection, message["id"], txn, entity, 0)
             return
@@ -256,7 +270,11 @@ class SiteServer:
         vacated = self.locks.queued_entities(txn)
         for entity in self._waiting_entities(txn):
             stale = self._pending.pop((txn, entity), None)
-            if stale is not None and stale.timer is not None:
+            if stale is None:
+                # Answered by a racing timeout or resolve between the
+                # snapshot above and this pop.
+                continue
+            if stale.timer is not None:
                 stale.timer.cancel()
             await self._safe_send(
                 stale.connection,

@@ -127,6 +127,58 @@ class TestNetworkFaults:
             run_cluster_sync(deadlock_prone_system, fault_plan=plan)
 
 
+class TestAuditCompleteness:
+    def test_permanent_crash_requires_request_timeout(self, deadlock_prone_system):
+        plan = FaultPlan(site_crashes=(SiteCrash(site=1, at=3),))
+        with pytest.raises(ClusterError, match="permanent"):
+            run_cluster_sync(deadlock_prone_system, fault_plan=plan)
+
+    def test_permanent_crash_allowed_with_request_timeout(self, deadlock_prone_system):
+        plan = FaultPlan(site_crashes=(SiteCrash(site=1, at=10_000),))
+        report = run_cluster_sync(
+            deadlock_prone_system, fault_plan=plan, request_timeout=5.0, seed=0
+        )
+        assert report.committed == report.transactions
+
+    def test_unanswered_history_flags_site_unreachable(
+        self, deadlock_prone_system, monkeypatch
+    ):
+        from repro.cluster.siteserver import SiteServer
+
+        async def swallow_history(self, connection, message):
+            pass
+
+        monkeypatch.setattr(SiteServer, "_on_history", swallow_history)
+        report = run_cluster_sync(
+            deadlock_prone_system, seed=0, request_timeout=0.2, max_retries=8
+        )
+        assert report.unreachable_sites == [1, 2]
+        assert not report.audit_complete
+        assert report.to_dict()["audit_complete"] is False
+
+    def test_lost_commit_reported_as_partial_commit(
+        self, deadlock_prone_system, monkeypatch
+    ):
+        from repro.cluster.siteserver import SiteServer
+
+        async def swallow_commit(self, connection, message):
+            pass
+
+        monkeypatch.setattr(SiteServer, "_on_commit", swallow_commit)
+        report = run_cluster_sync(
+            deadlock_prone_system, seed=0, request_timeout=0.1, max_retries=8
+        )
+        assert report.partial_commits == report.transactions
+        assert report.committed == 0
+        assert not report.audit_complete
+        outcome = report.outcomes[0]
+        assert outcome.outcome == "partial-commit"
+        assert outcome.unacked_commit_sites
+        assert (
+            outcome.to_dict()["unacked_commit_sites"] == outcome.unacked_commit_sites
+        )
+
+
 class TestConfiguration:
     def test_bad_rounds_rejected(self, deadlock_prone_system):
         with pytest.raises(ClusterError):

@@ -54,6 +54,29 @@ class TestLockProtocol:
 
         assert run(scenario())["status"] == "granted"
 
+    def test_lock_retry_while_queued_supersedes_original(self):
+        # Regression: a retried lock request used to install a second
+        # pending entry whose stale timer could answer the retry
+        # prematurely and leave the original id unanswered.
+        async def scenario():
+            transport, server = await _boot()
+            a = await transport.connect(1)
+            b = await transport.connect(1)
+            await _rpc(a, "lock", 1, txn="T1", entity="x", age=0)
+            await b.send(protocol.request("lock", 1, txn="T2", entity="x", age=1))
+            await transport.sleep(5)
+            # The client gave up on id 1 and retried with id 2.
+            await b.send(protocol.request("lock", 2, txn="T2", entity="x", age=1))
+            superseded = await b.recv()
+            await _rpc(a, "unlock", 2, txn="T1", entity="x")
+            granted = await b.recv()
+            await transport.close()
+            return superseded, granted
+
+        superseded, granted = run(scenario())
+        assert superseded["status"] == "superseded" and superseded["id"] == 1
+        assert granted["status"] == "granted" and granted["id"] == 2
+
     def test_update_requires_lock(self):
         async def scenario():
             transport, server = await _boot()
@@ -117,6 +140,56 @@ class TestLockProtocol:
         pong, unknown = run(scenario())
         assert pong["status"] == "pong" and pong["site"] == 1
         assert unknown["status"] == "error"
+
+
+class _RecordingConnection:
+    """Captures replies; optionally runs a one-shot hook inside send()."""
+
+    def __init__(self):
+        self.sent = []
+        self.hook = None
+
+    async def send(self, message):
+        self.sent.append(message)
+        hook, self.hook = self.hook, None
+        if hook is not None:
+            await hook()
+
+    async def recv(self):
+        return None
+
+    async def close(self):
+        pass
+
+
+class TestReleaseRaces:
+    def test_release_tolerates_racing_resolve(self):
+        # Regression: _on_release snapshots the waiting entities, then
+        # awaits between pops; a resolve landing in that window used to
+        # crash the handler dereferencing the vanished pending entry.
+        async def scenario():
+            transport = MemoryTransport()
+            server = SiteServer(1, transport=transport)
+            server.running = True
+            holder = _RecordingConnection()
+            waiter = _RecordingConnection()
+            releaser = _RecordingConnection()
+            await server._on_lock(holder, {"id": 1, "txn": "T1", "entity": "x", "age": 0})
+            await server._on_lock(holder, {"id": 2, "txn": "T1", "entity": "y", "age": 0})
+            await server._on_lock(waiter, {"id": 1, "txn": "T2", "entity": "x", "age": 1})
+            await server._on_lock(waiter, {"id": 2, "txn": "T2", "entity": "y", "age": 1})
+
+            async def racing_resolve():
+                await server._handle_resolve({"victim": "T2", "cycle": []})
+
+            waiter.hook = racing_resolve
+            await server._on_release(releaser, {"id": 3, "txn": "T2"})
+            await transport.close()
+            return waiter.sent, releaser.sent
+
+        waiter_replies, releaser_replies = run(scenario())
+        assert sorted(m["status"] for m in waiter_replies) == ["aborted", "deadlock"]
+        assert releaser_replies[-1]["status"] == "aborted"
 
 
 class TestDeadlockHandling:

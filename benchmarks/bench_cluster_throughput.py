@@ -107,6 +107,7 @@ def test_cluster_throughput(benchmark):
             ),
             "serializable": cluster_report.serializable,
             "history_fingerprint": cluster_report.history_fingerprint,
+            "outcome_fingerprint": cluster_report.outcome_fingerprint,
         }
 
     # Determinism of the memory transport: same seed, same history.
@@ -137,6 +138,8 @@ def test_cluster_throughput(benchmark):
         + [
             "memory-transport determinism: "
             f"{rerun.history_fingerprint == reports['memory'].history_fingerprint}",
+            "outcome determinism (incl. retry schedules): "
+            f"{rerun.outcome_fingerprint == reports['memory'].outcome_fingerprint}",
         ],
     )
     write_bench(
@@ -162,3 +165,4 @@ def test_cluster_throughput(benchmark):
     if not QUICK:
         assert reports["tcp"].transactions >= 1000
     assert rerun.history_fingerprint == reports["memory"].history_fingerprint
+    assert rerun.outcome_fingerprint == reports["memory"].outcome_fingerprint

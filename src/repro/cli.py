@@ -491,9 +491,12 @@ def cmd_cluster_run(args: argparse.Namespace) -> int:
     log.info(f"loading {args.file}")
     system = _load_system(args.file)
     plan = _load_plan(args)
+    if plan is not None:
+        # Fail fast, before any server boots: a typo'd site id would
+        # otherwise silently inject nothing.
+        plan.validate_against(system)
     event_log = EventLog() if args.events else None
-    report = run_cluster_sync(
-        system,
+    common = dict(
         transport=args.transport,
         rounds=args.rounds,
         concurrency=args.concurrency,
@@ -506,6 +509,14 @@ def cmd_cluster_run(args: argparse.Namespace) -> int:
         grant_timeout=args.grant_timeout,
         request_timeout=args.request_timeout,
     )
+    if args.replicas > 1:
+        from .replica import run_replicated_sync
+
+        report = run_replicated_sync(
+            system, replicas=args.replicas, lease_ticks=args.lease_ticks, **common
+        )
+    else:
+        report = run_cluster_sync(system, **common)
     if args.json:
         log.result(json.dumps(report.to_dict(), indent=2))
     else:
@@ -527,6 +538,13 @@ def cmd_cluster_serve(args: argparse.Namespace) -> int:
 
     from .cluster import SiteServer, TcpTransport
 
+    if args.replica_index >= args.replicas:
+        log.error(
+            f"error: --replica-index {args.replica_index} out of range "
+            f"for --replicas {args.replicas}"
+        )
+        return 2
+
     addresses: dict[int, tuple[str, int]] = {}
     for spec in args.peer or ():
         site_text, _, host_port = spec.partition("=")
@@ -534,23 +552,53 @@ def cmd_cluster_serve(args: argparse.Namespace) -> int:
         try:
             addresses[int(site_text)] = (host, int(port_text))
         except ValueError:
-            log.error(f"error: bad --peer {spec!r} (want SITE=HOST:PORT)")
+            log.error(f"error: bad --peer {spec!r} (want ADDR=HOST:PORT)")
             return 2
-    addresses[args.site] = (args.host, args.port)
+
+    if args.replicas > 1:
+        from .replica import replica_address
+
+        address = replica_address(args.site, args.replica_index)
+    else:
+        address = args.site
+    addresses[address] = (args.host, args.port)
 
     async def serve() -> None:
         transport = TcpTransport(addresses)
-        server = SiteServer(
-            args.site,
-            transport=transport,
-            peers=tuple(sorted(addresses)),
-            deadlock_policy=args.deadlock_policy or "abort-youngest",
-            grant_timeout=args.grant_timeout,
-            seed=args.seed,
-        )
+        if args.replicas > 1:
+            from .replica import LogicalClock, ReplicaGroup, ReplicaServer
+
+            group = ReplicaGroup(
+                args.site, args.replicas, lease_ticks=args.lease_ticks
+            )
+            server = ReplicaServer(
+                group,
+                args.replica_index,
+                transport=transport,
+                clock=LogicalClock(),
+                peers=tuple(sorted(addresses)),
+                deadlock_policy=args.deadlock_policy or "abort-youngest",
+                grant_timeout=args.grant_timeout,
+                seed=args.seed,
+            )
+        else:
+            server = SiteServer(
+                args.site,
+                transport=transport,
+                peers=tuple(sorted(addresses)),
+                deadlock_policy=args.deadlock_policy or "abort-youngest",
+                grant_timeout=args.grant_timeout,
+                seed=args.seed,
+            )
         await server.start()
-        bound = transport.addresses[args.site]
-        log.result(f"site {args.site} listening on {bound[0]}:{bound[1]}")
+        bound = transport.addresses[address]
+        role = (
+            f"site {args.site}"
+            if args.replicas == 1
+            else f"site {args.site} replica {args.replica_index} "
+            f"(address {address})"
+        )
+        log.result(f"{role} listening on {bound[0]}:{bound[1]}")
         try:
             while server.running:
                 await asyncio.sleep(0.2)
@@ -813,6 +861,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=8,
         help="coordinators running at once (default 8)",
     )
+    cluster_run.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        metavar="N",
+        help="replicas per logical site; >1 runs the replicated "
+        "runtime (repro.replica) with leased leaders and failover",
+    )
+    cluster_run.add_argument(
+        "--lease-ticks",
+        type=int,
+        default=64,
+        metavar="TICKS",
+        help="leader lease length in logical clock ticks (default 64; "
+        "replicated runs only)",
+    )
     cluster_run.add_argument("--seed", type=int, default=0)
     cluster_run.add_argument(
         "--no-vet",
@@ -856,9 +920,28 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_serve.add_argument(
         "--peer",
         action="append",
-        metavar="SITE=HOST:PORT",
-        help="address of another site (repeat per peer; needed for "
-        "deadlock probes)",
+        metavar="ADDR=HOST:PORT",
+        help="address of another server (repeat per peer; needed for "
+        "deadlock probes; with --replicas, ADDR is the replica "
+        "address site*1000+index)",
+    )
+    cluster_serve.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        metavar="N",
+        help="size of this site's replica group (serve one replica "
+        "of it; default 1 = plain site server)",
+    )
+    cluster_serve.add_argument(
+        "--replica-index",
+        type=int,
+        default=0,
+        metavar="I",
+        help="which replica of the group this process is (default 0)",
+    )
+    cluster_serve.add_argument(
+        "--lease-ticks", type=int, default=64, metavar="TICKS"
     )
     cluster_serve.add_argument("--seed", type=int, default=0)
     cluster_serve.add_argument(

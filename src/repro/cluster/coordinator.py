@@ -86,8 +86,11 @@ class _SiteClient:
     cancelled branch) are dropped — the site may legally answer late.
     """
 
-    def __init__(self, connection: Connection) -> None:
+    def __init__(self, connection: Connection, address: int | None = None) -> None:
         self.connection = connection
+        #: Transport id this client dialled (a replica address when a
+        #: resolver is in play; the site id otherwise).
+        self.address = address
         self._waiters: dict[int, asyncio.Future] = {}
         self._next_id = 0
         self._reader = asyncio.ensure_future(self._read_loop())
@@ -149,6 +152,8 @@ class Coordinator:
         seed: int = 0,
         on_send=None,
         on_ack=None,
+        resolver=None,
+        failover_attempts: int = 4,
     ) -> None:
         self.transaction = transaction
         self.transport = transport
@@ -160,7 +165,17 @@ class Coordinator:
         self.rng = random.Random(f"{seed}/{transaction.name}")
         self.on_send = on_send
         self.on_ack = on_ack
+        #: Optional :class:`repro.replica.resolver.LeaderResolver`;
+        #: when set, requests route to the site's current lease leader
+        #: and a failed request re-resolves and replays idempotently.
+        self.resolver = resolver
+        self.failover_attempts = failover_attempts
         self._clients: dict[int, _SiteClient] = {}
+        #: Sites this attempt sent anything to — the release fan-out.
+        #: Tracked apart from ``_clients`` because failover drops and
+        #: re-dials connections: a site must still get its ``release``
+        #: even when its client happened to be torn down at abort time.
+        self._touched_sites: set[int] = set()
 
     # ------------------------------------------------------------------
     async def run(self) -> TxnOutcome:
@@ -198,6 +213,14 @@ class Coordinator:
                 detail=failure,
             )
         except TransportError as exc:
+            # Best-effort cleanup: locks this transaction still holds
+            # at reachable sites would otherwise block every later
+            # requester of those entities forever (nothing expires a
+            # holder that will never unlock).
+            try:
+                await self._abort()
+            except TransportError:
+                pass
             _outcomes_counter().labels(outcome="error").inc()
             return TxnOutcome(name, "error", sites=sites, detail=str(exc))
         finally:
@@ -205,11 +228,55 @@ class Coordinator:
 
     # ------------------------------------------------------------------
     async def _client(self, site: int) -> _SiteClient:
+        if self.resolver is None:
+            client = self._clients.get(site)
+            if client is None:
+                client = _SiteClient(await self.transport.connect(site), address=site)
+                self._clients[site] = client
+            return client
+        address = await self.resolver.resolve(site)
+        client = self._clients.get(site)
+        if client is not None and client.address == address:
+            return client
+        if client is not None:
+            await client.close()
+        client = _SiteClient(await self.transport.connect(address), address=address)
+        self._clients[site] = client
+        return client
+
+    async def _drop_client(self, site: int) -> None:
+        client = self._clients.pop(site, None)
+        if client is not None:
+            await client.close()
+
+    def _failover(self, site: int, leader_hint=None) -> None:
+        """A request to *site* failed: forget the cached leader (and
+        this connection) so the next try re-resolves."""
+        if self.resolver is not None:
+            self.resolver.invalidate(site, hint=leader_hint)
+
+    async def _should_failover(self, site: int, status: str) -> bool:
+        """Does *status* mean the leader moved or died — as opposed to
+        an ordinary slow grant?  A ``not-leader`` redirect is
+        definitive.  A wall-clock ``timeout`` is ambiguous: a blocked
+        lock request at a healthy leader times out too (a deadlock
+        waiting for probe resolution, say), and treating that as
+        leader death would depose healthy leaders on every long wait —
+        so distinguish by pinging the same address first."""
+        if self.resolver is None:
+            return False
+        if status == "not-leader":
+            return True
+        if status != "timeout":
+            return False
         client = self._clients.get(site)
         if client is None:
-            client = _SiteClient(await self.transport.connect(site))
-            self._clients[site] = client
-        return client
+            return True
+        try:
+            reply = await client.request("ping", timeout=self.request_timeout)
+        except TransportError:
+            return True
+        return reply.get("status") != "pong"
 
     async def _attempt(self) -> str | None:
         """One pass over the poset; ``None`` on success, else the
@@ -252,7 +319,6 @@ class Coordinator:
 
     async def _issue(self, step) -> str:
         site = self.transaction.database.site_of(step.entity)
-        client = await self._client(site)
         if self.on_send is not None:
             self.on_send(self.transaction.name, step)
         if step.is_lock:
@@ -261,25 +327,67 @@ class Coordinator:
             kind = "unlock"
         else:
             kind = "update"
-        reply = await client.request(
-            kind,
-            txn=self.transaction.name,
-            entity=step.entity,
-            age=self.age,
-            timeout=self.request_timeout,
-        )
-        return reply.get("status", "error")
-
-    async def _abort(self) -> None:
-        for site in sorted(self._clients):
+        fields = {
+            "txn": self.transaction.name,
+            "entity": step.entity,
+            "age": self.age,
+        }
+        if kind == "update":
+            # Connection-independent idempotency key: a step replayed
+            # against a new leader after failover must not double-apply.
+            fields["step"] = self.transaction.steps.index(step)
+        attempts = self.failover_attempts if self.resolver is not None else 0
+        status = "error"
+        self._touched_sites.add(site)
+        for attempt in range(attempts + 1):
             try:
-                await self._clients[site].request(
-                    "release",
-                    txn=self.transaction.name,
-                    timeout=self.request_timeout,
+                client = await self._client(site)
+                reply = await client.request(
+                    kind, timeout=self.request_timeout, **fields
                 )
             except TransportError:
-                pass
+                if self.resolver is None or attempt == attempts:
+                    raise
+                self._failover(site)
+                await self._drop_client(site)
+                continue
+            status = reply.get("status", "error")
+            if attempt < attempts and await self._should_failover(site, status):
+                # The leader moved (redirect) or stopped answering
+                # (lease-holder death): re-resolve and replay.  Replays
+                # are idempotent site-side — a re-sent lock for a held
+                # entity re-grants, a re-sent update dedupes on its
+                # step key, a queued lock retry supersedes the
+                # original.
+                self._failover(site, leader_hint=reply.get("leader"))
+                await self._drop_client(site)
+                continue
+            return status
+        return status
+
+    async def _abort(self) -> None:
+        for site in sorted(self._touched_sites | set(self._clients)):
+            for attempt in range(2):
+                try:
+                    client = await self._client(site)
+                    reply = await client.request(
+                        "release",
+                        txn=self.transaction.name,
+                        timeout=self.request_timeout,
+                    )
+                except TransportError:
+                    if self.resolver is None:
+                        break
+                    self._failover(site)
+                    await self._drop_client(site)
+                    continue
+                if attempt == 0 and await self._should_failover(
+                    site, reply.get("status", "error")
+                ):
+                    self._failover(site, leader_hint=reply.get("leader"))
+                    await self._drop_client(site)
+                    continue
+                break
 
     #: Attempts per site before a commit is declared un-acked.
     COMMIT_ATTEMPTS = 3
@@ -295,13 +403,16 @@ class Coordinator:
         instead of silently auditing an incomplete history.
         """
         unacked: list[int] = []
-        for site in sorted(self._clients):
+        for site in sorted(self._touched_sites | set(self._clients)):
             if not await self._commit_site(site):
                 unacked.append(site)
         return unacked
 
     async def _commit_site(self, site: int) -> bool:
-        for _ in range(self.COMMIT_ATTEMPTS):
+        attempts = self.COMMIT_ATTEMPTS + (
+            self.failover_attempts if self.resolver is not None else 0
+        )
+        for _ in range(attempts):
             try:
                 client = await self._client(site)
                 reply = await client.request(
@@ -310,12 +421,15 @@ class Coordinator:
                     timeout=self.request_timeout,
                 )
             except TransportError:
-                stale = self._clients.pop(site, None)
-                if stale is not None:
-                    await stale.close()
+                self._failover(site)
+                await self._drop_client(site)
                 continue
-            if reply.get("status") == "committed":
+            status = reply.get("status")
+            if status == "committed":
                 return True
+            if await self._should_failover(site, status or "error"):
+                self._failover(site, leader_hint=reply.get("leader"))
+                await self._drop_client(site)
         return False
 
     async def _backoff(self, attempt: int) -> None:

@@ -32,6 +32,12 @@ REQUEST_KINDS = (
     "history",
     "ping",
     "shutdown",
+    # Replication kinds (:mod:`repro.replica`): leader discovery,
+    # lease-epoch votes, log shipping, and new-leader catch-up.
+    "leader",
+    "vote",
+    "replicate",
+    "fetch_log",
 )
 
 #: Site-to-site kinds (fire-and-forget, no id, no reply).

@@ -95,6 +95,17 @@ class ClusterReport:
         blob = json.dumps(self.site_orders, sort_keys=True).encode("utf-8")
         return hashlib.sha256(blob).hexdigest()
 
+    @property
+    def outcome_fingerprint(self) -> str:
+        """SHA-256 of the per-transaction outcomes *including retry
+        counts* — the stronger determinism check: equal fingerprints
+        mean the seeded backoff jitter and every abort/retry schedule
+        replayed identically, not just the final committed orders."""
+        blob = json.dumps(
+            [o.to_dict() for o in self.outcomes], sort_keys=True
+        ).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()
+
     def to_dict(self) -> dict:
         payload = {
             "transport": self.transport,
@@ -112,6 +123,7 @@ class ClusterReport:
             "messages": self.messages,
             "dropped": self.dropped,
             "history_fingerprint": self.history_fingerprint,
+            "outcome_fingerprint": self.outcome_fingerprint,
             "wall_seconds": round(self.wall_seconds, 6),
             "outcomes": [o.to_dict() for o in self.outcomes],
         }

@@ -151,27 +151,34 @@ class SiteServer:
                 break
             await self._process(connection, message)
 
-    async def _process(self, connection: Connection, message: dict) -> None:
-        if self.faults is not None:
+    async def _fault_gate(self, message: dict) -> bool:
+        """Apply the injected-fault schedule to one inbound message;
+        ``False`` means the message was dropped unprocessed."""
+        self.faults.tick()
+        # A crashed server stops consuming: stall until the window
+        # closes (every wait-tick advances the fault clock, so
+        # finite windows always close).
+        while self.running and self.faults.site_down(self.site):
             self.faults.tick()
-            # A crashed server stops consuming: stall until the window
-            # closes (every wait-tick advances the fault clock, so
-            # finite windows always close).
-            while self.running and self.faults.site_down(self.site):
-                self.faults.tick()
-                await self.transport.sleep(1)
-            if self.faults.drop(
-                self.site,
-                message.get("type", "?"),
-                transaction=message.get("txn"),
-            ):
-                return
+            await self.transport.sleep(1)
+        return not self.faults.drop(
+            self.site,
+            message.get("type", "?"),
+            transaction=message.get("txn"),
+        )
+
+    #: Message kinds kept off the event timeline (pure plumbing).
+    QUIET_KINDS = ("history", "ping", "leader", "vote", "replicate", "fetch_log")
+
+    async def _process(self, connection: Connection, message: dict) -> None:
+        if self.faults is not None and not await self._fault_gate(message):
+            return
         if not self.running:
             return
         self.processed += 1
         kind = message.get("type", "?")
         _messages_counter().labels(site=str(self.site), kind=kind).inc()
-        if self.event_log is not None and kind not in ("history", "ping"):
+        if self.event_log is not None and kind not in self.QUIET_KINDS:
             self.event_log.emit(
                 "msg",
                 transaction=message.get("txn"),
@@ -194,6 +201,13 @@ class SiteServer:
             await connection.send(message)
         except TransportError:
             pass
+
+    def _log_mutation(self, op: str, **fields) -> None:
+        """Replication hook: called at every durable state change
+        (grant, unlock, update, release).  A plain site has no
+        replicas, so this is a no-op; :class:`repro.replica.server.
+        ReplicaServer` overrides it to append to the replication log
+        and ship to followers."""
 
     # ------------------------------------------------------------------
     # Request handlers
@@ -239,6 +253,7 @@ class SiteServer:
         entity = message["entity"]
         if self.locks.holder(entity) == txn:
             self.locks.unlock(entity, txn)
+            self._log_mutation("unlock", txn=txn, entity=entity)
             await self._promote(entity)
         await self._safe_send(connection, protocol.reply(message["id"], "released"))
 
@@ -256,10 +271,15 @@ class SiteServer:
                 ),
             )
             return
+        # Dedupe on the coordinator-chosen step key when present: it is
+        # stable across connections, so a step replayed after a leader
+        # failover (new connection, new request ids) stays idempotent.
+        key = ("step", message["step"]) if "step" in message else ("id", request_id)
         applied = self._applied_ids.setdefault(txn, set())
-        if request_id not in applied:
-            applied.add(request_id)
+        if key not in applied:
+            applied.add(key)
             self._updates.setdefault(entity, []).append(txn)
+            self._log_mutation("update", txn=txn, entity=entity, key=list(key))
             if self.event_log is not None:
                 self.event_log.emit("step", transaction=txn, entity=entity, site=self.site)
         await self._safe_send(connection, protocol.reply(request_id, "applied"))
@@ -286,6 +306,7 @@ class SiteServer:
                 while txn in order:
                     order.remove(txn)
         self._applied_ids.pop(txn, None)
+        self._log_mutation("release", txn=txn)
         if self.event_log is not None:
             self.event_log.emit(
                 "abort",
@@ -342,6 +363,7 @@ class SiteServer:
         latency: int,
     ) -> None:
         _grant_histogram().observe(float(latency))
+        self._log_mutation("grant", txn=txn, entity=entity)
         if self.faults is not None and self.faults.grant_delayed(entity, self.site):
             task = asyncio.ensure_future(
                 self._deliver_delayed_grant(connection, request_id, entity)

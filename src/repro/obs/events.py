@@ -20,7 +20,10 @@ from typing import Iterator
 #: (:mod:`repro.faults`): site/transaction crashes, site recoveries,
 #: victim rollbacks and retry wake-ups.  ``msg`` / ``drop`` belong to
 #: the cluster runtime (:mod:`repro.cluster`): a delivered protocol
-#: message and a network-fault message drop.
+#: message and a network-fault message drop.  ``elect`` / ``failover``
+#: belong to the replication layer (:mod:`repro.replica`): a replica
+#: assuming leadership of its group, and a leader change observed
+#: after the previous leader died mid-run.
 KINDS = (
     "grant",
     "block",
@@ -34,6 +37,8 @@ KINDS = (
     "retry",
     "msg",
     "drop",
+    "elect",
+    "failover",
 )
 
 

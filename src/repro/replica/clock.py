@@ -1,0 +1,34 @@
+"""The cluster-wide logical clock leases are measured against.
+
+Replication needs one notion of elapsed "time" that is deterministic
+under the memory transport: the number of protocol messages the whole
+cluster has processed.  Every :class:`~repro.replica.server.
+ReplicaServer` of a run shares one :class:`LogicalClock` and ticks it
+once per inbound message; lease grants and expiries are plain integer
+comparisons against it, so two runs of the same seeded workload elect
+and expire leaders at exactly the same points.
+
+A crashed replica's stall loop deliberately does **not** tick this
+clock (see :meth:`repro.replica.server.ReplicaServer._fault_gate`):
+time is advanced by the traffic of live replicas, never by a dead
+server spinning in place.
+"""
+
+from __future__ import annotations
+
+
+class LogicalClock:
+    """A shared monotone message counter."""
+
+    __slots__ = ("now",)
+
+    def __init__(self) -> None:
+        self.now = 0
+
+    def tick(self) -> int:
+        """Advance by one processed message; returns the new time."""
+        self.now += 1
+        return self.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LogicalClock(now={self.now})"

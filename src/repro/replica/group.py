@@ -1,0 +1,174 @@
+"""Replica groups: N servers standing in for one logical site.
+
+A :class:`ReplicaGroup` is the bookkeeping for one logical site's
+replicas: their transport addresses, who currently holds the lease (and
+under which epoch), and the election/failover history the runtime turns
+into recovery-time measurements.  The servers themselves are
+:class:`~repro.replica.server.ReplicaServer` instances; the group never
+sends messages — it is shared state they and the fault adapter consult.
+
+Addressing: replica *i* of logical site *s* listens on transport id
+``s * 1000 + i``, so plain cluster ids (1, 2, ...) and replica
+addresses (1000, 1001, ..., 2000, ...) never collide and
+:func:`logical_site_of` is a division.
+"""
+
+from __future__ import annotations
+
+from ..obs.events import EventLog
+from ..obs.metrics import REGISTRY
+
+#: Address stride between logical sites (bounds replicas per site).
+ADDRESS_STRIDE = 1000
+
+_LEASE_EPOCH = None
+_ELECTIONS = None
+_FAILOVERS = None
+_LOG_LAG = None
+
+
+def _lease_epoch_gauge():
+    global _LEASE_EPOCH
+    if _LEASE_EPOCH is None:
+        _LEASE_EPOCH = REGISTRY.gauge(
+            "repro_replica_lease_epoch",
+            "Current lease epoch of each logical site's replica group.",
+        )
+    return _LEASE_EPOCH
+
+
+def _elections_counter():
+    global _ELECTIONS
+    if _ELECTIONS is None:
+        _ELECTIONS = REGISTRY.counter(
+            "repro_replica_elections_total",
+            "Leadership assumptions (boot leaders included) per site.",
+        )
+    return _ELECTIONS
+
+
+def _failovers_counter():
+    global _FAILOVERS
+    if _FAILOVERS is None:
+        _FAILOVERS = REGISTRY.counter(
+            "repro_replica_failovers_total",
+            "Leader changes after the boot leader, per site.",
+        )
+    return _FAILOVERS
+
+
+def _log_lag_gauge():
+    global _LOG_LAG
+    if _LOG_LAG is None:
+        _LOG_LAG = REGISTRY.gauge(
+            "repro_replica_log_lag",
+            "Replication records the slowest follower trails the leader by.",
+        )
+    return _LOG_LAG
+
+
+def replica_address(site: int, index: int) -> int:
+    """Transport address of replica *index* of logical *site*."""
+    if not 0 <= index < ADDRESS_STRIDE:
+        raise ValueError(f"replica index {index} outside [0, {ADDRESS_STRIDE})")
+    return site * ADDRESS_STRIDE + index
+
+
+def logical_site_of(address: int) -> int:
+    """The logical site a replica address (or plain site id) serves."""
+    return address // ADDRESS_STRIDE if address >= ADDRESS_STRIDE else address
+
+
+class ReplicaGroup:
+    """Lease and election state shared by one site's replicas."""
+
+    def __init__(
+        self,
+        site: int,
+        replicas: int,
+        *,
+        lease_ticks: int = 64,
+        event_log: EventLog | None = None,
+    ) -> None:
+        if replicas < 1:
+            raise ValueError(f"need at least one replica, got {replicas}")
+        self.site = site
+        self.replicas = replicas
+        self.lease_ticks = lease_ticks
+        self.event_log = event_log
+        self.addresses = tuple(replica_address(site, i) for i in range(replicas))
+        #: Majority of the *configured* group, dead replicas included.
+        self.quorum = replicas // 2 + 1
+        self.leader_address: int | None = None
+        self.leader_epoch = 0
+        #: One entry per leadership assumption: epoch, address, the
+        #: clock at election, and the clock of that leader's first
+        #: lock grant (``None`` until it grants one).
+        self.elections: list[dict] = []
+        self.failovers = 0
+
+    # ------------------------------------------------------------------
+    def record_leader(self, address: int, epoch: int, now: int) -> None:
+        """A replica assumed leadership under *epoch* at clock *now*."""
+        changed = self.leader_address is not None and address != self.leader_address
+        self.leader_address = address
+        self.leader_epoch = epoch
+        self.elections.append(
+            {"epoch": epoch, "address": address, "elected_at": now, "first_grant_at": None}
+        )
+        _elections_counter().labels(site=str(self.site)).inc()
+        _lease_epoch_gauge().labels(site=str(self.site)).set(float(epoch))
+        if self.event_log is not None:
+            self.event_log.emit(
+                "elect",
+                site=self.site,
+                detail=f"replica {address} leads epoch {epoch} at clock {now}",
+            )
+        if changed:
+            self.failovers += 1
+            _failovers_counter().labels(site=str(self.site)).inc()
+            if self.event_log is not None:
+                self.event_log.emit(
+                    "failover",
+                    site=self.site,
+                    detail=f"leadership moved to replica {address} (epoch {epoch})",
+                )
+
+    def note_grant(self, epoch: int, now: int) -> None:
+        """The epoch-*epoch* leader granted a lock at clock *now*."""
+        for entry in self.elections:
+            if entry["epoch"] == epoch and entry["first_grant_at"] is None:
+                entry["first_grant_at"] = now
+                return
+
+    def note_lag(self, lag: int) -> None:
+        """Slowest-follower replication lag after a ship, in records."""
+        _log_lag_gauge().labels(site=str(self.site)).set(float(lag))
+
+
+class GroupRegistry:
+    """All replica groups of one run, by logical site."""
+
+    def __init__(self) -> None:
+        self._groups: dict[int, ReplicaGroup] = {}
+
+    def add(self, group: ReplicaGroup) -> None:
+        self._groups[group.site] = group
+
+    def group(self, site: int) -> ReplicaGroup:
+        return self._groups[site]
+
+    @property
+    def sites(self) -> list[int]:
+        return sorted(self._groups)
+
+    def leader_of(self, site: int) -> int | None:
+        """Current lease leader's address for logical *site*."""
+        group = self._groups.get(site)
+        return group.leader_address if group is not None else None
+
+    def __iter__(self):
+        return iter(self._groups.values())
+
+    def __len__(self) -> int:
+        return len(self._groups)

@@ -1,0 +1,60 @@
+"""The replication log one replica ships to its followers.
+
+Every durable state change of a site's lock table — a grant, an
+unlock, an applied tentative update, a release, a commit point — is
+one JSON-friendly record ``{"seq": n, "op": ..., ...}`` appended by
+the leader and shipped (:meth:`repro.replica.server.ReplicaServer.
+_ship`) to every follower, which adopts it verbatim.  Sequence numbers
+are dense and start at 1, so "how far behind is this follower" is a
+subtraction, and a new leader catching up (``fetch_log``) just asks
+for everything ``since`` its own tail.
+"""
+
+from __future__ import annotations
+
+
+class ReplicationLog:
+    """An append-only, densely numbered list of mutation records."""
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+
+    @property
+    def seq(self) -> int:
+        """Sequence number of the latest record (0 when empty)."""
+        return len(self.records)
+
+    def append(self, op: str, **fields) -> dict:
+        """Append a new record as this log's next sequence number."""
+        record = {"seq": self.seq + 1, "op": op}
+        record.update(fields)
+        self.records.append(record)
+        return record
+
+    def adopt(self, record: dict) -> bool:
+        """Adopt a record shipped by the leader.
+
+        Records may arrive more than once (a re-ship after an ack was
+        lost) but never out of order per connection; anything at or
+        below our tail is a duplicate and ignored.  Returns whether
+        the record was actually appended.
+        """
+        seq = int(record["seq"])
+        if seq <= self.seq:
+            return False
+        if seq != self.seq + 1:
+            raise ValueError(
+                f"replication gap: log at seq {self.seq}, record has seq {seq}"
+            )
+        self.records.append(dict(record))
+        return True
+
+    def since(self, from_seq: int, limit: int | None = None) -> list[dict]:
+        """All records with ``seq > from_seq`` (bounded by *limit*)."""
+        tail = self.records[from_seq:]
+        if limit is not None:
+            tail = tail[:limit]
+        return [dict(record) for record in tail]
+
+    def __len__(self) -> int:
+        return len(self.records)

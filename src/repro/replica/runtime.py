@@ -1,0 +1,352 @@
+"""Boot a replicated cluster, run a workload, audit it, time failover.
+
+:func:`run_replicated_cluster` is :func:`repro.cluster.runtime.
+run_cluster`'s replicated sibling: every logical site becomes a
+:class:`~repro.replica.group.ReplicaGroup` of N
+:class:`~repro.replica.server.ReplicaServer` replicas sharing one
+:class:`~repro.replica.clock.LogicalClock`, coordinators route through
+a :class:`~repro.replica.resolver.LeaderResolver`, and
+:class:`~repro.faults.plan.SiteCrash` entries kill *leaders* instead
+of sites.  The :class:`ReplicaReport` extends the cluster report with
+the replication story: failover count, the election timeline, and per
+kill the **recovery time in logical steps** — shared-clock ticks from
+the leader kill to the new leader's first lock grant.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+from ..core.schedule import TransactionSystem
+from ..core.transaction import Transaction
+from ..obs import trace
+from ..obs.events import EventLog
+from ..sim.analysis import (
+    serial_witness_from_site_orders,
+    serializable_from_site_orders,
+)
+from ..cluster.coordinator import Coordinator, TxnOutcome
+from ..cluster.gateway import Gateway, GatewayDecision
+from ..cluster.runtime import (
+    HISTORY_TIMEOUT,
+    ClusterError,
+    ClusterReport,
+    _build_workload,
+    _fetch_history,
+)
+from ..cluster.transport import MemoryTransport, TcpTransport, Transport, TransportError
+from ..faults.plan import FaultPlan
+from .clock import LogicalClock
+from .faults import ReplicaFaultAdapter
+from .group import GroupRegistry, ReplicaGroup
+from .resolver import LeaderResolver
+from .server import ReplicaServer
+
+
+@dataclass
+class ReplicaReport(ClusterReport):
+    """A :class:`ClusterReport` plus the replication story."""
+
+    replicas: int = 1
+    lease_ticks: int = 64
+    #: Leader changes after boot, summed over all groups.
+    failovers: int = 0
+    #: Every leadership assumption: site, epoch, address, clocks.
+    elections: list[dict] = field(default_factory=list)
+    #: One entry per leader kill; ``recovery_steps`` is the logical
+    #: distance from the kill to the new leader's first lock grant
+    #: (``None`` when no replacement ever granted one).
+    recovery: list[dict] = field(default_factory=list)
+    #: Final value of the shared logical clock.
+    clock_end: int = 0
+
+    def to_dict(self) -> dict:
+        payload = super().to_dict()
+        payload.update(
+            replicas=self.replicas,
+            lease_ticks=self.lease_ticks,
+            failovers=self.failovers,
+            elections=self.elections,
+            recovery=self.recovery,
+            clock_end=self.clock_end,
+        )
+        return payload
+
+    def render(self) -> str:
+        lines = [
+            super().render(),
+            f"  replicas         {self.replicas} per site "
+            f"(lease {self.lease_ticks} ticks)",
+            f"  failovers        {self.failovers}",
+        ]
+        for entry in self.recovery:
+            steps = entry.get("recovery_steps")
+            took = f"{steps} steps" if steps is not None else "never recovered"
+            lines.append(
+                f"  recovery         site {entry['site']}: "
+                f"leader {entry['victim']} killed at clock "
+                f"{entry['killed_at']}, {took}"
+            )
+        return "\n".join(lines)
+
+
+async def run_replicated_cluster(
+    system: TransactionSystem,
+    *,
+    replicas: int = 3,
+    lease_ticks: int = 64,
+    election_timeout: float = 0.25,
+    replication_timeout: float = 0.5,
+    transport: str | Transport = "memory",
+    rounds: int = 1,
+    concurrency: int = 8,
+    deadlock_policy: str = "abort-youngest",
+    max_retries: int = 5,
+    seed: int = 0,
+    vet: bool = True,
+    fault_plan: FaultPlan | None = None,
+    event_log: EventLog | None = None,
+    grant_timeout: int | None = None,
+    request_timeout: float | None = None,
+    gateway: Gateway | None = None,
+) -> ReplicaReport:
+    """Execute *rounds* copies of *system* on a replicated cluster.
+
+    Parameters follow :func:`repro.cluster.runtime.run_cluster`, plus
+    *replicas* per logical site, the group's *lease_ticks*, and the
+    wall-clock *election_timeout* / *replication_timeout* that bound
+    one vote or ship round-trip against a dead replica.  With any
+    fault plan, *request_timeout* is required: failover is driven by
+    clients timing out against the killed leader.
+    """
+    if rounds < 1:
+        raise ClusterError(f"need at least one round, got {rounds}")
+    if concurrency < 1:
+        raise ClusterError(f"need concurrency >= 1, got {concurrency}")
+    if replicas < 1:
+        raise ClusterError(f"need at least one replica per site, got {replicas}")
+    if fault_plan is not None:
+        fault_plan.validate_against(system)
+        if request_timeout is None:
+            raise ClusterError(
+                "replicated runs under a fault plan need request_timeout: "
+                "a killed leader answers nothing, and the client timeout "
+                "is what triggers re-resolution and failover"
+            )
+
+    started = time.perf_counter()
+    if isinstance(transport, Transport):
+        live_transport = transport
+        transport_name = type(transport).__name__
+        own_transport = False
+    elif transport == "memory":
+        live_transport = MemoryTransport()
+        transport_name = "memory"
+        own_transport = True
+    elif transport == "tcp":
+        live_transport = TcpTransport()
+        transport_name = "tcp"
+        own_transport = True
+    else:
+        raise ClusterError(f"unknown transport {transport!r} (memory, tcp, or a Transport)")
+
+    with trace.span("replica.run") as sp:
+        if sp:
+            sp.set(
+                transport=transport_name,
+                sites=system.database.sites,
+                replicas=replicas,
+                rounds=rounds,
+            )
+        decision: GatewayDecision | None = None
+        own_gateway = False
+        if vet:
+            if gateway is None:
+                gateway = Gateway()
+                own_gateway = True
+            decision = gateway.vet(system)
+            mode = decision.mode
+        else:
+            mode = "unvetted"
+
+        clock = LogicalClock()
+        registry = GroupRegistry()
+        groups: list[ReplicaGroup] = []
+        for site in range(1, system.database.sites + 1):
+            group = ReplicaGroup(
+                site, replicas, lease_ticks=lease_ticks, event_log=event_log
+            )
+            registry.add(group)
+            groups.append(group)
+        all_addresses = tuple(a for g in groups for a in g.addresses)
+        faults = (
+            ReplicaFaultAdapter(
+                fault_plan, registry=registry, clock=clock, event_log=event_log
+            )
+            if fault_plan is not None
+            else None
+        )
+        servers = [
+            ReplicaServer(
+                group,
+                index,
+                transport=live_transport,
+                clock=clock,
+                peers=all_addresses,
+                deadlock_policy=deadlock_policy,
+                grant_timeout=grant_timeout,
+                faults=faults,
+                event_log=event_log,
+                seed=seed,
+                election_timeout=election_timeout,
+                replication_timeout=replication_timeout,
+            )
+            for group in groups
+            for index in range(replicas)
+        ]
+        # A queried follower may campaign before answering, and one
+        # campaign waits up to election_timeout on a dead peer's vote:
+        # give leader queries comfortable headroom over that.
+        resolver = LeaderResolver(
+            live_transport,
+            {group.site: group.addresses for group in groups},
+            query_timeout=election_timeout * 3,
+        )
+        try:
+            for server in servers:
+                await server.start()
+
+            workload = _build_workload(system, rounds)
+            gate = asyncio.Semaphore(concurrency)
+
+            async def run_one(index: int, tx: Transaction) -> TxnOutcome:
+                async with gate:
+                    coordinator = Coordinator(
+                        tx,
+                        transport=live_transport,
+                        age=index,
+                        max_retries=max_retries,
+                        request_timeout=request_timeout,
+                        seed=seed,
+                        resolver=resolver,
+                    )
+                    return await coordinator.run()
+
+            outcomes = list(
+                await asyncio.gather(*(run_one(i, tx) for i, tx in enumerate(workload)))
+            )
+
+            history_timeout = (
+                request_timeout if request_timeout is not None else HISTORY_TIMEOUT
+            )
+
+            async def fetch_site(site: int) -> dict[str, list[str]] | None:
+                """History from the site's *current* leader, chasing
+                one more failover if the leader dies under us."""
+                for _ in range(replicas + 1):
+                    try:
+                        address = await resolver.resolve(site)
+                    except TransportError:
+                        return None
+                    fetched = await _fetch_history(
+                        live_transport, address, timeout=history_timeout
+                    )
+                    if fetched is not None:
+                        return fetched
+                    resolver.invalidate(site)
+                return None
+
+            site_orders: dict[str, list[str]] = {}
+            unreachable: list[int] = []
+            for group in groups:
+                fetched = await fetch_site(group.site)
+                if fetched is None:
+                    unreachable.append(group.site)
+                    continue
+                for entity, order in fetched.items():
+                    site_orders[entity] = order
+
+            messages = sum(server.processed for server in servers)
+        finally:
+            for server in servers:
+                await server.stop()
+            if own_transport:
+                await live_transport.close()
+            if own_gateway and gateway is not None:
+                gateway.close()
+
+        recovery: list[dict] = []
+        if faults is not None:
+            for kill in faults.kills:
+                group = registry.group(kill["site"])
+                successors = [
+                    entry
+                    for entry in group.elections
+                    if entry["elected_at"] >= kill["killed_at"]
+                    and entry["address"] != kill["victim"]
+                ]
+                # The replacement that *served*: elections can churn
+                # briefly after a kill (a racing candidate deposes the
+                # first winner before it grants anything), so recovery
+                # ends at the earliest successor grant, whichever
+                # epoch delivered it.
+                replacement = min(
+                    (e for e in successors if e["first_grant_at"] is not None),
+                    key=lambda e: e["first_grant_at"],
+                    default=successors[0] if successors else None,
+                )
+                item = dict(kill)
+                if replacement is not None:
+                    item.update(
+                        epoch=replacement["epoch"],
+                        leader=replacement["address"],
+                        elected_at=replacement["elected_at"],
+                        first_grant_at=replacement["first_grant_at"],
+                    )
+                first_grant = item.get("first_grant_at")
+                item["recovery_steps"] = (
+                    first_grant - kill["killed_at"] if first_grant is not None else None
+                )
+                recovery.append(item)
+
+        serializable = serializable_from_site_orders(site_orders)
+        witness = serial_witness_from_site_orders(site_orders) if serializable else None
+        report = ReplicaReport(
+            transport=transport_name,
+            sites=system.database.sites,
+            mode=mode,
+            transactions=len(workload),
+            outcomes=outcomes,
+            site_orders=site_orders,
+            serializable=serializable,
+            serial_witness=witness,
+            messages=messages,
+            dropped=faults.dropped if faults is not None else 0,
+            wall_seconds=time.perf_counter() - started,
+            gateway=decision,
+            unreachable_sites=unreachable,
+            replicas=replicas,
+            lease_ticks=lease_ticks,
+            failovers=sum(group.failovers for group in groups),
+            elections=[
+                {"site": group.site, **entry}
+                for group in groups
+                for entry in group.elections
+            ],
+            recovery=recovery,
+            clock_end=clock.now,
+        )
+        if sp:
+            sp.set(
+                committed=report.committed,
+                serializable=report.serializable,
+                failovers=report.failovers,
+            )
+        return report
+
+
+def run_replicated_sync(system: TransactionSystem, **kwargs) -> ReplicaReport:
+    """:func:`run_replicated_cluster` from synchronous code."""
+    return asyncio.run(run_replicated_cluster(system, **kwargs))

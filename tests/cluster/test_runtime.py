@@ -65,6 +65,24 @@ class TestDeterminism:
         assert [o.to_dict() for o in first.outcomes] == [
             o.to_dict() for o in second.outcomes
         ]
+        # The outcome fingerprint digests the full outcome list —
+        # including each transaction's retry count, so a run is only
+        # "deterministic" if its retry/backoff schedule replayed too.
+        assert first.outcome_fingerprint == second.outcome_fingerprint
+        assert first.outcome_fingerprint != first.history_fingerprint
+
+    def test_different_seed_changes_outcome_fingerprint(
+        self, deadlock_prone_system
+    ):
+        first = run_cluster_sync(deadlock_prone_system, rounds=4, seed=11)
+        other = run_cluster_sync(deadlock_prone_system, rounds=4, seed=12)
+        # The committed history may coincide; the seeded retry jitter
+        # makes identical full outcomes across seeds vanishingly rare.
+        assert (
+            first.outcome_fingerprint != other.outcome_fingerprint
+            or [o.to_dict() for o in first.outcomes]
+            == [o.to_dict() for o in other.outcomes]
+        )
 
     def test_unsafe_history_deterministic_too(self):
         first = run_cluster_sync(figure_1(), rounds=3, seed=7)

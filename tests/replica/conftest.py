@@ -1,0 +1,45 @@
+"""Shared replicated-cluster test workloads."""
+
+import pytest
+
+from repro.core.entity import DistributedDatabase
+from repro.core.schedule import TransactionSystem
+from repro.core.step import lock, unlock, update
+from repro.core.transaction import Transaction
+from repro.faults.plan import FaultPlan, SiteCrash
+
+
+def chain_tx(name, database, entities):
+    """A totally ordered transaction locking *entities* in order
+    (lock, update, lock, update, ..., then unlock in lock order)."""
+    steps = []
+    for entity in entities:
+        steps.append(lock(entity))
+        steps.append(update(entity))
+    for entity in entities:
+        steps.append(unlock(entity))
+    order = [(steps[i], steps[i + 1]) for i in range(len(steps) - 1)]
+    return Transaction(name, database, steps, order)
+
+
+@pytest.fixture
+def two_site_db():
+    return DistributedDatabase({"x": 1, "y": 2})
+
+
+@pytest.fixture
+def transfer_system(two_site_db):
+    """Two 2PL transactions locking x and y in opposite orders — safe
+    (both two-phase) but guaranteed deadlock-capable."""
+    return TransactionSystem(
+        [
+            chain_tx("T1", two_site_db, ["x", "y"]),
+            chain_tx("T2", two_site_db, ["y", "x"]),
+        ]
+    )
+
+
+@pytest.fixture
+def kill_leader_plan():
+    """Permanently kill site 1's lease leader at logical time 40."""
+    return FaultPlan(site_crashes=(SiteCrash(site=1, at=40),))

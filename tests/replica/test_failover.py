@@ -1,0 +1,165 @@
+"""Failover: leader kills, acked-commit durability, recovery timing."""
+
+import asyncio
+
+from repro.cluster import protocol
+from repro.cluster.transport import MemoryTransport
+from repro.replica import (
+    LogicalClock,
+    ReplicaGroup,
+    ReplicaServer,
+    run_replicated_sync,
+)
+
+
+async def _ask(transport, address, kind, **fields):
+    """One-shot request/reply against a replica."""
+    connection = await transport.connect(address)
+    try:
+        await connection.send(protocol.request(kind, 1, **fields))
+        return await asyncio.wait_for(connection.recv(), 5.0)
+    finally:
+        await connection.close()
+
+
+class TestLeaderKillRun:
+    def test_permanent_leader_kill_is_survived(
+        self, transfer_system, kill_leader_plan
+    ):
+        report = run_replicated_sync(
+            transfer_system,
+            replicas=3,
+            rounds=2,
+            seed=7,
+            max_retries=8,
+            request_timeout=0.5,
+            fault_plan=kill_leader_plan,
+        )
+        assert report.committed == report.transactions == 4
+        assert report.audit_complete
+        assert report.serializable
+        assert report.failovers >= 1
+        assert len(report.recovery) == 1
+        entry = report.recovery[0]
+        assert entry["site"] == 1
+        assert entry["recovery_steps"] is not None
+        assert entry["recovery_steps"] > 0
+
+    def test_single_replica_fails_honestly(self, transfer_system):
+        from repro.faults.plan import FaultPlan, SiteCrash
+
+        # One replica is the paper's crash-vulnerable site: the killed
+        # leader has no successor, so the run cannot hide the outage.
+        # (Kill early: a one-round run is over by logical time ~30.)
+        report = run_replicated_sync(
+            transfer_system,
+            replicas=1,
+            rounds=1,
+            seed=7,
+            max_retries=2,
+            request_timeout=0.25,
+            fault_plan=FaultPlan(site_crashes=(SiteCrash(site=1, at=10),)),
+        )
+        assert report.committed < report.transactions
+        assert not report.audit_complete
+        assert report.recovery[0]["recovery_steps"] is None
+
+
+class TestCommitDurability:
+    def test_commit_acked_by_old_leader_survives_failover(self):
+        """Regression: once the old leader answers ``committed``, the
+        transaction must appear in the history served after failover —
+        the commit barrier ships the log before the ack."""
+
+        async def run():
+            transport = MemoryTransport()
+            clock = LogicalClock()
+            group = ReplicaGroup(1, 3)
+            servers = [
+                ReplicaServer(
+                    group,
+                    index,
+                    transport=transport,
+                    clock=clock,
+                    peers=group.addresses,
+                    election_timeout=0.05,
+                )
+                for index in range(3)
+            ]
+            for server in servers:
+                await server.start()
+            old_leader = group.addresses[0]
+            try:
+                reply = await _ask(
+                    transport, old_leader, "lock", txn="T1", entity="x", age=0
+                )
+                assert reply["status"] == "granted"
+                await _ask(
+                    transport, old_leader, "update", txn="T1", entity="x", step=1
+                )
+                await _ask(transport, old_leader, "unlock", txn="T1", entity="x")
+                reply = await _ask(transport, old_leader, "commit", txn="T1")
+                assert reply["status"] == "committed"
+
+                # The leader dies the instant after acking the commit.
+                await servers[0].stop()
+
+                # A client suspects it; a follower campaigns and wins.
+                reply = await _ask(
+                    transport, group.addresses[1], "leader", suspect=old_leader
+                )
+                new_leader = int(reply["leader"])
+                assert new_leader != old_leader
+
+                history = await _ask(transport, new_leader, "history")
+                assert history["site_orders"].get("x") == ["T1"]
+            finally:
+                for server in servers[1:]:
+                    await server.stop()
+                await transport.close()
+
+        asyncio.run(run())
+
+    def test_new_leader_inherits_the_lock_table(self):
+        """An *unreleased* grant survives too: after failover the new
+        leader still refuses the entity to other transactions."""
+
+        async def run():
+            transport = MemoryTransport()
+            clock = LogicalClock()
+            group = ReplicaGroup(1, 3)
+            servers = [
+                ReplicaServer(
+                    group,
+                    index,
+                    transport=transport,
+                    clock=clock,
+                    peers=group.addresses,
+                    election_timeout=0.05,
+                    grant_timeout=None,
+                )
+                for index in range(3)
+            ]
+            for server in servers:
+                await server.start()
+            old_leader = group.addresses[0]
+            try:
+                reply = await _ask(
+                    transport, old_leader, "lock", txn="T1", entity="x", age=0
+                )
+                assert reply["status"] == "granted"
+                await servers[0].stop()
+                reply = await _ask(
+                    transport, group.addresses[1], "leader", suspect=old_leader
+                )
+                new_leader = int(reply["leader"])
+                holder = next(
+                    s for s in servers[1:] if s.address == new_leader
+                )
+                assert holder.locks.holder("x") == "T1"
+            finally:
+                for server in servers[1:]:
+                    await server.stop()
+                await transport.close()
+
+        asyncio.run(run())

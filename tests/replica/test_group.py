@@ -1,0 +1,96 @@
+"""Replica addressing, group bookkeeping, and the replication log."""
+
+import pytest
+
+from repro.replica import (
+    GroupRegistry,
+    ReplicaGroup,
+    ReplicationLog,
+    logical_site_of,
+    replica_address,
+)
+
+
+class TestAddressing:
+    def test_round_trip(self):
+        for site in (1, 2, 7):
+            for index in (0, 1, 4):
+                assert logical_site_of(replica_address(site, index)) == site
+
+    def test_plain_site_addresses_map_to_themselves(self):
+        # Addresses below the stride are unreplicated SiteServer ids.
+        assert logical_site_of(1) == 1
+        assert logical_site_of(999) == 999
+
+    def test_addresses_are_distinct_across_groups(self):
+        a = ReplicaGroup(1, 3)
+        b = ReplicaGroup(2, 3)
+        assert not set(a.addresses) & set(b.addresses)
+
+
+class TestReplicaGroup:
+    def test_quorum_is_a_majority(self):
+        assert ReplicaGroup(1, 1).quorum == 1
+        assert ReplicaGroup(1, 3).quorum == 2
+        assert ReplicaGroup(1, 5).quorum == 3
+
+    def test_boot_leader_is_replica_zero(self):
+        group = ReplicaGroup(1, 3)
+        group.record_leader(group.addresses[0], 1, 0)
+        assert group.leader_address == group.addresses[0]
+        assert group.failovers == 0
+
+    def test_leader_change_counts_as_failover(self):
+        group = ReplicaGroup(1, 3)
+        group.record_leader(group.addresses[0], 1, 0)
+        group.record_leader(group.addresses[2], 4, 50)
+        assert group.failovers == 1
+        assert group.leader_address == group.addresses[2]
+        assert [e["epoch"] for e in group.elections] == [1, 4]
+
+    def test_note_grant_stamps_the_matching_epoch_once(self):
+        group = ReplicaGroup(1, 3)
+        group.record_leader(group.addresses[0], 1, 0)
+        group.note_grant(1, 12)
+        group.note_grant(1, 30)  # later grants don't move the mark
+        group.note_grant(9, 40)  # unknown epochs are ignored
+        assert group.elections[0]["first_grant_at"] == 12
+
+
+class TestGroupRegistry:
+    def test_leader_of_follows_record_leader(self):
+        registry = GroupRegistry()
+        group = ReplicaGroup(1, 3)
+        registry.add(group)
+        group.record_leader(group.addresses[1], 2, 5)
+        assert registry.leader_of(1) == group.addresses[1]
+        assert registry.leader_of(99) is None
+
+
+class TestReplicationLog:
+    def test_append_assigns_contiguous_seqs(self):
+        log = ReplicationLog()
+        first = log.append("grant", txn="T1", entity="x")
+        second = log.append("unlock", txn="T1", entity="x")
+        assert (first["seq"], second["seq"]) == (1, 2)
+        assert log.seq == 2
+
+    def test_adopt_is_idempotent_and_gap_checked(self):
+        leader = ReplicationLog()
+        records = [leader.append("grant", txn="T1", entity="x"),
+                   leader.append("unlock", txn="T1", entity="x")]
+        follower = ReplicationLog()
+        follower.adopt(records[0])
+        follower.adopt(records[0])  # replay of an old record is a no-op
+        assert follower.seq == 1
+        with pytest.raises(ValueError):
+            follower.adopt({"seq": 5, "op": "grant"})
+        follower.adopt(records[1])
+        assert follower.records == leader.records
+
+    def test_since_returns_the_suffix(self):
+        log = ReplicationLog()
+        for i in range(5):
+            log.append("grant", txn=f"T{i}", entity="x")
+        assert [r["seq"] for r in log.since(3)] == [4, 5]
+        assert [r["seq"] for r in log.since(0, limit=2)] == [1, 2]

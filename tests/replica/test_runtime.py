@@ -1,0 +1,72 @@
+"""The replicated runtime: report shape, determinism, validation."""
+
+import pytest
+
+from repro.cluster.runtime import ClusterError
+from repro.faults.plan import FaultPlan, SiteCrash
+from repro.replica import ReplicaReport, run_replicated_sync
+
+
+class TestHealthyRun:
+    def test_all_commit_without_failover(self, transfer_system):
+        report = run_replicated_sync(transfer_system, replicas=3, rounds=2)
+        assert isinstance(report, ReplicaReport)
+        assert report.committed == report.transactions == 4
+        assert report.serializable
+        assert report.audit_complete
+        assert report.failovers == 0
+        assert report.replicas == 3
+        # Exactly the boot leaders: replica 0 of each of the 2 sites.
+        assert [e["epoch"] for e in report.elections] == [1, 1]
+
+    def test_report_payload_round_trips(self, transfer_system):
+        report = run_replicated_sync(transfer_system, replicas=3)
+        payload = report.to_dict()
+        for key in (
+            "replicas",
+            "lease_ticks",
+            "failovers",
+            "elections",
+            "recovery",
+            "clock_end",
+            "history_fingerprint",
+            "outcome_fingerprint",
+        ):
+            assert key in payload
+        assert payload["replicas"] == 3
+        rendered = report.render()
+        assert "replicas" in rendered and "failovers" in rendered
+
+    def test_same_seed_is_bit_deterministic(self, transfer_system):
+        first = run_replicated_sync(
+            transfer_system, replicas=3, rounds=3, seed=11
+        )
+        second = run_replicated_sync(
+            transfer_system, replicas=3, rounds=3, seed=11
+        )
+        assert first.history_fingerprint == second.history_fingerprint
+        # Outcomes too — including the retry schedule each txn took.
+        assert first.outcome_fingerprint == second.outcome_fingerprint
+
+
+class TestValidation:
+    def test_fault_plan_requires_request_timeout(self, transfer_system):
+        plan = FaultPlan(site_crashes=(SiteCrash(site=1, at=10),))
+        with pytest.raises(ClusterError, match="request_timeout"):
+            run_replicated_sync(transfer_system, replicas=3, fault_plan=plan)
+
+    def test_fault_plan_validated_against_topology(self, transfer_system):
+        from repro.errors import FaultPlanError
+
+        plan = FaultPlan(site_crashes=(SiteCrash(site=9, at=10),))
+        with pytest.raises(FaultPlanError, match="unknown site 9"):
+            run_replicated_sync(
+                transfer_system,
+                replicas=3,
+                fault_plan=plan,
+                request_timeout=1.0,
+            )
+
+    def test_replicas_must_be_positive(self, transfer_system):
+        with pytest.raises(ClusterError, match="replica"):
+            run_replicated_sync(transfer_system, replicas=0)

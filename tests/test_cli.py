@@ -572,3 +572,65 @@ class TestClusterCli:
 
     def test_missing_file_exits_two(self, capsys):
         assert main(["cluster", "run", "nope.sys"]) == 2
+
+    def test_bad_fault_plan_site_fails_fast(self, safe_file, tmp_path, capsys):
+        # Satellite check: a plan targeting a site the system doesn't
+        # have must be rejected at load time, before any server boots.
+        plan = tmp_path / "plan.json"
+        plan.write_text('{"site_crashes": [{"site": 9, "at": 40}]}')
+        code = main(
+            [
+                "cluster",
+                "run",
+                safe_file,
+                "--faults",
+                str(plan),
+                "--request-timeout",
+                "1",
+            ]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "unknown site 9" in err
+
+    def test_run_with_replicas_uses_replicated_runtime(
+        self, capsys, tmp_path
+    ):
+        path = tmp_path / "pair.sys"
+        path.write_text(
+            "database\n"
+            "  site 1: x\n"
+            "  site 2: y\n"
+            "\n"
+            "transaction T1\n"
+            "  site 1: Lx x Ux\n"
+            "  site 2: Ly y Uy\n"
+            "  precede Lx -> Ly\n"
+            "  precede Ly -> Ux\n"
+            "  precede Lx -> Uy\n"
+            "\n"
+            "transaction T2\n"
+            "  site 1: Lx x Ux\n"
+            "  site 2: Ly y Uy\n"
+            "  precede Lx -> Ly\n"
+            "  precede Ly -> Ux\n"
+            "  precede Lx -> Uy\n"
+        )
+        code = main(
+            [
+                "cluster",
+                "run",
+                str(path),
+                "--replicas",
+                "3",
+                "--rounds",
+                "2",
+                "--json",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["replicas"] == 3
+        assert payload["failovers"] == 0
+        assert payload["committed"] == payload["transactions"] == 4
+        assert "recovery" in payload and payload["recovery"] == []

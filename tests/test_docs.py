@@ -20,6 +20,8 @@ PUBLIC_MODULES = [
     "repro.policies",
     "repro.workloads",
     "repro.service",
+    "repro.cluster",
+    "repro.replica",
     "repro.obs",
     "repro.viz",
     "repro.dsl",

@@ -1,0 +1,192 @@
+"""E15 — wire-latency decomposition: where a distributed lock's time goes.
+
+Series: the deadlock-capable two-site transfer pair (reused from E14)
+executed three ways — the in-process lock-step simulator, the cluster
+runtime over the deterministic memory transport, and the same runtime
+over real TCP sockets — with the :data:`repro.obs.distributed.WIRE`
+observer feeding the per-stage latency histograms
+(``repro_cluster_latency_ns{stage=...}``).  The simulator has no wire,
+so its sample is throughput plus mean wall latency per transaction; the
+two transports decompose into the five stages (encode, transport,
+server_queue, lock_wait, hold) so the memory-vs-TCP gap can be read as
+"which stage the sockets actually cost".
+
+The claims under test:
+
+* with ``wire_metrics=True`` every one of the five stages records at
+  least one sample on both transports (the workload deadlocks, so
+  ``lock_wait`` is exercised, not just the happy path);
+* the per-stage aggregates survive into ``results/BENCH_profile.json``
+  (count, mean and total nanoseconds per stage and transport);
+* a traced memory run produces a merged span forest in which every
+  committed transaction's tree is fully connected across processes
+  (coordinator and site spans linked by the wire trace context).
+
+The trace file lands in ``results/PROFILE_trace.jsonl`` so CI can
+upload it as an artifact.  ``REPRO_BENCH_QUICK=1`` shrinks the sweep.
+"""
+
+import os
+import time
+
+from repro.cluster import run_cluster_sync
+from repro.obs import trace
+from repro.obs.distributed import STAGES, merge_traces, trace_trees
+from repro.obs.metrics import REGISTRY
+from repro.sim import RandomDriver, run_once
+
+from _series import RESULTS_DIR, report, table, write_bench
+from bench_cluster_throughput import transfer_pair
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+ROUNDS = 10 if QUICK else 200
+SEED = 15
+MAX_RETRIES = 16
+CONCURRENCY = 4
+TRACE_PATH = RESULTS_DIR / "PROFILE_trace.jsonl"
+
+
+def stage_aggregates() -> dict:
+    """Per-stage ``{count, mean_ns, total_ns}`` summed over sites, read
+    off the ``repro_cluster_latency_ns`` histogram after a run (the
+    runtime resets the registry at run *start*, so post-run reads see
+    exactly one run's samples)."""
+    histogram = REGISTRY.get("repro_cluster_latency_ns")
+    stages = {stage: {"count": 0, "total_ns": 0.0} for stage in STAGES}
+    if histogram is not None:
+        for selector, values in histogram.to_dict().get("series", {}).items():
+            for stage in STAGES:
+                if f'stage="{stage}"' in selector:
+                    stages[stage]["count"] += values["count"]
+                    stages[stage]["total_ns"] += values["sum"]
+    return {
+        stage: {
+            "count": entry["count"],
+            "total_ns": round(entry["total_ns"]),
+            "mean_ns": round(entry["total_ns"] / entry["count"])
+            if entry["count"]
+            else None,
+        }
+        for stage, entry in stages.items()
+    }
+
+
+def test_cluster_profile(benchmark):
+    system = transfer_pair()
+    samples = {}
+
+    # Baseline: the simulator has no wire, so its sample is the whole
+    # transaction's wall time, undecomposed.
+    started = time.perf_counter()
+    for run in range(ROUNDS):
+        run_once(system, RandomDriver(SEED + run))
+    elapsed = time.perf_counter() - started
+    txns = ROUNDS * len(system)
+    samples["simulator"] = {
+        "transactions": txns,
+        "seconds": round(elapsed, 4),
+        "txn_per_s": round(txns / elapsed if elapsed else float("inf"), 1),
+        "mean_txn_ns": round(elapsed / txns * 1e9) if txns else None,
+    }
+
+    for transport in ("memory", "tcp"):
+        cluster_report = run_cluster_sync(
+            system,
+            transport=transport,
+            rounds=ROUNDS,
+            seed=SEED,
+            max_retries=MAX_RETRIES,
+            concurrency=CONCURRENCY,
+            request_timeout=30.0 if transport == "tcp" else None,
+            wire_metrics=True,
+        )
+        stages = stage_aggregates()
+        samples[transport] = {
+            "transactions": cluster_report.transactions,
+            "committed": cluster_report.committed,
+            "seconds": round(cluster_report.wall_seconds, 4),
+            "txn_per_s": round(
+                cluster_report.transactions / cluster_report.wall_seconds
+                if cluster_report.wall_seconds
+                else float("inf"),
+                1,
+            ),
+            "stages": stages,
+        }
+        for stage in STAGES:
+            assert stages[stage]["count"] > 0, (transport, stage)
+        assert cluster_report.committed == cluster_report.transactions, (
+            transport
+        )
+
+    # Traced memory run: the merged span forest must link coordinator
+    # and site spans into one connected tree per transaction.
+    RESULTS_DIR.mkdir(exist_ok=True)
+    trace.start_tracing(str(TRACE_PATH))
+    try:
+        traced = run_cluster_sync(
+            system,
+            transport="memory",
+            rounds=2,
+            seed=SEED,
+            max_retries=MAX_RETRIES,
+            concurrency=CONCURRENCY,
+        )
+    finally:
+        trace.stop_tracing()
+    forest = trace_trees(merge_traces([str(TRACE_PATH)]))
+    assert len(forest) == traced.transactions
+    assert all(tree.connected for tree in forest)
+    samples["traced_memory"] = {
+        "transactions": traced.transactions,
+        "trees": len(forest),
+        "connected": sum(1 for tree in forest if tree.connected),
+        "trace_file": TRACE_PATH.name,
+    }
+
+    benchmark(
+        lambda: run_cluster_sync(
+            system,
+            rounds=2,
+            seed=SEED,
+            max_retries=MAX_RETRIES,
+            wire_metrics=True,
+        )
+    )
+
+    rows = []
+    for transport in ("memory", "tcp"):
+        for stage in STAGES:
+            entry = samples[transport]["stages"][stage]
+            rows.append(
+                (
+                    transport,
+                    stage,
+                    entry["count"],
+                    f"{(entry['mean_ns'] or 0) / 1e3:.1f}",
+                    f"{entry['total_ns'] / 1e6:.1f}",
+                )
+            )
+    report(
+        "E15-cluster-profile",
+        f"transfer pair x {ROUNDS} rounds, per-stage wire-latency decomposition",
+        table(["path", "stage", "samples", "mean us", "total ms"], rows)
+        + [
+            f"simulator mean txn: {samples['simulator']['mean_txn_ns']} ns",
+            f"traced run: {samples['traced_memory']['connected']}/"
+            f"{samples['traced_memory']['trees']} trees connected "
+            f"({TRACE_PATH.name})",
+        ],
+    )
+    write_bench(
+        "BENCH_profile",
+        params={
+            "rounds": ROUNDS,
+            "seed": SEED,
+            "max_retries": MAX_RETRIES,
+            "concurrency": CONCURRENCY,
+            "sites": 2,
+            "stages": list(STAGES),
+        },
+        samples=samples,
+    )

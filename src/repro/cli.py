@@ -53,15 +53,22 @@ Subcommands
     the foreground; ``bench`` compares simulator vs memory vs TCP
     throughput.
 
-``trace-report FILE``
-    Aggregate a span trace (written by ``--trace``) into a top-spans
-    table: call counts, total / self / max time per span name.
+``trace-report FILE [FILE ...]``
+    Aggregate span traces (written by ``--trace``) into a top-spans
+    table: call counts, total / self / max time per span name.  Given
+    several files (one per process of a distributed run) the records
+    are merged by trace id and the report appends the cross-process
+    section: causal span trees for the slowest transactions, the
+    per-stage wire-latency percentiles, and election annotations.
 
 Observability (:mod:`repro.obs`) cuts across the subcommands: ``-v`` /
 ``--quiet`` tune narration globally (``--log-json`` swaps it onto a
-JSON-lines logger), while ``analyze`` / ``simulate`` / ``vet`` accept
-``--trace FILE`` (record a span timeline) and ``--metrics`` (dump the
-process metrics registry to stderr, Prometheus text format, on exit).
+JSON-lines logger), while ``analyze`` / ``simulate`` / ``vet`` /
+``cluster run`` / ``cluster serve`` accept ``--trace FILE`` (record a
+span timeline) and ``--metrics`` (dump the process metrics registry to
+stderr, Prometheus text format, on exit).  For ``cluster run`` and
+``cluster serve``, ``--metrics`` also switches on the per-stage
+wire-latency histograms (:mod:`repro.obs.distributed`).
 """
 
 from __future__ import annotations
@@ -508,6 +515,7 @@ def cmd_cluster_run(args: argparse.Namespace) -> int:
         event_log=event_log,
         grant_timeout=args.grant_timeout,
         request_timeout=args.request_timeout,
+        wire_metrics=args.metrics,
     )
     if args.replicas > 1:
         from .replica import run_replicated_sync
@@ -537,6 +545,7 @@ def cmd_cluster_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from .cluster import SiteServer, TcpTransport
+    from .obs import distributed
 
     if args.replica_index >= args.replicas:
         log.error(
@@ -562,6 +571,11 @@ def cmd_cluster_serve(args: argparse.Namespace) -> int:
     else:
         address = args.site
     addresses[address] = (args.host, args.port)
+
+    if args.metrics:
+        # Wire-stage histograms for this server's frames; the registry
+        # dump on exit (main's --metrics handling) prints them.
+        distributed.WIRE.enable_metrics()
 
     async def serve() -> None:
         transport = TcpTransport(addresses)
@@ -668,10 +682,10 @@ def cmd_cluster_bench(args: argparse.Namespace) -> int:
 
 
 def cmd_trace_report(args: argparse.Namespace) -> int:
-    from .obs.report import summarize
+    from .obs.report import summarize_files
 
     try:
-        log.result(summarize(args.file, limit=args.limit))
+        log.result(summarize_files(args.file, limit=args.limit))
     except ValueError as exc:
         log.error(f"error: {exc}")
         return 2
@@ -954,6 +968,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=(*_policies, "none"),
         default="abort-youngest",
     )
+    add_obs_flags(cluster_serve)
     cluster_serve.set_defaults(func=cmd_cluster_serve)
 
     cluster_bench = cluster_sub.add_parser(
@@ -968,9 +983,10 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_bench.set_defaults(func=cmd_cluster_bench)
 
     trace_report = sub.add_parser(
-        "trace-report", help="summarize a --trace span file"
+        "trace-report",
+        help="summarize --trace span files (merging one per process)",
     )
-    trace_report.add_argument("file")
+    trace_report.add_argument("file", nargs="+")
     trace_report.add_argument(
         "--limit",
         type=int,

@@ -27,21 +27,19 @@ import random
 from dataclasses import dataclass, field
 
 from ..core.transaction import Transaction
+from ..obs import distributed
 from ..obs.metrics import REGISTRY
 from . import protocol
 from .transport import Connection, Transport, TransportError
 
-_OUTCOMES = None
 
-
+# Resolved by name at use time — never cached in a module global, so a
+# ``REGISTRY.reset()`` between runs cannot orphan a live handle.
 def _outcomes_counter():
-    global _OUTCOMES
-    if _OUTCOMES is None:
-        _OUTCOMES = REGISTRY.counter(
-            "repro_cluster_txn_outcomes_total",
-            "Distributed transactions by final outcome.",
-        )
-    return _OUTCOMES
+    return REGISTRY.counter(
+        "repro_cluster_txn_outcomes_total",
+        "Distributed transactions by final outcome.",
+    )
 
 
 @dataclass
@@ -176,10 +174,30 @@ class Coordinator:
         #: re-dials connections: a site must still get its ``release``
         #: even when its client happened to be torn down at abort time.
         self._touched_sites: set[int] = set()
+        #: Root span of the distributed trace (``None`` untraced).
+        self._root = None
 
     # ------------------------------------------------------------------
     async def run(self) -> TxnOutcome:
-        """Attempt, abort-and-retry, commit; always closes connections."""
+        """Attempt, abort-and-retry, commit; always closes connections.
+
+        When tracing is on, the whole execution runs under a detached
+        ``txn.run`` root span with a fresh ``trace_id``; every request
+        this coordinator issues carries that trace context, so the
+        merged cross-process trace shows one causal tree per
+        transaction (:mod:`repro.obs.distributed`).
+        """
+        with distributed.txn_span(self.transaction.name) as root:
+            self._root = root if root else None
+            if root:
+                root.set(txn=self.transaction.name)
+            outcome = await self._run()
+            if root:
+                root.set(outcome=outcome.outcome, retries=outcome.retries)
+            self._root = None
+            return outcome
+
+    async def _run(self) -> TxnOutcome:
         name = self.transaction.name
         sites = sorted(
             {self.transaction.database.site_of(step.entity) for step in self.transaction.steps}
@@ -339,31 +357,43 @@ class Coordinator:
         attempts = self.failover_attempts if self.resolver is not None else 0
         status = "error"
         self._touched_sites.add(site)
-        for attempt in range(attempts + 1):
-            try:
-                client = await self._client(site)
-                reply = await client.request(
-                    kind, timeout=self.request_timeout, **fields
-                )
-            except TransportError:
-                if self.resolver is None or attempt == attempts:
-                    raise
-                self._failover(site)
-                await self._drop_client(site)
-                continue
-            status = reply.get("status", "error")
-            if attempt < attempts and await self._should_failover(site, status):
-                # The leader moved (redirect) or stopped answering
-                # (lease-holder death): re-resolve and replay.  Replays
-                # are idempotent site-side — a re-sent lock for a held
-                # entity re-grants, a re-sent update dedupes on its
-                # step key, a queued lock retry supersedes the
-                # original.
-                self._failover(site, leader_hint=reply.get("leader"))
-                await self._drop_client(site)
-                continue
+        with distributed.child_span("txn.step", self._root) as span:
+            if span:
+                span.set(kind=kind, entity=step.entity, site=site)
+                fields["trace"] = distributed.context_of(span)
+            for attempt in range(attempts + 1):
+                try:
+                    client = await self._client(site)
+                    reply = await client.request(
+                        kind, timeout=self.request_timeout, **fields
+                    )
+                except TransportError:
+                    if self.resolver is None or attempt == attempts:
+                        raise
+                    self._failover(site)
+                    await self._drop_client(site)
+                    continue
+                status = reply.get("status", "error")
+                if attempt < attempts and await self._should_failover(site, status):
+                    # The leader moved (redirect) or stopped answering
+                    # (lease-holder death): re-resolve and replay.
+                    # Replays are idempotent site-side — a re-sent lock
+                    # for a held entity re-grants, a re-sent update
+                    # dedupes on its step key, a queued lock retry
+                    # supersedes the original.
+                    self._failover(site, leader_hint=reply.get("leader"))
+                    await self._drop_client(site)
+                    continue
+                break
+            if span:
+                span.set(status=status)
             return status
-        return status
+
+    def _trace_fields(self) -> dict:
+        """The ``trace`` field for a request issued directly under the
+        transaction's root span (empty dict untraced)."""
+        context = distributed.context_of(self._root)
+        return {"trace": context} if context is not None else {}
 
     async def _abort(self) -> None:
         for site in sorted(self._touched_sites | set(self._clients)):
@@ -374,6 +404,7 @@ class Coordinator:
                         "release",
                         txn=self.transaction.name,
                         timeout=self.request_timeout,
+                        **self._trace_fields(),
                     )
                 except TransportError:
                     if self.resolver is None:
@@ -403,9 +434,15 @@ class Coordinator:
         instead of silently auditing an incomplete history.
         """
         unacked: list[int] = []
-        for site in sorted(self._touched_sites | set(self._clients)):
-            if not await self._commit_site(site):
-                unacked.append(site)
+        with distributed.child_span("txn.commit", self._root) as span:
+            sites = sorted(self._touched_sites | set(self._clients))
+            if span:
+                span.set(sites=len(sites))
+            for site in sites:
+                if not await self._commit_site(site):
+                    unacked.append(site)
+            if span and unacked:
+                span.set(unacked=len(unacked))
         return unacked
 
     async def _commit_site(self, site: int) -> bool:
@@ -419,6 +456,7 @@ class Coordinator:
                     "commit",
                     txn=self.transaction.name,
                     timeout=self.request_timeout,
+                    **self._trace_fields(),
                 )
             except TransportError:
                 self._failover(site)

@@ -10,6 +10,20 @@ Requests carry an ``id`` the reply echoes (the coordinator routes
 replies by it); site-to-site messages (``probe``, ``resolve``) are
 fire-and-forget and carry none.  The full message table is documented
 in ``docs/cluster.md``.
+
+Two **optional** observability fields may ride on any message, added
+and consumed by :mod:`repro.obs.distributed`:
+
+* ``trace`` — ``{"id": trace_id, "span": span_id, "pid": pid}``, the
+  sender's open span, so the receiver can parent its own span across
+  the process boundary;
+* ``wire`` — ``{"send_ns": ...}`` stamped by the sending transport
+  (the receiver adds ``recv_ns``), feeding the per-stage latency
+  histograms.
+
+Decoding tolerates both fields' absence — frames from nodes that
+predate them (or run with observability off) are served identically,
+and unknown keys were always passed through untouched.
 """
 
 from __future__ import annotations
@@ -82,20 +96,28 @@ def decode_payload(payload: bytes) -> dict:
 async def read_message(reader) -> dict | None:
     """Read one message from an :class:`asyncio.StreamReader`
     (``None`` at EOF)."""
+    message, _ = await read_frame(reader)
+    return message
+
+
+async def read_frame(reader) -> tuple[dict | None, int]:
+    """Read one message from an :class:`asyncio.StreamReader`, also
+    reporting the frame's size in bytes (prefix included).  ``(None,
+    0)`` at EOF."""
     import asyncio
 
     try:
         prefix = await reader.readexactly(4)
     except (asyncio.IncompleteReadError, ConnectionError):
-        return None
+        return None, 0
     length = int.from_bytes(prefix, "big")
     if length > MAX_FRAME:
         raise ProtocolError(f"frame length {length} exceeds MAX_FRAME")
     try:
         payload = await reader.readexactly(length)
     except (asyncio.IncompleteReadError, ConnectionError):
-        return None
-    return decode_payload(payload)
+        return None, 0
+    return decode_payload(payload), 4 + length
 
 
 def request(kind: str, request_id: int, **fields) -> dict:

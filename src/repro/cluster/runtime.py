@@ -28,8 +28,9 @@ from ..core.schedule import TransactionSystem
 from ..core.transaction import Transaction
 from ..errors import ReproError
 from ..faults.plan import FaultPlan
-from ..obs import trace
+from ..obs import distributed, trace
 from ..obs.events import EventLog
+from ..obs.metrics import REGISTRY
 from ..sim.analysis import (
     serial_witness_from_site_orders,
     serializable_from_site_orders,
@@ -231,6 +232,7 @@ async def run_cluster(
     grant_timeout: int | None = None,
     request_timeout: float | None = None,
     gateway: Gateway | None = None,
+    wire_metrics: bool = False,
 ) -> ClusterReport:
     """Execute *rounds* copies of *system* on a live cluster.
 
@@ -240,6 +242,12 @@ async def run_cluster(
     ticks) arms per-site lock-grant timers; *request_timeout*
     (seconds) bounds each request round trip — required when message
     drops are injected, since a dropped request gets no reply.
+    *wire_metrics* turns on the per-stage wire-latency histograms and
+    byte counters (:data:`repro.obs.distributed.WIRE`) for this run.
+
+    Every run starts by resetting the ``repro_cluster_*`` metrics, so
+    back-to-back runs in one process (benchmarks, tests) never
+    accumulate each other's counts.
     """
     if rounds < 1:
         raise ClusterError(f"need at least one round, got {rounds}")
@@ -255,6 +263,12 @@ async def run_cluster(
                 "set request_timeout so requests to the dead site can fail "
                 "instead of hanging the run"
             )
+
+    REGISTRY.reset(prefix="repro_cluster_")
+    if wire_metrics:
+        distributed.WIRE.enable_metrics()
+    if event_log is not None:
+        distributed.WIRE.attach(event_log)
 
     started = time.perf_counter()
     if isinstance(transport, Transport):
@@ -353,6 +367,10 @@ async def run_cluster(
                 await live_transport.close()
             if own_gateway and gateway is not None:
                 gateway.close()
+            if wire_metrics:
+                distributed.WIRE.disable_metrics()
+            if event_log is not None:
+                distributed.WIRE.detach()
 
         serializable = serializable_from_site_orders(site_orders)
         witness = serial_witness_from_site_orders(site_orders) if serializable else None

@@ -27,8 +27,10 @@ from __future__ import annotations
 
 import asyncio
 import random
+import time
 
 from ..faults.policies import choose_victim, validate_policy
+from ..obs import distributed
 from ..obs.events import EventLog
 from ..obs.metrics import REGISTRY
 from ..sim.lockmanager import SiteLockManager
@@ -39,35 +41,37 @@ from .transport import Connection, Transport, TransportError
 #: Buckets for grant latency measured in site-local processed messages.
 GRANT_BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 250.0, 1000.0)
 
-_MESSAGES = None
-_GRANT_LATENCY = None
 
-
+# Metrics are resolved by name at use time (a dict hit in the
+# registry), never cached in module globals: a cached handle would keep
+# mutating an orphaned object after ``REGISTRY.reset()`` and leak one
+# run's counts into the next.
 def _messages_counter():
-    global _MESSAGES
-    if _MESSAGES is None:
-        _MESSAGES = REGISTRY.counter(
-            "repro_cluster_messages_total",
-            "Protocol messages processed by cluster site servers.",
-        )
-    return _MESSAGES
+    return REGISTRY.counter(
+        "repro_cluster_messages_total",
+        "Protocol messages processed by cluster site servers.",
+    )
 
 
 def _grant_histogram():
-    global _GRANT_LATENCY
-    if _GRANT_LATENCY is None:
-        _GRANT_LATENCY = REGISTRY.histogram(
-            "repro_cluster_grant_latency_steps",
-            "Site-local messages processed between a lock request queuing and its grant.",
-            buckets=GRANT_BUCKETS,
-        )
-    return _GRANT_LATENCY
+    return REGISTRY.histogram(
+        "repro_cluster_grant_latency_steps",
+        "Site-local messages processed between a lock request queuing and its grant.",
+        buckets=GRANT_BUCKETS,
+    )
 
 
 class _PendingLock:
     """A blocked lock request awaiting grant, timeout or deadlock."""
 
-    __slots__ = ("connection", "request_id", "enqueued_at", "timer")
+    __slots__ = (
+        "connection",
+        "request_id",
+        "enqueued_at",
+        "timer",
+        "queued_ns",
+        "span",
+    )
 
     def __init__(
         self,
@@ -80,6 +84,10 @@ class _PendingLock:
         self.request_id = request_id
         self.enqueued_at = enqueued_at
         self.timer = timer
+        #: Wall-clock queue-entry stamp for the lock-wait stage.
+        self.queued_ns = 0
+        #: Open ``site.lock_wait`` span (traced runs only).
+        self.span = None
 
 
 class SiteServer:
@@ -120,6 +128,11 @@ class SiteServer:
         self._applied_ids: dict[str, set[int]] = {}
         self._peer_connections: dict[int, Connection] = {}
         self._deferred_replies: list[asyncio.Task] = []
+        #: Trace context of the message currently being handled, for
+        #: re-injection into onward messages (probes, ships, votes).
+        self._trace_ctx: dict | None = None
+        #: (transaction, entity) -> wall-clock grant stamp (hold stage).
+        self._grant_wall: dict[tuple[str, str], int] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -136,6 +149,7 @@ class SiteServer:
         for pending in self._pending.values():
             if pending.timer is not None:
                 pending.timer.cancel()
+            self._finish_wait(pending, "shutdown")
         self._pending.clear()
         for connection in self._peer_connections.values():
             await connection.close()
@@ -194,7 +208,28 @@ class SiteServer:
                     protocol.reply(message["id"], "error", reason=f"unknown type {kind!r}"),
                 )
             return
-        await handler(connection, message)
+        queue_ns = distributed.server_queue_ns(message)
+        if queue_ns is not None:
+            distributed.WIRE.observe("server_queue", queue_ns, self.site)
+        context = distributed.extract(message)
+        with distributed.remote_span(f"site.{kind}", context) as span:
+            if span:
+                span.set(site=self.site)
+                if message.get("txn") is not None:
+                    span.set(txn=message["txn"])
+                if message.get("entity") is not None:
+                    span.set(entity=message["entity"])
+                if queue_ns is not None:
+                    span.set(server_queue_ns=queue_ns)
+                wire_ns = distributed.transport_ns(message)
+                if wire_ns is not None:
+                    span.set(transport_ns=wire_ns)
+            previous_ctx = self._trace_ctx
+            self._trace_ctx = context
+            try:
+                await handler(connection, message)
+            finally:
+                self._trace_ctx = previous_ctx
 
     async def _safe_send(self, connection: Connection, message: dict) -> None:
         try:
@@ -235,9 +270,15 @@ class SiteServer:
             existing.request_id = message["id"]
             return
         if self.locks.try_lock(entity, txn):
+            distributed.WIRE.observe("lock_wait", 0, self.site)
             await self._reply_granted(connection, message["id"], txn, entity, 0)
             return
         pending = _PendingLock(connection, message["id"], self.processed)
+        pending.queued_ns = time.time_ns()
+        wait_span = distributed.remote_span("site.lock_wait", self._trace_ctx)
+        if wait_span:
+            pending.span = wait_span.__enter__()
+            pending.span.set(site=self.site, txn=txn, entity=entity)
         self._pending[(txn, entity)] = pending
         if self.grant_timeout is not None:
             pending.timer = asyncio.ensure_future(self._expire(txn, entity, self.grant_timeout))
@@ -253,6 +294,7 @@ class SiteServer:
         entity = message["entity"]
         if self.locks.holder(entity) == txn:
             self.locks.unlock(entity, txn)
+            self._observe_hold(txn, entity)
             self._log_mutation("unlock", txn=txn, entity=entity)
             await self._promote(entity)
         await self._safe_send(connection, protocol.reply(message["id"], "released"))
@@ -296,11 +338,14 @@ class SiteServer:
                 continue
             if stale.timer is not None:
                 stale.timer.cancel()
+            self._finish_wait(stale, "aborted")
             await self._safe_send(
                 stale.connection,
                 protocol.reply(stale.request_id, "aborted", entity=entity),
             )
         released = self.locks.release_all(txn)
+        for entity in released:
+            self._observe_hold(txn, entity)
         if txn not in self._committed:
             for order in self._updates.values():
                 while txn in order:
@@ -354,6 +399,27 @@ class SiteServer:
     # ------------------------------------------------------------------
     # Grants, promotion, timeouts
     # ------------------------------------------------------------------
+    def _observe_hold(self, txn: str, entity: str) -> None:
+        """Record the hold stage (grant to unlock/release) of one lock."""
+        granted = self._grant_wall.pop((txn, entity), None)
+        if granted is not None:
+            distributed.WIRE.observe("hold", time.time_ns() - granted, self.site)
+
+    def _finish_wait(self, pending: _PendingLock, result: str) -> None:
+        """Close a blocked request's lock-wait bookkeeping: record the
+        lock-wait stage and end its ``site.lock_wait`` span (if any)
+        with the outcome in *result*."""
+        if pending.queued_ns:
+            waited = time.time_ns() - pending.queued_ns
+            distributed.WIRE.observe("lock_wait", waited, self.site)
+        else:  # pragma: no cover - observer enabled mid-wait
+            waited = 0
+        span = pending.span
+        if span is not None:
+            span.set(result=result, lock_wait_ns=waited)
+            span.__exit__(None, None, None)
+            pending.span = None
+
     async def _reply_granted(
         self,
         connection: Connection,
@@ -363,6 +429,8 @@ class SiteServer:
         latency: int,
     ) -> None:
         _grant_histogram().observe(float(latency))
+        if distributed.WIRE.active:
+            self._grant_wall.setdefault((txn, entity), time.time_ns())
         self._log_mutation("grant", txn=txn, entity=entity)
         if self.faults is not None and self.faults.grant_delayed(entity, self.site):
             task = asyncio.ensure_future(
@@ -398,6 +466,7 @@ class SiteServer:
             return
         if pending.timer is not None:
             pending.timer.cancel()
+        self._finish_wait(pending, "granted")
         await self._reply_granted(
             pending.connection,
             pending.request_id,
@@ -414,6 +483,7 @@ class SiteServer:
         pending = self._pending.pop((txn, entity), None)
         if pending is None:
             return
+        self._finish_wait(pending, "timeout")
         self.locks.withdraw(entity, txn)
         if self.event_log is not None:
             self.event_log.emit(
@@ -482,6 +552,8 @@ class SiteServer:
         """Send the probe everywhere the target might be waiting
         (including this site)."""
         message = {"type": "probe", "path": path, "target": target}
+        if self._trace_ctx is not None:
+            message["trace"] = self._trace_ctx
         await self._handle_probe(message)
         for peer in self.peers:
             connection = await self._peer_connection(peer)
@@ -528,6 +600,8 @@ class SiteServer:
             self.site,
         )
         message = {"type": "resolve", "victim": victim, "cycle": cycle}
+        if self._trace_ctx is not None:
+            message["trace"] = self._trace_ctx
         if victim_site == self.site:
             await self._handle_resolve(message)
         else:
@@ -547,6 +621,7 @@ class SiteServer:
                 continue
             if pending.timer is not None:
                 pending.timer.cancel()
+            self._finish_wait(pending, "deadlock")
             self.locks.withdraw(entity, victim)
             await self._safe_send(
                 pending.connection,

@@ -14,13 +14,21 @@ map so an in-process cluster can wire itself up.
 backoff and fault windows: memory ticks are bare event-loop yields
 (``asyncio.sleep(0)``), TCP ticks are milliseconds.  Nothing else in
 the deterministic path consults a wall clock.
+
+Both transports feed the process-global wire observer
+(:data:`repro.obs.distributed.WIRE`) while it is active: outbound
+frames are stamped (``wire.send_ns``) and counted, inbound frames
+complete the stamp and record the transport-stage latency.  With the
+observer inactive the hooks are one falsy check per frame.
 """
 
 from __future__ import annotations
 
 import asyncio
+import time
 
 from ..errors import ReproError
+from ..obs import distributed
 from . import protocol
 
 
@@ -28,8 +36,27 @@ class TransportError(ReproError):
     """A connection to a site could not be made or has gone away."""
 
 
+def _encode_observed(message: dict, peer: int | None) -> bytes:
+    """Encode one frame, stamping and measuring it when the wire
+    observer is active."""
+    wire = distributed.WIRE
+    if not wire.active:
+        return protocol.encode(message)
+    message = wire.stamp(message)
+    before = time.perf_counter_ns()
+    frame = protocol.encode(message)
+    wire.sent(message, len(frame), time.perf_counter_ns() - before, peer)
+    return frame
+
+
 class Connection:
-    """One bidirectional frame pipe between a client and a site."""
+    """One bidirectional frame pipe between a client and a site.
+
+    ``peer`` labels the far (or serving) site for wire metrics;
+    ``None`` when unknown.
+    """
+
+    peer: int | None = None
 
     async def send(self, message: dict) -> None:
         raise NotImplementedError
@@ -67,21 +94,30 @@ class Transport:
 # In-memory transport
 # ----------------------------------------------------------------------
 class _MemoryConnection(Connection):
-    def __init__(self, outbox: asyncio.Queue, inbox: asyncio.Queue) -> None:
+    def __init__(
+        self,
+        outbox: asyncio.Queue,
+        inbox: asyncio.Queue,
+        peer: int | None = None,
+    ) -> None:
         self._outbox = outbox
         self._inbox = inbox
         self._closed = False
+        self.peer = peer
 
     async def send(self, message: dict) -> None:
         if self._closed:
             raise TransportError("send on a closed memory connection")
-        await self._outbox.put(protocol.encode(message))
+        await self._outbox.put(_encode_observed(message, self.peer))
 
     async def recv(self) -> dict | None:
         frame = await self._inbox.get()
         if frame is None:
             return None
-        return protocol.decode(frame)
+        message = protocol.decode(frame)
+        if distributed.WIRE.active:
+            distributed.WIRE.received(message, len(frame), self.peer)
+        return message
 
     async def close(self) -> None:
         if not self._closed:
@@ -109,8 +145,8 @@ class MemoryTransport(Transport):
             raise TransportError(f"no site {site} is listening")
         to_server: asyncio.Queue = asyncio.Queue()
         to_client: asyncio.Queue = asyncio.Queue()
-        client = _MemoryConnection(to_server, to_client)
-        server = _MemoryConnection(to_client, to_server)
+        client = _MemoryConnection(to_server, to_client, peer=site)
+        server = _MemoryConnection(to_client, to_server, peer=site)
         task = asyncio.ensure_future(handler(server))
         self._server_tasks.append(task)
         return client
@@ -135,19 +171,28 @@ class MemoryTransport(Transport):
 # TCP transport
 # ----------------------------------------------------------------------
 class _TcpConnection(Connection):
-    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        peer: int | None = None,
+    ) -> None:
         self._reader = reader
         self._writer = writer
+        self.peer = peer
 
     async def send(self, message: dict) -> None:
         try:
-            self._writer.write(protocol.encode(message))
+            self._writer.write(_encode_observed(message, self.peer))
             await self._writer.drain()
         except ConnectionError as exc:
             raise TransportError(f"peer went away: {exc}") from None
 
     async def recv(self) -> dict | None:
-        return await protocol.read_message(self._reader)
+        message, nbytes = await protocol.read_frame(self._reader)
+        if message is not None and distributed.WIRE.active:
+            distributed.WIRE.received(message, nbytes, self.peer)
+        return message
 
     async def close(self) -> None:
         try:
@@ -183,7 +228,7 @@ class TcpTransport(Transport):
         host, port = self.addresses.get(site, ("127.0.0.1", 0))
 
         async def on_connect(reader, writer):
-            await handler(_TcpConnection(reader, writer))
+            await handler(_TcpConnection(reader, writer, peer=site))
 
         server = await asyncio.start_server(on_connect, host, port)
         bound = server.sockets[0].getsockname()
@@ -198,7 +243,7 @@ class TcpTransport(Transport):
             reader, writer = await asyncio.open_connection(*address)
         except (ConnectionError, OSError) as exc:
             raise TransportError(f"cannot reach site {site} at {address}: {exc}") from None
-        return _TcpConnection(reader, writer)
+        return _TcpConnection(reader, writer, peer=site)
 
     async def sleep(self, ticks: int) -> None:
         await asyncio.sleep(max(1, ticks) * self.tick_seconds)

@@ -16,11 +16,29 @@ switched off:
   executions and deadlock detections, so a non-serializable run can be
   replayed as a readable timeline.
 
+:mod:`~repro.obs.distributed` carries all three across process
+boundaries for the cluster runtime: trace contexts ride inside
+protocol messages, transports stamp frames for the per-stage
+wire-latency histograms, and a collector merges per-process trace
+files into one causal tree per transaction.
+
 :mod:`~repro.obs.log` funnels the CLI's human-readable output through
 one verbosity-aware helper (with a JSON-lines formatter option), and
 :mod:`~repro.obs.report` turns exported traces into summaries.
 """
 
+from .distributed import (
+    LATENCY_BUCKETS,
+    STAGES,
+    TraceTree,
+    WIRE,
+    WireObserver,
+    merge_traces,
+    new_trace_id,
+    remote_span,
+    stage_rows,
+    trace_trees,
+)
 from .events import EventLog, SimEvent
 from .metrics import (
     Counter,
@@ -30,7 +48,14 @@ from .metrics import (
     REGISTRY,
     get_registry,
 )
-from .report import aggregate, load_trace, render_table, summarize
+from .report import (
+    aggregate,
+    load_trace,
+    render_distributed,
+    render_table,
+    summarize,
+    summarize_files,
+)
 from .trace import (
     NULL_SPAN,
     NullSpan,
@@ -38,10 +63,12 @@ from .trace import (
     Tracer,
     absorb_worker_traces,
     current_span,
+    detached_span,
     span,
     start_tracing,
     stop_tracing,
     trace_path,
+    tracer_pid,
     tracing_enabled,
 )
 
@@ -50,23 +77,37 @@ __all__ = [
     "EventLog",
     "Gauge",
     "Histogram",
+    "LATENCY_BUCKETS",
     "MetricsRegistry",
     "NULL_SPAN",
     "NullSpan",
     "REGISTRY",
+    "STAGES",
     "SimEvent",
     "Span",
+    "TraceTree",
     "Tracer",
+    "WIRE",
+    "WireObserver",
     "absorb_worker_traces",
     "aggregate",
     "current_span",
+    "detached_span",
     "get_registry",
     "load_trace",
+    "merge_traces",
+    "new_trace_id",
+    "remote_span",
+    "render_distributed",
     "render_table",
     "span",
+    "stage_rows",
     "start_tracing",
     "stop_tracing",
     "summarize",
+    "summarize_files",
     "trace_path",
+    "trace_trees",
+    "tracer_pid",
     "tracing_enabled",
 ]

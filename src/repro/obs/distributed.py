@@ -1,0 +1,463 @@
+"""Cross-process distributed tracing and wire-latency decomposition.
+
+The per-process tracer (:mod:`repro.obs.trace`) stops at process
+boundaries; this module carries trace causality and latency stamps
+*across* them for the cluster runtime (:mod:`repro.cluster`) and its
+replicated sibling (:mod:`repro.replica`):
+
+**Trace-context propagation.**  A coordinator opens one root span per
+distributed transaction (:func:`txn_span`, with a process-unique
+``trace_id``) and one child span per issued step; the step's context —
+``{"id": trace_id, "span": span_id, "pid": pid}`` — rides inside the
+request as the optional ``trace`` field of the wire protocol.  A site
+server that finds the field opens a **remote-parented** span
+(:func:`remote_span`) around its handler, and re-injects the same
+context into the messages it sends onward (deadlock probes, resolve
+notices, replication ships), so the spans of one transaction form one
+causal tree even when every hop ran in a different process.  Messages
+*without* the field decode and serve exactly as before — old and new
+nodes interoperate.
+
+**Wire-latency decomposition.**  While the :data:`WIRE` observer is
+active, every frame a transport sends is stamped (the ``wire`` field:
+wall-clock ``send_ns``; the receiver adds ``recv_ns``) and every
+endpoint feeds per-stage nanosecond histograms
+(``repro_cluster_latency_ns{stage=...,site=...}``) plus per-kind
+``repro_cluster_messages_total`` / ``repro_cluster_bytes_total``
+counters.  The five stages:
+
+========      ==========================================================
+stage         measured as
+========      ==========================================================
+encode        sender-side: nanoseconds spent JSON-encoding one frame
+transport     ``recv_ns - send_ns`` (wall clock; includes the sender's
+              encode and queue/socket dwell)
+server_queue  handler start minus ``recv_ns`` at the serving site
+lock_wait     lock-request queue time, block to grant (0 when granted
+              immediately)
+hold          grant to unlock/release of one entity's lock
+========      ==========================================================
+
+**Merge model.**  Each process traces into its own JSONL file; the
+collector (:func:`merge_traces` + :func:`trace_trees`) concatenates
+the files and groups spans by ``trace_id``, resolving parents by
+``(pid, span_id)`` so remote links land on the right span.  ``repro
+trace-report FILE [FILE ...]`` renders the result: slowest-transaction
+trees, a per-stage percentile table (:func:`stage_rows`), and
+election/failover annotations from ``replica.*`` spans.
+
+Everything here is off by default: with the observer disabled and
+tracing off, the hooks cost one attribute load and a falsy branch per
+message.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from typing import Any
+
+from . import trace
+from .metrics import REGISTRY
+
+#: The wire-latency stages, in per-step causal order.
+STAGES = ("encode", "transport", "server_queue", "lock_wait", "hold")
+
+#: Nanosecond-scale buckets for ``repro_cluster_latency_ns``: 1us..1s.
+LATENCY_BUCKETS = (
+    1e3,
+    1e4,
+    1e5,
+    5e5,
+    1e6,
+    5e6,
+    1e7,
+    5e7,
+    1e8,
+    1e9,
+)
+
+_trace_ids = itertools.count(1)
+
+
+def new_trace_id(name: str) -> str:
+    """A process-unique trace id for the transaction *name*."""
+    return f"{name}#{os.getpid()}.{next(_trace_ids)}"
+
+
+# ----------------------------------------------------------------------
+# Trace-context propagation
+# ----------------------------------------------------------------------
+
+
+def txn_span(name: str):
+    """The root span of one distributed transaction (a fresh
+    ``trace_id``); :data:`~repro.obs.trace.NULL_SPAN` while tracing is
+    off.  Detached, so concurrent coordinators in one event loop never
+    adopt each other's children."""
+    return trace.detached_span("txn.run", trace_id=new_trace_id(name))
+
+
+def child_span(name: str, parent):
+    """A detached child of the local span *parent* (``None``/falsy
+    parent or disabled tracing yields the null span)."""
+    if not parent:
+        return trace.NULL_SPAN
+    return trace.detached_span(name, parent=parent)
+
+
+def remote_span(name: str, context: dict | None):
+    """A detached span whose parent is the span named by the wire
+    *context* (as produced by :func:`context_of`, possibly in another
+    process); the null span when tracing is off or *context* is
+    ``None``."""
+    if context is None:
+        return trace.NULL_SPAN
+    try:
+        parent = (int(context["pid"]), int(context["span"]))
+        trace_id = str(context["id"])
+    except (KeyError, TypeError, ValueError):
+        return trace.NULL_SPAN
+    return trace.detached_span(name, trace_id=trace_id, parent=parent)
+
+
+def context_of(span) -> dict | None:
+    """The wire form of an **entered** span — the value of a message's
+    ``trace`` field — or ``None`` for the null span or a span without
+    a ``trace_id``."""
+    if not span or getattr(span, "trace_id", None) is None:
+        return None
+    return {"id": span.trace_id, "span": span.span_id, "pid": trace.tracer_pid()}
+
+
+def extract(message: dict) -> dict | None:
+    """The ``trace`` context carried by *message*, or ``None`` (absent
+    or malformed contexts are tolerated — old senders interoperate)."""
+    context = message.get("trace")
+    if isinstance(context, dict) and "id" in context and "span" in context:
+        return context
+    return None
+
+
+# ----------------------------------------------------------------------
+# The wire observer: stamps, stage metrics, send/recv events
+# ----------------------------------------------------------------------
+
+
+class WireObserver:
+    """Process-global switchboard for wire-level observability.
+
+    Three independently attachable sinks:
+
+    * **metrics** (:meth:`enable_metrics`) — per-stage latency
+      histograms and byte/message counters in the default registry;
+    * **events** (:meth:`attach`) — ``send``/``recv`` entries on a
+      :class:`~repro.obs.events.EventLog` (with the shared logical
+      clock tick when a replicated run attaches one);
+    * **tracing** — implicit: stamps are also added whenever the
+      process tracer is on, so remote spans can carry stage attributes.
+
+    While nothing is attached, :attr:`active` is ``False`` and the
+    transports skip every hook after one falsy check.
+    """
+
+    def __init__(self) -> None:
+        self.metrics_enabled = False
+        self.event_log = None
+        self.clock = None
+
+    @property
+    def active(self) -> bool:
+        """Must frames be stamped and measured at all?"""
+        return (
+            self.metrics_enabled
+            or self.event_log is not None
+            or trace.tracing_enabled()
+        )
+
+    def enable_metrics(self) -> None:
+        """Start feeding the stage histograms and byte counters."""
+        self.metrics_enabled = True
+
+    def disable_metrics(self) -> None:
+        """Stop feeding the metrics registry."""
+        self.metrics_enabled = False
+
+    def attach(self, event_log, clock=None) -> None:
+        """Emit ``send``/``recv`` events onto *event_log* (with
+        *clock* ticks in the detail when given)."""
+        self.event_log = event_log
+        self.clock = clock
+
+    def detach(self) -> None:
+        """Stop emitting wire events."""
+        self.event_log = None
+        self.clock = None
+
+    # -- metric handles (resolved by name so registry resets stick) ----
+    def _latency(self):
+        return REGISTRY.histogram(
+            "repro_cluster_latency_ns",
+            "Per-stage wire latency of cluster messages, in nanoseconds.",
+            buckets=LATENCY_BUCKETS,
+        )
+
+    def _bytes(self):
+        return REGISTRY.counter(
+            "repro_cluster_bytes_total",
+            "Encoded frame bytes moved by cluster transports.",
+        )
+
+    def _messages(self):
+        return REGISTRY.counter(
+            "repro_cluster_messages_total",
+            "Frames moved by cluster transports, by message kind.",
+        )
+
+    def observe(self, stage: str, ns: float, site) -> None:
+        """Record one *stage* latency sample (no-op unless metrics are
+        enabled)."""
+        if self.metrics_enabled:
+            self._latency().labels(stage=stage, site=str(site)).observe(
+                float(max(0, ns))
+            )
+
+    # -- transport hooks ----------------------------------------------
+    def stamp(self, message: dict) -> dict:
+        """A shallow copy of *message* carrying the sender's wire
+        stamp (call only while :attr:`active`)."""
+        stamped = dict(message)
+        stamped["wire"] = {"send_ns": time.time_ns()}
+        return stamped
+
+    def _event(self, kind: str, message: dict, nbytes: int, site) -> None:
+        detail = f"{message.get('type', '?')} {nbytes}B"
+        if self.clock is not None:
+            detail += f" clock={self.clock.now}"
+        self.event_log.emit(
+            kind,
+            transaction=message.get("txn"),
+            site=site if isinstance(site, int) else None,
+            detail=detail,
+        )
+
+    def sent(self, message: dict, nbytes: int, encode_ns: int, site) -> None:
+        """One frame left an endpoint: record the encode stage, the
+        byte counter and (when attached) a ``send`` event."""
+        if self.metrics_enabled:
+            self.observe("encode", encode_ns, site)
+            kind = message.get("type", "?")
+            self._bytes().labels(
+                site=str(site), kind=kind, direction="sent"
+            ).inc(nbytes)
+            self._messages().labels(
+                site=str(site), kind=kind, direction="sent"
+            ).inc()
+        if self.event_log is not None:
+            self._event("send", message, nbytes, site)
+
+    def received(self, message: dict, nbytes: int, site) -> None:
+        """One frame reached an endpoint: complete the wire stamp,
+        record the transport stage, the byte counter and (when
+        attached) a ``recv`` event."""
+        now = time.time_ns()
+        wire = message.get("wire")
+        if isinstance(wire, dict):
+            send_ns = wire.get("send_ns")
+            if isinstance(send_ns, int):
+                self.observe("transport", now - send_ns, site)
+            wire["recv_ns"] = now
+        if self.metrics_enabled:
+            kind = message.get("type", "?")
+            self._bytes().labels(
+                site=str(site), kind=kind, direction="received"
+            ).inc(nbytes)
+            self._messages().labels(
+                site=str(site), kind=kind, direction="received"
+            ).inc()
+        if self.event_log is not None:
+            self._event("recv", message, nbytes, site)
+
+
+#: The process-global wire observer every transport consults.
+WIRE = WireObserver()
+
+
+def server_queue_ns(message: dict) -> int | None:
+    """Nanoseconds *message* sat between transport receive and handler
+    start (``None`` when the frame carried no stamp)."""
+    wire = message.get("wire")
+    if isinstance(wire, dict):
+        recv_ns = wire.get("recv_ns")
+        if isinstance(recv_ns, int):
+            return max(0, time.time_ns() - recv_ns)
+    return None
+
+
+def transport_ns(message: dict) -> int | None:
+    """The stamped transport latency of *message* (``recv_ns -
+    send_ns``), or ``None`` without a complete stamp."""
+    wire = message.get("wire")
+    if isinstance(wire, dict):
+        send_ns, recv_ns = wire.get("send_ns"), wire.get("recv_ns")
+        if isinstance(send_ns, int) and isinstance(recv_ns, int):
+            return max(0, recv_ns - send_ns)
+    return None
+
+
+# ----------------------------------------------------------------------
+# The collector: merge per-process traces, build causal trees
+# ----------------------------------------------------------------------
+
+
+def merge_traces(paths) -> list[dict[str, Any]]:
+    """Concatenate the records of several per-process JSONL trace
+    files (each validated like :func:`repro.obs.report.load_trace`)."""
+    from .report import load_trace
+
+    records: list[dict[str, Any]] = []
+    for path in paths:
+        records.extend(load_trace(str(path)))
+    return records
+
+
+class TraceTree:
+    """The spans of one ``trace_id``, linked into a causal tree."""
+
+    def __init__(self, trace_id: str, spans: list[dict[str, Any]]) -> None:
+        self.trace_id = trace_id
+        self.spans = spans
+        self._index = {(s.get("pid", 0), s.get("id")): s for s in spans}
+        self._children: dict[tuple, list[dict]] = {}
+        self.roots: list[dict[str, Any]] = []
+        for span in spans:
+            parent = span.get("parent")
+            if parent is None:
+                self.roots.append(span)
+                continue
+            key = (span.get("parent_pid", span.get("pid", 0)), parent)
+            if key in self._index:
+                self._children.setdefault(key, []).append(span)
+            else:
+                # The parent was traced by a process whose file was not
+                # merged in (or tracing started mid-run): surface the
+                # orphan as a root rather than dropping it.
+                self.roots.append(span)
+
+    @property
+    def root(self) -> dict[str, Any] | None:
+        """The tree's single root when it has exactly one."""
+        return self.roots[0] if len(self.roots) == 1 else None
+
+    @property
+    def connected(self) -> bool:
+        """Does every span hang off one root?"""
+        return len(self.roots) == 1
+
+    @property
+    def duration_ns(self) -> int:
+        root = self.root
+        if root is not None:
+            return root["dur_ns"]
+        return max((s["dur_ns"] for s in self.spans), default=0)
+
+    @property
+    def name(self) -> str:
+        root = self.root
+        attrs = (root or {}).get("attrs", {})
+        return str(attrs.get("txn", self.trace_id))
+
+    def children_of(self, span: dict[str, Any]) -> list[dict[str, Any]]:
+        """Direct children of *span*, in start order per process."""
+        key = (span.get("pid", 0), span.get("id"))
+        kids = self._children.get(key, [])
+        return sorted(kids, key=lambda s: (s.get("pid", 0), s.get("start_ns", 0)))
+
+    def stage_totals(self) -> dict[str, int]:
+        """Summed per-stage nanoseconds over the tree's span attrs."""
+        totals: dict[str, int] = {}
+        for span in self.spans:
+            for stage in STAGES:
+                value = span.get("attrs", {}).get(f"{stage}_ns")
+                if isinstance(value, (int, float)):
+                    totals[stage] = totals.get(stage, 0) + int(value)
+        return totals
+
+    def render(self, *, max_spans: int = 40) -> list[str]:
+        """Indented one-line-per-span rendering of the tree."""
+        lines: list[str] = []
+
+        def visit(span: dict[str, Any], depth: int) -> None:
+            if len(lines) >= max_spans:
+                return
+            attrs = span.get("attrs", {})
+            extras = " ".join(
+                f"{key}={attrs[key]}"
+                for key in ("entity", "site", "status", "result", "outcome")
+                if key in attrs
+            )
+            lines.append(
+                "  " * depth
+                + f"{span['span']}  {span['dur_ns'] / 1e6:.3f} ms"
+                + f"  [pid {span.get('pid', 0)}]"
+                + (f"  {extras}" if extras else "")
+            )
+            for child in self.children_of(span):
+                visit(child, depth + 1)
+
+        for root in sorted(self.roots, key=lambda s: -s["dur_ns"]):
+            visit(root, 0)
+        if len(self.spans) > max_spans:
+            lines.append(f"  ... {len(self.spans) - max_spans} more span(s)")
+        return lines
+
+
+def trace_trees(records: list[dict[str, Any]]) -> list[TraceTree]:
+    """Group *records* by ``trace_id`` into :class:`TraceTree` objects,
+    slowest first.  Spans without a ``trace_id`` (ordinary local spans)
+    are left out."""
+    grouped: dict[str, list[dict[str, Any]]] = {}
+    for record in records:
+        trace_id = record.get("trace_id")
+        if trace_id is not None:
+            grouped.setdefault(trace_id, []).append(record)
+    trees = [TraceTree(trace_id, spans) for trace_id, spans in grouped.items()]
+    return sorted(trees, key=lambda tree: -tree.duration_ns)
+
+
+def _percentile(ordered: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list."""
+    if not ordered:
+        return 0.0
+    rank = max(0, min(len(ordered) - 1, int(round(q * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def stage_rows(records: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Per-stage latency summary rows (count / p50 / p90 / p99 / max,
+    nanoseconds) from the ``<stage>_ns`` attributes of merged trace
+    records."""
+    samples: dict[str, list[float]] = {stage: [] for stage in STAGES}
+    for record in records:
+        attrs = record.get("attrs", {})
+        for stage in STAGES:
+            value = attrs.get(f"{stage}_ns")
+            if isinstance(value, (int, float)):
+                samples[stage].append(float(value))
+    rows = []
+    for stage in STAGES:
+        values = sorted(samples[stage])
+        if not values:
+            continue
+        rows.append(
+            {
+                "stage": stage,
+                "count": len(values),
+                "p50_ns": _percentile(values, 0.50),
+                "p90_ns": _percentile(values, 0.90),
+                "p99_ns": _percentile(values, 0.99),
+                "max_ns": values[-1],
+            }
+        )
+    return rows

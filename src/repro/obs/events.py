@@ -20,10 +20,15 @@ from typing import Iterator
 #: (:mod:`repro.faults`): site/transaction crashes, site recoveries,
 #: victim rollbacks and retry wake-ups.  ``msg`` / ``drop`` belong to
 #: the cluster runtime (:mod:`repro.cluster`): a delivered protocol
-#: message and a network-fault message drop.  ``elect`` / ``failover``
-#: belong to the replication layer (:mod:`repro.replica`): a replica
-#: assuming leadership of its group, and a leader change observed
-#: after the previous leader died mid-run.
+#: message and a network-fault message drop.  ``send`` / ``recv``
+#: are the wire view of the same runtime (:mod:`repro.obs.
+#: distributed`): one frame leaving or reaching a transport endpoint,
+#: with the message kind, byte size and — when a replicated run's
+#: shared logical clock is attached — the clock tick in ``detail``.
+#: ``elect`` / ``failover`` belong to the replication layer
+#: (:mod:`repro.replica`): a replica assuming leadership of its
+#: group, and a leader change observed after the previous leader died
+#: mid-run.
 KINDS = (
     "grant",
     "block",
@@ -37,6 +42,8 @@ KINDS = (
     "retry",
     "msg",
     "drop",
+    "send",
+    "recv",
     "elect",
     "failover",
 )

@@ -296,11 +296,19 @@ class MetricsRegistry:
             for name, metric in sorted(self._metrics.items())
         }
 
-    def reset(self) -> None:
-        """Forget every metric (tests; instrumented code re-resolves
-        its metrics by name at use time, so nothing keeps mutating an
-        orphaned object)."""
-        self._metrics.clear()
+    def reset(self, prefix: str | None = None) -> None:
+        """Forget every metric, or — with *prefix* — only the metrics
+        whose name starts with it (``reset(prefix="repro_cluster_")``
+        is how :func:`repro.cluster.runtime.run_cluster` keeps
+        back-to-back runs in one process from accumulating each
+        other's counters).  Instrumented code re-resolves its metrics
+        by name at use time, so nothing keeps mutating an orphaned
+        object."""
+        if prefix is None:
+            self._metrics.clear()
+            return
+        for name in [n for n in self._metrics if n.startswith(prefix)]:
+            del self._metrics[name]
 
 
 REGISTRY = MetricsRegistry()

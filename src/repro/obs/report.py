@@ -1,11 +1,19 @@
 """Aggregate a JSONL trace into a top-spans table.
 
-``repro trace-report FILE`` funnels here: every record written by
-:mod:`repro.obs.trace` is grouped by span name and summarized as call
-count, **total** time (sum of span durations) and **self** time (total
-minus the time spent in child spans — the number that actually ranks
-where a run went).  Parent/child links are resolved per ``pid``, so a
-trace merged from process-pool workers aggregates correctly.
+``repro trace-report FILE [FILE ...]`` funnels here: every record
+written by :mod:`repro.obs.trace` is grouped by span name and
+summarized as call count, **total** time (sum of span durations) and
+**self** time (total minus the time spent in child spans — the number
+that actually ranks where a run went).  Parent/child links are
+resolved per ``pid``, so a trace merged from process-pool workers
+aggregates correctly.
+
+When the records carry distributed-trace fields
+(:mod:`repro.obs.distributed` — a ``trace_id`` per transaction and
+cross-process parent links), :func:`summarize_files` appends the
+distributed section: the slowest transactions rendered as causal span
+trees, a per-stage wire-latency percentile table, and
+election/failover annotations from ``replica.*`` spans.
 """
 
 from __future__ import annotations
@@ -119,11 +127,112 @@ def render_table(
 
 def summarize(path: str, *, limit: int | None = None) -> str:
     """Load, aggregate and render *path* in one call."""
-    records = load_trace(path)
+    return summarize_files([path], limit=limit)
+
+
+def render_distributed(
+    records: list[dict[str, Any]], *, trees: int = 3
+) -> str | None:
+    """The distributed-trace section for merged *records*: slowest
+    transaction trees, the per-stage latency percentile table, and
+    election annotations.  ``None`` when no record carries a
+    ``trace_id`` (a purely local trace)."""
+    from . import distributed
+
+    forest = distributed.trace_trees(records)
+    if not forest:
+        return None
+    lines = [
+        f"distributed traces: {len(forest)} transaction(s), "
+        f"{sum(len(tree.spans) for tree in forest)} spans, "
+        f"{sum(1 for tree in forest if tree.connected)} fully connected"
+    ]
+    for tree in forest[:trees]:
+        lines.append("")
+        lines.append(
+            f"-- {tree.name}  ({tree.trace_id}, "
+            f"{tree.duration_ns / 1e6:.3f} ms"
+            + ("" if tree.connected else ", DISCONNECTED")
+            + ") --"
+        )
+        lines.extend(tree.render())
+    if len(forest) > trees:
+        lines.append(f"... {len(forest) - trees} more transaction(s)")
+
+    stage_rows = distributed.stage_rows(records)
+    if stage_rows:
+        lines.append("")
+        lines.append("per-stage latency (from span attributes):")
+        headers = ("stage", "count", "p50 ms", "p90 ms", "p99 ms", "max ms")
+        table = [
+            (
+                row["stage"],
+                str(row["count"]),
+                _ms(row["p50_ns"]),
+                _ms(row["p90_ns"]),
+                _ms(row["p99_ns"]),
+                _ms(row["max_ns"]),
+            )
+            for row in stage_rows
+        ]
+        widths = [
+            max(len(headers[i]), *(len(row[i]) for row in table))
+            for i in range(len(headers))
+        ]
+        lines.append(
+            "  "
+            + "  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip()
+        )
+        for row in table:
+            lines.append(
+                "  "
+                + row[0].ljust(widths[0])
+                + "  "
+                + "  ".join(
+                    cell.rjust(w) for cell, w in zip(row[1:], widths[1:])
+                )
+            )
+
+    annotations = [
+        record
+        for record in records
+        if record["span"] in ("replica.campaign", "replica.elect")
+    ]
+    if annotations:
+        lines.append("")
+        lines.append("elections and failovers:")
+        for record in annotations:
+            attrs = record.get("attrs", {})
+            detail = " ".join(
+                f"{key}={attrs[key]}"
+                for key in ("address", "epoch", "won", "clock")
+                if key in attrs
+            )
+            lines.append(
+                f"  {record['span']}  {record['dur_ns'] / 1e6:.3f} ms"
+                + (f"  {detail}" if detail else "")
+            )
+    return "\n".join(lines)
+
+
+def summarize_files(
+    paths: list[str], *, limit: int | None = None, trees: int = 3
+) -> str:
+    """Merge one trace file per process, aggregate, and render — with
+    the distributed section appended when the trace carries
+    cross-process records."""
+    records: list[dict[str, Any]] = []
+    for path in paths:
+        records.extend(load_trace(path))
     rows = aggregate(records)
+    shown = paths[0] if len(paths) == 1 else f"{len(paths)} files"
     header = (
-        f"trace {path}: {len(records)} spans, "
+        f"trace {shown}: {len(records)} spans, "
         f"{len(rows)} distinct names, "
         f"{len({record.get('pid', 0) for record in records})} process(es)"
     )
-    return header + "\n\n" + render_table(rows, limit=limit)
+    output = header + "\n\n" + render_table(rows, limit=limit)
+    section = render_distributed(records, trees=trees)
+    if section is not None:
+        output += "\n\n" + section
+    return output

@@ -26,6 +26,15 @@ by :func:`worker_init` from a pool initializer) and the parent merges
 the per-worker files back into the main file with
 :func:`absorb_worker_traces` when the pool is closed.  Records carry
 their ``pid`` so parent ids never collide across processes.
+
+Concurrent asyncio tasks cannot use the implicit span *stack* — a span
+held open across an ``await`` would adopt children from whichever task
+ran in between.  :func:`detached_span` builds a span with an
+**explicit** parent instead (a local :class:`Span` or a remote
+``(pid, span_id)`` pair) that never touches the stack, plus an
+optional ``trace_id`` that groups every span of one distributed
+transaction across processes.  :mod:`repro.obs.distributed` layers the
+wire propagation and merge model on top.
 """
 
 from __future__ import annotations
@@ -66,15 +75,30 @@ NULL_SPAN = NullSpan()
 class Span:
     """One live span: a named, timed, attributed region of execution."""
 
-    __slots__ = ("tracer", "name", "span_id", "parent_id", "start_ns", "attrs")
+    __slots__ = (
+        "tracer",
+        "name",
+        "span_id",
+        "parent_id",
+        "parent_pid",
+        "trace_id",
+        "start_ns",
+        "attrs",
+        "_detached",
+    )
 
     def __init__(self, tracer: "Tracer", name: str) -> None:
         self.tracer = tracer
         self.name = name
         self.span_id = 0
         self.parent_id: int | None = None
+        #: Set when the parent span lives in another process.
+        self.parent_pid: int | None = None
+        #: Distributed-trace grouping key (:mod:`repro.obs.distributed`).
+        self.trace_id: str | None = None
         self.start_ns = 0
         self.attrs: dict[str, Any] = {}
+        self._detached = False
 
     def __bool__(self) -> bool:
         return True
@@ -88,9 +112,10 @@ class Span:
         tracer = self.tracer
         self.span_id = tracer._next_id
         tracer._next_id += 1
-        stack = tracer._stack
-        self.parent_id = stack[-1].span_id if stack else None
-        stack.append(self)
+        if not self._detached:
+            stack = tracer._stack
+            self.parent_id = stack[-1].span_id if stack else None
+            stack.append(self)
         self.start_ns = time.perf_counter_ns()
         return self
 
@@ -100,12 +125,13 @@ class Span:
             self.attrs["error"] = True
             self.attrs["error_type"] = exc_type.__name__
         tracer = self.tracer
-        if tracer._stack and tracer._stack[-1] is self:
-            tracer._stack.pop()
-        else:  # mis-nested exit; drop up to and including this span
-            while tracer._stack:
-                if tracer._stack.pop() is self:
-                    break
+        if not self._detached:
+            if tracer._stack and tracer._stack[-1] is self:
+                tracer._stack.pop()
+            else:  # mis-nested exit; drop up to and including this span
+                while tracer._stack:
+                    if tracer._stack.pop() is self:
+                        break
         tracer._write(self, end_ns)
         return False
 
@@ -136,6 +162,10 @@ class Tracer:
         }
         if span.parent_id is not None:
             record["parent"] = span.parent_id
+            if span.parent_pid is not None and span.parent_pid != self._pid:
+                record["parent_pid"] = span.parent_pid
+        if span.trace_id is not None:
+            record["trace_id"] = span.trace_id
         if span.attrs:
             record["attrs"] = _jsonable(span.attrs)
         self._file.write(json.dumps(record) + "\n")
@@ -230,6 +260,45 @@ def current_span():
     if tracer is None or not tracer._stack:
         return NULL_SPAN
     return tracer._stack[-1]
+
+
+def detached_span(
+    name: str,
+    *,
+    trace_id: str | None = None,
+    parent: "Span | tuple[int, int] | None" = None,
+):
+    """A span with an **explicit** parent that never touches the
+    tracer's span stack — the form concurrent asyncio tasks must use,
+    since a stack-based span held open across an ``await`` would adopt
+    children from unrelated tasks.
+
+    *parent* is a local :class:`Span` (the child inherits its
+    ``trace_id`` unless one is given) or a remote ``(pid, span_id)``
+    pair from another process' trace context.  Returns
+    :data:`NULL_SPAN` while tracing is off.
+    """
+    tracer = _tracer
+    if tracer is None:
+        return NULL_SPAN
+    span = Span(tracer, name)
+    span._detached = True
+    span.trace_id = trace_id
+    if isinstance(parent, Span):
+        span.parent_id = parent.span_id
+        if trace_id is None:
+            span.trace_id = parent.trace_id
+    elif parent is not None:
+        pid, span_id = parent
+        span.parent_id = span_id
+        span.parent_pid = pid
+    return span
+
+
+def tracer_pid() -> int:
+    """The pid the active tracer stamps into records (this process);
+    0 when tracing is off."""
+    return _tracer._pid if _tracer is not None else 0
 
 
 # ----------------------------------------------------------------------

@@ -21,50 +21,37 @@ from ..obs.metrics import REGISTRY
 #: Address stride between logical sites (bounds replicas per site).
 ADDRESS_STRIDE = 1000
 
-_LEASE_EPOCH = None
-_ELECTIONS = None
-_FAILOVERS = None
-_LOG_LAG = None
 
-
+# Metric handles are resolved by name per call, never cached at module
+# scope: ``REGISTRY.reset()`` between back-to-back runs would otherwise
+# leave these functions mutating orphaned objects while the registry
+# reports zeros.
 def _lease_epoch_gauge():
-    global _LEASE_EPOCH
-    if _LEASE_EPOCH is None:
-        _LEASE_EPOCH = REGISTRY.gauge(
-            "repro_replica_lease_epoch",
-            "Current lease epoch of each logical site's replica group.",
-        )
-    return _LEASE_EPOCH
+    return REGISTRY.gauge(
+        "repro_replica_lease_epoch",
+        "Current lease epoch of each logical site's replica group.",
+    )
 
 
 def _elections_counter():
-    global _ELECTIONS
-    if _ELECTIONS is None:
-        _ELECTIONS = REGISTRY.counter(
-            "repro_replica_elections_total",
-            "Leadership assumptions (boot leaders included) per site.",
-        )
-    return _ELECTIONS
+    return REGISTRY.counter(
+        "repro_replica_elections_total",
+        "Leadership assumptions (boot leaders included) per site.",
+    )
 
 
 def _failovers_counter():
-    global _FAILOVERS
-    if _FAILOVERS is None:
-        _FAILOVERS = REGISTRY.counter(
-            "repro_replica_failovers_total",
-            "Leader changes after the boot leader, per site.",
-        )
-    return _FAILOVERS
+    return REGISTRY.counter(
+        "repro_replica_failovers_total",
+        "Leader changes after the boot leader, per site.",
+    )
 
 
 def _log_lag_gauge():
-    global _LOG_LAG
-    if _LOG_LAG is None:
-        _LOG_LAG = REGISTRY.gauge(
-            "repro_replica_log_lag",
-            "Replication records the slowest follower trails the leader by.",
-        )
-    return _LOG_LAG
+    return REGISTRY.gauge(
+        "repro_replica_log_lag",
+        "Replication records the slowest follower trails the leader by.",
+    )
 
 
 def replica_address(site: int, index: int) -> int:

@@ -21,8 +21,9 @@ from dataclasses import dataclass, field
 
 from ..core.schedule import TransactionSystem
 from ..core.transaction import Transaction
-from ..obs import trace
+from ..obs import distributed, trace
 from ..obs.events import EventLog
+from ..obs.metrics import REGISTRY
 from ..sim.analysis import (
     serial_witness_from_site_orders,
     serializable_from_site_orders,
@@ -111,6 +112,7 @@ async def run_replicated_cluster(
     grant_timeout: int | None = None,
     request_timeout: float | None = None,
     gateway: Gateway | None = None,
+    wire_metrics: bool = False,
 ) -> ReplicaReport:
     """Execute *rounds* copies of *system* on a replicated cluster.
 
@@ -120,6 +122,11 @@ async def run_replicated_cluster(
     one vote or ship round-trip against a dead replica.  With any
     fault plan, *request_timeout* is required: failover is driven by
     clients timing out against the killed leader.
+
+    Like :func:`run_cluster`, the run starts by resetting the
+    ``repro_cluster_*`` and ``repro_replica_*`` metrics so
+    back-to-back runs never accumulate each other's counts, and
+    *wire_metrics* turns on the per-stage wire-latency histograms.
     """
     if rounds < 1:
         raise ClusterError(f"need at least one round, got {rounds}")
@@ -135,6 +142,11 @@ async def run_replicated_cluster(
                 "a killed leader answers nothing, and the client timeout "
                 "is what triggers re-resolution and failover"
             )
+
+    REGISTRY.reset(prefix="repro_cluster_")
+    REGISTRY.reset(prefix="repro_replica_")
+    if wire_metrics:
+        distributed.WIRE.enable_metrics()
 
     started = time.perf_counter()
     if isinstance(transport, Transport):
@@ -172,6 +184,10 @@ async def run_replicated_cluster(
             mode = "unvetted"
 
         clock = LogicalClock()
+        if event_log is not None:
+            # Wire events (send/recv) carry the shared clock tick, so
+            # the timeline lines up with lease ages and elections.
+            distributed.WIRE.attach(event_log, clock=clock)
         registry = GroupRegistry()
         groups: list[ReplicaGroup] = []
         for site in range(1, system.database.sites + 1):
@@ -276,6 +292,10 @@ async def run_replicated_cluster(
                 await live_transport.close()
             if own_gateway and gateway is not None:
                 gateway.close()
+            if wire_metrics:
+                distributed.WIRE.disable_metrics()
+            if event_log is not None:
+                distributed.WIRE.detach()
 
         recovery: list[dict] = []
         if faults is not None:

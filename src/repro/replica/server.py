@@ -39,6 +39,7 @@ from ..cluster import protocol
 from ..cluster.coordinator import _SiteClient
 from ..cluster.siteserver import SiteServer
 from ..cluster.transport import Connection, TransportError
+from ..obs import trace
 from ..obs.events import EventLog
 from .clock import LogicalClock
 from .faults import ReplicaFaultAdapter
@@ -233,12 +234,19 @@ class ReplicaServer(SiteServer):
             client = _SiteClient(connection, address=follower)
             self._ship_clients[follower] = client
         try:
+            fields = {
+                "epoch": self.epoch,
+                "leader": self.address,
+                "records": records,
+            }
+            if self._trace_ctx is not None:
+                # Ships triggered by a traced client mutation parent
+                # the follower's replicate span under that request.
+                fields["trace"] = self._trace_ctx
             reply = await client.request(
                 "replicate",
                 timeout=self.replication_timeout,
-                epoch=self.epoch,
-                leader=self.address,
-                records=records,
+                **fields,
             )
         except TransportError:
             self._suspect_followers.add(follower)
@@ -407,6 +415,15 @@ class ReplicaServer(SiteServer):
     async def _campaign(self) -> bool:
         """One election attempt; True iff this replica took the lease."""
         self._campaigning = True
+        with trace.detached_span("replica.campaign") as campaign_span:
+            if campaign_span:
+                campaign_span.set(address=self.address, clock=self.clock.now)
+            won = await self._campaign_inner()
+            if campaign_span:
+                campaign_span.set(won=won, epoch=self.epoch)
+            return won
+
+    async def _campaign_inner(self) -> bool:
         try:
             # Stamp this replica's index into the epoch (epoch mod
             # group size) so simultaneous candidates always campaign
@@ -466,6 +483,9 @@ class ReplicaServer(SiteServer):
                 return
 
     def _become_leader(self, epoch: int) -> None:
+        with trace.detached_span("replica.elect") as span:
+            if span:
+                span.set(address=self.address, epoch=epoch, clock=self.clock.now)
         self.role = "leader"
         self.epoch = epoch
         self.leader_address = self.address
@@ -495,6 +515,7 @@ class ReplicaServer(SiteServer):
                 del self._pending[(txn, entity)]
                 if pending.timer is not None:
                     pending.timer.cancel()
+                self._finish_wait(pending, "not-leader")
                 self.locks.withdraw(entity, txn)
                 await self._safe_send(
                     pending.connection,
@@ -516,6 +537,8 @@ class ReplicaServer(SiteServer):
         except TransportError:
             return None
         try:
+            if self._trace_ctx is not None and "trace" not in fields:
+                fields["trace"] = self._trace_ctx
             await connection.send(protocol.request(kind, 1, **fields))
             return await asyncio.wait_for(connection.recv(), timeout)
         except (asyncio.TimeoutError, TransportError):

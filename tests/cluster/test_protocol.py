@@ -1,5 +1,7 @@
 """The length-prefixed JSON wire protocol."""
 
+import asyncio
+
 import pytest
 
 from repro.cluster import protocol
@@ -61,3 +63,57 @@ class TestMessages:
 
     def test_kind_tables_are_disjoint(self):
         assert not set(protocol.REQUEST_KINDS) & set(protocol.PEER_KINDS)
+
+
+class TestTraceContext:
+    """The optional ``trace``/``wire`` fields ride the frame untouched."""
+
+    def test_trace_field_survives_the_roundtrip(self):
+        message = {
+            "type": "lock",
+            "id": 7,
+            "txn": "T1",
+            "entity": "x",
+            "trace": {"id": "T1#42.1", "span": 3, "pid": 42},
+            "wire": {"send_ns": 123456789},
+        }
+        assert protocol.decode(protocol.encode(message)) == message
+
+    def test_messages_without_trace_still_decode(self):
+        message = {"type": "lock", "id": 7, "txn": "T1", "entity": "x"}
+        decoded = protocol.decode(protocol.encode(message))
+        assert decoded == message
+        assert "trace" not in decoded
+
+
+class TestReadFrame:
+    def _read(self, data, reads=1):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(data)
+            reader.feed_eof()
+            return [await protocol.read_frame(reader) for _ in range(reads)]
+
+        return asyncio.run(scenario())
+
+    def test_counts_frame_bytes(self):
+        frame = protocol.encode({"type": "ping", "id": 1})
+        ((message, nbytes),) = self._read(frame)
+        assert message == {"type": "ping", "id": 1}
+        assert nbytes == len(frame)
+
+    def test_eof_yields_none_and_zero(self):
+        ((message, nbytes),) = self._read(b"")
+        assert message is None
+        assert nbytes == 0
+
+    def test_read_message_still_returns_bare_messages(self):
+        frame = protocol.encode({"type": "ping", "id": 2})
+
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(frame)
+            reader.feed_eof()
+            return await protocol.read_message(reader)
+
+        assert asyncio.run(scenario()) == {"type": "ping", "id": 2}

@@ -1,0 +1,124 @@
+"""Distributed tracing and wire metrics through the cluster runtime."""
+
+import pytest
+
+from repro.cluster import run_cluster_sync
+from repro.obs import trace
+from repro.obs.distributed import WIRE, merge_traces, trace_trees
+from repro.obs.events import EventLog
+from repro.obs.metrics import REGISTRY
+from repro.obs.report import summarize_files
+
+
+@pytest.fixture(autouse=True)
+def clean_wire_globals():
+    """These tests flip process-global switches; leave them off."""
+    yield
+    trace.stop_tracing()
+    WIRE.disable_metrics()
+    WIRE.detach()
+    REGISTRY.reset(prefix="repro_cluster_")
+
+
+def _traced_run(system, path, **kwargs):
+    trace.start_tracing(str(path))
+    try:
+        return run_cluster_sync(system, max_retries=16, **kwargs)
+    finally:
+        trace.stop_tracing()
+
+
+class TestDistributedTracing:
+    def test_one_connected_tree_per_transaction(
+        self, deadlock_prone_system, tmp_path
+    ):
+        path = tmp_path / "trace.jsonl"
+        report = _traced_run(deadlock_prone_system, path, rounds=2, seed=3)
+        assert report.committed == report.transactions == 4
+        forest = trace_trees(merge_traces([str(path)]))
+        assert len(forest) == 4
+        assert all(tree.connected for tree in forest)
+        names = {tree.root["span"] for tree in forest}
+        assert names == {"txn.run"}
+
+    def test_site_spans_hang_off_coordinator_steps(
+        self, deadlock_prone_system, tmp_path
+    ):
+        path = tmp_path / "trace.jsonl"
+        _traced_run(deadlock_prone_system, path, rounds=1, seed=3)
+        spans = {r["span"] for r in merge_traces([str(path)])}
+        assert {"txn.run", "txn.step", "txn.commit", "site.lock"} <= spans
+
+    def test_trace_report_renders_distributed_section(
+        self, deadlock_prone_system, tmp_path
+    ):
+        path = tmp_path / "trace.jsonl"
+        _traced_run(deadlock_prone_system, path, rounds=1, seed=3)
+        text = summarize_files([str(path)])
+        assert "distributed traces:" in text
+        assert "per-stage latency" in text
+        assert "txn.run" in text
+
+    def test_untraced_run_keeps_messages_clean(self, deadlock_prone_system):
+        report = run_cluster_sync(
+            deadlock_prone_system, rounds=1, seed=3, max_retries=16
+        )
+        assert report.committed == report.transactions
+
+
+class TestWireMetrics:
+    def test_all_stages_recorded(self, deadlock_prone_system):
+        run_cluster_sync(
+            deadlock_prone_system,
+            rounds=1,
+            seed=3,
+            max_retries=16,
+            wire_metrics=True,
+        )
+        series = REGISTRY.get("repro_cluster_latency_ns").to_dict()["series"]
+        stages = {
+            stage
+            for stage in ("encode", "transport", "server_queue", "lock_wait", "hold")
+            if any(f'stage="{stage}"' in key for key in series)
+        }
+        assert len(stages) == 5
+        assert REGISTRY.get("repro_cluster_messages_total") is not None
+        assert REGISTRY.get("repro_cluster_bytes_total") is not None
+
+    def test_back_to_back_runs_do_not_accumulate(self, deadlock_prone_system):
+        def total_messages():
+            metric = REGISTRY.get("repro_cluster_messages_total")
+            return sum(metric.to_dict()["series"].values())
+
+        counts = []
+        for _ in range(2):
+            run_cluster_sync(
+                deadlock_prone_system,
+                rounds=1,
+                seed=3,
+                max_retries=16,
+                wire_metrics=True,
+            )
+            counts.append(total_messages())
+        assert counts[0] == counts[1]
+
+    def test_disabled_run_creates_no_wire_metrics(self, deadlock_prone_system):
+        run_cluster_sync(
+            deadlock_prone_system, rounds=1, seed=3, max_retries=16
+        )
+        assert REGISTRY.get("repro_cluster_latency_ns") is None
+        assert REGISTRY.get("repro_cluster_bytes_total") is None
+
+    def test_event_log_gains_send_recv(self, deadlock_prone_system):
+        event_log = EventLog()
+        run_cluster_sync(
+            deadlock_prone_system,
+            rounds=1,
+            seed=3,
+            max_retries=16,
+            event_log=event_log,
+        )
+        kinds = {event.kind for event in event_log}
+        assert {"send", "recv"} <= kinds
+        sends = [e for e in event_log if e.kind == "send"]
+        assert all(e.detail and "B" in e.detail for e in sends)

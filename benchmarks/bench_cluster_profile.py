@@ -1,23 +1,25 @@
 """E15 — wire-latency decomposition: where a distributed lock's time goes.
 
 Series: the deadlock-capable two-site transfer pair (reused from E14)
-executed three ways — the in-process lock-step simulator, the cluster
-runtime over the deterministic memory transport, and the same runtime
-over real TCP sockets — with the :data:`repro.obs.distributed.WIRE`
-observer feeding the per-stage latency histograms
-(``repro_cluster_latency_ns{stage=...}``).  The simulator has no wire,
-so its sample is throughput plus mean wall latency per transaction; the
-two transports decompose into the five stages (encode, transport,
-server_queue, lock_wait, hold) so the memory-vs-TCP gap can be read as
-"which stage the sockets actually cost".
+executed as the in-process lock-step simulator plus the cluster runtime
+over every protocol configuration — {memory, tcp} transport x {json,
+binary} codec x {nobatch, batch} step shipping — with the
+:data:`repro.obs.distributed.WIRE` observer feeding the per-stage
+latency histograms (``repro_cluster_latency_ns{stage=...}``).  The
+simulator has no wire, so its sample is throughput plus mean wall
+latency per transaction; the cluster cells decompose into the five
+stages (encode, transport, server_queue, lock_wait, hold) so the
+before/after of batching and binary framing can be read per stage.
 
 The claims under test:
 
 * with ``wire_metrics=True`` every one of the five stages records at
-  least one sample on both transports (the workload deadlocks, so
+  least one sample in every cell (the workload deadlocks, so
   ``lock_wait`` is exercised, not just the happy path);
 * the per-stage aggregates survive into ``results/BENCH_profile.json``
-  (count, mean and total nanoseconds per stage and transport);
+  (count, mean and total nanoseconds per stage and cell), alongside
+  the batch-frame step counter (``repro_cluster_batched_steps_total``)
+  for the batch cells;
 * a traced memory run produces a merged span forest in which every
   committed transaction's tree is fully connected across processes
   (coordinator and site spans linked by the wire trace context).
@@ -36,7 +38,7 @@ from repro.obs.metrics import REGISTRY
 from repro.sim import RandomDriver, run_once
 
 from _series import RESULTS_DIR, report, table, write_bench
-from bench_cluster_throughput import transfer_pair
+from bench_cluster_throughput import BATCHING, CODECS, cell_key, transfer_pair
 
 QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
 ROUNDS = 10 if QUICK else 200
@@ -71,6 +73,21 @@ def stage_aggregates() -> dict:
     }
 
 
+def batched_steps_total() -> int:
+    """Steps carried inside batch frames (sent direction), read off
+    ``repro_cluster_batched_steps_total`` after a run."""
+    counter = REGISTRY.get("repro_cluster_batched_steps_total")
+    if counter is None:
+        return 0
+    return round(
+        sum(
+            values
+            for selector, values in counter.to_dict().get("series", {}).items()
+            if 'direction="sent"' in selector
+        )
+    )
+
+
 def test_cluster_profile(benchmark):
     system = transfer_pair()
     samples = {}
@@ -90,34 +107,41 @@ def test_cluster_profile(benchmark):
     }
 
     for transport in ("memory", "tcp"):
-        cluster_report = run_cluster_sync(
-            system,
-            transport=transport,
-            rounds=ROUNDS,
-            seed=SEED,
-            max_retries=MAX_RETRIES,
-            concurrency=CONCURRENCY,
-            request_timeout=30.0 if transport == "tcp" else None,
-            wire_metrics=True,
-        )
-        stages = stage_aggregates()
-        samples[transport] = {
-            "transactions": cluster_report.transactions,
-            "committed": cluster_report.committed,
-            "seconds": round(cluster_report.wall_seconds, 4),
-            "txn_per_s": round(
-                cluster_report.transactions / cluster_report.wall_seconds
-                if cluster_report.wall_seconds
-                else float("inf"),
-                1,
-            ),
-            "stages": stages,
-        }
-        for stage in STAGES:
-            assert stages[stage]["count"] > 0, (transport, stage)
-        assert cluster_report.committed == cluster_report.transactions, (
-            transport
-        )
+        for codec in CODECS:
+            for batch in BATCHING:
+                cluster_report = run_cluster_sync(
+                    system,
+                    transport=transport,
+                    rounds=ROUNDS,
+                    seed=SEED,
+                    max_retries=MAX_RETRIES,
+                    concurrency=CONCURRENCY,
+                    request_timeout=30.0 if transport == "tcp" else None,
+                    codec=codec,
+                    batch=batch,
+                    wire_metrics=True,
+                )
+                stages = stage_aggregates()
+                batched = batched_steps_total()
+                key = cell_key(transport, codec, batch)
+                samples[key] = {
+                    "transactions": cluster_report.transactions,
+                    "committed": cluster_report.committed,
+                    "seconds": round(cluster_report.wall_seconds, 4),
+                    "txn_per_s": round(
+                        cluster_report.transactions / cluster_report.wall_seconds
+                        if cluster_report.wall_seconds
+                        else float("inf"),
+                        1,
+                    ),
+                    "batched_steps": batched,
+                    "stages": stages,
+                }
+                for stage in STAGES:
+                    assert stages[stage]["count"] > 0, (key, stage)
+                # Batch frames carry steps exactly when batching is on.
+                assert (batched > 0) == batch, key
+                assert cluster_report.committed == cluster_report.transactions, key
 
     # Traced memory run: the merged span forest must link coordinator
     # and site spans into one connected tree per transaction.
@@ -156,21 +180,24 @@ def test_cluster_profile(benchmark):
 
     rows = []
     for transport in ("memory", "tcp"):
-        for stage in STAGES:
-            entry = samples[transport]["stages"][stage]
-            rows.append(
-                (
-                    transport,
-                    stage,
-                    entry["count"],
-                    f"{(entry['mean_ns'] or 0) / 1e3:.1f}",
-                    f"{entry['total_ns'] / 1e6:.1f}",
-                )
-            )
+        for codec in CODECS:
+            for batch in BATCHING:
+                key = cell_key(transport, codec, batch)
+                for stage in STAGES:
+                    entry = samples[key]["stages"][stage]
+                    rows.append(
+                        (
+                            key,
+                            stage,
+                            entry["count"],
+                            f"{(entry['mean_ns'] or 0) / 1e3:.1f}",
+                            f"{entry['total_ns'] / 1e6:.1f}",
+                        )
+                    )
     report(
         "E15-cluster-profile",
         f"transfer pair x {ROUNDS} rounds, per-stage wire-latency decomposition",
-        table(["path", "stage", "samples", "mean us", "total ms"], rows)
+        table(["cell", "stage", "samples", "mean us", "total ms"], rows)
         + [
             f"simulator mean txn: {samples['simulator']['mean_txn_ns']} ns",
             f"traced run: {samples['traced_memory']['connected']}/"
@@ -187,6 +214,8 @@ def test_cluster_profile(benchmark):
             "concurrency": CONCURRENCY,
             "sites": 2,
             "stages": list(STAGES),
+            "codecs": list(CODECS),
+            "batching": ["nobatch", "batch"],
         },
         samples=samples,
     )

@@ -1,23 +1,30 @@
-"""E14 — cluster throughput: simulator vs memory transport vs TCP.
+"""E14 — cluster throughput: simulator vs memory/TCP per codec×batch cell.
 
 Series: the safe two-site transfer pair (two 2PL transactions locking
 ``x`` and ``y`` in opposite orders — deadlock-capable, so the run
-exercises probes and retries, not just the happy path) executed three
-ways: the in-process lock-step simulator (:func:`repro.sim.run_once`),
-the full :mod:`repro.cluster` runtime over the deterministic memory
-transport, and the same runtime over real TCP sockets on loopback.
+exercises probes and retries, not just the happy path) executed as the
+in-process lock-step simulator (:func:`repro.sim.run_once`) plus the
+full :mod:`repro.cluster` runtime over every protocol configuration:
+{memory, tcp} transport x {json, binary} wire codec x {nobatch, batch}
+step shipping.  Cell keys read ``tcp:binary:batch``.
 
 The claims under test are the cluster runtime's contracts:
 
-* every committed history is conflict-serializable — re-audited here
-  with :func:`repro.sim.analysis.serializable_from_site_orders`
-  directly on the reported site orders, not just the report flag;
-* in full mode the TCP path executes >= 1000 transactions;
-* the memory transport is deterministic: the same seed yields the same
-  per-entity committed orders (equal history fingerprints).
+* every committed history in every cell is conflict-serializable —
+  re-audited with :func:`repro.sim.analysis.serializable_from_site_orders`
+  directly on the reported site orders, not just the report flag — and
+  the audit saw every site (``audit_complete``);
+* in full mode every TCP cell executes >= 1000 transactions, all
+  committed;
+* the memory transport is deterministic *per configuration*: the same
+  seed yields the same history and outcome fingerprints on a rerun;
+* the wire codec is invisible to scheduling: json and binary memory
+  runs of the same batch mode produce identical outcome fingerprints.
 
 Throughput lands in ``results/BENCH_cluster.json`` in the standard
-envelope.  ``REPRO_BENCH_QUICK=1`` shrinks the sweep for smoke runs.
+envelope; ``tools/check_bench_regression.py`` compares those numbers
+against ``benchmarks/baselines.json`` in CI.  ``REPRO_BENCH_QUICK=1``
+shrinks the sweep for smoke runs.
 """
 
 import os
@@ -42,6 +49,8 @@ SEED = 14
 #: transaction commit rather than exhaust retries.
 MAX_RETRIES = 16
 CONCURRENCY = 4
+CODECS = ("json", "binary")
+BATCHING = (False, True)
 
 
 def transfer_pair():
@@ -62,6 +71,10 @@ def transfer_pair():
     return TransactionSystem(
         [chain("T1", ["x", "y"]), chain("T2", ["y", "x"])]
     )
+
+
+def cell_key(transport: str, codec: str, batch: bool) -> str:
+    return f"{transport}:{codec}:{'batch' if batch else 'nobatch'}"
 
 
 def _throughput(transactions, seconds):
@@ -85,40 +98,69 @@ def test_cluster_throughput(benchmark):
 
     reports = {}
     for transport in ("memory", "tcp"):
-        cluster_report = run_cluster_sync(
-            system,
-            transport=transport,
-            rounds=ROUNDS,
-            seed=SEED,
-            max_retries=MAX_RETRIES,
-            concurrency=CONCURRENCY,
-            request_timeout=30.0 if transport == "tcp" else None,
-        )
-        reports[transport] = cluster_report
-        samples[transport] = {
-            "transactions": cluster_report.transactions,
-            "committed": cluster_report.committed,
-            "seconds": round(cluster_report.wall_seconds, 4),
-            "txn_per_s": round(
-                _throughput(
-                    cluster_report.transactions, cluster_report.wall_seconds
-                ),
-                1,
-            ),
-            "serializable": cluster_report.serializable,
-            "history_fingerprint": cluster_report.history_fingerprint,
-            "outcome_fingerprint": cluster_report.outcome_fingerprint,
-        }
+        for codec in CODECS:
+            for batch in BATCHING:
+                cluster_report = run_cluster_sync(
+                    system,
+                    transport=transport,
+                    rounds=ROUNDS,
+                    seed=SEED,
+                    max_retries=MAX_RETRIES,
+                    concurrency=CONCURRENCY,
+                    request_timeout=30.0 if transport == "tcp" else None,
+                    codec=codec,
+                    batch=batch,
+                )
+                key = cell_key(transport, codec, batch)
+                reports[key] = cluster_report
+                samples[key] = {
+                    "transactions": cluster_report.transactions,
+                    "committed": cluster_report.committed,
+                    "seconds": round(cluster_report.wall_seconds, 4),
+                    "txn_per_s": round(
+                        _throughput(
+                            cluster_report.transactions,
+                            cluster_report.wall_seconds,
+                        ),
+                        1,
+                    ),
+                    "messages": cluster_report.messages,
+                    "serializable": cluster_report.serializable,
+                    "audit_complete": cluster_report.audit_complete,
+                    "history_fingerprint": cluster_report.history_fingerprint,
+                    "outcome_fingerprint": cluster_report.outcome_fingerprint,
+                }
 
-    # Determinism of the memory transport: same seed, same history.
-    rerun = run_cluster_sync(
-        system, transport="memory", rounds=ROUNDS, seed=SEED,
-        max_retries=MAX_RETRIES, concurrency=CONCURRENCY,
-    )
+    # Determinism of the memory transport, per configuration: the same
+    # seed replays the same history and the same retry schedules.
+    for codec in CODECS:
+        for batch in BATCHING:
+            key = cell_key("memory", codec, batch)
+            rerun = run_cluster_sync(
+                system,
+                transport="memory",
+                rounds=ROUNDS,
+                seed=SEED,
+                max_retries=MAX_RETRIES,
+                concurrency=CONCURRENCY,
+                codec=codec,
+                batch=batch,
+            )
+            assert rerun.history_fingerprint == reports[key].history_fingerprint, key
+            assert rerun.outcome_fingerprint == reports[key].outcome_fingerprint, key
+
+    # The codec only changes bytes on the wire, never scheduling: json
+    # and binary memory runs of one batch mode agree on every outcome.
+    for batch in BATCHING:
+        assert (
+            reports[cell_key("memory", "json", batch)].outcome_fingerprint
+            == reports[cell_key("memory", "binary", batch)].outcome_fingerprint
+        ), f"codec changed the memory-transport outcome (batch={batch})"
 
     benchmark(
         lambda: run_cluster_sync(
-            system, rounds=2, seed=SEED, max_retries=MAX_RETRIES
+            system, rounds=2, seed=SEED, max_retries=MAX_RETRIES,
+            codec="binary", batch=True,
         )
     )
 
@@ -131,15 +173,15 @@ def test_cluster_throughput(benchmark):
         )
         for name, row in samples.items()
     ]
+    batch_tcp = samples[cell_key("tcp", "binary", True)]["txn_per_s"]
+    plain_tcp = samples[cell_key("tcp", "json", False)]["txn_per_s"]
     report(
         "E14-cluster-throughput",
-        f"transfer pair x {ROUNDS} rounds, simulator vs cluster transports",
-        table(["path", "txns", "seconds", "txn/s"], rows)
+        f"transfer pair x {ROUNDS} rounds, codec x batching cells",
+        table(["cell", "txns", "seconds", "txn/s"], rows)
         + [
-            "memory-transport determinism: "
-            f"{rerun.history_fingerprint == reports['memory'].history_fingerprint}",
-            "outcome determinism (incl. retry schedules): "
-            f"{rerun.outcome_fingerprint == reports['memory'].outcome_fingerprint}",
+            "tcp binary+batch over json+nobatch: "
+            f"{batch_tcp / plain_tcp:.2f}x" if plain_tcp else "n/a",
         ],
     )
     write_bench(
@@ -150,19 +192,18 @@ def test_cluster_throughput(benchmark):
             "max_retries": MAX_RETRIES,
             "concurrency": CONCURRENCY,
             "sites": 2,
+            "codecs": list(CODECS),
+            "batching": ["nobatch", "batch"],
         },
         samples=samples,
     )
 
-    for transport, cluster_report in reports.items():
-        assert cluster_report.committed == cluster_report.transactions, (
-            transport
-        )
+    for key, cluster_report in reports.items():
+        assert cluster_report.committed == cluster_report.transactions, key
+        assert cluster_report.audit_complete, key
         # Re-audit the committed site orders independently of the flag.
-        assert serializable_from_site_orders(cluster_report.site_orders), (
-            transport
-        )
+        assert serializable_from_site_orders(cluster_report.site_orders), key
     if not QUICK:
-        assert reports["tcp"].transactions >= 1000
-    assert rerun.history_fingerprint == reports["memory"].history_fingerprint
-    assert rerun.outcome_fingerprint == reports["memory"].outcome_fingerprint
+        for codec in CODECS:
+            for batch in BATCHING:
+                assert reports[cell_key("tcp", codec, batch)].transactions >= 1000

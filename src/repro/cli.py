@@ -516,6 +516,9 @@ def cmd_cluster_run(args: argparse.Namespace) -> int:
         grant_timeout=args.grant_timeout,
         request_timeout=args.request_timeout,
         wire_metrics=args.metrics,
+        codec=args.codec,
+        batch=args.batch,
+        use_uvloop=args.uvloop,
     )
     if args.replicas > 1:
         from .replica import run_replicated_sync
@@ -912,6 +915,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-request round-trip bound (needed under message drops)",
     )
     cluster_run.add_argument(
+        "--codec",
+        choices=("json", "binary"),
+        default="json",
+        help="wire codec offered to every site via hello negotiation "
+        "(default json; binary falls back to json against old peers)",
+    )
+    batch_group = cluster_run.add_mutually_exclusive_group()
+    batch_group.add_argument(
+        "--batch",
+        dest="batch",
+        action="store_true",
+        help="pipeline all currently-eligible same-site steps in one "
+        "batch frame per round trip",
+    )
+    batch_group.add_argument(
+        "--no-batch",
+        dest="batch",
+        action="store_false",
+        help="one request frame per step (the default)",
+    )
+    cluster_run.add_argument(
+        "--uvloop",
+        action="store_true",
+        help="run on uvloop when installed (silently ignored when not)",
+    )
+    cluster_run.add_argument(
         "--events",
         action="store_true",
         help="collect and print the cluster event timeline",
@@ -920,7 +949,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_fault_flags(cluster_run)
     add_obs_flags(cluster_run)
     cluster_run.set_defaults(
-        func=cmd_cluster_run, deadlock_policy="abort-youngest"
+        func=cmd_cluster_run, deadlock_policy="abort-youngest", batch=False
     )
 
     cluster_serve = cluster_sub.add_parser(

@@ -10,6 +10,14 @@ all its predecessors are acked — is what the property test in
 ``tests/cluster/test_partial_order.py`` checks against random
 workloads.
 
+With ``batch=True`` the invariant relaxes to *pipelining*: all
+currently-eligible steps bound for one site ship in a single ``batch``
+frame, and a step co-batched **behind its predecessor in the same
+frame** counts as ordered (the site processes batch steps strictly in
+order), so a chain of same-site steps costs one round trip instead of
+one per step.  Shorter round trips mean shorter lock hold windows,
+which the E15 stage decomposition shows dominate cluster latency.
+
 A reply of ``deadlock`` (a probe cycle chose this transaction as
 victim), ``timeout`` (a site's lock-grant timer fired) or ``aborted``
 (a racing release) makes the attempt fail: the coordinator sends
@@ -125,6 +133,85 @@ class _SiteClient:
             self._waiters.pop(request_id, None)
             return {"type": "reply", "id": request_id, "status": "timeout"}
 
+    async def negotiate(self, codec: protocol.WireCodec, *, timeout: int | None = None) -> None:
+        """Offer *codec* via a ``hello`` exchange; the connection
+        switches to it only if the site picks it.  A peer that predates
+        ``hello`` answers ``error`` and the connection stays on JSON —
+        mixed versions always interoperate.  JSON needs no exchange."""
+        if codec.name == protocol.JSON_CODEC.name:
+            return
+        try:
+            reply = await self.request("hello", timeout=timeout, codecs=[codec.name, "json"])
+        except TransportError:
+            return
+        if reply.get("status") == "hello" and reply.get("codec") in protocol.CODECS:
+            self.connection.codec = protocol.CODECS[reply["codec"]]
+
+    async def request_batch(
+        self,
+        steps: list[dict],
+        *,
+        timeout: int | None = None,
+        **fields,
+    ) -> list[tuple[int, asyncio.Future]]:
+        """Ship several *steps* of one transaction in a single frame.
+
+        Each step spec is ``{"op", "entity"[, "step"]}``; this client
+        assigns the per-step ids.  Returns ``(step_id, future)`` pairs
+        aligned with *steps* — each future resolves to the step's
+        *final* reply.  Inline batch results resolve them immediately,
+        except ``queued``, whose final status arrives in a later
+        individual frame (granted / timeout / deadlock / cancelled)
+        through the ordinary id routing.  A batch-level failure (e.g. a
+        replica's ``not-leader`` redirect, or a reply timeout) resolves
+        every still-pending step future with that failure.
+        """
+        loop = asyncio.get_running_loop()
+        wire_steps: list[dict] = []
+        pairs: list[tuple[int, asyncio.Future]] = []
+        for spec in steps:
+            self._next_id += 1
+            step_id = self._next_id
+            future: asyncio.Future = loop.create_future()
+            self._waiters[step_id] = future
+            wire_steps.append({"id": step_id, **spec})
+            pairs.append((step_id, future))
+        self._next_id += 1
+        batch_id = self._next_id
+        batch_future: asyncio.Future = loop.create_future()
+        self._waiters[batch_id] = batch_future
+        await self.connection.send(
+            protocol.request("batch", batch_id, steps=wire_steps, **fields)
+        )
+        try:
+            if timeout is None:
+                reply = await batch_future
+            else:
+                reply = await asyncio.wait_for(batch_future, timeout)
+        except asyncio.TimeoutError:
+            self._waiters.pop(batch_id, None)
+            reply = {"type": "reply", "id": batch_id, "status": "timeout"}
+        except TransportError as exc:
+            reply = {"type": "reply", "id": batch_id, "status": "error", "reason": str(exc)}
+        if reply.get("status") == "batch":
+            for result in reply.get("results", ()):
+                step_id = result.get("id")
+                if result.get("status") == "queued":
+                    continue  # final status comes as an individual frame
+                future = self._waiters.pop(step_id, None)
+                if future is not None and not future.done():
+                    future.set_result({"type": "reply", **result})
+        else:
+            # Batch-level failure: no step got an individual answer
+            # (not-leader redirect, timeout, error) — fan the failure
+            # out to every step that is still unresolved.
+            failure = {key: value for key, value in reply.items() if key != "id"}
+            for step_id, future in pairs:
+                self._waiters.pop(step_id, None)
+                if not future.done():
+                    future.set_result(dict(failure))
+        return pairs
+
     async def close(self) -> None:
         self._reader.cancel()
         try:
@@ -132,6 +219,63 @@ class _SiteClient:
         except (asyncio.CancelledError, Exception):
             pass
         await self.connection.close()
+
+
+class SiteClientPool:
+    """One persistent, codec-negotiated connection per site, shared by
+    every coordinator of a run.
+
+    Replaces the per-coordinator (per-transaction) dial pattern: the
+    run opens each (pool, site) connection once, negotiates the codec
+    once, and every transaction's requests multiplex over it — request
+    ids are per-client, so replies route correctly, and the site keyes
+    its lock bookkeeping by (txn, entity), not by connection.  The
+    replicated path keeps per-coordinator clients (failover re-dials
+    are per-transaction decisions) and does not use the pool.
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        *,
+        codec: protocol.WireCodec = protocol.JSON_CODEC,
+        request_timeout: float | None = None,
+    ) -> None:
+        self.transport = transport
+        self.codec = codec
+        self.request_timeout = request_timeout
+        self._dials: dict[int, asyncio.Task] = {}
+
+    async def client(self, site: int) -> _SiteClient:
+        dial = self._dials.get(site)
+        if dial is None:
+            # The dict entry is installed before the first await so
+            # concurrent coordinators share one dial, not race N.
+            dial = asyncio.ensure_future(self._dial(site))
+            self._dials[site] = dial
+        try:
+            return await asyncio.shield(dial)
+        except (TransportError, asyncio.CancelledError):
+            if self._dials.get(site) is dial:
+                del self._dials[site]
+            raise
+        except Exception:
+            if self._dials.get(site) is dial:
+                del self._dials[site]
+            raise
+
+    async def _dial(self, site: int) -> _SiteClient:
+        client = _SiteClient(await self.transport.connect(site), address=site)
+        await client.negotiate(self.codec, timeout=self.request_timeout)
+        return client
+
+    async def close(self) -> None:
+        dials, self._dials = dict(self._dials), {}
+        for dial in dials.values():
+            if dial.done() and not dial.cancelled() and dial.exception() is None:
+                await dial.result().close()
+            else:
+                dial.cancel()
 
 
 class Coordinator:
@@ -152,6 +296,9 @@ class Coordinator:
         on_ack=None,
         resolver=None,
         failover_attempts: int = 4,
+        codec: protocol.WireCodec = protocol.JSON_CODEC,
+        batch: bool = False,
+        pool: SiteClientPool | None = None,
     ) -> None:
         self.transaction = transaction
         self.transport = transport
@@ -168,6 +315,31 @@ class Coordinator:
         #: and a failed request re-resolves and replays idempotently.
         self.resolver = resolver
         self.failover_attempts = failover_attempts
+        #: Codec offered to each site at connection time.
+        self.codec = codec
+        #: Ship all currently-eligible same-site steps in one frame.
+        self.batch = batch
+        #: Run-shared connection pool; ignored on the resolver path,
+        #: where failover re-dials are per-transaction decisions.
+        self.pool = pool if resolver is None else None
+        #: Execution plan, fixed across attempts: the steps in program
+        #: order, each step's poset-predecessor indices, and each
+        #: step's home site.  Index-based so the per-attempt scheduling
+        #: loops compare small ints instead of re-deriving the poset
+        #: (and hashing Step objects) on every wave.
+        self._steps: list = list(transaction.steps)
+        poset = transaction.poset()
+        self._step_preds: list[tuple[int, ...]] = [
+            tuple(
+                j
+                for j, other in enumerate(self._steps)
+                if j != i and poset.precedes(other, step)
+            )
+            for i, step in enumerate(self._steps)
+        ]
+        self._step_sites: list[int] = [
+            transaction.database.site_of(step.entity) for step in self._steps
+        ]
         self._clients: dict[int, _SiteClient] = {}
         #: Sites this attempt sent anything to — the release fan-out.
         #: Tracked apart from ``_clients`` because failover drops and
@@ -247,9 +419,12 @@ class Coordinator:
     # ------------------------------------------------------------------
     async def _client(self, site: int) -> _SiteClient:
         if self.resolver is None:
+            if self.pool is not None:
+                return await self.pool.client(site)
             client = self._clients.get(site)
             if client is None:
                 client = _SiteClient(await self.transport.connect(site), address=site)
+                await client.negotiate(self.codec, timeout=self.request_timeout)
                 self._clients[site] = client
             return client
         address = await self.resolver.resolve(site)
@@ -259,6 +434,7 @@ class Coordinator:
         if client is not None:
             await client.close()
         client = _SiteClient(await self.transport.connect(address), address=address)
+        await client.negotiate(self.codec, timeout=self.request_timeout)
         self._clients[site] = client
         return client
 
@@ -300,29 +476,33 @@ class Coordinator:
         """One pass over the poset; ``None`` on success, else the
         failure status."""
         tx = self.transaction
-        poset = tx.poset()
-        steps = list(tx.steps)
-        acked: set = set()
-        in_flight: dict[asyncio.Task, object] = {}
+        steps = self._steps
+        preds = self._step_preds
+        acked: set[int] = set()
+        in_flight: dict[asyncio.Task, int] = {}
         failure: str | None = None
         try:
             while len(acked) < len(steps) and failure is None:
-                for step in steps:
-                    if step in acked or any(step is flying for flying in in_flight.values()):
-                        continue
-                    if all(other in acked for other in steps if poset.precedes(other, step)):
-                        task = asyncio.ensure_future(self._issue(step))
-                        in_flight[task] = step
+                flying = set(in_flight.values())
+                if self.batch:
+                    in_flight.update(await self._issue_waves(acked, flying))
+                else:
+                    for index, step in enumerate(steps):
+                        if index in acked or index in flying:
+                            continue
+                        if all(j in acked for j in preds[index]):
+                            task = asyncio.ensure_future(self._issue(step, index=index))
+                            in_flight[task] = index
                 if not in_flight:  # pragma: no cover - poset is acyclic
                     return "stuck"
                 done, _ = await asyncio.wait(in_flight, return_when=asyncio.FIRST_COMPLETED)
-                for task in sorted(done, key=lambda t: steps.index(in_flight[t])):
-                    step = in_flight.pop(task)
+                for task in sorted(done, key=lambda t: in_flight[t]):
+                    index = in_flight.pop(task)
                     status = task.result()
                     if status in ("granted", "released", "applied"):
-                        acked.add(step)
+                        acked.add(index)
                         if self.on_ack is not None:
-                            self.on_ack(tx.name, step)
+                            self.on_ack(tx.name, steps[index])
                     else:
                         failure = status
             return failure
@@ -335,16 +515,124 @@ class Coordinator:
                 except (asyncio.CancelledError, Exception):
                     pass
 
-    async def _issue(self, step) -> str:
-        site = self.transaction.database.site_of(step.entity)
-        if self.on_send is not None:
-            self.on_send(self.transaction.name, step)
+    @staticmethod
+    def _kind_of(step) -> str:
         if step.is_lock:
-            kind = "lock"
-        elif step.is_unlock:
-            kind = "unlock"
-        else:
-            kind = "update"
+            return "lock"
+        if step.is_unlock:
+            return "unlock"
+        return "update"
+
+    async def _issue_waves(self, acked: set[int], flying: set[int]) -> dict:
+        """Ship every currently-eligible step, batched per site.
+
+        Pipelining relaxation of the per-step invariant: a step may
+        ship when every poset predecessor is acked **or co-batched
+        earlier in the same frame to the same site** — the site
+        processes batch steps strictly in order, so the predecessor
+        still takes effect first.  Steps are scanned in program order,
+        which respects the poset, so a predecessor is always placed
+        before its successors.  Returns new ``task -> step index``
+        entries mirroring the single-step issue path.
+        """
+        wave: dict[int, list[int]] = {}
+        for index in range(len(self._steps)):
+            if index in acked or index in flying:
+                continue
+            site = self._step_sites[index]
+            group = wave.setdefault(site, [])
+            # A predecessor is satisfied when acked, or when co-batched
+            # earlier in this same site group (the site runs the batch
+            # in order, so it still takes effect first).
+            if all(j in acked or j in group for j in self._step_preds[index]):
+                group.append(index)
+        tasks: dict = {}
+        for site in sorted(wave):
+            group = wave[site]
+            if group:
+                tasks.update(await self._issue_batch(site, group))
+        return tasks
+
+    async def _issue_batch(self, site: int, group: list[int]) -> dict:
+        """One site's wave as a single ``batch`` frame; a task per
+        step resolves to the step's final status, like :meth:`_issue`."""
+        tx = self.transaction
+        self._touched_sites.add(site)
+        specs = []
+        for index in group:
+            step = self._steps[index]
+            if self.on_send is not None:
+                self.on_send(tx.name, step)
+            spec = {"op": self._kind_of(step), "entity": step.entity}
+            if spec["op"] == "update":
+                # Connection-independent idempotency key (see _issue).
+                spec["step"] = index
+            specs.append(spec)
+        try:
+            client = await self._client(site)
+            pairs = await client.request_batch(
+                specs,
+                timeout=self.request_timeout,
+                txn=tx.name,
+                age=self.age,
+                **self._trace_fields(),
+            )
+        except TransportError:
+            if self.resolver is None:
+                raise
+            # The cached leader connection is dead: fall back to the
+            # single-step path, whose failover loop re-resolves and
+            # replays idempotently.
+            self._failover(site)
+            await self._drop_client(site)
+            return {
+                asyncio.ensure_future(
+                    self._issue(self._steps[index], notify=False, index=index)
+                ): index
+                for index in group
+            }
+        return {
+            asyncio.ensure_future(
+                self._await_batch_step(site, index, step_id, future, client)
+            ): index
+            for index, (step_id, future) in zip(group, pairs)
+        }
+
+    async def _await_batch_step(
+        self,
+        site: int,
+        index: int,
+        step_id: int,
+        future: asyncio.Future,
+        client: _SiteClient,
+    ) -> str:
+        """Await one batched step's final status, applying the same
+        failover rules as :meth:`_issue` via a single-step replay."""
+        try:
+            if self.request_timeout is None:
+                reply = await future
+            else:
+                try:
+                    reply = await asyncio.wait_for(asyncio.shield(future), self.request_timeout)
+                except asyncio.TimeoutError:
+                    client._waiters.pop(step_id, None)
+                    reply = {"status": "timeout"}
+        except TransportError:
+            if self.resolver is None:
+                raise
+            reply = {"status": "timeout"}
+        status = reply.get("status", "error")
+        if self.resolver is not None and await self._should_failover(site, status):
+            self._failover(site, leader_hint=reply.get("leader"))
+            await self._drop_client(site)
+            return await self._issue(self._steps[index], notify=False, index=index)
+        return status
+
+    async def _issue(self, step, notify: bool = True, index: int | None = None) -> str:
+        site = self.transaction.database.site_of(step.entity)
+        if notify and self.on_send is not None:
+            self.on_send(self.transaction.name, step)
+        kind = self._kind_of(step)
         fields = {
             "txn": self.transaction.name,
             "entity": step.entity,
@@ -353,7 +641,7 @@ class Coordinator:
         if kind == "update":
             # Connection-independent idempotency key: a step replayed
             # against a new leader after failover must not double-apply.
-            fields["step"] = self.transaction.steps.index(step)
+            fields["step"] = index if index is not None else self.transaction.steps.index(step)
         attempts = self.failover_attempts if self.resolver is not None else 0
         status = "error"
         self._touched_sites.add(site)
@@ -396,29 +684,34 @@ class Coordinator:
         return {"trace": context} if context is not None else {}
 
     async def _abort(self) -> None:
-        for site in sorted(self._touched_sites | set(self._clients)):
-            for attempt in range(2):
-                try:
-                    client = await self._client(site)
-                    reply = await client.request(
-                        "release",
-                        txn=self.transaction.name,
-                        timeout=self.request_timeout,
-                        **self._trace_fields(),
-                    )
-                except TransportError:
-                    if self.resolver is None:
-                        break
-                    self._failover(site)
-                    await self._drop_client(site)
-                    continue
-                if attempt == 0 and await self._should_failover(
-                    site, reply.get("status", "error")
-                ):
-                    self._failover(site, leader_hint=reply.get("leader"))
-                    await self._drop_client(site)
-                    continue
-                break
+        # Releases are independent per site: fan them out concurrently
+        # (each is its own failover-aware retry loop).
+        sites = sorted(self._touched_sites | set(self._clients))
+        await asyncio.gather(*(self._abort_site(site) for site in sites))
+
+    async def _abort_site(self, site: int) -> None:
+        for attempt in range(2):
+            try:
+                client = await self._client(site)
+                reply = await client.request(
+                    "release",
+                    txn=self.transaction.name,
+                    timeout=self.request_timeout,
+                    **self._trace_fields(),
+                )
+            except TransportError:
+                if self.resolver is None:
+                    break
+                self._failover(site)
+                await self._drop_client(site)
+                continue
+            if attempt == 0 and await self._should_failover(
+                site, reply.get("status", "error")
+            ):
+                self._failover(site, leader_hint=reply.get("leader"))
+                await self._drop_client(site)
+                continue
+            break
 
     #: Attempts per site before a commit is declared un-acked.
     COMMIT_ATTEMPTS = 3
@@ -433,14 +726,15 @@ class Coordinator:
         ``partial-commit`` so the history audit can flag the run
         instead of silently auditing an incomplete history.
         """
-        unacked: list[int] = []
         with distributed.child_span("txn.commit", self._root) as span:
             sites = sorted(self._touched_sites | set(self._clients))
             if span:
                 span.set(sites=len(sites))
-            for site in sites:
-                if not await self._commit_site(site):
-                    unacked.append(site)
+            # Commits are idempotent and independent per site: fan
+            # them out concurrently instead of one round trip at a
+            # time.
+            acked = await asyncio.gather(*(self._commit_site(site) for site in sites))
+            unacked = [site for site, ok in zip(sites, acked) if not ok]
             if span and unacked:
                 span.set(unacked=len(unacked))
         return unacked

@@ -36,7 +36,7 @@ from ..sim.analysis import (
     serializable_from_site_orders,
 )
 from . import protocol
-from .coordinator import Coordinator, TxnOutcome
+from .coordinator import Coordinator, SiteClientPool, TxnOutcome
 from .gateway import Gateway, GatewayDecision
 from .netfaults import NetworkFaultAdapter
 from .siteserver import SiteServer
@@ -233,6 +233,8 @@ async def run_cluster(
     request_timeout: float | None = None,
     gateway: Gateway | None = None,
     wire_metrics: bool = False,
+    codec: str = "json",
+    batch: bool = False,
 ) -> ClusterReport:
     """Execute *rounds* copies of *system* on a live cluster.
 
@@ -244,6 +246,11 @@ async def run_cluster(
     drops are injected, since a dropped request gets no reply.
     *wire_metrics* turns on the per-stage wire-latency histograms and
     byte counters (:data:`repro.obs.distributed.WIRE`) for this run.
+    *codec* (``"json"`` or ``"binary"``) is offered to every site at
+    connection time; *batch* ships each coordinator's eligible steps
+    per site in single pipelined frames.  Either choice changes the
+    wire format, not the outcome: runs stay deterministic on the
+    memory transport *per configuration*.
 
     Every run starts by resetting the ``repro_cluster_*`` metrics, so
     back-to-back runs in one process (benchmarks, tests) never
@@ -319,6 +326,10 @@ async def run_cluster(
             )
             for site in sites
         ]
+        wire_codec = protocol.codec_named(codec)
+        pool = SiteClientPool(
+            live_transport, codec=wire_codec, request_timeout=request_timeout
+        )
         try:
             for server in servers:
                 await server.start()
@@ -335,6 +346,9 @@ async def run_cluster(
                         max_retries=max_retries,
                         request_timeout=request_timeout,
                         seed=seed,
+                        codec=wire_codec,
+                        batch=batch,
+                        pool=pool,
                     )
                     return await coordinator.run()
 
@@ -361,6 +375,7 @@ async def run_cluster(
 
             messages = sum(server.processed for server in servers)
         finally:
+            await pool.close()
             for server in servers:
                 await server.stop()
             if own_transport:
@@ -397,6 +412,30 @@ async def run_cluster(
         return report
 
 
-def run_cluster_sync(system: TransactionSystem, **kwargs) -> ClusterReport:
-    """:func:`run_cluster` from synchronous code (CLI, benchmarks)."""
+def uvloop_available() -> bool:
+    """Is the optional ``uvloop`` event loop importable here?"""
+    try:
+        import uvloop  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def run_cluster_sync(
+    system: TransactionSystem, *, use_uvloop: bool = False, **kwargs
+) -> ClusterReport:
+    """:func:`run_cluster` from synchronous code (CLI, benchmarks).
+
+    *use_uvloop* runs the cluster on `uvloop <https://github.com/
+    MagicStack/uvloop>`_ when that package is installed; absent, the
+    flag is ignored and the stdlib loop is used (nothing in the
+    runtime depends on it).
+    """
+    if use_uvloop and uvloop_available():
+        import uvloop
+
+        runner = getattr(uvloop, "run", None)
+        if runner is not None:
+            return runner(run_cluster(system, **kwargs))
+        uvloop.install()
     return asyncio.run(run_cluster(system, **kwargs))

@@ -71,6 +71,8 @@ class _PendingLock:
         "timer",
         "queued_ns",
         "span",
+        "batch_rest",
+        "last_probed",
     )
 
     def __init__(
@@ -88,6 +90,13 @@ class _PendingLock:
         self.queued_ns = 0
         #: Open ``site.lock_wait`` span (traced runs only).
         self.span = None
+        #: Steps of a batch parked behind this queued lock: they run
+        #: when it is granted, and are answered ``cancelled`` when it
+        #: concludes any other way.
+        self.batch_rest = None
+        #: Blocker this waiter last probed toward — reprobes for an
+        #: unchanged wait-for edge are suppressed on fault-free runs.
+        self.last_probed = None
 
 
 class SiteServer:
@@ -133,6 +142,15 @@ class SiteServer:
         self._trace_ctx: dict | None = None
         #: (transaction, entity) -> wall-clock grant stamp (hold stage).
         self._grant_wall: dict[tuple[str, str], int] = {}
+        #: Probes handled since the wait-for graph last changed, keyed
+        #: by (target, path txns).  Re-processing an identical probe
+        #: against an unchanged graph reproduces the identical result,
+        #: so duplicates are skipped — the cache is cleared on every
+        #: lock-table mutation, which is exactly when a re-sent probe
+        #: can conclude differently.  This caps the probe storms that
+        #: contention otherwise amplifies (every grant reprobes every
+        #: waiter, and each hop re-broadcasts to every peer).
+        self._probes_seen: set[tuple] = set()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -182,7 +200,7 @@ class SiteServer:
         )
 
     #: Message kinds kept off the event timeline (pure plumbing).
-    QUIET_KINDS = ("history", "ping", "leader", "vote", "replicate", "fetch_log")
+    QUIET_KINDS = ("hello", "history", "ping", "leader", "vote", "replicate", "fetch_log")
 
     async def _process(self, connection: Connection, message: dict) -> None:
         if self.faults is not None and not await self._fault_gate(message):
@@ -247,6 +265,17 @@ class SiteServer:
     # ------------------------------------------------------------------
     # Request handlers
     # ------------------------------------------------------------------
+    async def _on_hello(self, connection: Connection, message: dict) -> None:
+        """Codec negotiation: pick the first offered codec this site
+        knows and switch the connection's *send* direction to it.
+
+        The answer itself still goes out with the old (JSON) codec —
+        only frames after it use the agreed one; receiving needs no
+        agreement because payloads are self-describing."""
+        codec = protocol.choose_codec(message.get("codecs"))
+        await self._safe_send(connection, protocol.reply(message["id"], "hello", codec=codec.name))
+        connection.codec = codec
+
     async def _on_lock(self, connection: Connection, message: dict) -> None:
         txn = message["txn"]
         entity = message["entity"]
@@ -266,9 +295,11 @@ class SiteServer:
                 existing.connection,
                 protocol.reply(existing.request_id, "superseded", entity=entity),
             )
+            await self._cancel_batch_rest(existing)
             existing.connection = connection
             existing.request_id = message["id"]
             return
+        self._probes_seen.clear()
         if self.locks.try_lock(entity, txn):
             distributed.WIRE.observe("lock_wait", 0, self.site)
             await self._reply_granted(connection, message["id"], txn, entity, 0)
@@ -284,9 +315,182 @@ class SiteServer:
             pending.timer = asyncio.ensure_future(self._expire(txn, entity, self.grant_timeout))
         blocker = self._blocker_of(txn, entity)
         if blocker is not None and self.deadlock_policy is not None:
+            pending.last_probed = blocker
             await self._broadcast_probe(
                 path=[{"txn": txn, "age": self._ages[txn], "site": self.site}],
                 target=blocker,
+            )
+
+    # ------------------------------------------------------------------
+    # Batched steps
+    # ------------------------------------------------------------------
+    async def _on_batch(self, connection: Connection, message: dict) -> None:
+        """Several steps of one transaction in one frame.
+
+        Steps are processed strictly in the order shipped — the
+        coordinator relies on this to pipeline a step behind its poset
+        predecessors in the same batch.  Each step gets a per-step
+        ``id``; outcomes known immediately ride back inline in one
+        ``batch`` reply, a lock that queues is reported ``queued``
+        inline and answered with its final status in a later individual
+        frame.  Steps behind a queued lock are *parked* on its pending
+        entry: they run (individually answered) when the lock is
+        granted, and are answered ``cancelled`` when it concludes any
+        other way — the coordinator treats ``cancelled`` like the
+        failure that caused it and retries the attempt.
+        """
+        txn = message["txn"]
+        self._ages.setdefault(txn, int(message.get("age", 0)))
+        results: list[dict] = []
+        await self._run_batch_steps(connection, txn, list(message.get("steps", ())), results)
+        await self._safe_send(connection, protocol.reply(message["id"], "batch", results=results))
+
+    async def _run_batch_steps(
+        self,
+        connection: Connection,
+        txn: str,
+        queue: list[dict],
+        results: list[dict] | None = None,
+    ) -> None:
+        """Run batched steps in order; *results* collects outcomes for
+        the single batch reply, ``None`` (the parked-continuation path)
+        answers each step with an individual reply instead."""
+
+        async def answer(step_id: int, status: str, **fields) -> None:
+            if results is not None:
+                results.append({"id": step_id, "status": status, **fields})
+            else:
+                await self._safe_send(connection, protocol.reply(step_id, status, **fields))
+
+        while queue:
+            step = queue.pop(0)
+            op = step.get("op", "?")
+            step_id = step["id"]
+            entity = step.get("entity")
+            if op == "lock":
+                parked, deferred = await self._batch_lock(connection, txn, entity, step_id, queue)
+                if parked or deferred:
+                    # Queued (rest now parked on the pending entry) or
+                    # grant-delay-faulted (lock held, reply deferred):
+                    # either way the final status arrives in a later
+                    # individual frame.
+                    if results is not None:
+                        results.append({"id": step_id, "status": "queued", "entity": entity})
+                    if parked:
+                        return
+                else:
+                    await answer(step_id, "granted", entity=entity)
+            elif op == "unlock":
+                if self.locks.holder(entity) == txn:
+                    self.locks.unlock(entity, txn)
+                    self._probes_seen.clear()
+                    self._observe_hold(txn, entity)
+                    self._log_mutation("unlock", txn=txn, entity=entity)
+                    await self._promote(entity)
+                await answer(step_id, "released", entity=entity)
+            elif op == "update":
+                if self.locks.holder(entity) != txn:
+                    await answer(
+                        step_id,
+                        "error",
+                        reason=f"{txn} updates {entity!r} without holding its lock",
+                    )
+                    continue
+                key = ("step", step["step"]) if "step" in step else ("id", step_id)
+                applied = self._applied_ids.setdefault(txn, set())
+                if key not in applied:
+                    applied.add(key)
+                    self._updates.setdefault(entity, []).append(txn)
+                    self._log_mutation("update", txn=txn, entity=entity, key=list(key))
+                    if self.event_log is not None:
+                        self.event_log.emit("step", transaction=txn, entity=entity, site=self.site)
+                await answer(step_id, "applied")
+            else:
+                await answer(step_id, "error", reason=f"unknown batch op {op!r}")
+
+    async def _batch_lock(
+        self,
+        connection: Connection,
+        txn: str,
+        entity: str,
+        step_id: int,
+        rest: list[dict],
+    ) -> tuple[bool, bool]:
+        """One lock step inside a batch; ``(parked, deferred)``.
+
+        Mirrors :meth:`_on_lock` except the grant is *not* sent — the
+        caller reports it (inline in the batch reply, or as the
+        individual reply of a continuation).  ``parked`` means the lock
+        queued and the pending entry took ownership of *rest*;
+        ``deferred`` means the lock is held but a grant-delay fault is
+        holding the reply, which :meth:`_deliver_delayed_grant` sends
+        later.
+        """
+        if self.locks.holder(entity) == txn:
+            return False, await self._batch_granted(connection, txn, entity, step_id)
+        existing = self._pending.get((txn, entity))
+        if existing is not None:
+            # Same supersede rule as _on_lock: the retry takes over the
+            # queue slot and timer; a rest parked behind the original
+            # is cancelled and replaced by the retry's rest.
+            await self._safe_send(
+                existing.connection,
+                protocol.reply(existing.request_id, "superseded", entity=entity),
+            )
+            await self._cancel_batch_rest(existing)
+            existing.connection = connection
+            existing.request_id = step_id
+            existing.batch_rest = list(rest)
+            del rest[:]
+            return True, False
+        self._probes_seen.clear()
+        if self.locks.try_lock(entity, txn):
+            distributed.WIRE.observe("lock_wait", 0, self.site)
+            return False, await self._batch_granted(connection, txn, entity, step_id)
+        pending = _PendingLock(connection, step_id, self.processed)
+        pending.queued_ns = time.time_ns()
+        wait_span = distributed.remote_span("site.lock_wait", self._trace_ctx)
+        if wait_span:
+            pending.span = wait_span.__enter__()
+            pending.span.set(site=self.site, txn=txn, entity=entity)
+        pending.batch_rest = list(rest)
+        del rest[:]
+        self._pending[(txn, entity)] = pending
+        if self.grant_timeout is not None:
+            pending.timer = asyncio.ensure_future(self._expire(txn, entity, self.grant_timeout))
+        blocker = self._blocker_of(txn, entity)
+        if blocker is not None and self.deadlock_policy is not None:
+            pending.last_probed = blocker
+            await self._broadcast_probe(
+                path=[{"txn": txn, "age": self._ages[txn], "site": self.site}],
+                target=blocker,
+            )
+        return True, False
+
+    async def _batch_granted(
+        self, connection: Connection, txn: str, entity: str, step_id: int
+    ) -> bool:
+        """Grant bookkeeping for a batched lock (metrics, replication
+        log, grant-delay faults) without sending the reply; ``True``
+        when a grant-delay fault deferred the reply to a later frame."""
+        _grant_histogram().observe(0.0)
+        if distributed.WIRE.active:
+            self._grant_wall.setdefault((txn, entity), time.time_ns())
+        self._log_mutation("grant", txn=txn, entity=entity)
+        if self.faults is not None and self.faults.grant_delayed(entity, self.site):
+            task = asyncio.ensure_future(self._deliver_delayed_grant(connection, step_id, entity))
+            self._deferred_replies.append(task)
+            return True
+        return False
+
+    async def _cancel_batch_rest(self, pending: _PendingLock) -> None:
+        """Answer every step parked behind *pending* with
+        ``cancelled`` (its lock concluded without a grant)."""
+        rest, pending.batch_rest = pending.batch_rest, None
+        for step in rest or ():
+            await self._safe_send(
+                pending.connection,
+                protocol.reply(step["id"], "cancelled", entity=step.get("entity")),
             )
 
     async def _on_unlock(self, connection: Connection, message: dict) -> None:
@@ -294,6 +498,7 @@ class SiteServer:
         entity = message["entity"]
         if self.locks.holder(entity) == txn:
             self.locks.unlock(entity, txn)
+            self._probes_seen.clear()
             self._observe_hold(txn, entity)
             self._log_mutation("unlock", txn=txn, entity=entity)
             await self._promote(entity)
@@ -343,7 +548,9 @@ class SiteServer:
                 stale.connection,
                 protocol.reply(stale.request_id, "aborted", entity=entity),
             )
+            await self._cancel_batch_rest(stale)
         released = self.locks.release_all(txn)
+        self._probes_seen.clear()
         for entity in released:
             self._observe_hold(txn, entity)
         if txn not in self._committed:
@@ -451,6 +658,7 @@ class SiteServer:
 
     async def _promote(self, entity: str) -> None:
         """Grant a freed entity to the longest-waiting requester."""
+        self._probes_seen.clear()
         head = self.locks.next_waiter(entity)
         if head is None or self.locks.holder(entity) is not None:
             return
@@ -474,6 +682,11 @@ class SiteServer:
             entity,
             self.processed - pending.enqueued_at,
         )
+        rest, pending.batch_rest = pending.batch_rest, None
+        if rest:
+            # The grant unparks the rest of the waiter's batch; each
+            # remaining step is answered with an individual reply.
+            await self._run_batch_steps(pending.connection, head, rest)
         # The remaining waiters now wait for the new holder.
         await self._reprobe(entity)
 
@@ -485,6 +698,7 @@ class SiteServer:
             return
         self._finish_wait(pending, "timeout")
         self.locks.withdraw(entity, txn)
+        self._probes_seen.clear()
         if self.event_log is not None:
             self.event_log.emit(
                 "deadlock",
@@ -497,6 +711,7 @@ class SiteServer:
             pending.connection,
             protocol.reply(pending.request_id, "timeout", entity=entity),
         )
+        await self._cancel_batch_rest(pending)
         await self._promote(entity)
         await self._reprobe(entity)
 
@@ -517,11 +732,23 @@ class SiteServer:
             if ent != entity:
                 continue
             blocker = self._blocker_of(txn, ent)
-            if blocker is not None:
-                await self._broadcast_probe(
-                    path=[{"txn": txn, "age": self._ages.get(txn, 0), "site": self.site}],
-                    target=blocker,
-                )
+            if blocker is None:
+                continue
+            pending = self._pending.get((txn, ent))
+            if pending is not None:
+                # A reprobe can only conclude something new when this
+                # waiter's own wait-for edge changed: cycles through an
+                # unchanged edge are found by the probe the *new* edge
+                # launches at block time, extended through this one by
+                # _handle_probe.  Fault injection can drop that probe,
+                # so lossy runs keep the unconditional resend.
+                if self.faults is None and pending.last_probed == blocker:
+                    continue
+                pending.last_probed = blocker
+            await self._broadcast_probe(
+                path=[{"txn": txn, "age": self._ages.get(txn, 0), "site": self.site}],
+                target=blocker,
+            )
 
     def _blocker_of(self, txn: str, entity: str) -> str | None:
         """Who *txn* waits for on *entity*: the holder, or the waiter
@@ -550,7 +777,19 @@ class SiteServer:
 
     async def _broadcast_probe(self, *, path: list[dict], target: str) -> None:
         """Send the probe everywhere the target might be waiting
-        (including this site)."""
+        (including this site).
+
+        Identical (path, target) probes are suppressed until the local
+        wait-for graph changes: against an unchanged graph a duplicate
+        probe extends to the same hops and finds the same cycles, so
+        resending it only multiplies frames.  Every lock-table mutation
+        clears :attr:`_probes_seen`, which is exactly when a repeat of
+        an old probe could conclude something new.
+        """
+        key = (target, tuple((entry["txn"], entry["site"]) for entry in path))
+        if key in self._probes_seen:
+            return
+        self._probes_seen.add(key)
         message = {"type": "probe", "path": path, "target": target}
         if self._trace_ctx is not None:
             message["trace"] = self._trace_ctx
@@ -615,6 +854,7 @@ class SiteServer:
     async def _handle_resolve(self, message: dict) -> None:
         """Answer the victim's pending lock request with ``deadlock``."""
         victim = message["victim"]
+        self._probes_seen.clear()
         for entity in self._waiting_entities(victim):
             pending = self._pending.pop((victim, entity), None)
             if pending is None:
@@ -633,5 +873,6 @@ class SiteServer:
                     cycle=message.get("cycle", []),
                 ),
             )
+            await self._cancel_batch_rest(pending)
             await self._promote(entity)
             await self._reprobe(entity)

@@ -36,15 +36,15 @@ class TransportError(ReproError):
     """A connection to a site could not be made or has gone away."""
 
 
-def _encode_observed(message: dict, peer: int | None) -> bytes:
-    """Encode one frame, stamping and measuring it when the wire
-    observer is active."""
+def _encode_observed(message: dict, peer: int | None, codec: protocol.WireCodec) -> bytes:
+    """Encode one frame with *codec*, stamping and measuring it when
+    the wire observer is active."""
     wire = distributed.WIRE
     if not wire.active:
-        return protocol.encode(message)
+        return protocol.encode(message, codec)
     message = wire.stamp(message)
     before = time.perf_counter_ns()
-    frame = protocol.encode(message)
+    frame = protocol.encode(message, codec)
     wire.sent(message, len(frame), time.perf_counter_ns() - before, peer)
     return frame
 
@@ -53,10 +53,15 @@ class Connection:
     """One bidirectional frame pipe between a client and a site.
 
     ``peer`` labels the far (or serving) site for wire metrics;
-    ``None`` when unknown.
+    ``None`` when unknown.  ``codec`` is the payload encoding *this
+    end sends with* (receiving auto-detects per frame); it starts as
+    JSON and is repointed by ``hello`` negotiation
+    (:func:`repro.cluster.protocol.negotiate` client-side, the site's
+    ``_on_hello`` server-side).
     """
 
     peer: int | None = None
+    codec: protocol.WireCodec = protocol.JSON_CODEC
 
     async def send(self, message: dict) -> None:
         raise NotImplementedError
@@ -104,11 +109,12 @@ class _MemoryConnection(Connection):
         self._inbox = inbox
         self._closed = False
         self.peer = peer
+        self.codec = protocol.JSON_CODEC
 
     async def send(self, message: dict) -> None:
         if self._closed:
             raise TransportError("send on a closed memory connection")
-        await self._outbox.put(_encode_observed(message, self.peer))
+        await self._outbox.put(_encode_observed(message, self.peer, self.codec))
 
     async def recv(self) -> dict | None:
         frame = await self._inbox.get()
@@ -180,11 +186,18 @@ class _TcpConnection(Connection):
         self._reader = reader
         self._writer = writer
         self.peer = peer
+        self.codec = protocol.JSON_CODEC
+        # One persistent connection may be shared by several
+        # coordinators; the lock keeps concurrent write+drain pairs
+        # from interleaving frame bytes.
+        self._send_lock = asyncio.Lock()
 
     async def send(self, message: dict) -> None:
+        frame = _encode_observed(message, self.peer, self.codec)
         try:
-            self._writer.write(_encode_observed(message, self.peer))
-            await self._writer.drain()
+            async with self._send_lock:
+                self._writer.write(frame)
+                await self._writer.drain()
         except ConnectionError as exc:
             raise TransportError(f"peer went away: {exc}") from None
 

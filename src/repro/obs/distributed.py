@@ -215,6 +215,12 @@ class WireObserver:
             "Frames moved by cluster transports, by message kind.",
         )
 
+    def _batched_steps(self):
+        return REGISTRY.counter(
+            "repro_cluster_batched_steps_total",
+            "Transaction steps carried inside batch frames.",
+        )
+
     def observe(self, stage: str, ns: float, site) -> None:
         """Record one *stage* latency sample (no-op unless metrics are
         enabled)."""
@@ -233,6 +239,9 @@ class WireObserver:
 
     def _event(self, kind: str, message: dict, nbytes: int, site) -> None:
         detail = f"{message.get('type', '?')} {nbytes}B"
+        steps = message.get("steps")
+        if isinstance(steps, list) and message.get("type") == "batch":
+            detail += f" steps={len(steps)}"
         if self.clock is not None:
             detail += f" clock={self.clock.now}"
         self.event_log.emit(
@@ -254,6 +263,15 @@ class WireObserver:
             self._messages().labels(
                 site=str(site), kind=kind, direction="sent"
             ).inc()
+            if kind == "batch":
+                # Attribute the frame to the steps it carries, so
+                # messages-per-step comparisons across batched and
+                # unbatched runs stay honest.
+                steps = message.get("steps")
+                if isinstance(steps, list) and steps:
+                    self._batched_steps().labels(
+                        site=str(site), direction="sent"
+                    ).inc(len(steps))
         if self.event_log is not None:
             self._event("send", message, nbytes, site)
 
@@ -276,6 +294,12 @@ class WireObserver:
             self._messages().labels(
                 site=str(site), kind=kind, direction="received"
             ).inc()
+            if kind == "batch":
+                steps = message.get("steps")
+                if isinstance(steps, list) and steps:
+                    self._batched_steps().labels(
+                        site=str(site), direction="received"
+                    ).inc(len(steps))
         if self.event_log is not None:
             self._event("recv", message, nbytes, site)
 

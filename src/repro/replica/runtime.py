@@ -28,6 +28,7 @@ from ..sim.analysis import (
     serial_witness_from_site_orders,
     serializable_from_site_orders,
 )
+from ..cluster import protocol
 from ..cluster.coordinator import Coordinator, TxnOutcome
 from ..cluster.gateway import Gateway, GatewayDecision
 from ..cluster.runtime import (
@@ -113,6 +114,8 @@ async def run_replicated_cluster(
     request_timeout: float | None = None,
     gateway: Gateway | None = None,
     wire_metrics: bool = False,
+    codec: str = "json",
+    batch: bool = False,
 ) -> ReplicaReport:
     """Execute *rounds* copies of *system* on a replicated cluster.
 
@@ -121,7 +124,11 @@ async def run_replicated_cluster(
     wall-clock *election_timeout* / *replication_timeout* that bound
     one vote or ship round-trip against a dead replica.  With any
     fault plan, *request_timeout* is required: failover is driven by
-    clients timing out against the killed leader.
+    clients timing out against the killed leader.  *codec* and *batch*
+    work as in :func:`run_cluster`; a batch refused by a follower gets
+    a batch-level ``not-leader`` and the coordinator replays its steps
+    through the single-step failover path, so batching composes with
+    leader kills.
 
     Like :func:`run_cluster`, the run starts by resetting the
     ``repro_cluster_*`` and ``repro_replica_*`` metrics so
@@ -230,6 +237,7 @@ async def run_replicated_cluster(
             {group.site: group.addresses for group in groups},
             query_timeout=election_timeout * 3,
         )
+        wire_codec = protocol.codec_named(codec)
         try:
             for server in servers:
                 await server.start()
@@ -247,6 +255,8 @@ async def run_replicated_cluster(
                         request_timeout=request_timeout,
                         seed=seed,
                         resolver=resolver,
+                        codec=wire_codec,
+                        batch=batch,
                     )
                     return await coordinator.run()
 
@@ -367,6 +377,17 @@ async def run_replicated_cluster(
         return report
 
 
-def run_replicated_sync(system: TransactionSystem, **kwargs) -> ReplicaReport:
+def run_replicated_sync(
+    system: TransactionSystem, *, use_uvloop: bool = False, **kwargs
+) -> ReplicaReport:
     """:func:`run_replicated_cluster` from synchronous code."""
+    from ..cluster.runtime import uvloop_available
+
+    if use_uvloop and uvloop_available():
+        import uvloop
+
+        runner = getattr(uvloop, "run", None)
+        if runner is not None:
+            return runner(run_replicated_cluster(system, **kwargs))
+        uvloop.install()
     return asyncio.run(run_replicated_cluster(system, **kwargs))

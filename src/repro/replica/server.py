@@ -47,7 +47,7 @@ from .group import ReplicaGroup
 from .log import ReplicationLog
 
 #: Kinds only the lease leader serves; followers redirect.
-LEADER_ONLY_KINDS = ("lock", "unlock", "update", "release", "commit")
+LEADER_ONLY_KINDS = ("lock", "unlock", "update", "release", "commit", "batch")
 
 #: Records per ``fetch_log`` reply (bounds catch-up frame sizes).
 FETCH_LIMIT = 5000
@@ -189,6 +189,13 @@ class ReplicaServer(SiteServer):
     async def _on_release(self, connection: Connection, message: dict) -> None:
         if await self._require_leader(connection, message):
             await super()._on_release(connection, message)
+
+    async def _on_batch(self, connection: Connection, message: dict) -> None:
+        # The redirect is batch-level: the coordinator resolves every
+        # step of a not-leader batch against the same redirect and
+        # replays the attempt at the new leader.
+        if await self._require_leader(connection, message):
+            await super()._on_batch(connection, message)
 
     # ------------------------------------------------------------------
     # Log shipping

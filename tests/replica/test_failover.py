@@ -45,6 +45,30 @@ class TestLeaderKillRun:
         assert entry["recovery_steps"] is not None
         assert entry["recovery_steps"] > 0
 
+    def test_leader_kill_survived_with_batching_and_binary_codec(
+        self, transfer_system, kill_leader_plan
+    ):
+        # Batched steps and binary frames must compose with failover: a
+        # batch refused by a demoted leader (or lost with it) is
+        # replayed step-by-step through the retry path, and codec
+        # negotiation repeats against the new leader.
+        report = run_replicated_sync(
+            transfer_system,
+            replicas=3,
+            rounds=2,
+            seed=7,
+            max_retries=8,
+            request_timeout=0.5,
+            fault_plan=kill_leader_plan,
+            codec="binary",
+            batch=True,
+        )
+        assert report.committed == report.transactions == 4
+        assert report.audit_complete
+        assert report.serializable
+        assert report.failovers >= 1
+        assert report.recovery[0]["recovery_steps"] is not None
+
     def test_single_replica_fails_honestly(self, transfer_system):
         from repro.faults.plan import FaultPlan, SiteCrash
 

@@ -1,0 +1,151 @@
+"""Gate cluster-bench results against committed baselines.
+
+Compares a fresh ``BENCH_cluster.json`` (written by
+``benchmarks/bench_cluster_throughput.py``) against the expectations in
+``benchmarks/baselines.json`` and exits non-zero when:
+
+* a cell regresses by more than the tolerance band (default 40%, wide
+  on purpose so CI-runner noise does not flake the gate);
+* a baseline cell is missing from the fresh results;
+* any cell fails its correctness audit — not serializable, audit
+  incomplete, or not every transaction committed.
+
+Faster-than-baseline results always pass; the gate only catches decay.
+Baselines are keyed by mode (``quick``/``full``) because the two modes
+run different round counts.  Refresh a stale baseline by running the
+bench and copying the new ``txn_per_s`` numbers into
+``benchmarks/baselines.json``.
+
+Usage::
+
+    python tools/check_bench_regression.py \
+        [--results benchmarks/results/BENCH_cluster.json] \
+        [--baselines benchmarks/baselines.json] \
+        [--mode quick|full] [--tolerance 0.40]
+
+CI runs the quick mode (see the ``perf-gate`` job); a local full-mode
+run is gated with ``--mode full``.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def load(path: Path) -> dict:
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except FileNotFoundError:
+        sys.exit(f"error: {path} not found")
+    except json.JSONDecodeError as exc:
+        sys.exit(f"error: {path} is not valid JSON: {exc}")
+
+
+def infer_mode(results: dict, baselines: dict) -> str:
+    """Match the fresh run's round count against the per-mode baseline
+    round counts."""
+    rounds = results.get("params", {}).get("rounds")
+    for mode, entry in baselines.items():
+        if entry.get("rounds") == rounds:
+            return mode
+    sys.exit(
+        f"error: no baseline mode matches rounds={rounds!r} "
+        f"(known: {sorted(baselines)}); pass --mode explicitly"
+    )
+
+
+def audit_failures(cell: str, sample: dict) -> list[str]:
+    problems = []
+    if not sample.get("serializable", False):
+        problems.append(f"{cell}: committed history not serializable")
+    if not sample.get("audit_complete", False):
+        problems.append(f"{cell}: serializability audit incomplete")
+    if sample.get("committed") != sample.get("transactions"):
+        problems.append(
+            f"{cell}: only {sample.get('committed')}/"
+            f"{sample.get('transactions')} transactions committed"
+        )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail on cluster-bench throughput regressions."
+    )
+    parser.add_argument(
+        "--results",
+        type=Path,
+        default=REPO / "benchmarks" / "results" / "BENCH_cluster.json",
+        help="fresh bench output (default: benchmarks/results/BENCH_cluster.json)",
+    )
+    parser.add_argument(
+        "--baselines",
+        type=Path,
+        default=REPO / "benchmarks" / "baselines.json",
+        help="committed expectations (default: benchmarks/baselines.json)",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("quick", "full"),
+        default=None,
+        help="baseline set to compare against (default: infer from rounds)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="allowed fractional slowdown before failing (default: from "
+        "baselines.json, falling back to 0.40)",
+    )
+    args = parser.parse_args(argv)
+
+    results = load(args.results)
+    book = load(args.baselines)
+    baselines = book.get("cluster", {})
+    if not baselines:
+        sys.exit(f"error: {args.baselines} has no 'cluster' baselines")
+    mode = args.mode or infer_mode(results, baselines)
+    entry = baselines.get(mode)
+    if entry is None:
+        sys.exit(f"error: no '{mode}' baselines in {args.baselines}")
+    tolerance = args.tolerance
+    if tolerance is None:
+        tolerance = book.get("tolerance", 0.40)
+
+    samples = results.get("samples", {})
+    failures: list[str] = []
+    print(f"perf gate: mode={mode} tolerance={tolerance:.0%}")
+    for cell, expected in sorted(entry.get("txn_per_s", {}).items()):
+        sample = samples.get(cell)
+        if sample is None:
+            failures.append(f"{cell}: missing from {args.results}")
+            continue
+        actual = sample.get("txn_per_s", 0.0)
+        floor = expected * (1.0 - tolerance)
+        verdict = "ok" if actual >= floor else "REGRESSED"
+        print(
+            f"  {cell:24s} {actual:8.1f} txn/s"
+            f"  (baseline {expected:.1f}, floor {floor:.1f})  {verdict}"
+        )
+        if actual < floor:
+            failures.append(
+                f"{cell}: {actual:.1f} txn/s is below the regression floor "
+                f"{floor:.1f} (baseline {expected:.1f}, tolerance {tolerance:.0%})"
+            )
+        failures.extend(audit_failures(cell, sample))
+
+    if failures:
+        print()
+        for failure in failures:
+            print(f"FAIL {failure}")
+        return 1
+    print("perf gate: all cells within tolerance, audits clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,137 @@
+"""The arena: sweep policy × workload × fault plan through the cluster.
+
+The single-run harness (:func:`repro.cluster.run_cluster`) answers "what
+happened on this one configuration"; the arena answers the comparative
+question the paper's §6 poses — how do the safe locking families (2PL,
+the tree protocol) and gateway-vetted optimal admission *behave* under
+the same traffic and the same faults?  :func:`run_arena` executes every
+cell of the cross-product sequentially, each on a fresh cluster with a
+cell-specific deterministic seed, and collects one
+:class:`~repro.arena.report.ArenaCell` per run.
+
+Cells are seeded by ``crc32(seed / policy / workload / plan)``, so a
+cell's memory-transport fingerprints are a pure function of the arena
+seed and the cell's coordinates — stable across processes and across
+re-orderings of the sweep, which is what lets the E17 benchmark assert
+bit-identical reruns cell by cell.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from collections.abc import Sequence
+
+from ..cluster.gateway import Gateway
+from ..cluster.runtime import run_cluster_sync
+from ..faults.plan import FaultPlan
+from ..workloads.traffic import VET_CYCLE_LIMIT, TrafficSpec, generate_workload
+from .report import ArenaCell, ArenaReport
+
+#: Fault-plan name meaning "run this cell fault-free".
+NO_FAULTS = "none"
+
+
+def cell_seed(seed: int, policy: str, workload: str, fault_plan: str) -> int:
+    """The deterministic per-cell seed: a CRC-32 of the arena seed and
+    the cell coordinates (*not* Python's salted ``hash``)."""
+    label = f"{seed}/{policy}/{workload}/{fault_plan}"
+    return zlib.crc32(label.encode("utf-8")) & 0x7FFFFFFF
+
+
+def run_cell(
+    spec: TrafficSpec,
+    *,
+    policy: str,
+    fault_plan: FaultPlan | None = None,
+    fault_plan_name: str = NO_FAULTS,
+    seed: int = 0,
+    transport: str = "memory",
+    deadlock_policy: str = "abort-youngest",
+    max_retries: int = 5,
+    grant_timeout: int | None = None,
+    request_timeout: float | None = None,
+    vet: bool = True,
+    vet_cycle_limit: int | None = VET_CYCLE_LIMIT,
+) -> ArenaCell:
+    """Run one cell: generate *spec* under *policy*, drive it through a
+    fresh cluster with *fault_plan* injected, condense the report."""
+    derived = cell_seed(seed, policy, spec.name, fault_plan_name)
+    workload = generate_workload(spec, policy=policy, seed=derived)
+    gateway = Gateway(cycle_limit=vet_cycle_limit) if vet else None
+    try:
+        report = run_cluster_sync(
+            workload.system,
+            transport=transport,
+            deadlock_policy=deadlock_policy,
+            max_retries=max_retries,
+            seed=derived,
+            vet=vet,
+            gateway=gateway,
+            fault_plan=fault_plan,
+            grant_timeout=grant_timeout,
+            request_timeout=request_timeout,
+            **workload.cluster_kwargs(),
+        )
+    finally:
+        if gateway is not None:
+            gateway.close()
+    return ArenaCell.from_report(
+        report,
+        policy=policy,
+        workload=spec.name,
+        fault_plan=fault_plan_name,
+        seed=derived,
+    )
+
+
+def run_arena(
+    specs: Sequence[TrafficSpec],
+    *,
+    policies: Sequence[str],
+    fault_plans: Sequence[tuple[str, FaultPlan | None]] = ((NO_FAULTS, None),),
+    seed: int = 0,
+    transport: str = "memory",
+    deadlock_policy: str = "abort-youngest",
+    max_retries: int = 5,
+    grant_timeout: int | None = None,
+    request_timeout: float | None = None,
+    vet: bool = True,
+    vet_cycle_limit: int | None = VET_CYCLE_LIMIT,
+) -> ArenaReport:
+    """Sweep every (policy, spec, fault plan) cell, in deterministic
+    iteration order: policies outermost, then workloads, then plans.
+
+    Cells run sequentially — each boots its own cluster on its own
+    event loop, so one cell's scheduling can never leak into another's
+    memory-transport fingerprint.
+    """
+    started = time.perf_counter()
+    report = ArenaReport(
+        transport=transport,
+        seed=seed,
+        policies=list(policies),
+        workloads=[spec.name for spec in specs],
+        fault_plans=[name for name, _ in fault_plans],
+    )
+    for policy in policies:
+        for spec in specs:
+            for plan_name, plan in fault_plans:
+                report.cells.append(
+                    run_cell(
+                        spec,
+                        policy=policy,
+                        fault_plan=plan,
+                        fault_plan_name=plan_name,
+                        seed=seed,
+                        transport=transport,
+                        deadlock_policy=deadlock_policy,
+                        max_retries=max_retries,
+                        grant_timeout=grant_timeout,
+                        request_timeout=request_timeout,
+                        vet=vet,
+                        vet_cycle_limit=vet_cycle_limit,
+                    )
+                )
+    report.wall_seconds = time.perf_counter() - started
+    return report

@@ -53,6 +53,17 @@ Subcommands
     the foreground; ``bench`` compares simulator vs memory vs TCP
     throughput.
 
+``arena``
+    Sweep a policy × workload × fault-plan matrix (:mod:`repro.arena`):
+    each ``--workload SPEC.json`` is a seeded traffic model
+    (:mod:`repro.workloads.traffic` — key skew, transaction mix,
+    open/closed arrivals, region latency), instantiated under every
+    ``--policy`` and run through a fresh cluster per cell with every
+    ``--fault-plan`` injected.  Reports throughput, p50/p99 latency and
+    abort/retry rates per cell; exits non-zero only when a cell's
+    committed history fails the serializability audit.  ``cluster run
+    --workload SPEC.json`` runs a single cell interactively.
+
 ``trace-report FILE [FILE ...]``
     Aggregate span traces (written by ``--trace``) into a top-spans
     table: call counts, total / self / max time per span name.  Given
@@ -495,8 +506,39 @@ def cmd_cluster_run(args: argparse.Namespace) -> int:
     from .cluster import run_cluster_sync
     from .obs.events import EventLog
 
-    log.info(f"loading {args.file}")
-    system = _load_system(args.file)
+    workload_kwargs: dict = {}
+    if args.workload is not None:
+        if args.file is not None:
+            log.error(
+                "error: give either a system FILE or --workload SPEC.json, "
+                "not both"
+            )
+            return 2
+        if args.replicas > 1:
+            log.error(
+                "error: --workload drives the plain cluster runtime; "
+                "it cannot be combined with --replicas"
+            )
+            return 2
+        from .workloads.traffic import TrafficSpec, generate_workload
+
+        log.info(f"loading traffic spec {args.workload}")
+        spec = TrafficSpec.load(args.workload)
+        generated = generate_workload(
+            spec, policy=args.workload_policy, seed=args.seed
+        )
+        system = generated.system
+        # The spec owns the arrival process, concurrency and latency
+        # matrix; --rounds/--concurrency are ignored for workload runs.
+        workload_kwargs = generated.cluster_kwargs()
+        if args.rounds != 1:
+            log.info("--rounds is ignored with --workload (spec sets the size)")
+    elif args.file is None:
+        log.error("error: need a system FILE (or --workload SPEC.json)")
+        return 2
+    else:
+        log.info(f"loading {args.file}")
+        system = _load_system(args.file)
     plan = _load_plan(args)
     if plan is not None:
         # Fail fast, before any server boots: a typo'd site id would
@@ -520,6 +562,7 @@ def cmd_cluster_run(args: argparse.Namespace) -> int:
         batch=args.batch,
         use_uvloop=args.uvloop,
     )
+    common.update(workload_kwargs)
     if args.replicas > 1:
         from .replica import run_replicated_sync
 
@@ -542,6 +585,54 @@ def cmd_cluster_run(args: argparse.Namespace) -> int:
         and report.committed == report.transactions
     )
     return 0 if ok else 1
+
+
+def cmd_arena(args: argparse.Namespace) -> int:
+    import os
+
+    from .arena import run_arena
+    from .workloads.traffic import TrafficSpec
+
+    specs = []
+    for path in args.workload:
+        log.info(f"loading traffic spec {path}")
+        specs.append(TrafficSpec.load(path))
+    policies = args.policy or ["2pl", "tree"]
+    fault_plans: list = []
+    for label in args.fault_plan or ["none"]:
+        if label == "none":
+            fault_plans.append(("none", None))
+        else:
+            from .faults import FaultPlan
+
+            log.info(f"loading fault plan {label}")
+            name = os.path.splitext(os.path.basename(label))[0]
+            fault_plans.append((name, FaultPlan.load(label)))
+
+    report = run_arena(
+        specs,
+        policies=policies,
+        fault_plans=fault_plans,
+        seed=args.seed,
+        transport=args.transport,
+        deadlock_policy=args.deadlock_policy or "abort-youngest",
+        max_retries=args.max_retries,
+        grant_timeout=args.grant_timeout,
+        request_timeout=args.request_timeout,
+        vet=not args.no_vet,
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+            handle.write("\n")
+        log.info(f"report written to {args.out}")
+    if args.json:
+        log.result(json.dumps(report.to_dict(), indent=2))
+    else:
+        log.result(report.render())
+    # Aborts under overload or faults are performance outcomes; the
+    # arena fails only when a committed history breaks the audit.
+    return 0 if report.all_ok else 1
 
 
 def cmd_cluster_serve(args: argparse.Namespace) -> int:
@@ -859,7 +950,28 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_run = cluster_sub.add_parser(
         "run", help="boot an in-process cluster and run a system through it"
     )
-    cluster_run.add_argument("file")
+    cluster_run.add_argument(
+        "file",
+        nargs="?",
+        default=None,
+        help="system description (omit when using --workload)",
+    )
+    cluster_run.add_argument(
+        "--workload",
+        metavar="SPEC.json",
+        default=None,
+        help="generate the system from a traffic spec "
+        "(repro.workloads.traffic) instead of reading a system FILE; "
+        "the spec's arrival process, concurrency and latency matrix "
+        "drive the run",
+    )
+    cluster_run.add_argument(
+        "--workload-policy",
+        choices=("2pl", "tree", "vetted-optimal"),
+        default="2pl",
+        help="locking policy imposed on --workload transactions "
+        "(default 2pl)",
+    )
     cluster_run.add_argument(
         "--transport",
         choices=("memory", "tcp"),
@@ -951,6 +1063,72 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_run.set_defaults(
         func=cmd_cluster_run, deadlock_policy="abort-youngest", batch=False
     )
+
+    arena = sub.add_parser(
+        "arena",
+        help="sweep a policy × workload × fault-plan matrix (repro.arena)",
+    )
+    arena.add_argument(
+        "--workload",
+        action="append",
+        required=True,
+        metavar="SPEC.json",
+        help="traffic spec to include (repeatable)",
+    )
+    arena.add_argument(
+        "--policy",
+        action="append",
+        choices=("2pl", "tree", "vetted-optimal"),
+        help="locking policy to include (repeatable; default: 2pl, tree)",
+    )
+    arena.add_argument(
+        "--fault-plan",
+        action="append",
+        metavar="PLAN.json",
+        help="fault plan to include, or the literal 'none' for a "
+        "fault-free column (repeatable; default: none)",
+    )
+    arena.add_argument(
+        "--transport",
+        choices=("memory", "tcp"),
+        default="memory",
+        help="transport for every cell (default memory: deterministic "
+        "fingerprints per cell)",
+    )
+    arena.add_argument("--seed", type=int, default=0)
+    arena.add_argument(
+        "--max-retries",
+        type=int,
+        default=5,
+        help="abort-and-retry budget per transaction (default 5)",
+    )
+    arena.add_argument(
+        "--grant-timeout",
+        type=int,
+        default=None,
+        metavar="TICKS",
+        help="per-site lock-grant timeout for every cell",
+    )
+    arena.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request round-trip bound for every cell",
+    )
+    arena.add_argument(
+        "--no-vet",
+        action="store_true",
+        help="skip the admission gateway in every cell",
+    )
+    arena.add_argument("--json", action="store_true")
+    arena.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="also write the JSON report to FILE",
+    )
+    arena.set_defaults(func=cmd_arena, deadlock_policy="abort-youngest")
 
     cluster_serve = cluster_sub.add_parser(
         "serve", help="run one TCP site server in the foreground"

@@ -28,6 +28,8 @@ from .runtime import ClusterError, ClusterReport, run_cluster, run_cluster_sync
 from .siteserver import SiteServer
 from .transport import (
     Connection,
+    LatencyMatrix,
+    LatencyTransport,
     MemoryTransport,
     TcpTransport,
     Transport,
@@ -41,6 +43,8 @@ __all__ = [
     "Coordinator",
     "Gateway",
     "GatewayDecision",
+    "LatencyMatrix",
+    "LatencyTransport",
     "MemoryTransport",
     "NetworkFaultAdapter",
     "PEER_KINDS",

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import asyncio
 import random
+import time
 from dataclasses import dataclass, field
 
 from ..core.transaction import Transaction
@@ -63,6 +64,10 @@ class TxnOutcome:
     #: their copy of the history may be missing this transaction, so
     #: the serializability audit must treat the run as incomplete.
     unacked_commit_sites: list[int] = field(default_factory=list)
+    #: Wall-clock seconds from coordinator start to final outcome.
+    #: Timing, not outcome: deliberately excluded from :meth:`to_dict`
+    #: so the report's outcome fingerprint stays bit-deterministic.
+    seconds: float = 0.0
 
     @property
     def committed(self) -> bool:
@@ -363,7 +368,9 @@ class Coordinator:
             self._root = root if root else None
             if root:
                 root.set(txn=self.transaction.name)
+            started = time.perf_counter()
             outcome = await self._run()
+            outcome.seconds = time.perf_counter() - started
             if root:
                 root.set(outcome=outcome.outcome, retries=outcome.retries)
             self._root = None

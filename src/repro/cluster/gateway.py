@@ -23,7 +23,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..core.safety import SafetyVerdict
 from ..core.schedule import TransactionSystem
+from ..errors import VettingBudgetError
 from ..service.cache import VerdictCache
 from ..service.pool import PairVettingPool
 from ..service.registry import AdmissionDecision, AdmissionRegistry
@@ -69,8 +71,32 @@ class Gateway:
 
     def vet(self, system: TransactionSystem) -> GatewayDecision:
         """Vet *system*'s transactions; the mode is ``"vetted-safe"``
-        only when every one is admitted."""
-        decisions = self.registry.admit_system(system, want_certificate=False)
+        only when every one is admitted.
+
+        With a ``cycle_limit``, an admission whose cycle vetting
+        exhausts the budget is treated as a *rejection* ("could not be
+        certified statically"), not an error: the transaction still
+        runs, in ``runtime-guarded`` mode, where deadlock resolution
+        and the final serializability audit carry the guarantee.
+        """
+        decisions: list[AdmissionDecision] = []
+        for transaction in system.transactions:
+            try:
+                decisions.append(
+                    self.registry.admit(transaction, want_certificate=False)
+                )
+            except VettingBudgetError as exc:
+                decisions.append(
+                    AdmissionDecision(
+                        admitted=False,
+                        name=transaction.name,
+                        verdict=SafetyVerdict(
+                            safe=False,
+                            method="budget-exceeded",
+                            detail=str(exc),
+                        ),
+                    )
+                )
         admitted = [d.name for d in decisions if d.admitted]
         rejected = [d.name for d in decisions if not d.admitted]
         mode = "vetted-safe" if not rejected else "runtime-guarded"

@@ -22,6 +22,7 @@ import asyncio
 import hashlib
 import json
 import time
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from ..core.schedule import TransactionSystem
@@ -40,7 +41,14 @@ from .coordinator import Coordinator, SiteClientPool, TxnOutcome
 from .gateway import Gateway, GatewayDecision
 from .netfaults import NetworkFaultAdapter
 from .siteserver import SiteServer
-from .transport import MemoryTransport, TcpTransport, Transport, TransportError
+from .transport import (
+    LatencyMatrix,
+    LatencyTransport,
+    MemoryTransport,
+    TcpTransport,
+    Transport,
+    TransportError,
+)
 
 
 class ClusterError(ReproError):
@@ -235,6 +243,8 @@ async def run_cluster(
     wire_metrics: bool = False,
     codec: str = "json",
     batch: bool = False,
+    arrivals: Sequence[int] | None = None,
+    latency: LatencyMatrix | None = None,
 ) -> ClusterReport:
     """Execute *rounds* copies of *system* on a live cluster.
 
@@ -251,6 +261,16 @@ async def run_cluster(
     per site in single pipelined frames.  Either choice changes the
     wire format, not the outcome: runs stay deterministic on the
     memory transport *per configuration*.
+
+    *arrivals* switches submission from closed-loop to **open-loop**:
+    instead of *concurrency* clients each starting the next transaction
+    when the previous finishes, coordinator *i* starts at absolute tick
+    ``arrivals[i]`` on the transport clock regardless of how the
+    cluster is keeping up (one entry per workload instance, ``rounds``
+    × system size).  *latency* wraps the transport in a
+    :class:`~repro.cluster.transport.LatencyTransport`, charging every
+    frame the configured cross-region delay.  Both come from traffic
+    specs (:mod:`repro.workloads.traffic`) but are plain runtime knobs.
 
     Every run starts by resetting the ``repro_cluster_*`` metrics, so
     back-to-back runs in one process (benchmarks, tests) never
@@ -292,6 +312,9 @@ async def run_cluster(
         own_transport = True
     else:
         raise ClusterError(f"unknown transport {transport!r} (memory, tcp, or a Transport)")
+    if latency is not None:
+        live_transport = LatencyTransport(live_transport, latency)
+        transport_name = f"{transport_name}+latency"
 
     with trace.span("cluster.run") as sp:
         if sp:
@@ -335,22 +358,38 @@ async def run_cluster(
                 await server.start()
 
             workload = _build_workload(system, rounds)
+            if arrivals is not None and len(arrivals) != len(workload):
+                raise ClusterError(
+                    f"arrivals must cover the whole workload: got "
+                    f"{len(arrivals)} start ticks for {len(workload)} "
+                    f"transaction instances"
+                )
             gate = asyncio.Semaphore(concurrency)
 
+            async def start_one(index: int, tx: Transaction) -> TxnOutcome:
+                coordinator = Coordinator(
+                    tx,
+                    transport=live_transport,
+                    age=index,
+                    max_retries=max_retries,
+                    request_timeout=request_timeout,
+                    seed=seed,
+                    codec=wire_codec,
+                    batch=batch,
+                    pool=pool,
+                )
+                return await coordinator.run()
+
             async def run_one(index: int, tx: Transaction) -> TxnOutcome:
+                if arrivals is not None:
+                    # Open loop: wait for this instance's arrival tick,
+                    # then submit unconditionally — offered load does
+                    # not slow down when the cluster saturates.
+                    if arrivals[index] > 0:
+                        await live_transport.sleep(arrivals[index])
+                    return await start_one(index, tx)
                 async with gate:
-                    coordinator = Coordinator(
-                        tx,
-                        transport=live_transport,
-                        age=index,
-                        max_retries=max_retries,
-                        request_timeout=request_timeout,
-                        seed=seed,
-                        codec=wire_codec,
-                        batch=batch,
-                        pool=pool,
-                    )
-                    return await coordinator.run()
+                    return await start_one(index, tx)
 
             outcomes = list(
                 await asyncio.gather(*(run_one(i, tx) for i, tx in enumerate(workload)))

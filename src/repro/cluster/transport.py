@@ -174,6 +174,130 @@ class MemoryTransport(Transport):
 
 
 # ----------------------------------------------------------------------
+# Multi-region latency injection
+# ----------------------------------------------------------------------
+class LatencyMatrix:
+    """A region map plus per-ordered-pair frame delays.
+
+    *regions* maps ``site -> region name``; *delay_ticks* maps
+    ``origin region -> destination region -> ticks`` added to every
+    frame crossing that pair; coordinators, the client pool and the
+    history fetch are homed in *client_region*.  Delays are transport
+    ticks (event-loop yields on the memory transport, milliseconds on
+    TCP), so a latency-shaped run on the memory transport stays fully
+    deterministic.  Traffic specs build these via
+    :meth:`repro.workloads.traffic.LatencyModel.matrix`.
+    """
+
+    def __init__(
+        self,
+        regions: dict[int, str],
+        delay_ticks: dict[str, dict[str, int]],
+        client_region: str = "local",
+    ) -> None:
+        self.regions = dict(regions)
+        self.delay_ticks = {
+            origin: dict(row) for origin, row in delay_ticks.items()
+        }
+        self.client_region = client_region
+
+    def region_of_site(self, site: int) -> str:
+        """The region serving *site* (defaults to the client region)."""
+        return self.regions.get(site, self.client_region)
+
+    def delay(self, origin: str, destination: str) -> int:
+        """Ticks a frame pays travelling *origin* → *destination*."""
+        return self.delay_ticks.get(origin, {}).get(destination, 0)
+
+
+class _DelayedConnection(Connection):
+    """A connection whose sends pay a fixed cross-region delay.
+
+    Wraps the inner connection rather than subclassing a concrete one,
+    so it works over memory and TCP alike; ``codec`` must forward with
+    a setter because ``hello`` negotiation repoints it on the object it
+    is handed.
+    """
+
+    def __init__(self, inner: Connection, sleep, ticks: int) -> None:
+        self._inner = inner
+        self._sleep = sleep
+        self._ticks = ticks
+
+    @property
+    def peer(self) -> int | None:
+        return self._inner.peer
+
+    @peer.setter
+    def peer(self, value: int | None) -> None:
+        self._inner.peer = value
+
+    @property
+    def codec(self) -> protocol.WireCodec:
+        return self._inner.codec
+
+    @codec.setter
+    def codec(self, value: protocol.WireCodec) -> None:
+        self._inner.codec = value
+
+    async def send(self, message: dict) -> None:
+        if self._ticks:
+            await self._sleep(self._ticks)
+        await self._inner.send(message)
+
+    async def recv(self) -> dict | None:
+        return await self._inner.recv()
+
+    async def close(self) -> None:
+        await self._inner.close()
+
+
+class LatencyTransport(Transport):
+    """Injects a :class:`LatencyMatrix` into any transport.
+
+    Client connections (``connect``) delay each outbound frame by the
+    client-region → site-region entry; server connections (handed to
+    ``listen`` handlers) delay replies by the reverse entry — so one
+    request/response round trip pays both directions, and intra-region
+    traffic pays nothing.  Determinism is inherited from the inner
+    transport: delays are plain tick sleeps on its clock.
+    """
+
+    def __init__(self, inner: Transport, matrix: LatencyMatrix) -> None:
+        self._inner = inner
+        self.matrix = matrix
+
+    @property
+    def deterministic(self) -> bool:
+        return self._inner.deterministic
+
+    async def listen(self, site: int, handler) -> None:
+        ticks = self.matrix.delay(
+            self.matrix.region_of_site(site), self.matrix.client_region
+        )
+
+        async def delayed_handler(connection: Connection) -> None:
+            await handler(
+                _DelayedConnection(connection, self._inner.sleep, ticks)
+            )
+
+        await self._inner.listen(site, delayed_handler)
+
+    async def connect(self, site: int) -> Connection:
+        ticks = self.matrix.delay(
+            self.matrix.client_region, self.matrix.region_of_site(site)
+        )
+        inner = await self._inner.connect(site)
+        return _DelayedConnection(inner, self._inner.sleep, ticks)
+
+    async def sleep(self, ticks: int) -> None:
+        await self._inner.sleep(ticks)
+
+    async def close(self) -> None:
+        await self._inner.close()
+
+
+# ----------------------------------------------------------------------
 # TCP transport
 # ----------------------------------------------------------------------
 class _TcpConnection(Connection):

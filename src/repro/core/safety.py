@@ -62,6 +62,7 @@ Method = Literal[
     "exhaustive",
     "proposition-2",
     "admission",
+    "budget-exceeded",
 ]
 
 

@@ -64,6 +64,19 @@ class AdmissionTimeout(AdmissionError):
     request."""
 
 
+class VettingBudgetError(AdmissionError):
+    """An admission's Proposition-2 cycle vetting hit its deterministic
+    work bound (:class:`~repro.service.AdmissionRegistry`
+    ``cycle_limit``) before reaching a verdict.  The registry is left
+    unchanged; safety of the extension is *undecided*, never assumed."""
+
+
+class TrafficSpecError(ReproError):
+    """An invalid traffic-model spec (:mod:`repro.workloads.traffic`):
+    unknown keys, an unknown key distribution or arrival process,
+    malformed latency matrix, or out-of-range knobs."""
+
+
 class FaultPlanError(ReproError):
     """An invalid fault-injection plan (:mod:`repro.faults`): unknown
     site or transaction, malformed times, or an unknown crash

@@ -11,24 +11,16 @@ is seeded and step-budgeted, so a sweep can be large but never hangs.
 
 from __future__ import annotations
 
-import math
 import time
 from dataclasses import dataclass, field
 
 from ..core.schedule import TransactionSystem
 from ..sim.drivers import RandomDriver
 from ..sim.engine import SimulationEngine
+from ..stats import percentile
 from .plan import FaultPlan
 
-
-def percentile(values: list[int] | list[float], q: float) -> float | None:
-    """The *q*-th percentile (nearest-rank) of *values*, or ``None``
-    when there are no observations."""
-    if not values:
-        return None
-    ordered = sorted(values)
-    rank = max(0, math.ceil(q / 100.0 * len(ordered)) - 1)
-    return float(ordered[rank])
+__all__ = ["ChaosReport", "chaos_sweep", "percentile"]
 
 
 @dataclass

@@ -58,6 +58,7 @@ import os
 import time
 from typing import Any
 
+from .. import stats
 from . import trace
 from .metrics import REGISTRY
 
@@ -451,11 +452,10 @@ def trace_trees(records: list[dict[str, Any]]) -> list[TraceTree]:
 
 
 def _percentile(ordered: list[float], q: float) -> float:
-    """Nearest-rank percentile of an ascending list."""
-    if not ordered:
-        return 0.0
-    rank = max(0, min(len(ordered) - 1, int(round(q * (len(ordered) - 1)))))
-    return ordered[rank]
+    """Nearest-rank percentile of an ascending list (``q`` in [0, 1]);
+    delegates to the package-wide helper :func:`repro.stats.percentile`."""
+    value = stats.percentile(ordered, q * 100.0)
+    return 0.0 if value is None else value
 
 
 def stage_rows(records: list[dict[str, Any]]) -> list[dict[str, Any]]:

@@ -30,7 +30,7 @@ from ..core.multi import b_graph_of_cycle
 from ..core.safety import SafetyVerdict, decide_safety
 from ..core.schedule import TransactionSystem
 from ..core.transaction import Transaction
-from ..errors import AdmissionError, AdmissionTimeout
+from ..errors import AdmissionError, AdmissionTimeout, VettingBudgetError
 from ..graphs import DiGraph, has_cycle, simple_cycles
 from ..obs import trace
 from .cache import CachedVerdict, VerdictCache
@@ -435,7 +435,7 @@ class AdmissionRegistry:
                         ),
                     )
             if self.cycle_limit is not None and produced >= self.cycle_limit:
-                raise AdmissionError(
+                raise VettingBudgetError(
                     f"cycle enumeration hit its limit ({self.cycle_limit}) "
                     f"while vetting {name!r}; admission is undecided"
                 )

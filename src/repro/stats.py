@@ -1,0 +1,31 @@
+"""Small shared statistics helpers.
+
+One implementation of the nearest-rank percentile serves every report
+in the package — the chaos sweep's recovery latencies
+(:mod:`repro.faults.chaos`), the distributed trace's per-stage
+wire-latency table (:mod:`repro.obs.distributed`) and the arena's
+per-cell transaction latencies (:mod:`repro.arena.report`) — so the
+three never drift apart on rank conventions.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+
+def percentile(values: Sequence[float], q: float) -> float | None:
+    """The *q*-th percentile of *values* (``0 <= q <= 100``), by the
+    nearest-rank method, or ``None`` when there are no observations.
+
+    Nearest rank: the smallest observation at or above the ``q``-fraction
+    position of the sorted sample — always an observed value, never an
+    interpolation, which keeps deterministic runs bit-reproducible.
+    """
+    if not values:
+        return None
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile rank must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    rank = max(0, math.ceil(q / 100.0 * len(ordered)) - 1)
+    return float(ordered[rank])

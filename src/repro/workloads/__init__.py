@@ -17,18 +17,40 @@ from .random_transactions import (
     random_total_order_pair,
     random_transaction,
 )
+from .traffic import (
+    POLICIES,
+    VET_CYCLE_LIMIT,
+    ArrivalModel,
+    KeyModel,
+    LatencyModel,
+    MixModel,
+    TrafficSpec,
+    TrafficWorkload,
+    generate_workload,
+    zipf_weights,
+)
 
 __all__ = [
+    "POLICIES",
+    "VET_CYCLE_LIMIT",
+    "ArrivalModel",
+    "KeyModel",
+    "LatencyModel",
+    "MixModel",
+    "TrafficSpec",
+    "TrafficWorkload",
     "figure_1",
     "figure_2_total_orders",
     "figure_3",
     "figure_3_extension_pairs",
     "figure_5",
     "figure_8_formula",
+    "generate_workload",
     "random_database",
     "random_pair_system",
     "random_restricted_cnf",
     "random_system",
     "random_total_order_pair",
     "random_transaction",
+    "zipf_weights",
 ]

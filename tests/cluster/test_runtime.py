@@ -223,3 +223,66 @@ class TestConfiguration:
     def test_run_cluster_is_a_coroutine(self, deadlock_prone_system):
         report = asyncio.run(run_cluster(deadlock_prone_system, seed=0))
         assert report.committed == 2
+
+
+class TestArrivalsAndLatency:
+    """The traffic hooks: open-loop arrival schedules and the region
+    latency matrix, both injected by --workload / the arena."""
+
+    def latency(self):
+        from repro.cluster import LatencyMatrix
+
+        return LatencyMatrix(
+            regions={1: "us", 2: "eu"},
+            delay_ticks={"us": {"us": 0, "eu": 2}, "eu": {"us": 2, "eu": 0}},
+            client_region="us",
+        )
+
+    def test_open_loop_arrivals_commit_serializably(self, deadlock_prone_system):
+        report = run_cluster_sync(
+            deadlock_prone_system, seed=0, arrivals=[0, 3], max_retries=8
+        )
+        assert report.serializable
+        assert report.committed == report.transactions == 2
+
+    def test_arrivals_must_match_workload_size(self, deadlock_prone_system):
+        with pytest.raises(ClusterError, match="arrival"):
+            run_cluster_sync(deadlock_prone_system, seed=0, arrivals=[0])
+
+    def test_arrivals_are_deterministic(self, deadlock_prone_system):
+        runs = [
+            run_cluster_sync(
+                deadlock_prone_system, seed=4, arrivals=[0, 5], max_retries=8
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].history_fingerprint == runs[1].history_fingerprint
+        assert runs[0].outcome_fingerprint == runs[1].outcome_fingerprint
+
+    def test_latency_matrix_tags_transport_and_stays_serializable(
+        self, deadlock_prone_system
+    ):
+        report = run_cluster_sync(
+            deadlock_prone_system, seed=0, latency=self.latency(), max_retries=8
+        )
+        assert report.transport == "memory+latency"
+        assert report.serializable
+        assert report.committed == report.transactions
+
+    def test_latency_runs_are_deterministic(self, deadlock_prone_system):
+        runs = [
+            run_cluster_sync(
+                deadlock_prone_system, seed=2, latency=self.latency(), max_retries=8
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].history_fingerprint == runs[1].history_fingerprint
+        assert runs[0].outcome_fingerprint == runs[1].outcome_fingerprint
+
+    def test_latency_matrix_defaults_to_zero_delay(self):
+        from repro.cluster import LatencyMatrix
+
+        matrix = LatencyMatrix(regions={1: "us"}, delay_ticks={}, client_region="us")
+        assert matrix.delay("us", "us") == 0
+        assert matrix.region_of_site(1) == "us"
+        assert matrix.region_of_site(9) == "us"

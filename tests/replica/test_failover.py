@@ -32,7 +32,10 @@ class TestLeaderKillRun:
             rounds=2,
             seed=7,
             max_retries=8,
-            request_timeout=0.5,
+            # Wall-clock: generous enough that a busy single-CPU runner
+            # never times out a healthy leader, small enough that the
+            # killed leader is still detected quickly.
+            request_timeout=2.0,
             fault_plan=kill_leader_plan,
         )
         assert report.committed == report.transactions == 4
@@ -58,7 +61,7 @@ class TestLeaderKillRun:
             rounds=2,
             seed=7,
             max_retries=8,
-            request_timeout=0.5,
+            request_timeout=2.0,
             fault_plan=kill_leader_plan,
             codec="binary",
             batch=True,

@@ -634,3 +634,126 @@ class TestClusterCli:
         assert payload["failovers"] == 0
         assert payload["committed"] == payload["transactions"] == 4
         assert "recovery" in payload and payload["recovery"] == []
+
+
+TINY_SPEC = {
+    "name": "tiny",
+    "entities": 6,
+    "sites": 2,
+    "transactions": 4,
+    "keys": {"distribution": "zipfian", "skew": 1.2},
+    "mix": {"entities_per_txn": 2},
+    "arrival": {"process": "closed", "concurrency": 3},
+}
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    path = tmp_path / "tiny.json"
+    path.write_text(json.dumps(TINY_SPEC))
+    return str(path)
+
+
+class TestClusterWorkloadCli:
+    def test_workload_run_exits_zero(self, spec_file, capsys):
+        code = main(
+            ["cluster", "run", "--workload", spec_file, "--json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["serializable"] is True
+        assert payload["transactions"] == TINY_SPEC["transactions"]
+
+    def test_workload_run_accepts_policy(self, spec_file, capsys):
+        code = main(
+            [
+                "cluster",
+                "run",
+                "--workload",
+                spec_file,
+                "--workload-policy",
+                "tree",
+                "--json",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["committed"] == TINY_SPEC["transactions"]
+
+    def test_file_and_workload_together_exit_two(self, safe_file, spec_file, capsys):
+        assert main(["cluster", "run", safe_file, "--workload", spec_file]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_neither_file_nor_workload_exits_two(self, capsys):
+        assert main(["cluster", "run"]) == 2
+        assert "need a system FILE" in capsys.readouterr().err
+
+    def test_workload_with_replicas_exits_two(self, spec_file, capsys):
+        assert (
+            main(["cluster", "run", "--workload", spec_file, "--replicas", "3"]) == 2
+        )
+
+    def test_malformed_spec_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(dict(TINY_SPEC, bogus=True)))
+        assert main(["cluster", "run", "--workload", str(path)]) == 2
+        assert "unknown traffic spec keys" in capsys.readouterr().err
+
+
+class TestArenaCli:
+    def test_matrix_smoke_exits_zero(self, spec_file, tmp_path, capsys):
+        plan = tmp_path / "hot.json"
+        plan.write_text(
+            json.dumps({"grant_delays": [{"entity": "e0", "at": 2, "until": 8}]})
+        )
+        out = tmp_path / "arena.json"
+        code = main(
+            [
+                "arena",
+                "--workload",
+                spec_file,
+                "--policy",
+                "2pl",
+                "--policy",
+                "tree",
+                "--fault-plan",
+                "none",
+                "--fault-plan",
+                str(plan),
+                "--seed",
+                "7",
+                "--out",
+                str(out),
+            ]
+        )
+        rendered = capsys.readouterr().out
+        assert code == 0
+        assert "arena: 2 policies × 1 workloads × 2 fault plans" in rendered
+        payload = json.loads(out.read_text())
+        assert payload["all_ok"] is True
+        assert len(payload["cells"]) == 4
+        assert payload["fault_plans"] == ["none", "hot"]
+
+    def test_json_output(self, spec_file, capsys):
+        code = main(["arena", "--workload", spec_file, "--policy", "2pl", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert [cell["policy"] for cell in payload["cells"]] == ["2pl"]
+
+    def test_malformed_spec_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"name": "x"}')
+        assert main(["arena", "--workload", str(path)]) == 2
+        assert "traffic spec" in capsys.readouterr().err
+
+    def test_json_is_deterministic_modulo_wall_time(self, spec_file, capsys):
+        def snapshot():
+            main(["arena", "--workload", spec_file, "--policy", "2pl", "--json"])
+            payload = json.loads(capsys.readouterr().out)
+            payload.pop("wall_seconds")
+            for cell in payload["cells"]:
+                for key in ("wall_seconds", "throughput_txn_s", "p50_ms", "p99_ms"):
+                    cell.pop(key)
+            return payload
+
+        assert snapshot() == snapshot()

@@ -21,6 +21,7 @@ PUBLIC_MODULES = [
     "repro.workloads",
     "repro.service",
     "repro.cluster",
+    "repro.arena",
     "repro.replica",
     "repro.obs",
     "repro.viz",
@@ -80,7 +81,7 @@ class TestDocFiles:
         "filename",
         [
             "model.md", "algorithms.md", "reduction.md", "dsl.md",
-            "service.md", "faults.md", "api.md",
+            "service.md", "faults.md", "api.md", "workloads.md",
         ],
     )
     def test_docs_directory_complete(self, filename):

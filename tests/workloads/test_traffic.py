@@ -1,0 +1,267 @@
+"""The seeded traffic-model library: specs, key/arrival models, and the
+policy-shaped generators.
+
+The invariants under test are the ones the arena leans on: generation
+is a pure function of (spec, policy, seed); Zipfian sampling actually
+skews toward the head key; every generated transaction satisfies the
+paper's §2 well-formedness (one L-update-U triple per entity, lock
+before every update before unlock); and tree-policy traffic really
+follows the tree protocol it claims.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TrafficSpecError
+from repro.policies import EntityTree, follows_tree_protocol, is_two_phase
+from repro.workloads import (
+    POLICIES,
+    ArrivalModel,
+    KeyModel,
+    LatencyModel,
+    MixModel,
+    TrafficSpec,
+    generate_workload,
+    zipf_weights,
+)
+from repro.workloads.traffic import _heap_parent_of
+
+FULL_LATENCY = {
+    "regions": {"1": "us", "2": "us", "3": "eu"},
+    "client_region": "us",
+    "delay_ticks": {
+        "us": {"us": 0, "eu": 3},
+        "eu": {"us": 3, "eu": 0},
+    },
+}
+
+BASE_SPEC = {
+    "name": "unit",
+    "entities": 8,
+    "sites": 3,
+    "transactions": 6,
+    "keys": {"distribution": "zipfian", "skew": 1.2},
+    "mix": {"entities_per_txn": 2, "long_entities_per_txn": 4, "long_fraction": 0.25},
+    "arrival": {"process": "closed", "concurrency": 4},
+}
+
+
+def spec_with(**overrides):
+    payload = dict(BASE_SPEC)
+    payload.update(overrides)
+    return TrafficSpec.from_dict(payload)
+
+
+def system_signature(workload):
+    """A comparable snapshot of a generated system's exact shape."""
+    return [
+        (t.name, [str(s) for s in t.a_linear_extension()])
+        for t in workload.system.transactions
+    ]
+
+
+def lock_counts(workload):
+    counts: dict[str, int] = {}
+    for t in workload.system.transactions:
+        for entity in t.locked_entities():
+            counts[entity] = counts.get(entity, 0) + 1
+    return counts
+
+
+class TestTrafficSpec:
+    def test_round_trips_through_dict(self):
+        spec = spec_with(latency=FULL_LATENCY)
+        assert TrafficSpec.from_dict(spec.to_dict()) == spec
+
+    def test_load_reads_json_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(BASE_SPEC))
+        assert TrafficSpec.load(str(path)) == spec_with()
+
+    def test_load_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(TrafficSpecError, match="not valid JSON"):
+            TrafficSpec.load(str(path))
+
+    def test_scaled_replaces_transaction_count(self):
+        spec = spec_with().scaled(transactions=50)
+        assert spec.transactions == 50
+        assert spec.entities == BASE_SPEC["entities"]
+
+    def test_rejects_unknown_keys(self):
+        with pytest.raises(TrafficSpecError, match="unknown traffic spec keys"):
+            spec_with(bogus=1)
+
+    def test_rejects_unknown_distribution(self):
+        with pytest.raises(TrafficSpecError, match="distribution"):
+            spec_with(keys={"distribution": "pareto"})
+
+    def test_rejects_open_arrival_without_rate(self):
+        with pytest.raises(TrafficSpecError, match="rate_per_1000_ticks"):
+            spec_with(arrival={"process": "open"})
+
+    def test_rejects_nonpositive_skew(self):
+        with pytest.raises(TrafficSpecError, match="skew"):
+            spec_with(keys={"distribution": "zipfian", "skew": 0})
+
+    def test_latency_requires_every_site_region(self):
+        with pytest.raises(TrafficSpecError, match="missing sites"):
+            spec_with(
+                latency={
+                    "regions": {"1": "us"},
+                    "client_region": "us",
+                    "delay_ticks": {"us": {"us": 0}},
+                }
+            )
+
+
+class TestZipfWeights:
+    def test_normalised_and_monotone(self):
+        weights = zipf_weights(6, 1.1)
+        assert sum(weights) == pytest.approx(1.0)
+        assert weights == sorted(weights, reverse=True)
+
+    def test_head_key_dominates_sampling(self):
+        """With skew 1.3 over 12 keys the head key must clearly beat the
+        uniform share (1/12) — the point of having a skew knob at all."""
+        spec = spec_with(
+            entities=12,
+            transactions=40,
+            keys={"distribution": "zipfian", "skew": 1.3},
+        )
+        counts = lock_counts(generate_workload(spec, policy="2pl", seed=5))
+        assert counts.get("e0", 0) / sum(counts.values()) > 2 / 12
+
+    def test_uniform_has_no_systematic_head(self):
+        spec = spec_with(entities=12, transactions=40, keys={"distribution": "uniform"})
+        counts = lock_counts(generate_workload(spec, policy="2pl", seed=5))
+        assert max(counts.values()) / sum(counts.values()) < 3 / 12
+
+
+class TestGenerateWorkload:
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(0, 10**6), policy=st.sampled_from(POLICIES))
+    def test_seed_deterministic(self, seed, policy):
+        spec = spec_with(transactions=4)
+        first = generate_workload(spec, policy=policy, seed=seed)
+        second = generate_workload(spec, policy=policy, seed=seed)
+        assert system_signature(first) == system_signature(second)
+        assert first.arrivals == second.arrivals
+        assert first.concurrency == second.concurrency
+        assert first.long_transactions == second.long_transactions
+
+    def test_different_seeds_differ(self):
+        spec = spec_with()
+        a = generate_workload(spec, policy="2pl", seed=1)
+        b = generate_workload(spec, policy="2pl", seed=2)
+        assert system_signature(a) != system_signature(b)
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_satisfies_section_2_model(self, policy):
+        """§2 regression: one L–update–U triple per entity, lock before
+        every update before unlock, on every generated instance."""
+        workload = generate_workload(spec_with(), policy=policy, seed=3)
+        assert len(workload.system.transactions) == BASE_SPEC["transactions"]
+        for t in workload.system.transactions:
+            assert t.locked_entities()
+            for entity in t.locked_entities():
+                lock, unlock = t.lock_step(entity), t.unlock_step(entity)
+                assert lock is not None and unlock is not None
+                assert t.precedes(lock, unlock)
+                for update in t.update_steps(entity):
+                    assert t.precedes(lock, update)
+                    assert t.precedes(update, unlock)
+
+    def test_2pl_policy_is_two_phase(self):
+        workload = generate_workload(spec_with(), policy="2pl", seed=4)
+        assert all(is_two_phase(t) for t in workload.system.transactions)
+
+    def test_tree_policy_follows_tree_protocol(self):
+        workload = generate_workload(spec_with(), policy="tree", seed=4)
+        names = sorted(
+            workload.system.database.entities, key=lambda name: int(name[1:])
+        )
+        tree = EntityTree(_heap_parent_of(names))
+        for t in workload.system.transactions:
+            assert follows_tree_protocol(t, tree)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(TrafficSpecError, match="policy"):
+            generate_workload(spec_with(), policy="chaos-monkey", seed=0)
+
+    def test_long_mix_produces_longer_transactions(self):
+        spec = spec_with(
+            transactions=20,
+            mix={
+                "entities_per_txn": 2,
+                "long_entities_per_txn": 5,
+                "long_fraction": 0.5,
+            },
+        )
+        workload = generate_workload(spec, policy="2pl", seed=9)
+        sizes = {len(t.locked_entities()) for t in workload.system.transactions}
+        assert 5 in sizes and 2 in sizes
+        assert 0 < len(workload.long_transactions) < spec.transactions
+
+
+class TestArrivals:
+    def test_closed_loop_has_concurrency_no_arrivals(self):
+        workload = generate_workload(spec_with(), policy="2pl", seed=0)
+        assert workload.arrivals is None
+        assert workload.concurrency == 4
+        assert workload.cluster_kwargs()["concurrency"] == 4
+
+    def test_open_loop_arrivals_are_sorted_ticks(self):
+        spec = spec_with(arrival={"process": "open", "rate_per_1000_ticks": 200.0})
+        workload = generate_workload(spec, policy="2pl", seed=0)
+        assert workload.arrivals is not None
+        assert len(workload.arrivals) == spec.transactions
+        assert list(workload.arrivals) == sorted(workload.arrivals)
+        assert all(isinstance(tick, int) and tick >= 0 for tick in workload.arrivals)
+
+    def test_latency_spec_becomes_matrix_kwarg(self):
+        workload = generate_workload(spec_with(latency=FULL_LATENCY), policy="2pl", seed=0)
+        matrix = workload.cluster_kwargs()["latency"]
+        assert matrix.delay("us", "eu") == 3
+        assert matrix.delay("us", "us") == 0
+        assert matrix.region_of_site(3) == "eu"
+
+
+class TestModelValidation:
+    def test_key_model_rejects_bad_skew(self):
+        with pytest.raises(TrafficSpecError):
+            KeyModel(distribution="zipfian", skew=-1.0)
+
+    def test_mix_model_rejects_bad_fraction(self):
+        with pytest.raises(TrafficSpecError):
+            MixModel(entities_per_txn=2, long_entities_per_txn=4, long_fraction=1.5)
+
+    def test_mix_model_rejects_short_long_transactions(self):
+        with pytest.raises(TrafficSpecError):
+            MixModel(entities_per_txn=4, long_entities_per_txn=2, long_fraction=0.5)
+
+    def test_arrival_model_rejects_unknown_process(self):
+        with pytest.raises(TrafficSpecError):
+            ArrivalModel(process="warp")
+
+    def test_latency_model_demands_full_matrix(self):
+        with pytest.raises(TrafficSpecError, match="delay_ticks"):
+            LatencyModel(
+                regions={1: "us", 2: "eu"},
+                client_region="us",
+                delay_ticks={"us": {"us": 0, "eu": 1}},
+            )
+
+    def test_latency_model_rejects_negative_delay(self):
+        with pytest.raises(TrafficSpecError, match="non-negative"):
+            LatencyModel(
+                regions={1: "us", 2: "eu"},
+                client_region="us",
+                delay_ticks={
+                    "us": {"us": 0, "eu": -1},
+                    "eu": {"us": 1, "eu": 0},
+                },
+            )

@@ -40,6 +40,10 @@ class ArenaCell:
     history_fingerprint: str
     outcome_fingerprint: str
     wall_seconds: float
+    #: The cell's hottest entities — the top of the run's merged
+    #: contention ranking (:attr:`ClusterReport.contention`), as
+    #: ``"entity(N waits)"`` strings.
+    hot_entities: list[str] = field(default_factory=list)
 
     @property
     def abort_rate(self) -> float:
@@ -108,6 +112,11 @@ class ArenaCell:
             history_fingerprint=report.history_fingerprint,
             outcome_fingerprint=report.outcome_fingerprint,
             wall_seconds=report.wall_seconds,
+            hot_entities=[
+                f"{row['entity']}({row['waits']} waits)"
+                for row in report.contention[:3]
+                if row.get("waits")
+            ],
         )
 
     def to_dict(self) -> dict:
@@ -133,6 +142,7 @@ class ArenaCell:
             "history_fingerprint": self.history_fingerprint,
             "outcome_fingerprint": self.outcome_fingerprint,
             "wall_seconds": round(self.wall_seconds, 4),
+            "hot_entities": self.hot_entities,
         }
 
 
@@ -180,18 +190,19 @@ class ArenaReport:
         columns = (
             f"  {'policy':<16} {'workload':<20} {'faults':<14} "
             f"{'txn/s':>8} {'p50ms':>7} {'p99ms':>7} "
-            f"{'abort':>6} {'retry':>6} {'audit':>6}"
+            f"{'abort':>6} {'retry':>6} {'audit':>6}  hot"
         )
         lines = [header, columns]
         for cell in self.cells:
             p50 = f"{cell.p50_ms:.1f}" if cell.p50_ms is not None else "-"
             p99 = f"{cell.p99_ms:.1f}" if cell.p99_ms is not None else "-"
             audit = "ok" if cell.ok else "FAIL"
+            hot = cell.hot_entities[0] if cell.hot_entities else "-"
             lines.append(
                 f"  {cell.policy:<16} {cell.workload:<20} "
                 f"{cell.fault_plan:<14} {cell.throughput_txn_s:>8.1f} "
                 f"{p50:>7} {p99:>7} {cell.abort_rate:>6.1%} "
-                f"{cell.retry_rate:>6.2f} {audit:>6}"
+                f"{cell.retry_rate:>6.2f} {audit:>6}  {hot}"
             )
         lines.append(
             f"  {len(self.cells)} cells in {self.wall_seconds:.2f}s"

@@ -44,14 +44,25 @@ Subcommands
     ``ADMIT <dsl with ';' for newlines>``, ``EVICT <name>``, ``STATS``,
     ``METRICS``, ``QUIT``.
 
-``cluster run|serve|bench``
+``cluster run|serve|bench|status``
     The networked runtime (:mod:`repro.cluster`): ``run`` boots an
     in-process multi-site cluster (``--transport memory`` for
     deterministic queues, ``tcp`` for real sockets), executes
     ``--rounds`` instances of a system and audits every committed
     history for serializability; ``serve`` runs one TCP site server in
     the foreground; ``bench`` compares simulator vs memory vs TCP
-    throughput.
+    throughput; ``status`` probes live sites (``--peer
+    ADDR=HOST:PORT``), prints each lock table / wait queue / replica
+    lease state and stitches the per-site wait-for edges into the
+    global graph, flagging deadlock cycles (exit 1) and unreachable
+    sites (exit 2).
+
+``postmortem DIR``
+    Render a post-mortem bundle (:mod:`repro.obs.insight`) written by
+    ``cluster run --postmortem DIR`` (or ``REPRO_POSTMORTEM``) when a
+    run ended non-serializable, with a partial commit, or with an
+    incomplete audit: run summary, contention ranking, the
+    flight-recorder tail and any bundled trace files.
 
 ``arena``
     Sweep a policy × workload × fault-plan matrix (:mod:`repro.arena`):
@@ -71,6 +82,11 @@ Subcommands
     are merged by trace id and the report appends the cross-process
     section: causal span trees for the slowest transactions, the
     per-stage wire-latency percentiles, and election annotations.
+    ``--contention`` appends per-entity lock-contention analytics
+    (wait percentiles, queue depth, convoy/starvation flags) derived
+    from ``site.lock_wait`` spans.  Damaged lines (a crash-killed
+    producer leaves a truncated tail) are skipped with a counted
+    warning instead of failing the whole report.
 
 Observability (:mod:`repro.obs`) cuts across the subcommands: ``-v`` /
 ``--quiet`` tune narration globally (``--log-json`` swaps it onto a
@@ -560,6 +576,8 @@ def cmd_cluster_run(args: argparse.Namespace) -> int:
         wire_metrics=args.metrics,
         codec=args.codec,
         batch=args.batch,
+        recorder=not args.no_recorder,
+        postmortem_dir=args.postmortem,
         use_uvloop=args.uvloop,
     )
     common.update(workload_kwargs)
@@ -775,14 +793,72 @@ def cmd_cluster_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cluster_status(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .cluster import TcpTransport
+    from .obs.insight import probe_sites
+
+    addresses: dict[int, tuple[str, int]] = {}
+    for spec in args.peer or ():
+        site_text, _, host_port = spec.partition("=")
+        host, _, port_text = host_port.rpartition(":")
+        try:
+            addresses[int(site_text)] = (host, int(port_text))
+        except ValueError:
+            log.error(f"error: bad --peer {spec!r} (want ADDR=HOST:PORT)")
+            return 2
+    if not addresses:
+        log.error("error: need at least one --peer ADDR=HOST:PORT to probe")
+        return 2
+
+    async def probe():
+        transport = TcpTransport(addresses)
+        try:
+            return await probe_sites(
+                transport, sorted(addresses), timeout=args.timeout
+            )
+        finally:
+            await transport.close()
+
+    status = asyncio.run(probe())
+    if args.json:
+        log.result(json.dumps(status.to_dict(), indent=2))
+    else:
+        log.result(status.render())
+    if status.errors:
+        return 2
+    return 1 if status.cycles else 0
+
+
+def cmd_postmortem(args: argparse.Namespace) -> int:
+    from .obs.insight import render_postmortem
+
+    try:
+        log.result(render_postmortem(args.directory, tail=args.tail))
+    except ValueError as exc:
+        log.error(f"error: {exc}")
+        return 2
+    return 0
+
+
 def cmd_trace_report(args: argparse.Namespace) -> int:
     from .obs.report import summarize_files
 
     try:
-        log.result(summarize_files(args.file, limit=args.limit))
+        output = summarize_files(args.file, limit=args.limit)
     except ValueError as exc:
         log.error(f"error: {exc}")
         return 2
+    if args.contention:
+        from .obs.insight import contention_from_records, render_contention
+        from .obs.report import load_trace
+
+        records: list[dict] = []
+        for path in args.file:
+            records.extend(load_trace(path, strict=False))
+        output += "\n\n" + render_contention(contention_from_records(records))
+    log.result(output)
     return 0
 
 
@@ -1057,6 +1133,20 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="collect and print the cluster event timeline",
     )
+    cluster_run.add_argument(
+        "--postmortem",
+        metavar="DIR",
+        default=None,
+        help="write a post-mortem bundle (flight ring, report, events, "
+        "traces) into DIR when the run ends non-serializable, with a "
+        "partial commit, or with an incomplete audit; render it with "
+        "`repro postmortem DIR` (REPRO_POSTMORTEM works too)",
+    )
+    cluster_run.add_argument(
+        "--no-recorder",
+        action="store_true",
+        help="disable the always-on flight recorder for this run",
+    )
     cluster_run.add_argument("--json", action="store_true")
     add_fault_flags(cluster_run)
     add_obs_flags(cluster_run)
@@ -1189,6 +1279,38 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_bench.add_argument("--json", action="store_true")
     cluster_bench.set_defaults(func=cmd_cluster_bench)
 
+    cluster_status = cluster_sub.add_parser(
+        "status",
+        help="probe live sites and stitch the global wait-for graph",
+    )
+    cluster_status.add_argument(
+        "--peer",
+        action="append",
+        metavar="ADDR=HOST:PORT",
+        help="a site (or replica address) to probe (repeatable)",
+    )
+    cluster_status.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        help="seconds to wait for each site's status reply",
+    )
+    cluster_status.add_argument("--json", action="store_true")
+    cluster_status.set_defaults(func=cmd_cluster_status)
+
+    postmortem = sub.add_parser(
+        "postmortem",
+        help="render a post-mortem bundle written by a bad cluster run",
+    )
+    postmortem.add_argument("directory")
+    postmortem.add_argument(
+        "--tail",
+        type=int,
+        default=20,
+        help="flight-recorder entries to show (newest last)",
+    )
+    postmortem.set_defaults(func=cmd_postmortem)
+
     trace_report = sub.add_parser(
         "trace-report",
         help="summarize --trace span files (merging one per process)",
@@ -1199,6 +1321,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="show only the top N spans by self time",
+    )
+    trace_report.add_argument(
+        "--contention",
+        action="store_true",
+        help="append per-entity lock-contention analytics (wait "
+        "percentiles, queue depth, convoy/starvation flags) derived "
+        "from site.lock_wait spans",
     )
     trace_report.set_defaults(func=cmd_trace_report)
 

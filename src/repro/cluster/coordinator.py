@@ -353,6 +353,36 @@ class Coordinator:
         self._touched_sites: set[int] = set()
         #: Root span of the distributed trace (``None`` untraced).
         self._root = None
+        #: Live-introspection state (:meth:`snapshot`): which attempt
+        #: is running, which phase it is in, and which step indices
+        #: have been acknowledged so far.
+        self._phase = "idle"
+        self._attempt_no = 0
+        self._acked_steps: set[int] = set()
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """The coordinator's current in-flight view, for ``status``.
+
+        Safe to call from another task at any time: it reads only
+        plain attributes the execution loop keeps current, never
+        awaits, and never touches connections.
+        """
+        acked = sorted(self._acked_steps)
+        pending = [i for i in range(len(self._steps)) if i not in self._acked_steps]
+        return {
+            "transaction": self.transaction.name,
+            "age": self.age,
+            "attempt": self._attempt_no,
+            "phase": self._phase,
+            "acked_steps": [self._describe(i) for i in acked],
+            "pending_steps": [self._describe(i) for i in pending],
+            "sites": sorted(set(self._step_sites)),
+        }
+
+    def _describe(self, index: int) -> str:
+        step = self._steps[index]
+        return f"{self._kind_of(step)} {step.entity}@{self._step_sites[index]}"
 
     # ------------------------------------------------------------------
     async def run(self) -> TxnOutcome:
@@ -383,8 +413,11 @@ class Coordinator:
         )
         try:
             for attempt in range(self.max_retries + 1):
+                self._attempt_no = attempt
+                self._phase = "acquire"
                 failure = await self._attempt()
                 if failure is None:
+                    self._phase = "commit"
                     unacked = await self._commit()
                     if unacked:
                         _outcomes_counter().labels(outcome="partial-commit").inc()
@@ -398,8 +431,10 @@ class Coordinator:
                         )
                     _outcomes_counter().labels(outcome="committed").inc()
                     return TxnOutcome(name, "committed", retries=attempt, sites=sites)
+                self._phase = "abort"
                 await self._abort()
                 if attempt < self.max_retries:
+                    self._phase = "backoff"
                     await self._backoff(attempt)
             _outcomes_counter().labels(outcome="retry-exhausted").inc()
             return TxnOutcome(
@@ -421,6 +456,7 @@ class Coordinator:
             _outcomes_counter().labels(outcome="error").inc()
             return TxnOutcome(name, "error", sites=sites, detail=str(exc))
         finally:
+            self._phase = "done"
             await self._close()
 
     # ------------------------------------------------------------------
@@ -485,7 +521,9 @@ class Coordinator:
         tx = self.transaction
         steps = self._steps
         preds = self._step_preds
-        acked: set[int] = set()
+        # The live set doubles as the :meth:`snapshot` ack view.
+        self._acked_steps.clear()
+        acked = self._acked_steps
         in_flight: dict[asyncio.Task, int] = {}
         failure: str | None = None
         try:

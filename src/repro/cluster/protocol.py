@@ -75,6 +75,11 @@ REQUEST_KINDS = (
     "vote",
     "replicate",
     "fetch_log",
+    # Introspection kinds (:mod:`repro.obs.insight`): a live snapshot
+    # of one site's lock table / wait-for edges / replica lease state,
+    # and a deep view of one entity or transaction.
+    "status",
+    "inspect",
 )
 
 #: Site-to-site kinds (fire-and-forget, no id, no reply).

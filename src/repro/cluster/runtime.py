@@ -21,6 +21,7 @@ from __future__ import annotations
 import asyncio
 import hashlib
 import json
+import os
 import time
 from collections.abc import Sequence
 from dataclasses import dataclass, field
@@ -31,6 +32,12 @@ from ..errors import ReproError
 from ..faults.plan import FaultPlan
 from ..obs import distributed, trace
 from ..obs.events import EventLog
+from ..obs.insight import (
+    ContentionTally,
+    FlightRecorder,
+    dump_postmortem,
+    postmortem_reason,
+)
 from ..obs.metrics import REGISTRY
 from ..sim.analysis import (
     serial_witness_from_site_orders,
@@ -74,6 +81,13 @@ class ClusterReport:
     #: Sites whose history could not be collected — the audit below
     #: ran without their site orders and is incomplete.
     unreachable_sites: list[int] = field(default_factory=list)
+    #: Merged per-entity contention rows from every site's
+    #: :class:`~repro.obs.insight.ContentionTally` (hottest first).
+    #: Carries wall-clock wait percentiles, so — like
+    #: :attr:`wall_seconds` — it is excluded from both fingerprints.
+    contention: list[dict] = field(default_factory=list)
+    #: Path of the post-mortem bundle written for this run, if any.
+    postmortem: str | None = None
 
     @property
     def committed(self) -> int:
@@ -136,6 +150,10 @@ class ClusterReport:
             "wall_seconds": round(self.wall_seconds, 6),
             "outcomes": [o.to_dict() for o in self.outcomes],
         }
+        if self.contention:
+            payload["contention"] = self.contention
+        if self.postmortem is not None:
+            payload["postmortem"] = self.postmortem
         if self.gateway is not None:
             payload["gateway"] = {
                 "mode": self.gateway.mode,
@@ -168,6 +186,12 @@ class ClusterReport:
             if len(self.serial_witness) > 6:
                 preview += ", ..."
             lines.append(f"  witness          {preview}")
+        hot = [row for row in self.contention if row.get("waits")]
+        if hot:
+            ranked = ", ".join(f"{row['entity']}({row['waits']} waits)" for row in hot[:3])
+            lines.append(f"  hot locks        {ranked}")
+        if self.postmortem is not None:
+            lines.append(f"  post-mortem      {self.postmortem}")
         lines.append(f"  wall time        {self.wall_seconds:.3f}s")
         return "\n".join(lines)
 
@@ -245,6 +269,8 @@ async def run_cluster(
     batch: bool = False,
     arrivals: Sequence[int] | None = None,
     latency: LatencyMatrix | None = None,
+    recorder: FlightRecorder | bool = True,
+    postmortem_dir: str | None = None,
 ) -> ClusterReport:
     """Execute *rounds* copies of *system* on a live cluster.
 
@@ -275,6 +301,17 @@ async def run_cluster(
     Every run starts by resetting the ``repro_cluster_*`` metrics, so
     back-to-back runs in one process (benchmarks, tests) never
     accumulate each other's counts.
+
+    *recorder* controls the always-on flight recorder
+    (:class:`~repro.obs.insight.FlightRecorder`): ``True`` (default)
+    creates a fresh bounded ring for the run, ``False`` disables it,
+    and an instance is used as-is so the caller can inspect the ring
+    afterwards.  When the run ends badly (non-serializable,
+    partial-commit, or an incomplete audit) and *postmortem_dir* — or
+    the ``REPRO_POSTMORTEM`` environment variable — names a directory,
+    a post-mortem bundle (ring, report, recent events, trace files) is
+    written there and :attr:`ClusterReport.postmortem` records the
+    path; with neither set, nothing is written.
     """
     if rounds < 1:
         raise ClusterError(f"need at least one round, got {rounds}")
@@ -296,6 +333,17 @@ async def run_cluster(
         distributed.WIRE.enable_metrics()
     if event_log is not None:
         distributed.WIRE.attach(event_log)
+    if isinstance(recorder, FlightRecorder):
+        # Not a truthiness check: an empty ring is falsy but attached.
+        ring: FlightRecorder | None = recorder
+    elif recorder:
+        ring = FlightRecorder()
+    else:
+        ring = None
+    if ring is not None:
+        distributed.WIRE.attach_recorder(ring)
+        if event_log is not None:
+            event_log.ring = ring
 
     started = time.perf_counter()
     if isinstance(transport, Transport):
@@ -423,6 +471,10 @@ async def run_cluster(
                 gateway.close()
             if wire_metrics:
                 distributed.WIRE.disable_metrics()
+            if ring is not None:
+                distributed.WIRE.detach_recorder()
+                if event_log is not None:
+                    event_log.ring = None
             if event_log is not None:
                 distributed.WIRE.detach()
 
@@ -443,6 +495,22 @@ async def run_cluster(
             gateway=decision,
             unreachable_sites=unreachable,
         )
+        tally = ContentionTally()
+        for server in servers:
+            tally.merge(server.insight)
+        report.contention = tally.rows(limit=16)
+        destination = postmortem_dir or os.environ.get("REPRO_POSTMORTEM")
+        reason = postmortem_reason(report)
+        if destination and reason is not None:
+            active_trace = trace.trace_path()
+            report.postmortem = dump_postmortem(
+                destination,
+                report=report,
+                recorder=ring,
+                event_log=event_log,
+                trace_paths=(active_trace,) if active_trace else (),
+                reason=reason,
+            )
         if sp:
             sp.set(
                 committed=report.committed,

@@ -32,6 +32,7 @@ import time
 from ..faults.policies import choose_victim, validate_policy
 from ..obs import distributed
 from ..obs.events import EventLog
+from ..obs.insight import ContentionTally
 from ..obs.metrics import REGISTRY
 from ..sim.lockmanager import SiteLockManager
 from . import protocol
@@ -73,6 +74,8 @@ class _PendingLock:
         "span",
         "batch_rest",
         "last_probed",
+        "txn",
+        "entity",
     )
 
     def __init__(
@@ -81,11 +84,18 @@ class _PendingLock:
         request_id: int,
         enqueued_at: int,
         timer: asyncio.Task | None = None,
+        *,
+        txn: str = "",
+        entity: str = "",
     ) -> None:
         self.connection = connection
         self.request_id = request_id
         self.enqueued_at = enqueued_at
         self.timer = timer
+        #: Who waits, and on what — for the contention tally and the
+        #: status plane, which see the pending entry without its key.
+        self.txn = txn
+        self.entity = entity
         #: Wall-clock queue-entry stamp for the lock-wait stage.
         self.queued_ns = 0
         #: Open ``site.lock_wait`` span (traced runs only).
@@ -123,6 +133,8 @@ class SiteServer:
         self.faults = faults
         self.event_log = event_log
         self.locks = SiteLockManager(site, event_log=event_log)
+        #: Always-on per-entity contention counters (hot-lock ranking).
+        self.insight = ContentionTally()
         self.rng = random.Random(f"{seed}/site-{site}")
         self.processed = 0
         self.running = False
@@ -200,7 +212,17 @@ class SiteServer:
         )
 
     #: Message kinds kept off the event timeline (pure plumbing).
-    QUIET_KINDS = ("hello", "history", "ping", "leader", "vote", "replicate", "fetch_log")
+    QUIET_KINDS = (
+        "hello",
+        "history",
+        "ping",
+        "leader",
+        "vote",
+        "replicate",
+        "fetch_log",
+        "status",
+        "inspect",
+    )
 
     async def _process(self, connection: Connection, message: dict) -> None:
         if self.faults is not None and not await self._fault_gate(message):
@@ -302,9 +324,11 @@ class SiteServer:
         self._probes_seen.clear()
         if self.locks.try_lock(entity, txn):
             distributed.WIRE.observe("lock_wait", 0, self.site)
+            self.insight.granted(entity)
             await self._reply_granted(connection, message["id"], txn, entity, 0)
             return
-        pending = _PendingLock(connection, message["id"], self.processed)
+        self.insight.blocked(entity, len(self.locks.waiters(entity)))
+        pending = _PendingLock(connection, message["id"], self.processed, txn=txn, entity=entity)
         pending.queued_ns = time.time_ns()
         wait_span = distributed.remote_span("site.lock_wait", self._trace_ctx)
         if wait_span:
@@ -446,8 +470,10 @@ class SiteServer:
         self._probes_seen.clear()
         if self.locks.try_lock(entity, txn):
             distributed.WIRE.observe("lock_wait", 0, self.site)
+            self.insight.granted(entity)
             return False, await self._batch_granted(connection, txn, entity, step_id)
-        pending = _PendingLock(connection, step_id, self.processed)
+        self.insight.blocked(entity, len(self.locks.waiters(entity)))
+        pending = _PendingLock(connection, step_id, self.processed, txn=txn, entity=entity)
         pending.queued_ns = time.time_ns()
         wait_span = distributed.remote_span("site.lock_wait", self._trace_ctx)
         if wait_span:
@@ -599,6 +625,85 @@ class SiteServer:
             protocol.reply(message["id"], "pong", site=self.site),
         )
 
+    def _status_payload(self) -> dict:
+        """The live-introspection snapshot of this site: lock table
+        (holders + FIFO wait queues), blocked requests with grant-timer
+        state, local wait-for edges (same semantics the edge-chasing
+        probes use), and the hottest entities.  :class:`repro.replica.
+        server.ReplicaServer` extends it with lease/log state."""
+        held = self.locks.held_entities()
+        waiting = {entity for (_, entity) in self._pending}
+        lock_table = [
+            {
+                "entity": entity,
+                "holder": held.get(entity),
+                "waiters": list(self.locks.waiters(entity)),
+            }
+            for entity in sorted(set(held) | waiting)
+        ]
+        pending_rows = []
+        wait_for = []
+        for (txn, entity), pending in sorted(self._pending.items()):
+            pending_rows.append(
+                {
+                    "txn": txn,
+                    "entity": entity,
+                    "enqueued_at": pending.enqueued_at,
+                    "age": self.processed - pending.enqueued_at,
+                    "timer": pending.timer is not None,
+                }
+            )
+            blocker = self._blocker_of(txn, entity)
+            if blocker is not None:
+                wait_for.append([txn, blocker])
+        return {
+            "site": self.site,
+            "role": "site",
+            "processed": self.processed,
+            "committed": len(self._committed),
+            "grant_timeout": self.grant_timeout,
+            "deadlock_policy": self.deadlock_policy,
+            "lock_table": lock_table,
+            "pending": pending_rows,
+            "wait_for": wait_for,
+            "contention": self.insight.rows(limit=8),
+        }
+
+    async def _on_status(self, connection: Connection, message: dict) -> None:
+        await self._safe_send(
+            connection,
+            protocol.reply(message["id"], "status", **self._status_payload()),
+        )
+
+    async def _on_inspect(self, connection: Connection, message: dict) -> None:
+        """Deep view of one entity and/or one transaction."""
+        payload: dict = {"site": self.site}
+        entity = message.get("entity")
+        if entity is not None:
+            payload["entity"] = {
+                "name": entity,
+                "holder": self.locks.holder(entity),
+                "waiters": list(self.locks.waiters(entity)),
+                "updates": list(self._updates.get(entity, ())),
+                "contention": next(
+                    (row for row in self.insight.rows() if row["entity"] == entity),
+                    None,
+                ),
+            }
+        txn = message.get("txn")
+        if txn is not None:
+            payload["txn"] = {
+                "name": txn,
+                "age": self._ages.get(txn),
+                "holds": sorted(self.locks.held_by(txn)),
+                "waiting": sorted(self._waiting_entities(txn)),
+                "committed": txn in self._committed,
+            }
+        await self._safe_send(
+            connection,
+            protocol.reply(message["id"], "inspect", **payload),
+        )
+
     async def _on_shutdown(self, connection: Connection, message: dict) -> None:
         await self._safe_send(connection, protocol.reply(message["id"], "stopping"))
         await self.stop()
@@ -619,6 +724,8 @@ class SiteServer:
         if pending.queued_ns:
             waited = time.time_ns() - pending.queued_ns
             distributed.WIRE.observe("lock_wait", waited, self.site)
+            if pending.entity:
+                self.insight.waited(pending.entity, waited, result)
         else:  # pragma: no cover - observer enabled mid-wait
             waited = 0
         span = pending.span

@@ -25,6 +25,11 @@ files into one causal tree per transaction.
 :mod:`~repro.obs.log` funnels the CLI's human-readable output through
 one verbosity-aware helper (with a JSON-lines formatter option), and
 :mod:`~repro.obs.report` turns exported traces into summaries.
+
+:mod:`~repro.obs.insight` is the always-on tier: a bounded
+flight-recorder ring dumped as a post-mortem bundle when a run ends
+badly, the ``status``/``inspect`` introspection plane with global
+wait-for stitching, and per-entity contention analytics.
 """
 
 from .distributed import (
@@ -40,6 +45,20 @@ from .distributed import (
     trace_trees,
 )
 from .events import EventLog, SimEvent
+from .insight import (
+    ClusterStatus,
+    ContentionTally,
+    FlightRecorder,
+    contention_from_records,
+    deadlock_cycles,
+    dump_postmortem,
+    load_postmortem,
+    probe_site,
+    probe_sites,
+    render_contention,
+    render_postmortem,
+    wait_for_graph,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -73,8 +92,11 @@ from .trace import (
 )
 
 __all__ = [
+    "ClusterStatus",
+    "ContentionTally",
     "Counter",
     "EventLog",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "LATENCY_BUCKETS",
@@ -91,16 +113,25 @@ __all__ = [
     "WireObserver",
     "absorb_worker_traces",
     "aggregate",
+    "contention_from_records",
     "current_span",
+    "deadlock_cycles",
     "detached_span",
+    "dump_postmortem",
     "get_registry",
+    "load_postmortem",
     "load_trace",
     "merge_traces",
     "new_trace_id",
+    "probe_site",
+    "probe_sites",
     "remote_span",
+    "render_contention",
     "render_distributed",
+    "render_postmortem",
     "render_table",
     "span",
+    "wait_for_graph",
     "stage_rows",
     "start_tracing",
     "stop_tracing",

@@ -149,13 +149,16 @@ def extract(message: dict) -> dict | None:
 class WireObserver:
     """Process-global switchboard for wire-level observability.
 
-    Three independently attachable sinks:
+    Four independently attachable sinks:
 
     * **metrics** (:meth:`enable_metrics`) — per-stage latency
       histograms and byte/message counters in the default registry;
     * **events** (:meth:`attach`) — ``send``/``recv`` entries on a
       :class:`~repro.obs.events.EventLog` (with the shared logical
       clock tick when a replicated run attaches one);
+    * **recorder** (:meth:`attach_recorder`) — every send/recv lands
+      in the bounded :class:`~repro.obs.insight.FlightRecorder` ring,
+      the raw material of post-mortem bundles;
     * **tracing** — implicit: stamps are also added whenever the
       process tracer is on, so remote spans can carry stage attributes.
 
@@ -167,6 +170,7 @@ class WireObserver:
         self.metrics_enabled = False
         self.event_log = None
         self.clock = None
+        self.recorder = None
 
     @property
     def active(self) -> bool:
@@ -174,6 +178,7 @@ class WireObserver:
         return (
             self.metrics_enabled
             or self.event_log is not None
+            or self.recorder is not None
             or trace.tracing_enabled()
         )
 
@@ -195,6 +200,15 @@ class WireObserver:
         """Stop emitting wire events."""
         self.event_log = None
         self.clock = None
+
+    def attach_recorder(self, recorder) -> None:
+        """Feed every send/recv into *recorder* (a
+        :class:`~repro.obs.insight.FlightRecorder`)."""
+        self.recorder = recorder
+
+    def detach_recorder(self) -> None:
+        """Stop feeding the flight recorder."""
+        self.recorder = None
 
     # -- metric handles (resolved by name so registry resets stick) ----
     def _latency(self):
@@ -275,6 +289,8 @@ class WireObserver:
                     ).inc(len(steps))
         if self.event_log is not None:
             self._event("send", message, nbytes, site)
+        if self.recorder is not None:
+            self.recorder.wire("send", message, nbytes, site)
 
     def received(self, message: dict, nbytes: int, site) -> None:
         """One frame reached an endpoint: complete the wire stamp,
@@ -303,6 +319,8 @@ class WireObserver:
                     ).inc(len(steps))
         if self.event_log is not None:
             self._event("recv", message, nbytes, site)
+        if self.recorder is not None:
+            self.recorder.wire("recv", message, nbytes, site)
 
 
 #: The process-global wire observer every transport consults.
@@ -336,14 +354,16 @@ def transport_ns(message: dict) -> int | None:
 # ----------------------------------------------------------------------
 
 
-def merge_traces(paths) -> list[dict[str, Any]]:
+def merge_traces(paths, *, on_skip=None) -> list[dict[str, Any]]:
     """Concatenate the records of several per-process JSONL trace
-    files (each validated like :func:`repro.obs.report.load_trace`)."""
+    files.  Malformed or truncated lines — a crash-killed producer
+    leaves a partial final line — are skipped, invoking *on_skip(path,
+    lineno, reason)* when given, so post-mortem bundles always load."""
     from .report import load_trace
 
     records: list[dict[str, Any]] = []
     for path in paths:
-        records.extend(load_trace(str(path)))
+        records.extend(load_trace(str(path), strict=False, on_skip=on_skip))
     return records
 
 

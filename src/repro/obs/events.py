@@ -82,10 +82,18 @@ class SimEvent:
 
 
 class EventLog:
-    """Append-only, logically timestamped simulator timeline."""
+    """Append-only, logically timestamped simulator timeline.
+
+    When :attr:`ring` points at a
+    :class:`~repro.obs.insight.FlightRecorder`, every emitted event is
+    also mirrored into that bounded ring, so a crash post-mortem keeps
+    the *recent* timeline even when the full log was never kept.
+    """
 
     def __init__(self) -> None:
         self.events: list[SimEvent] = []
+        #: Optional flight-recorder tap (set by the cluster runtime).
+        self.ring = None
 
     def emit(
         self,
@@ -109,6 +117,8 @@ class EventLog:
             detail=detail,
         )
         self.events.append(event)
+        if self.ring is not None:
+            self.ring.event(event)
         return event
 
     def __len__(self) -> int:

@@ -1,0 +1,802 @@
+"""The insight tier: flight recorder, live status plane, contention.
+
+Third observability layer, after local spans/metrics (:mod:`repro.obs.
+trace`, PR 2) and cross-process tracing (:mod:`repro.obs.distributed`,
+PR 7).  Three instruments, all designed to be *on in production*:
+
+**Flight recorder.**  :class:`FlightRecorder` is a bounded ring of the
+most recent observability happenings in one process — wire sends and
+receives (fed by :data:`repro.obs.distributed.WIRE`) plus simulator
+events (mirrored by :class:`repro.obs.events.EventLog` when its
+``ring`` tap is set).  Recording is two dict writes per entry and the
+ring never grows, so it stays near-free while the cluster is healthy;
+when a run ends non-serializable, partial-commit or audit-incomplete,
+the runtime dumps the ring — with the report and any trace files —
+into a post-mortem bundle (:func:`dump_postmortem`) that ``repro
+postmortem DIR`` renders (:func:`render_postmortem`).  Ring entries
+carry no wall-clock fields, so a memory-transport run records a
+bit-deterministic ring.
+
+**Status plane.**  Site servers answer ``status`` / ``inspect``
+protocol requests with their live lock table (holders, FIFO wait
+queues, grant-timer deadlines) and local wait-for edges; replicas add
+lease/epoch/log state.  :func:`wait_for_graph` stitches the per-site
+edges into the global wait-for digraph (:class:`repro.graphs.DiGraph`)
+and :func:`deadlock_cycles` enumerates its cycles — external deadlock
+detection that cross-checks the runtime's edge-chasing probes from
+outside the coordinator.  :func:`probe_sites` drives the probes over
+any transport; ``repro cluster status`` renders the assembled
+:class:`ClusterStatus`.
+
+**Contention analytics.**  :class:`ContentionTally` keeps cheap
+per-entity counters inside every site server (grants, waits, queue
+depths, wait-time samples); :func:`contention_from_records` derives
+the same ranking from merged ``site.lock_wait`` trace spans, plus
+convoy and starvation detection.  Both surface through
+:func:`render_contention`, ``repro trace-report --contention``,
+``ClusterReport.contention`` and each arena cell's hottest keys —
+the per-entity heat the ROADMAP's sharding work needs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from typing import Any, Iterable
+
+from .. import stats
+from ..graphs import DiGraph, simple_cycles
+
+#: Default ring capacity: enough to reconstruct the last few hundred
+#: protocol exchanges without ever holding more than ~100 KB.
+RING_CAPACITY = 512
+
+#: Bounded per-entity sample reservoirs inside a tally.
+SAMPLE_CAP = 2048
+
+#: Overlapping waiters on one entity at or past this depth is a convoy.
+CONVOY_DEPTH = 3
+
+#: A wait this many times the entity's median wait flags starvation.
+STARVATION_RATIO = 8.0
+
+
+# ----------------------------------------------------------------------
+# Flight recorder
+# ----------------------------------------------------------------------
+class FlightRecorder:
+    """A bounded ring buffer of recent observability records.
+
+    Entries are plain dicts — ``{"seq": n, "kind": ...}`` plus
+    kind-specific fields — appended via :meth:`record` or the
+    :meth:`wire` / :meth:`event` adapters.  Once ``capacity`` entries
+    exist, the oldest is overwritten (``dropped`` counts the losses).
+    Entries deliberately carry no wall-clock values: under the memory
+    transport the ring contents are a pure function of the workload
+    and seed.
+    """
+
+    def __init__(self, capacity: int = RING_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError(f"ring capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._ring: list[dict[str, Any]] = []
+        self._next = 0
+        #: Total records ever offered (monotone, survives wraparound).
+        self.seq = 0
+        #: Records overwritten by wraparound.
+        self.dropped = 0
+
+    def record(self, kind: str, **fields: Any) -> None:
+        """Append one entry (overwriting the oldest at capacity)."""
+        entry: dict[str, Any] = {"seq": self.seq, "kind": kind}
+        entry.update(fields)
+        self._append(entry)
+
+    def _append(self, entry: dict[str, Any]) -> None:
+        self.seq += 1
+        ring = self._ring
+        if len(ring) < self.capacity:
+            ring.append(entry)
+        else:
+            ring[self._next] = entry
+            self._next = (self._next + 1) % self.capacity
+            self.dropped += 1
+
+    # -- adapters ------------------------------------------------------
+    def wire(self, direction: str, message: dict, nbytes: int, site) -> None:
+        """One frame moved (``direction`` is ``send`` or ``recv``).
+
+        This runs once per wire frame — the recorder's entire cost in a
+        run is ~this method, so it builds one dict literal and inlines
+        the ring bookkeeping rather than going through :meth:`record`
+        (E18 gates the difference against the observability budget).
+        """
+        get = message.get
+        entry = {
+            "seq": self.seq,
+            "kind": direction,
+            "type": get("type"),
+            "id": get("id"),
+            "txn": get("txn"),
+            "bytes": nbytes,
+            "site": site if isinstance(site, int) else None,
+        }
+        self.seq += 1
+        ring = self._ring
+        if len(ring) < self.capacity:
+            ring.append(entry)
+        else:
+            ring[self._next] = entry
+            self._next = (self._next + 1) % self.capacity
+            self.dropped += 1
+
+    def event(self, event) -> None:
+        """Mirror one :class:`~repro.obs.events.SimEvent`."""
+        payload = event.to_dict()
+        self.record(
+            "event",
+            event_seq=payload.pop("seq", None),
+            event_kind=payload.pop("kind", None),
+            **payload,
+        )
+
+    # -- inspection ----------------------------------------------------
+    def snapshot(self) -> list[dict[str, Any]]:
+        """The retained entries, oldest first."""
+        return self._ring[self._next :] + self._ring[: self._next]
+
+    def clear(self) -> None:
+        self._ring = []
+        self._next = 0
+        self.seq = 0
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line, oldest first."""
+        entries = self.snapshot()
+        return "\n".join(
+            json.dumps(entry, sort_keys=True) for entry in entries
+        ) + ("\n" if entries else "")
+
+
+# ----------------------------------------------------------------------
+# Contention analytics
+# ----------------------------------------------------------------------
+def _sample(samples: list, count: int, value) -> None:
+    """Bounded reservoir: deterministic modulo replacement at the cap."""
+    if len(samples) < SAMPLE_CAP:
+        samples.append(value)
+    else:
+        samples[count % SAMPLE_CAP] = value
+
+
+def _ms(ns: float | int | None) -> float | None:
+    return None if ns is None else round(ns / 1e6, 3)
+
+
+class ContentionTally:
+    """Cheap always-on per-entity lock-contention counters.
+
+    A site server feeds it from the lock path — :meth:`granted` on an
+    immediate grant, :meth:`blocked` when a request queues (with the
+    queue depth it found), :meth:`waited` when the wait resolves (with
+    the measured nanoseconds and the outcome).  Each call is a couple
+    of dict operations; wait/depth samples live in bounded reservoirs.
+    """
+
+    def __init__(self) -> None:
+        self._rows: dict[str, dict[str, Any]] = {}
+
+    def _row(self, entity: str) -> dict[str, Any]:
+        row = self._rows.get(entity)
+        if row is None:
+            row = self._rows[entity] = {
+                "grants": 0,
+                "waits": 0,
+                "denied": 0,
+                "wait_count": 0,
+                "wait_ns_total": 0,
+                "wait_ns_max": 0,
+                "wait_samples": [],
+                "depth_max": 0,
+                "depth_samples": [],
+            }
+        return row
+
+    def granted(self, entity: str) -> None:
+        """An immediately granted lock request."""
+        self._row(entity)["grants"] += 1
+
+    def blocked(self, entity: str, depth: int) -> None:
+        """A request queued behind *depth* earlier waiters."""
+        row = self._row(entity)
+        row["waits"] += 1
+        row["depth_max"] = max(row["depth_max"], depth)
+        _sample(row["depth_samples"], row["waits"], depth)
+
+    def waited(self, entity: str, ns: int, result: str = "granted") -> None:
+        """A queued wait resolved after *ns* nanoseconds."""
+        row = self._row(entity)
+        row["wait_count"] += 1
+        row["wait_ns_total"] += int(ns)
+        row["wait_ns_max"] = max(row["wait_ns_max"], int(ns))
+        if result != "granted":
+            row["denied"] += 1
+        _sample(row["wait_samples"], row["wait_count"], int(ns))
+
+    def merge(self, other: "ContentionTally") -> None:
+        """Fold *other*'s counters into this tally (summing counts,
+        keeping maxima, concatenating bounded samples)."""
+        for entity, theirs in other._rows.items():
+            row = self._row(entity)
+            for key in ("grants", "waits", "denied", "wait_count",
+                        "wait_ns_total"):
+                row[key] += theirs[key]
+            row["wait_ns_max"] = max(row["wait_ns_max"], theirs["wait_ns_max"])
+            row["depth_max"] = max(row["depth_max"], theirs["depth_max"])
+            for key in ("wait_samples", "depth_samples"):
+                for value in theirs[key]:
+                    if len(row[key]) >= SAMPLE_CAP:
+                        break
+                    row[key].append(value)
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    def rows(self, limit: int | None = None) -> list[dict[str, Any]]:
+        """Hot-lock ranking: one row per entity, most-contended first
+        (by wait count, then total wait time, then entity name — the
+        count-first key keeps memory-transport rankings deterministic
+        even though the sampled times are wall-clock)."""
+        out = []
+        for entity, row in self._rows.items():
+            out.append(
+                {
+                    "entity": entity,
+                    "grants": row["grants"],
+                    "waits": row["waits"],
+                    "denied": row["denied"],
+                    "wait_ms_p50": _ms(stats.percentile(row["wait_samples"], 50)),
+                    "wait_ms_p95": _ms(stats.percentile(row["wait_samples"], 95)),
+                    "wait_ms_max": _ms(row["wait_ns_max"]) if row["wait_count"] else None,
+                    "queue_depth_max": row["depth_max"],
+                    "queue_depth_p95": stats.percentile(row["depth_samples"], 95),
+                }
+            )
+        out.sort(key=lambda r: (-r["waits"], -(r["wait_ms_max"] or 0), r["entity"]))
+        return out[:limit] if limit is not None else out
+
+
+#: Span name of a queued lock wait (see ``SiteServer._finish_wait``).
+LOCK_WAIT_SPAN = "site.lock_wait"
+
+
+def contention_from_records(
+    records: Iterable[dict[str, Any]],
+) -> list[dict[str, Any]]:
+    """Hot-lock rows from merged trace records: group ``site.lock_wait``
+    spans by entity, rank by summed wait, compute wait percentiles and
+    peak overlap depth, and flag convoys (``>=`` :data:`CONVOY_DEPTH`
+    simultaneous waiters) and starved waits (a wait longer than
+    :data:`STARVATION_RATIO` x the entity's median)."""
+    waits: dict[str, list[dict[str, Any]]] = {}
+    for record in records:
+        if record.get("span") != LOCK_WAIT_SPAN:
+            continue
+        attrs = record.get("attrs", {})
+        entity = attrs.get("entity")
+        if entity is None:
+            continue
+        waits.setdefault(str(entity), []).append(
+            {
+                "start_ns": record.get("start_ns", 0),
+                "dur_ns": record.get("dur_ns", 0),
+                "pid": record.get("pid", 0),
+                "txn": attrs.get("txn"),
+                "result": attrs.get("result", "granted"),
+            }
+        )
+
+    rows = []
+    for entity, spans in waits.items():
+        durations = [span["dur_ns"] for span in spans]
+        median = stats.percentile(durations, 50) or 0.0
+        starved = sorted(
+            {
+                str(span["txn"])
+                for span in spans
+                if span["txn"] is not None
+                and median > 0
+                and span["dur_ns"] > STARVATION_RATIO * median
+            }
+        )
+        # Peak queue depth: sweep the wait intervals per process (span
+        # clocks are only comparable within one pid).
+        depth_max = 0
+        by_pid: dict[int, list[tuple[int, int]]] = {}
+        for span in spans:
+            by_pid.setdefault(span["pid"], []).append(
+                (span["start_ns"], span["start_ns"] + span["dur_ns"])
+            )
+        for intervals in by_pid.values():
+            points = sorted(
+                [(start, 1) for start, _ in intervals]
+                + [(end, -1) for _, end in intervals]
+            )
+            depth = 0
+            for _, delta in points:
+                depth += delta
+                depth_max = max(depth_max, depth)
+        rows.append(
+            {
+                "entity": entity,
+                "waits": len(spans),
+                "denied": sum(
+                    1 for span in spans if span["result"] != "granted"
+                ),
+                "wait_ms_p50": _ms(stats.percentile(durations, 50)),
+                "wait_ms_p95": _ms(stats.percentile(durations, 95)),
+                "wait_ms_max": _ms(max(durations)) if durations else None,
+                "queue_depth_max": depth_max,
+                "convoy": depth_max >= CONVOY_DEPTH,
+                "starved": starved,
+            }
+        )
+    rows.sort(
+        key=lambda r: (-r["waits"], -(r["wait_ms_max"] or 0), r["entity"])
+    )
+    return rows
+
+
+def render_contention(
+    rows: list[dict[str, Any]], *, limit: int = 10
+) -> str:
+    """Fixed-width rendering of contention rows (either flavour)."""
+    if not rows:
+        return "contention: no lock waits recorded"
+    shown = rows[:limit]
+
+    def cell(row: dict, key: str) -> str:
+        value = row.get(key)
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    headers = (
+        "entity", "waits", "denied", "p50 ms", "p95 ms", "max ms", "depth"
+    )
+    keys = (
+        "entity", "waits", "denied", "wait_ms_p50", "wait_ms_p95",
+        "wait_ms_max", "queue_depth_max",
+    )
+    cells = []
+    for row in shown:
+        line = [cell(row, key) for key in keys]
+        flags = []
+        if row.get("convoy"):
+            flags.append("convoy")
+        if row.get("starved"):
+            flags.append("starved:" + ",".join(row["starved"][:3]))
+        cells.append(line + [" ".join(flags)])
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells))
+        for i in range(len(headers))
+    ]
+    lines = [f"contention: {len(rows)} contended entit(ies)"]
+    lines.append(
+        "  "
+        + headers[0].ljust(widths[0])
+        + "  "
+        + "  ".join(h.rjust(w) for h, w in zip(headers[1:], widths[1:]))
+        + "  flags"
+    )
+    for row in cells:
+        lines.append(
+            "  "
+            + row[0].ljust(widths[0])
+            + "  "
+            + "  ".join(c.rjust(w) for c, w in zip(row[1:-1], widths[1:]))
+            + (f"  {row[-1]}" if row[-1] else "")
+        )
+    if len(rows) > limit:
+        lines.append(f"  ... {len(rows) - limit} more entit(ies)")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Status plane: probe, stitch, detect
+# ----------------------------------------------------------------------
+def wait_for_graph(statuses: Iterable[dict[str, Any]]) -> DiGraph:
+    """Stitch per-site ``wait_for`` edge lists into the global
+    wait-for digraph (waiter -> the transaction it waits behind)."""
+    graph = DiGraph()
+    for status in statuses:
+        for edge in status.get("wait_for", ()):
+            try:
+                waiter, blocker = edge
+            except (TypeError, ValueError):
+                continue
+            graph.add_node(waiter)
+            graph.add_node(blocker)
+            if not graph.has_arc(waiter, blocker):
+                graph.add_arc(waiter, blocker)
+    return graph
+
+
+def deadlock_cycles(
+    graph: DiGraph, *, limit: int | None = 16
+) -> list[list[Any]]:
+    """The simple cycles of the stitched wait-for graph — each one a
+    deadlock no single site could see."""
+    return [list(cycle) for cycle in simple_cycles(graph, limit=limit)]
+
+
+class ClusterStatus:
+    """One assembled snapshot of a live cluster."""
+
+    def __init__(
+        self,
+        sites: list[dict[str, Any]],
+        coordinators: list[dict[str, Any]] | None = None,
+    ) -> None:
+        self.sites = list(sites)
+        self.coordinators = list(coordinators or [])
+
+    @property
+    def errors(self) -> list[dict[str, Any]]:
+        return [site for site in self.sites if site.get("error")]
+
+    @property
+    def graph(self) -> DiGraph:
+        return wait_for_graph(
+            site for site in self.sites if not site.get("error")
+        )
+
+    @property
+    def cycles(self) -> list[list[Any]]:
+        return deadlock_cycles(self.graph)
+
+    def to_dict(self) -> dict[str, Any]:
+        graph = self.graph
+        return {
+            "sites": self.sites,
+            "coordinators": self.coordinators,
+            "wait_for": [[tail, head] for tail, head in graph.arcs()],
+            "cycles": self.cycles,
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"cluster status: {len(self.sites)} probe(s), "
+            f"{len(self.errors)} error(s)"
+        ]
+        for site in self.sites:
+            if site.get("error"):
+                lines.append(f"site {site.get('site', '?')}  UNREACHABLE: {site['error']}")
+                continue
+            role = site.get("role", "site")
+            head = (
+                f"site {site.get('site', '?')}  [{role}]  "
+                f"processed={site.get('processed', 0)} "
+                f"locks={len(site.get('lock_table', []))} "
+                f"waiting={len(site.get('pending', []))} "
+                f"committed={site.get('committed', 0)}"
+            )
+            if role != "site":
+                head += (
+                    f" epoch={site.get('epoch')}"
+                    f" leader={site.get('leader')}"
+                    f" log_seq={site.get('log_seq')}"
+                )
+                if site.get("lag") is not None:
+                    head += f" lag={site.get('lag')}"
+                if site.get("lease_expired"):
+                    head += " LEASE-EXPIRED"
+            lines.append(head)
+            for entry in site.get("lock_table", []):
+                waiters = entry.get("waiters") or []
+                lines.append(
+                    f"  lock {entry.get('entity')}: "
+                    f"holder={entry.get('holder')}"
+                    + (f" waiters={','.join(map(str, waiters))}" if waiters else "")
+                )
+            for entry in site.get("pending", []):
+                lines.append(
+                    f"  pending {entry.get('txn')} -> {entry.get('entity')}"
+                    f"  age={entry.get('age')}"
+                    + (" timer=armed" if entry.get("timer") else "")
+                )
+            rows = site.get("contention") or []
+            if rows:
+                hot = ", ".join(
+                    f"{row['entity']}({row['waits']} waits)"
+                    for row in rows[:3]
+                )
+                lines.append(f"  hot: {hot}")
+        for coordinator in self.coordinators:
+            lines.append(
+                f"coordinator {coordinator.get('transaction')}  "
+                f"phase={coordinator.get('phase')} "
+                f"attempt={coordinator.get('attempt')} "
+                f"pending={','.join(coordinator.get('pending_steps', [])) or '-'}"
+            )
+        graph = self.graph
+        arcs = graph.arcs()
+        lines.append(
+            f"global wait-for graph: {graph.node_count()} transaction(s), "
+            f"{len(arcs)} edge(s)"
+        )
+        for tail, head in arcs:
+            lines.append(f"  {tail} -> {head}")
+        cycles = self.cycles
+        if cycles:
+            lines.append(f"DEADLOCK: {len(cycles)} cycle(s) detected")
+            for cycle in cycles:
+                lines.append(
+                    "  " + " -> ".join(map(str, cycle + cycle[:1]))
+                )
+        else:
+            lines.append("no wait-for cycles: cluster is deadlock-free now")
+        return "\n".join(lines)
+
+
+async def probe_site(transport, site: int, *, timeout: float = 5.0) -> dict:
+    """Send one ``status`` request to *site* over *transport* and
+    return the payload (or ``{"site": site, "error": ...}``)."""
+    import asyncio
+
+    from ..cluster import protocol
+
+    try:
+        connection = await transport.connect(site)
+    except Exception as exc:
+        return {"site": site, "error": str(exc)}
+    try:
+        await connection.send(protocol.request("status", 1))
+        reply = await asyncio.wait_for(connection.recv(), timeout)
+        if not isinstance(reply, dict):
+            return {"site": site, "error": "connection closed mid-probe"}
+        reply.pop("id", None)
+        reply.pop("wire", None)
+        reply.setdefault("site", site)
+        return reply
+    except Exception as exc:
+        return {"site": site, "error": str(exc) or type(exc).__name__}
+    finally:
+        try:
+            await connection.close()
+        except Exception:
+            pass
+
+
+async def probe_sites(
+    transport, sites: Iterable[int], *, timeout: float = 5.0
+) -> ClusterStatus:
+    """Probe every site address and assemble a :class:`ClusterStatus`."""
+    statuses = []
+    for site in sites:
+        statuses.append(await probe_site(transport, site, timeout=timeout))
+    return ClusterStatus(statuses)
+
+
+# ----------------------------------------------------------------------
+# Post-mortem bundles
+# ----------------------------------------------------------------------
+def postmortem_reason(report) -> str | None:
+    """Why this run deserves an autopsy (``None`` when it was clean)."""
+    if not report.serializable:
+        return "non-serializable"
+    if report.partial_commits:
+        return "partial-commit"
+    if not report.audit_complete:
+        return "audit-incomplete"
+    return None
+
+
+def dump_postmortem(
+    directory,
+    *,
+    report=None,
+    recorder: FlightRecorder | None = None,
+    event_log=None,
+    trace_paths: Iterable[str] = (),
+    reason: str | None = None,
+) -> str:
+    """Write a post-mortem bundle into *directory* (created if needed):
+    ``MANIFEST.json`` plus ``report.json`` / ``flight.jsonl`` /
+    ``events.jsonl`` and copies of *trace_paths* under ``traces/``.
+    Returns the bundle path."""
+    directory = os.fspath(directory)
+    os.makedirs(directory, exist_ok=True)
+    manifest: dict[str, Any] = {"bundle": 1, "reason": reason}
+
+    if report is not None:
+        payload = report.to_dict()
+        with open(
+            os.path.join(directory, "report.json"), "w", encoding="utf-8"
+        ) as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        manifest["report"] = True
+    if recorder is not None:
+        with open(
+            os.path.join(directory, "flight.jsonl"), "w", encoding="utf-8"
+        ) as handle:
+            handle.write(recorder.to_jsonl())
+        manifest["flight_records"] = len(recorder)
+        manifest["flight_seq"] = recorder.seq
+        manifest["flight_dropped"] = recorder.dropped
+    if event_log is not None and len(event_log):
+        with open(
+            os.path.join(directory, "events.jsonl"), "w", encoding="utf-8"
+        ) as handle:
+            handle.write(event_log.to_jsonl())
+        manifest["events"] = len(event_log)
+
+    copied = []
+    for path in trace_paths:
+        path = os.fspath(path)
+        if not path or not os.path.exists(path):
+            continue
+        target_dir = os.path.join(directory, "traces")
+        os.makedirs(target_dir, exist_ok=True)
+        target = os.path.join(target_dir, os.path.basename(path))
+        try:
+            shutil.copyfile(path, target)
+        except OSError:
+            continue
+        copied.append(os.path.basename(path))
+    if copied:
+        manifest["traces"] = copied
+
+    with open(
+        os.path.join(directory, "MANIFEST.json"), "w", encoding="utf-8"
+    ) as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return directory
+
+
+def load_postmortem(directory) -> dict[str, Any]:
+    """Read a bundle back: manifest, report dict, flight entries (bad
+    lines skipped — a producer may have died mid-write), event count
+    and trace records."""
+    directory = os.fspath(directory)
+    manifest_path = os.path.join(directory, "MANIFEST.json")
+    if not os.path.isfile(manifest_path):
+        raise ValueError(f"{directory}: not a post-mortem bundle (no MANIFEST.json)")
+    with open(manifest_path, encoding="utf-8") as handle:
+        manifest = json.load(handle)
+
+    bundle: dict[str, Any] = {"directory": directory, "manifest": manifest}
+
+    report_path = os.path.join(directory, "report.json")
+    if os.path.isfile(report_path):
+        try:
+            with open(report_path, encoding="utf-8") as handle:
+                bundle["report"] = json.load(handle)
+        except ValueError:
+            bundle["report"] = None
+
+    flight_path = os.path.join(directory, "flight.jsonl")
+    entries: list[dict[str, Any]] = []
+    skipped = 0
+    if os.path.isfile(flight_path):
+        with open(flight_path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entries.append(json.loads(line))
+                except ValueError:
+                    skipped += 1
+    bundle["flight"] = entries
+    bundle["flight_skipped"] = skipped
+
+    traces_dir = os.path.join(directory, "traces")
+    trace_records: list[dict[str, Any]] = []
+    trace_skipped: list[str] = []
+    if os.path.isdir(traces_dir):
+        from .distributed import merge_traces
+
+        paths = sorted(
+            os.path.join(traces_dir, name)
+            for name in os.listdir(traces_dir)
+        )
+        trace_records = merge_traces(
+            paths,
+            on_skip=lambda p, n, why: trace_skipped.append(f"{p}:{n}"),
+        )
+    bundle["trace_records"] = trace_records
+    bundle["trace_skipped"] = trace_skipped
+    return bundle
+
+
+def render_postmortem(directory, *, tail: int = 20) -> str:
+    """Human-readable rendering of a post-mortem bundle."""
+    bundle = load_postmortem(directory)
+    manifest = bundle["manifest"]
+    lines = [
+        f"post-mortem bundle {bundle['directory']}: "
+        f"reason={manifest.get('reason', 'unknown')}"
+    ]
+
+    report = bundle.get("report")
+    if report:
+        lines.append(
+            f"run: mode={report.get('mode')} "
+            f"transactions={report.get('transactions')} "
+            f"committed={report.get('committed')} "
+            f"serializable={report.get('serializable')} "
+            f"audit_complete={report.get('audit_complete')}"
+        )
+        unreachable = report.get("unreachable_sites")
+        if unreachable:
+            lines.append(f"unreachable sites: {unreachable}")
+        bad = [
+            outcome
+            for outcome in report.get("outcomes", [])
+            if outcome.get("outcome") != "committed"
+        ]
+        for outcome in bad[:10]:
+            lines.append(
+                f"  {outcome.get('name')}: {outcome.get('outcome')}"
+                + (
+                    f" ({outcome.get('detail')})"
+                    if outcome.get("detail")
+                    else ""
+                )
+            )
+        if len(bad) > 10:
+            lines.append(f"  ... {len(bad) - 10} more non-committed outcome(s)")
+        rows = report.get("contention") or []
+        if rows:
+            lines.append(render_contention(rows, limit=5))
+
+    flight = bundle["flight"]
+    if flight:
+        dropped = manifest.get("flight_dropped", 0)
+        lines.append(
+            f"flight recorder: {len(flight)} record(s) retained"
+            + (f", {dropped} older overwritten" if dropped else "")
+            + (
+                f", {bundle['flight_skipped']} corrupt line(s) skipped"
+                if bundle["flight_skipped"]
+                else ""
+            )
+        )
+        for entry in flight[-tail:]:
+            kind = entry.get("kind", "?")
+            if kind == "event" and entry.get("event_kind"):
+                kind = f"ev:{entry['event_kind']}"
+            detail = " ".join(
+                f"{key}={entry[key]}"
+                for key in ("type", "txn", "transaction", "entity", "site",
+                            "bytes", "detail")
+                if entry.get(key) not in (None, "")
+            )
+            lines.append(f"  [{entry.get('seq', '?'):>6}] {kind:<6} {detail}".rstrip())
+
+    records = bundle["trace_records"]
+    if records:
+        contention = contention_from_records(records)
+        lines.append(
+            f"traces: {len(records)} span(s) from "
+            f"{len(manifest.get('traces', []))} file(s)"
+            + (
+                f", skipped {len(bundle['trace_skipped'])} bad line(s)"
+                if bundle["trace_skipped"]
+                else ""
+            )
+        )
+        if contention:
+            lines.append(render_contention(contention, limit=5))
+    return "\n".join(lines)

@@ -19,11 +19,23 @@ election/failover annotations from ``replica.*`` spans.
 from __future__ import annotations
 
 import json
-from typing import Any
+from typing import Any, Callable
 
 
-def load_trace(path: str) -> list[dict[str, Any]]:
-    """Parse a JSONL trace file into its records (bad lines raise)."""
+def load_trace(
+    path: str,
+    *,
+    strict: bool = True,
+    on_skip: Callable[[str, int, str], None] | None = None,
+) -> list[dict[str, Any]]:
+    """Parse a JSONL trace file into its records.
+
+    With ``strict=True`` (the default) bad lines raise ``ValueError``.
+    With ``strict=False`` a malformed line — a crash-killed producer
+    leaves a truncated final line, and post-mortem bundles must stay
+    readable anyway — is skipped, invoking *on_skip(path, number,
+    reason)* so callers can count a warning instead of dying.
+    """
     records = []
     with open(path, encoding="utf-8") as handle:
         for number, line in enumerate(handle, start=1):
@@ -33,13 +45,25 @@ def load_trace(path: str) -> list[dict[str, Any]]:
             try:
                 record = json.loads(line)
             except ValueError as exc:
-                raise ValueError(
-                    f"{path}:{number}: not a JSON trace record: {exc}"
-                ) from exc
-            if "span" not in record or "dur_ns" not in record:
-                raise ValueError(
-                    f"{path}:{number}: record lacks span/dur_ns fields"
-                )
+                if strict:
+                    raise ValueError(
+                        f"{path}:{number}: not a JSON trace record: {exc}"
+                    ) from exc
+                if on_skip is not None:
+                    on_skip(path, number, f"not a JSON trace record: {exc}")
+                continue
+            if (
+                not isinstance(record, dict)
+                or "span" not in record
+                or "dur_ns" not in record
+            ):
+                if strict:
+                    raise ValueError(
+                        f"{path}:{number}: record lacks span/dur_ns fields"
+                    )
+                if on_skip is not None:
+                    on_skip(path, number, "record lacks span/dur_ns fields")
+                continue
             records.append(record)
     return records
 
@@ -222,8 +246,19 @@ def summarize_files(
     the distributed section appended when the trace carries
     cross-process records."""
     records: list[dict[str, Any]] = []
+    skipped: list[str] = []
     for path in paths:
-        records.extend(load_trace(path))
+        records.extend(
+            load_trace(
+                path,
+                strict=False,
+                on_skip=lambda p, n, why: skipped.append(f"{p}:{n}: {why}"),
+            )
+        )
+    if skipped and not records:
+        # Damaged lines inside a real trace are survivable; a file (or
+        # set) with *nothing but* damage is not a trace at all.
+        raise ValueError(skipped[0])
     rows = aggregate(records)
     shown = paths[0] if len(paths) == 1 else f"{len(paths)} files"
     header = (
@@ -231,6 +266,12 @@ def summarize_files(
         f"{len(rows)} distinct names, "
         f"{len({record.get('pid', 0) for record in records})} process(es)"
     )
+    if skipped:
+        header += (
+            f"\nwarning: skipped {len(skipped)} malformed line(s): "
+            + "; ".join(skipped[:3])
+            + (" ..." if len(skipped) > 3 else "")
+        )
     output = header + "\n\n" + render_table(rows, limit=limit)
     section = render_distributed(records, trees=trees)
     if section is not None:

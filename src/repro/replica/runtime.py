@@ -16,6 +16,7 @@ the leader kill to the new leader's first lock grant.
 from __future__ import annotations
 
 import asyncio
+import os
 import time
 from dataclasses import dataclass, field
 
@@ -23,6 +24,12 @@ from ..core.schedule import TransactionSystem
 from ..core.transaction import Transaction
 from ..obs import distributed, trace
 from ..obs.events import EventLog
+from ..obs.insight import (
+    ContentionTally,
+    FlightRecorder,
+    dump_postmortem,
+    postmortem_reason,
+)
 from ..obs.metrics import REGISTRY
 from ..sim.analysis import (
     serial_witness_from_site_orders,
@@ -116,6 +123,8 @@ async def run_replicated_cluster(
     wire_metrics: bool = False,
     codec: str = "json",
     batch: bool = False,
+    recorder: FlightRecorder | bool = True,
+    postmortem_dir: str | None = None,
 ) -> ReplicaReport:
     """Execute *rounds* copies of *system* on a replicated cluster.
 
@@ -134,6 +143,10 @@ async def run_replicated_cluster(
     ``repro_cluster_*`` and ``repro_replica_*`` metrics so
     back-to-back runs never accumulate each other's counts, and
     *wire_metrics* turns on the per-stage wire-latency histograms.
+    *recorder* and *postmortem_dir* work as in :func:`run_cluster`:
+    the flight-recorder ring is on by default, and a bad ending dumps
+    a post-mortem bundle when a destination directory is configured
+    (argument or ``REPRO_POSTMORTEM``).
     """
     if rounds < 1:
         raise ClusterError(f"need at least one round, got {rounds}")
@@ -154,6 +167,17 @@ async def run_replicated_cluster(
     REGISTRY.reset(prefix="repro_replica_")
     if wire_metrics:
         distributed.WIRE.enable_metrics()
+    if isinstance(recorder, FlightRecorder):
+        # Not a truthiness check: an empty ring is falsy but attached.
+        ring: FlightRecorder | None = recorder
+    elif recorder:
+        ring = FlightRecorder()
+    else:
+        ring = None
+    if ring is not None:
+        distributed.WIRE.attach_recorder(ring)
+        if event_log is not None:
+            event_log.ring = ring
 
     started = time.perf_counter()
     if isinstance(transport, Transport):
@@ -304,6 +328,10 @@ async def run_replicated_cluster(
                 gateway.close()
             if wire_metrics:
                 distributed.WIRE.disable_metrics()
+            if ring is not None:
+                distributed.WIRE.detach_recorder()
+                if event_log is not None:
+                    event_log.ring = None
             if event_log is not None:
                 distributed.WIRE.detach()
 
@@ -368,6 +396,22 @@ async def run_replicated_cluster(
             recovery=recovery,
             clock_end=clock.now,
         )
+        tally = ContentionTally()
+        for server in servers:
+            tally.merge(server.insight)
+        report.contention = tally.rows(limit=16)
+        destination = postmortem_dir or os.environ.get("REPRO_POSTMORTEM")
+        reason = postmortem_reason(report)
+        if destination and reason is not None:
+            active_trace = trace.trace_path()
+            report.postmortem = dump_postmortem(
+                destination,
+                report=report,
+                recorder=ring,
+                event_log=event_log,
+                trace_paths=(active_trace,) if active_trace else (),
+                reason=reason,
+            )
         if sp:
             sp.set(
                 committed=report.committed,

@@ -414,6 +414,40 @@ class ReplicaServer(SiteServer):
         )
 
     # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def _status_payload(self) -> dict:
+        """The base site snapshot plus replication state.
+
+        ``status`` is deliberately *not* in :data:`LEADER_ONLY_KINDS`:
+        any replica answers, so an operator can ask a follower what it
+        believes about the lease while the leader is unreachable.
+        """
+        payload = super()._status_payload()
+        lag = 0
+        if self.is_leader():
+            lag = max(
+                (self.log.seq - self._shipped.get(f, 0) for f in self._followers()),
+                default=0,
+            )
+        payload.update(
+            role=self.role,
+            replica=self.index,
+            address=self.address,
+            epoch=self.epoch,
+            promised_epoch=self.promised_epoch,
+            leader=self.leader_address,
+            leader_seen_at=self.leader_seen_at,
+            clock=self.clock.now,
+            lease_ticks=self.group.lease_ticks,
+            lease_expired=self._lease_expired(),
+            log_seq=self.log.seq,
+            lag=lag,
+            suspect_followers=sorted(self._suspect_followers),
+        )
+        return payload
+
+    # ------------------------------------------------------------------
     # Elections
     # ------------------------------------------------------------------
     def _lease_expired(self) -> bool:

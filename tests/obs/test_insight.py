@@ -1,0 +1,351 @@
+"""The insight tier: flight recorder, contention analytics, wait-for
+stitching and post-mortem bundles."""
+
+import json
+
+import pytest
+
+from repro.cluster import run_cluster_sync
+from repro.core.entity import DistributedDatabase
+from repro.core.schedule import TransactionSystem
+from repro.core.step import lock, unlock, update
+from repro.core.transaction import Transaction
+from repro.obs import distributed
+from repro.obs.events import EventLog
+from repro.obs.insight import (
+    ClusterStatus,
+    ContentionTally,
+    FlightRecorder,
+    contention_from_records,
+    deadlock_cycles,
+    dump_postmortem,
+    load_postmortem,
+    render_contention,
+    render_postmortem,
+    wait_for_graph,
+)
+
+
+def chain_tx(name, database, entities):
+    steps = []
+    for entity in entities:
+        steps.append(lock(entity))
+        steps.append(update(entity))
+    for entity in entities:
+        steps.append(unlock(entity))
+    order = [(steps[i], steps[i + 1]) for i in range(len(steps) - 1)]
+    return Transaction(name, database, steps, order)
+
+
+@pytest.fixture
+def contended_system():
+    database = DistributedDatabase({"x": 1, "y": 2})
+    return TransactionSystem(
+        [
+            chain_tx("T1", database, ["x", "y"]),
+            chain_tx("T2", database, ["y", "x"]),
+        ]
+    )
+
+
+class TestFlightRecorder:
+    def test_ring_wraps_at_capacity(self):
+        ring = FlightRecorder(capacity=4)
+        for i in range(10):
+            ring.record("probe", value=i)
+        assert len(ring) == 4
+        assert ring.seq == 10
+        assert ring.dropped == 6
+        values = [entry["value"] for entry in ring.snapshot()]
+        assert values == [6, 7, 8, 9]  # oldest first
+        seqs = [entry["seq"] for entry in ring.snapshot()]
+        assert seqs == sorted(seqs)
+
+    def test_below_capacity_keeps_everything(self):
+        ring = FlightRecorder(capacity=8)
+        for i in range(3):
+            ring.record("probe", value=i)
+        assert len(ring) == 3
+        assert ring.dropped == 0
+        assert [e["value"] for e in ring.snapshot()] == [0, 1, 2]
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_event_adapter_namespaces_fields(self):
+        ring = FlightRecorder()
+        log = EventLog()
+        log.ring = ring
+        log.emit("grant", transaction="T1", entity="x", site=1)
+        (entry,) = ring.snapshot()
+        assert entry["kind"] == "event"
+        assert entry["event_kind"] == "grant"
+        assert entry["event_seq"] == 0
+        assert entry["transaction"] == "T1"
+
+    def test_to_jsonl_roundtrips(self):
+        ring = FlightRecorder()
+        ring.record("probe", value=1)
+        lines = ring.to_jsonl().splitlines()
+        assert json.loads(lines[0])["value"] == 1
+
+    def test_recorder_activates_wire_observer(self):
+        observer = distributed.WireObserver()
+        assert not observer.active
+        ring = FlightRecorder()
+        observer.attach_recorder(ring)
+        assert observer.active
+        observer.sent({"type": "lock", "id": 1, "txn": "T1"}, 42, 0, site=1)
+        observer.received({"type": "reply", "id": 1}, 24, site=1)
+        observer.detach_recorder()
+        assert not observer.active
+        kinds = [entry["kind"] for entry in ring.snapshot()]
+        assert kinds == ["send", "recv"]
+        assert ring.snapshot()[0]["bytes"] == 42
+
+
+class TestRecorderInCluster:
+    def test_ring_is_deterministic_on_memory_transport(self, contended_system):
+        first = FlightRecorder()
+        second = FlightRecorder()
+        run_cluster_sync(contended_system, rounds=2, seed=11, recorder=first)
+        run_cluster_sync(contended_system, rounds=2, seed=11, recorder=second)
+        assert first.seq == second.seq
+        assert first.to_jsonl() == second.to_jsonl()
+
+    def test_outcome_fingerprint_identical_recorder_on_vs_off(
+        self, contended_system
+    ):
+        instrumented = run_cluster_sync(
+            contended_system, rounds=2, seed=11, recorder=FlightRecorder()
+        )
+        bare = run_cluster_sync(
+            contended_system, rounds=2, seed=11, recorder=False
+        )
+        assert instrumented.outcome_fingerprint == bare.outcome_fingerprint
+        assert instrumented.history_fingerprint == bare.history_fingerprint
+
+    def test_disabled_recorder_records_nothing(self, contended_system):
+        ring = FlightRecorder()
+        run_cluster_sync(contended_system, rounds=1, seed=3, recorder=False)
+        # Nothing attached the ring, and the observer is quiescent.
+        assert len(ring) == 0
+        assert not distributed.WIRE.active
+
+    def test_report_carries_contention_ranking(self, contended_system):
+        report = run_cluster_sync(contended_system, rounds=3, seed=11)
+        assert report.contention, "contended run must rank hot entities"
+        row = report.contention[0]
+        assert set(row) >= {"entity", "waits", "grants", "wait_ms_p95"}
+        assert row["entity"] in ("x", "y")
+        # The ranking rides in to_dict but never in the fingerprints.
+        assert "contention" in report.to_dict()
+
+
+class TestContentionTally:
+    def test_counts_and_ranking(self):
+        tally = ContentionTally()
+        tally.granted("x")
+        tally.blocked("x", depth=2)
+        tally.waited("x", 2_000_000)
+        tally.blocked("y", depth=1)
+        tally.waited("y", 1_000_000)
+        tally.blocked("y", depth=4)
+        tally.waited("y", 3_000_000, result="denied")
+        rows = tally.rows()
+        assert [row["entity"] for row in rows] == ["y", "x"]
+        y = rows[0]
+        assert y["waits"] == 2
+        assert y["denied"] == 1
+        assert y["queue_depth_max"] == 4
+
+    def test_merge_accumulates(self):
+        a, b = ContentionTally(), ContentionTally()
+        a.blocked("x", depth=1)
+        a.waited("x", 5)
+        b.blocked("x", depth=3)
+        b.waited("x", 7)
+        a.merge(b)
+        (row,) = a.rows()
+        assert row["waits"] == 2
+        assert row["queue_depth_max"] == 3
+
+    def test_empty_tally_is_falsy(self):
+        assert not ContentionTally()
+
+
+def _span(entity, txn, start, dur, pid=1):
+    return {
+        "span": "site.lock_wait",
+        "start_ns": start,
+        "dur_ns": dur,
+        "pid": pid,
+        "attrs": {"entity": entity, "txn": txn, "site": 1},
+    }
+
+
+class TestContentionFromRecords:
+    def test_percentiles_and_convoy(self):
+        # Three overlapping waiters on x -> convoy; y is quiet.
+        records = [
+            _span("x", "T1", 0, 100),
+            _span("x", "T2", 10, 100),
+            _span("x", "T3", 20, 100),
+            _span("y", "T9", 0, 50),
+        ]
+        rows = contention_from_records(records)
+        x = next(row for row in rows if row["entity"] == "x")
+        assert x["waits"] == 3
+        assert x["queue_depth_max"] == 3
+        assert x["convoy"] is True
+
+    def test_starvation_flags_outlier(self):
+        records = [_span("x", f"T{i}", i * 1000, 10) for i in range(6)]
+        records.append(_span("x", "T99", 0, 10_000))
+        (row,) = contention_from_records(records)
+        assert "T99" in row["starved"]
+
+    def test_ignores_other_spans(self):
+        assert contention_from_records([{"span": "cluster.run", "dur_ns": 5}]) == []
+
+    def test_render_contention_mentions_flags(self):
+        records = [
+            _span("x", "T1", 0, 100),
+            _span("x", "T2", 10, 100),
+            _span("x", "T3", 20, 100),
+        ]
+        text = render_contention(contention_from_records(records))
+        assert "convoy" in text
+        assert "x" in text
+
+    def test_render_empty(self):
+        assert "no lock waits" in render_contention([])
+
+
+class TestWaitForStitching:
+    def test_cross_site_cycle_detected(self):
+        statuses = [
+            {"site": 1, "wait_for": [["T1", "T2"]]},
+            {"site": 2, "wait_for": [["T2", "T1"]]},
+        ]
+        graph = wait_for_graph(statuses)
+        cycles = deadlock_cycles(graph)
+        assert cycles, "cross-site cycle must be found"
+        assert set(cycles[0]) >= {"T1", "T2"}
+
+    def test_acyclic_graph_is_clean(self):
+        statuses = [{"site": 1, "wait_for": [["T1", "T2"], ["T2", "T3"]]}]
+        assert deadlock_cycles(wait_for_graph(statuses)) == []
+
+    def test_cluster_status_renders_cycle_and_errors(self):
+        status = ClusterStatus(
+            [
+                {
+                    "site": 1,
+                    "role": "site",
+                    "processed": 9,
+                    "committed": 1,
+                    "lock_table": [
+                        {"entity": "x", "holder": "T1", "waiters": ["T2"]}
+                    ],
+                    "pending": [
+                        {"txn": "T2", "entity": "x", "age": 3, "timer": False}
+                    ],
+                    "wait_for": [["T2", "T1"]],
+                    "contention": [],
+                },
+                {"site": 2, "wait_for": [["T1", "T2"]]},
+                {"site": 3, "error": "connection refused"},
+            ]
+        )
+        text = status.render()
+        assert "DEADLOCK" in text
+        assert "UNREACHABLE" in text
+        assert "lock x: holder=T1" in text
+        assert len(status.errors) == 1
+        payload = status.to_dict()
+        assert payload["cycles"]
+
+
+class TestPostmortem:
+    def test_dump_load_render_roundtrip(self, tmp_path, contended_system):
+        ring = FlightRecorder()
+        event_log = EventLog()
+        report = run_cluster_sync(
+            contended_system,
+            rounds=1,
+            seed=5,
+            recorder=ring,
+            event_log=event_log,
+        )
+        trace_file = tmp_path / "site.jsonl"
+        trace_file.write_text(
+            json.dumps(_span("x", "T2", 0, 100)) + "\n" + "{truncated"
+        )
+        bundle = dump_postmortem(
+            tmp_path / "bundle",
+            report=report,
+            recorder=ring,
+            event_log=event_log,
+            trace_paths=[str(trace_file)],
+            reason="test-reason",
+        )
+        loaded = load_postmortem(bundle)
+        assert loaded["manifest"]["reason"] == "test-reason"
+        assert loaded["report"]["transactions"] == report.transactions
+        assert loaded["flight"], "ring contents must be preserved"
+        assert len(loaded["trace_records"]) == 1  # damaged line skipped
+        text = render_postmortem(bundle)
+        assert "test-reason" in text
+        assert "flight recorder" in text
+
+    def test_truncated_flight_line_skipped(self, tmp_path):
+        ring = FlightRecorder()
+        ring.record("probe", value=1)
+        bundle = dump_postmortem(tmp_path / "b", recorder=ring, reason="r")
+        flight = tmp_path / "b" / "flight.jsonl"
+        flight.write_text(flight.read_text() + '{"seq": 99, "kin')
+        loaded = load_postmortem(bundle)
+        assert loaded["flight_skipped"] == 1
+        assert len(loaded["flight"]) == 1
+        assert render_postmortem(bundle)  # still renders
+
+    def test_non_bundle_directory_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="not a post-mortem bundle"):
+            load_postmortem(tmp_path)
+
+    def test_bad_run_writes_bundle_automatically(
+        self, tmp_path, contended_system
+    ):
+        from repro.faults.plan import FaultPlan, SiteCrash
+
+        plan = FaultPlan(site_crashes=(SiteCrash(site=1, at=5),))
+        report = run_cluster_sync(
+            contended_system,
+            rounds=1,
+            seed=5,
+            fault_plan=plan,
+            request_timeout=0.5,
+            max_retries=0,
+            postmortem_dir=str(tmp_path / "pm"),
+        )
+        assert not report.audit_complete
+        assert report.postmortem == str(tmp_path / "pm")
+        loaded = load_postmortem(report.postmortem)
+        assert loaded["manifest"]["reason"] in (
+            "audit-incomplete",
+            "partial-commit",
+            "non-serializable",
+        )
+
+    def test_clean_run_writes_nothing(self, tmp_path, contended_system):
+        report = run_cluster_sync(
+            contended_system,
+            rounds=1,
+            seed=5,
+            postmortem_dir=str(tmp_path / "pm"),
+        )
+        assert report.serializable and report.audit_complete
+        assert report.postmortem is None
+        assert not (tmp_path / "pm").exists()

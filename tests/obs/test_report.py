@@ -128,3 +128,62 @@ class TestRendering:
 
     def test_empty_rows_render_headers_only(self):
         assert render_table([]).startswith("span")
+
+
+class TestLenientLoading:
+    """Truncated / malformed JSONL hardening: strict mode still raises
+    (pinned above), lenient mode skips with a counted warning."""
+
+    def test_lenient_load_skips_and_reports(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            json.dumps({"span": "ok", "id": 1, "pid": 1,
+                        "start_ns": 0, "dur_ns": 10}) + "\n"
+            + "{truncated mid-wri\n"
+            + json.dumps({"not": "a span"}) + "\n"
+            + json.dumps({"span": "ok", "id": 2, "pid": 1,
+                          "start_ns": 0, "dur_ns": 20}) + "\n"
+        )
+        skips = []
+        records = load_trace(
+            str(path),
+            strict=False,
+            on_skip=lambda p, n, why: skips.append((n, why)),
+        )
+        assert len(records) == 2
+        assert [number for number, _ in skips] == [2, 3]
+
+    def test_summarize_counts_skipped_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            json.dumps({"span": "ok", "id": 1, "pid": 1,
+                        "start_ns": 0, "dur_ns": 10}) + "\n"
+            + "{truncated"
+        )
+        text = summarize(str(path))
+        assert "warning: skipped 1 malformed line(s)" in text
+        assert "1 spans" in text
+
+    def test_summarize_rejects_file_with_no_valid_records(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json at all\n")
+        with pytest.raises(ValueError):
+            summarize(str(path))
+
+    def test_merge_traces_is_lenient(self, tmp_path):
+        from repro.obs.distributed import merge_traces
+
+        good = tmp_path / "a.jsonl"
+        good.write_text(
+            json.dumps({"span": "ok", "id": 1, "pid": 1,
+                        "start_ns": 0, "dur_ns": 10}) + "\n"
+        )
+        damaged = tmp_path / "b.jsonl"
+        damaged.write_text('{"span": "cut off, no dur\n')
+        skips = []
+        records = merge_traces(
+            [good, damaged],
+            on_skip=lambda p, n, why: skips.append((p, n)),
+        )
+        assert len(records) == 1
+        assert len(skips) == 1

@@ -8,14 +8,17 @@ Compares a fresh benchmark envelope against the expectations in
 * a baseline cell is missing from the fresh results;
 * any cell fails its correctness audit.
 
-Two suites are gated.  ``--suite cluster`` (the default) reads
+Three suites are gated.  ``--suite cluster`` (the default) reads
 ``BENCH_cluster.json`` from ``benchmarks/bench_cluster_throughput.py``
 and requires every transaction committed — the transfer pair always
 drains.  ``--suite arena`` reads ``BENCH_arena.json`` from
 ``benchmarks/bench_arena_matrix.py``; arena cells run contended and
 overloaded traffic where aborts are a *reported outcome*, so the audit
 there demands serializability on a complete history but not a 100%
-commit rate.
+commit rate.  ``--suite insight`` reads ``BENCH_insight.json`` from
+``benchmarks/bench_insight_overhead.py`` and gates the recorder-on and
+recorder-off throughput cells of E18 — both run the always-committing
+transfer pair, so every transaction must commit.
 
 Faster-than-baseline results always pass; the gate only catches decay.
 Baselines are keyed by mode (``quick``/``full``) because the two modes
@@ -55,6 +58,11 @@ SUITES = {
         "results": "BENCH_arena.json",
         "mode_key": "transactions",
         "require_all_committed": False,
+    },
+    "insight": {
+        "results": "BENCH_insight.json",
+        "mode_key": "rounds",
+        "require_all_committed": True,
     },
 }
 
